@@ -1,0 +1,136 @@
+package pmafia
+
+// One benchmark per table and figure of the paper's evaluation
+// section, each driving the corresponding experiment harness at a
+// reduced scale (the `cmd/experiments` binary runs them at full
+// default scale and prints the tables). Ablation benchmarks cover the
+// design choices called out in DESIGN.md.
+
+import (
+	"io"
+	"testing"
+
+	"pmafia/internal/experiments"
+	"pmafia/internal/sp2"
+)
+
+// benchOpts returns harness options sized for benchmarking.
+func benchOpts(scale float64, procs ...int) *experiments.Options {
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4, 8, 16}
+	}
+	return &experiments.Options{
+		Scale: scale,
+		Seed:  99,
+		Procs: procs,
+		Mode:  sp2.Sim,
+		Out:   io.Discard,
+	}
+}
+
+func benchExperiment(b *testing.B, id string, o *experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunOne(id, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Fig4 regenerates Table 1 and Figure 4: pMAFIA vs
+// CLIQUE execution times across 1-16 processors.
+func BenchmarkTable1Fig4(b *testing.B) { benchExperiment(b, "table1", benchOpts(0.1, 1, 4, 16)) }
+
+// BenchmarkFig3 regenerates Figure 3: parallel run times of pMAFIA on
+// the 30-d, 5-cluster data set.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3", benchOpts(0.1, 1, 4, 16)) }
+
+// BenchmarkTable2 regenerates Table 2: CDU and dense-unit counts per
+// level for pMAFIA vs the modified CLIQUE.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", benchOpts(0.1)) }
+
+// BenchmarkFig5 regenerates Figure 5: scalability with database size.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5", benchOpts(0.05, 16)) }
+
+// BenchmarkFig6 regenerates Figure 6: scalability with data
+// dimensionality.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6", benchOpts(0.05, 16)) }
+
+// BenchmarkFig7 regenerates Figure 7: scalability with hidden cluster
+// dimensionality.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7", benchOpts(0.05, 16)) }
+
+// BenchmarkTable3 regenerates Table 3: clustering quality of CLIQUE
+// (fixed and variable bins) vs pMAFIA.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", benchOpts(0.1)) }
+
+// BenchmarkTable4 regenerates Table 4: clusters discovered in the
+// DAX-like data set.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4", benchOpts(1)) }
+
+// BenchmarkIonosphere regenerates §5.9.2: the ionosphere-like data at
+// alpha 2 and 3.
+func BenchmarkIonosphere(b *testing.B) { benchExperiment(b, "ionosphere", benchOpts(1)) }
+
+// BenchmarkTable5 regenerates Table 5: parallel performance on the
+// EachMovie-like ratings data.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5", benchOpts(0.05, 1, 4, 16)) }
+
+// BenchmarkAblationGrid compares adaptive vs uniform grids (the
+// paper's central design choice).
+func BenchmarkAblationGrid(b *testing.B) { benchExperiment(b, "ablation-grid", benchOpts(0.1)) }
+
+// BenchmarkAblationCount compares the population-counting strategies.
+func BenchmarkAblationCount(b *testing.B) { benchExperiment(b, "ablation-count", benchOpts(0.1)) }
+
+// BenchmarkAblationJoin compares the MAFIA join against the CLIQUE
+// prefix join on identical grids.
+func BenchmarkAblationJoin(b *testing.B) { benchExperiment(b, "ablation-join", benchOpts(0.1)) }
+
+// BenchmarkAblationBeta sweeps the adaptive-grid merge threshold.
+func BenchmarkAblationBeta(b *testing.B) { benchExperiment(b, "ablation-beta", benchOpts(0.1)) }
+
+// BenchmarkAblationLatency sweeps the modeled communication latency.
+func BenchmarkAblationLatency(b *testing.B) {
+	benchExperiment(b, "ablation-latency", benchOpts(0.1, 16))
+}
+
+// BenchmarkSerialRun measures a bare serial clustering call through
+// the public API (no harness overhead).
+func BenchmarkSerialRun(b *testing.B) {
+	data, _, err := Generate(sampleSpec(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(data, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelRun measures a 16-rank simulated parallel run.
+func BenchmarkParallelRun(b *testing.B) {
+	data, _, err := Generate(sampleSpec(78))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := ShardMatrix(data, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunParallel(shards, nil, Config{}, MachineConfig{Procs: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelFit regenerates the §4.5 analysis validation (Amdahl
+// fit of a processor sweep).
+func BenchmarkModelFit(b *testing.B) { benchExperiment(b, "model-fit", benchOpts(0.1)) }
+
+// BenchmarkAblationTau sweeps the task-parallel threshold τ.
+func BenchmarkAblationTau(b *testing.B) { benchExperiment(b, "ablation-tau", benchOpts(0.1, 16)) }
+
+// BenchmarkPhases regenerates the §5.3 per-level time breakdown.
+func BenchmarkPhases(b *testing.B) { benchExperiment(b, "phases", benchOpts(0.1, 1)) }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmafia/internal/diskio"
+)
+
+func TestParseClusterUniformExtent(t *testing.T) {
+	cl, err := parseCluster("1,7,8,9@23:39")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Dims) != 4 || cl.Dims[0] != 1 || cl.Dims[3] != 9 {
+		t.Errorf("dims = %v", cl.Dims)
+	}
+	if len(cl.Boxes) != 1 || len(cl.Boxes[0]) != 4 {
+		t.Fatalf("boxes = %v", cl.Boxes)
+	}
+	for _, r := range cl.Boxes[0] {
+		if r.Lo != 23 || r.Hi != 39 {
+			t.Errorf("extent = %v", r)
+		}
+	}
+}
+
+func TestParseClusterPerDimExtents(t *testing.T) {
+	cl, err := parseCluster("0,5@10:20,30:40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cl.Boxes[0]
+	if b[0].Lo != 10 || b[0].Hi != 20 || b[1].Lo != 30 || b[1].Hi != 40 {
+		t.Errorf("extents = %v", b)
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	bad := []string{
+		"1,2",             // no extents
+		"1,2@",            // empty extent
+		"1,2@10",          // no colon
+		"1,x@10:20",       // bad dim
+		"1,2@10:20,30",    // ragged extents
+		"1,2@a:b",         // non-numeric
+		"1,2@1:2,3:4,5:6", // too many extents
+	}
+	for _, s := range bad {
+		if _, err := parseCluster(s); err == nil {
+			t.Errorf("parseCluster(%q): want error", s)
+		}
+	}
+}
+
+func TestRunWritesPmafAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.pmaf")
+	truth := filepath.Join(dir, "t.json")
+	err := run(5, 1000, 0.1, 3, false, out, truth, clusterFlags{"0,2@10:30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := diskio.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dims() != 5 || f.NumRecords() != 1100 {
+		t.Errorf("file shape %dx%d", f.NumRecords(), f.Dims())
+	}
+	data, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Clusters") {
+		t.Errorf("truth JSON missing clusters: %s", data)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	if err := run(3, 200, -1, 4, false, out, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 200 {
+		t.Errorf("CSV has %d lines, want 200", lines)
+	}
+}

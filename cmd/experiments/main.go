@@ -1,0 +1,86 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section on the simulated SP2 machine.
+//
+//	experiments                  # run everything at default (scaled-down) size
+//	experiments -run table1      # one experiment
+//	experiments -scale 10        # 10x more records
+//	experiments -procs 1,2,4,8,16,32
+//	experiments -csv out.csv     # also dump CSV series for plotting
+//	experiments -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmafia/internal/experiments"
+	"pmafia/internal/sp2"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id or 'all'")
+		scale = flag.Float64("scale", 1, "record-count multiplier (~140 = paper scale)")
+		seed  = flag.Uint64("seed", 0, "random seed (0 = default)")
+		procs = flag.String("procs", "1,2,4,8,16", "comma list of machine sizes")
+		mode  = flag.String("mode", "sim", "machine mode: sim or real")
+		csvP  = flag.String("csv", "", "optional CSV output path")
+		svgD  = flag.String("svg", "", "optional directory for figure SVGs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	o := &experiments.Options{
+		Scale:  *scale,
+		Seed:   *seed,
+		Out:    os.Stdout,
+		SVGDir: *svgD,
+	}
+	switch *mode {
+	case "sim":
+		o.Mode = sp2.Sim
+	case "real":
+		o.Mode = sp2.Real
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	for _, ps := range strings.Split(*procs, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(ps))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: bad procs entry %q\n", ps)
+			os.Exit(2)
+		}
+		o.Procs = append(o.Procs, p)
+	}
+	if *csvP != "" {
+		f, err := os.Create(*csvP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.CSV = f
+	}
+
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(o)
+	} else {
+		err = experiments.RunOne(*run, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

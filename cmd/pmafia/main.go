@@ -1,0 +1,172 @@
+// Command pmafia clusters a data set with pMAFIA (or the CLIQUE
+// baseline) and prints the discovered clusters as minimal DNF
+// expressions.
+//
+// Usage:
+//
+//	pmafia [flags] <input>
+//
+// The input is a CSV file (numeric columns, optional header) or a
+// .pmaf binary record file produced by cmd/datagen. Examples:
+//
+//	pmafia data.csv
+//	pmafia -alpha 2 -procs 8 data.pmaf
+//	pmafia -clique -bins 10 -tau 0.01 data.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmafia/internal/clique"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/grid"
+	"pmafia/internal/mafia"
+	"pmafia/internal/sp2"
+)
+
+func main() {
+	var (
+		alpha     = flag.Float64("alpha", 1.5, "density deviation factor α (pMAFIA)")
+		beta      = flag.Float64("beta", 50, "adaptive-grid merge threshold β in percent (pMAFIA)")
+		procs     = flag.Int("procs", 1, "processors of the simulated machine")
+		mode      = flag.String("mode", "sim", "machine mode: sim (virtual time) or real (concurrent)")
+		chunk     = flag.Int("chunk", 8192, "records per out-of-core read (B)")
+		useClique = flag.Bool("clique", false, "run the CLIQUE baseline instead of pMAFIA")
+		bins      = flag.Int("bins", 10, "bins per dimension ξ (CLIQUE)")
+		tau       = flag.Float64("tau", 0.01, "global density threshold τ as a fraction of N (CLIQUE)")
+		levels    = flag.Bool("levels", false, "print per-level candidate/dense unit counts")
+		verbose   = flag.Bool("v", false, "print per-cluster DNF expressions in full")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmafia [flags] <input.csv|input.pmaf>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *alpha, *beta, *procs, *mode, *chunk, *useClique, *bins, *tau, *levels, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "pmafia:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, alpha, beta float64, procs int, mode string, chunk int, useClique bool, bins int, tau float64, levels, verbose bool) error {
+	src, domains, err := open(path)
+	if err != nil {
+		return err
+	}
+	mcfg := sp2.Config{Procs: procs}
+	switch mode {
+	case "sim":
+		mcfg.Mode = sp2.Sim
+	case "real":
+		mcfg.Mode = sp2.Real
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	shards := shardSource(src, procs)
+
+	var res *mafia.Result
+	if useClique {
+		res, err = clique.RunParallel(shards, domains, clique.Config{Bins: bins, Tau: tau, ChunkRecords: chunk}, mcfg)
+	} else {
+		cfg := mafia.Config{
+			Adaptive:     grid.AdaptiveParams{Alpha: alpha, BetaPercent: beta},
+			ChunkRecords: chunk,
+		}
+		res, err = mafia.RunParallel(shards, domains, cfg, mcfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d records, %d dimensions, %d processors: %.3fs (comm %.4fs)\n",
+		res.N, len(res.Grid.Dims), procs, res.Seconds, res.Report.CommSeconds)
+	if levels {
+		for _, l := range res.Levels {
+			fmt.Printf("  level %d: %d raw CDUs, %d unique, %d dense\n", l.K, l.NcduRaw, l.Ncdu, l.Ndu)
+		}
+	}
+	fmt.Printf("%d cluster(s) discovered:\n", len(res.Clusters))
+	for i, c := range res.Clusters {
+		dims := make([]string, len(c.Dims))
+		for j, d := range c.Dims {
+			dims[j] = fmt.Sprint(d)
+		}
+		fmt.Printf("  #%d dims {%s}, %d dense units, %d boxes\n", i+1, strings.Join(dims, ","), c.Units.Len(), len(c.Boxes))
+		if verbose {
+			fmt.Printf("     %s\n", c.DNF(res.Grid))
+		} else {
+			for j, b := range c.Bounds(res.Grid) {
+				fmt.Printf("     d%s ∈ %v\n", dims[j], b)
+			}
+		}
+	}
+	return nil
+}
+
+// open loads the input as a record file or CSV and returns the source
+// plus its domains (nil when they must be discovered).
+func open(path string) (dataset.Source, []dataset.Range, error) {
+	if strings.HasSuffix(path, ".pmaf") {
+		f, err := diskio.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Domains(), nil
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fh.Close()
+	m, _, err := dataset.ReadCSV(fh)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, nil, nil
+}
+
+// shardSource splits the source for parallel runs. In-memory matrices
+// are sliced; record files are range-scanned per rank via staging-free
+// ScanRange shards.
+func shardSource(src dataset.Source, p int) []dataset.Source {
+	if p <= 1 {
+		return []dataset.Source{src}
+	}
+	out := make([]dataset.Source, p)
+	switch s := src.(type) {
+	case *dataset.Matrix:
+		n := s.NumRecords()
+		for r := 0; r < p; r++ {
+			lo, hi := diskio.ShareBounds(n, r, p)
+			out[r] = s.Slice(lo, hi)
+		}
+	case *diskio.File:
+		n := s.NumRecords()
+		for r := 0; r < p; r++ {
+			lo, hi := diskio.ShareBounds(n, r, p)
+			out[r] = &fileRange{f: s, lo: lo, hi: hi}
+		}
+	default:
+		for r := 0; r < p; r++ {
+			out[r] = src
+		}
+	}
+	return out
+}
+
+// fileRange adapts a contiguous record range of a file to Source.
+type fileRange struct {
+	f      *diskio.File
+	lo, hi int
+}
+
+func (r *fileRange) Dims() int       { return r.f.Dims() }
+func (r *fileRange) NumRecords() int { return r.hi - r.lo }
+func (r *fileRange) Scan(chunk int) dataset.Scanner {
+	return r.f.ScanRange(r.lo, r.hi, chunk)
+}

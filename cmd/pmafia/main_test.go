@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+)
+
+func writeSample(t *testing.T, dir string) (pmafPath, csvPath string) {
+	t.Helper()
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims:    5,
+		Records: 3000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{1, 3},
+				[]dataset.Range{{Lo: 20, Hi: 35}, {Lo: 60, Hi: 75}}, 0),
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmafPath = filepath.Join(dir, "d.pmaf")
+	if err := diskio.WriteSource(pmafPath, m); err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, "d.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return pmafPath, csvPath
+}
+
+func TestOpenPmafAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, csv := writeSample(t, dir)
+
+	src, doms, err := open(pmaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Dims() != 5 || doms == nil {
+		t.Errorf("pmaf open: dims=%d doms=%v", src.Dims(), doms)
+	}
+
+	src, doms, err = open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Dims() != 5 || doms != nil {
+		t.Errorf("csv open: dims=%d doms=%v", src.Dims(), doms)
+	}
+
+	if _, _, err := open(filepath.Join(dir, "missing.pmaf")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestShardSourceCoversAllRecords(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, _ := writeSample(t, dir)
+	f, err := diskio.Open(pmaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := shardSource(f, 4)
+	total := 0
+	for _, s := range shards {
+		total += s.NumRecords()
+		sc := s.Scan(100)
+		n := 0
+		for {
+			_, k := sc.Next()
+			if k == 0 {
+				break
+			}
+			n += k
+		}
+		sc.Close()
+		if n != s.NumRecords() {
+			t.Errorf("shard scanned %d of %d records", n, s.NumRecords())
+		}
+	}
+	if total != f.NumRecords() {
+		t.Errorf("shards cover %d of %d records", total, f.NumRecords())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, csv := writeSample(t, dir)
+	if err := run(pmaf, 1.5, 50, 2, "sim", 512, false, 10, 0.01, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(csv, 1.5, 50, 1, "sim", 512, true, 10, 0.02, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(pmaf, 1.5, 50, 1, "bogus", 512, false, 10, 0.01, false, false); err == nil {
+		t.Error("bogus mode: want error")
+	}
+}

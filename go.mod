@@ -1,0 +1,3 @@
+module pmafia
+
+go 1.22

@@ -1,0 +1,293 @@
+package pmafia
+
+// End-to-end scenarios exercising the public API across packages:
+// dimension permutation, non-rectangular clusters, custom attribute
+// ranges, determinism, labeling, and a full disk-staged 16-rank run.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIntegrationPermutedDims(t *testing.T) {
+	// The generator permutes dimension labels; detection must follow.
+	data, truth, err := Generate(Spec{
+		Dims:    10,
+		Records: 8000,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{0, 1, 2},
+				[]Range{{Lo: 30, Hi: 45}, {Lo: 30, Hi: 45}, {Lo: 30, Hi: 45}}, 0),
+		},
+		Seed:        61,
+		PermuteDims: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.Clusters[0].Dims
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Dims) != len(want) {
+			continue
+		}
+		ok := true
+		for i := range want {
+			if int(c.Dims[i]) != want[i] {
+				ok = false
+			}
+		}
+		if ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("permuted cluster dims %v not found; got %v", want, res.Clusters)
+	}
+}
+
+func TestIntegrationLShapedCluster(t *testing.T) {
+	// A union of two overlapping boxes forms an L; the DNF cover should
+	// need more than one conjunction and the region must be recovered.
+	data, _, err := Generate(Spec{
+		Dims:    4,
+		Records: 20000,
+		Clusters: []ClusterSpec{{
+			Dims: []int{0, 1},
+			Boxes: []BoxSpec{
+				{{Lo: 10, Hi: 34}, {Lo: 10, Hi: 20}}, // horizontal bar
+				{{Lo: 10, Hi: 20}, {Lo: 10, Hi: 34}}, // vertical bar
+			},
+		}},
+		Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lcluster *Cluster
+	for i := range res.Clusters {
+		if len(res.Clusters[i].Dims) == 2 && res.Clusters[i].Dims[0] == 0 && res.Clusters[i].Dims[1] == 1 {
+			lcluster = &res.Clusters[i]
+		}
+	}
+	if lcluster == nil {
+		t.Fatalf("L-shaped cluster not found: %v", res.Clusters)
+	}
+	dnf := lcluster.DNF(res.Grid)
+	if !strings.Contains(dnf, "∨") {
+		// The adaptive grid may legitimately cover an L with one box if
+		// bins blur the notch, but with extents this large it must not.
+		t.Errorf("L-shaped cluster covered by a single box: %s", dnf)
+	}
+	// The corner outside the L must not be inside the cluster.
+	if lcluster.Contains([]float64{30, 30, 50, 50}, res.Grid) {
+		t.Error("region outside the L reported as inside")
+	}
+	if !lcluster.Contains([]float64{30, 15, 50, 50}, res.Grid) {
+		t.Error("horizontal bar not inside the cluster")
+	}
+	if !lcluster.Contains([]float64{15, 30, 50, 50}, res.Grid) {
+		t.Error("vertical bar not inside the cluster")
+	}
+}
+
+func TestIntegrationCustomAttributeRanges(t *testing.T) {
+	attrs := []Range{
+		{Lo: -500, Hi: 500},
+		{Lo: 0, Hi: 1},
+		{Lo: 1000, Hi: 9000},
+	}
+	data, _, err := Generate(Spec{
+		Dims:       3,
+		Records:    8000,
+		AttrRanges: attrs,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{0, 2},
+				[]Range{{Lo: -100, Hi: 50}, {Lo: 2000, Hi: 3200}}, 0),
+		},
+		Seed: 63,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 2 && c.Dims[0] == 0 && c.Dims[1] == 2 {
+			found = true
+			b := c.Bounds(res.Grid)
+			if !b[0].Overlaps(Range{Lo: -100, Hi: 50}) || !b[1].Overlaps(Range{Lo: 2000, Hi: 3200}) {
+				t.Errorf("bounds %v do not overlap the embedded extents", b)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("cluster not found in custom-range data: %v", res.Clusters)
+	}
+}
+
+func TestIntegrationDeterminism(t *testing.T) {
+	gen := func() *Result {
+		data, _, err := Generate(sampleSpec(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(data, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := gen(), gen()
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].DNF(a.Grid) != b.Clusters[i].DNF(b.Grid) {
+			t.Errorf("cluster %d DNF differs between identical runs", i)
+		}
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.K != lb.K || la.NcduRaw != lb.NcduRaw || la.Ncdu != lb.Ncdu || la.Ndu != lb.Ndu {
+			t.Errorf("level %d stats differ between identical runs", i)
+		}
+	}
+}
+
+func TestIntegrationAssignPublicAPI(t *testing.T) {
+	data, _, err := Generate(sampleSpec(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := res.Assign(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := 0
+	for _, l := range labels {
+		if l >= 0 {
+			assigned++
+		}
+	}
+	// The embedded cluster holds ~91% of records (6000 of 6600).
+	if assigned < data.NumRecords()/2 {
+		t.Errorf("only %d/%d records assigned", assigned, data.NumRecords())
+	}
+}
+
+func TestIntegrationSixteenRankDiskRun(t *testing.T) {
+	data, _, err := Generate(Spec{
+		Dims:    12,
+		Records: 16000,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{2, 5, 8},
+				[]Range{{Lo: 40, Hi: 55}, {Lo: 40, Hi: 55}, {Lo: 40, Hi: 55}}, 0),
+		},
+		Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	shared := filepath.Join(dir, "shared.pmaf")
+	if err := WriteFile(shared, data); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := OpenFile(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 16
+	shards := make([]Source, p)
+	for r := 0; r < p; r++ {
+		local, err := Stage(sf, filepath.Join(dir, "nodes"), r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[r] = local
+	}
+	res, err := RunParallel(shards, sf.Domains(), Config{ChunkRecords: 256}, MachineConfig{Procs: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != len(serial.Clusters) {
+		t.Errorf("16-rank disk run found %d clusters, serial %d", len(res.Clusters), len(serial.Clusters))
+	}
+	if res.Report.Collectives == 0 || res.Report.BytesMoved == 0 {
+		t.Errorf("no communication recorded: %+v", res.Report)
+	}
+}
+
+func TestIntegrationHighDimensionalData(t *testing.T) {
+	// 200 dimensions is above nothing structural — the byte encoding
+	// allows up to 255.
+	data, _, err := Generate(Spec{
+		Dims:    200,
+		Records: 4000,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{10, 100, 190},
+				[]Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}, 0),
+		},
+		Seed: 67,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 3 && c.Dims[0] == 10 && c.Dims[1] == 100 && c.Dims[2] == 190 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cluster in 200-d data not found: %d clusters", len(res.Clusters))
+	}
+}
+
+func TestIntegrationDimensionLimit(t *testing.T) {
+	data := NewMatrixHelper(t, 10, 256)
+	if _, err := Run(data, Config{}); err == nil {
+		t.Error("256 dims must be rejected (byte encoding)")
+	}
+}
+
+// NewMatrixHelper builds a small uniform matrix for limit tests.
+func NewMatrixHelper(t *testing.T, n, d int) *Matrix {
+	t.Helper()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*31 + j*17) % 100)
+		}
+	}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package clique
+
+import (
+	"testing"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+	"pmafia/internal/sp2"
+	"pmafia/internal/unit"
+)
+
+func genData(t *testing.T, d, records int, seed uint64, clusters ...datagen.Cluster) (*dataset.Matrix, *datagen.Truth) {
+	t.Helper()
+	m, truth, err := datagen.Generate(datagen.Spec{
+		Dims: d, Records: records, Clusters: clusters, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, truth
+}
+
+func box(lo, hi float64, dims ...int) datagen.Cluster {
+	ext := make([]dataset.Range, len(dims))
+	for i := range ext {
+		ext[i] = dataset.Range{Lo: lo, Hi: hi}
+	}
+	return datagen.UniformBox(dims, ext, 0)
+}
+
+func findsSubspace(res *mafia.Result, dims ...int) bool {
+	for _, c := range res.Clusters {
+		if len(c.Dims) != len(dims) {
+			continue
+		}
+		ok := true
+		for i := range dims {
+			if int(c.Dims[i]) != dims[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCLIQUEFindsAlignedCluster(t *testing.T) {
+	// Cluster aligned with the 10-bin grid, diluted with uniform
+	// background so per-cell densities behave like the paper's data
+	// (a cluster that dominates the data set bleeds into extra dims).
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims: 6, Records: 2000, Seed: 31,
+		Clusters:      []datagen.Cluster{box(20, 40, 1, 3)},
+		NoiseFraction: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Config{Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findsSubspace(res, 1, 3) {
+		t.Error("CLIQUE missed a grid-aligned cluster")
+	}
+}
+
+func TestCLIQUEParallelMatchesSerial(t *testing.T) {
+	m, _ := genData(t, 6, 6000, 32, box(20, 40, 0, 4))
+	serial, err := Run(m, Config{Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := []dataset.Source{m.Slice(0, 3300), m.Slice(3300, m.NumRecords())}
+	par, err := RunParallel(shards, nil, Config{Tau: 0.02}, sp2.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Clusters) != len(serial.Clusters) || len(par.Levels) != len(serial.Levels) {
+		t.Fatalf("parallel run diverged: %d/%d clusters, %d/%d levels",
+			len(par.Clusters), len(serial.Clusters), len(par.Levels), len(serial.Levels))
+	}
+	for i := range par.Levels {
+		ps, ss := par.Levels[i], serial.Levels[i]
+		if ps.K != ss.K || ps.NcduRaw != ss.NcduRaw || ps.Ncdu != ss.Ncdu || ps.Ndu != ss.Ndu {
+			t.Errorf("level %d: %+v vs %+v", i, ps, ss)
+		}
+	}
+}
+
+func TestModifiedGeneratesMoreCandidates(t *testing.T) {
+	// The any-(k-2)-share join explores a superset of the prefix join's
+	// candidates (§5.5: "drastically increases the search space").
+	m, _ := genData(t, 8, 8000, 33, box(10, 30, 0, 2, 4, 6))
+	std, err := Run(m, Config{Tau: 0.015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Run(m, Config{Tau: 0.015, Modified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(r *mafia.Result) (raw int) {
+		for _, l := range r.Levels {
+			raw += l.NcduRaw
+		}
+		return
+	}
+	if sum(mod) < sum(std) {
+		t.Errorf("modified CLIQUE generated fewer raw CDUs (%d) than standard (%d)", sum(mod), sum(std))
+	}
+}
+
+func TestVariableBins(t *testing.T) {
+	m, _ := genData(t, 4, 4000, 34, box(20, 40, 0, 2))
+	res, err := Run(m, Config{BinsPerDim: []int{5, 10, 20, 8}, Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grid.Dims[0].NumBins() != 5 || res.Grid.Dims[2].NumBins() != 20 {
+		t.Errorf("bins = %d,%d", res.Grid.Dims[0].NumBins(), res.Grid.Dims[2].NumBins())
+	}
+}
+
+func TestMDLPruneKeepsHighCoverage(t *testing.T) {
+	// Two subspaces with very different coverage: the low-coverage one
+	// is pruned.
+	du := unit.New(2, 4)
+	du.Append([]uint8{0, 1}, []uint8{1, 1})
+	du.Append([]uint8{0, 1}, []uint8{1, 2})
+	du.Append([]uint8{2, 3}, []uint8{4, 4})
+	counts := []int64{5000, 4000, 10}
+	out := MDLPrune(du, counts)
+	if out.Len() != 2 {
+		t.Fatalf("pruned to %d units, want 2", out.Len())
+	}
+	for i := 0; i < out.Len(); i++ {
+		d, _ := out.Unit(i)
+		if d[0] != 0 || d[1] != 1 {
+			t.Errorf("kept wrong subspace: %v", d)
+		}
+	}
+}
+
+func TestMDLPruneSingleSubspaceUntouched(t *testing.T) {
+	du := unit.New(1, 2)
+	du.Append([]uint8{0}, []uint8{1})
+	du.Append([]uint8{0}, []uint8{2})
+	out := MDLPrune(du, []int64{100, 90})
+	if out.Len() != 2 {
+		t.Errorf("single subspace must not be pruned: %d", out.Len())
+	}
+}
+
+func TestMDLPruneEndToEnd(t *testing.T) {
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims: 6, Records: 2000, Seed: 35,
+		Clusters:      []datagen.Cluster{box(20, 40, 1, 3)},
+		NoiseFraction: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Run(m, Config{Tau: 0.02, MDLPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(m, Config{Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MDL pruning restricts the explored subspaces, so it can only
+	// shrink the per-level candidate counts — and, as the paper warns
+	// ("this could result in missing some dense units in the pruned
+	// subspaces"), it may lose clusters; it must never add any.
+	if len(pruned.Clusters) > len(plain.Clusters) {
+		t.Errorf("MDL pruning increased clusters: %d > %d", len(pruned.Clusters), len(plain.Clusters))
+	}
+	for i := 0; i < len(pruned.Levels) && i < len(plain.Levels); i++ {
+		if pruned.Levels[i].NcduRaw > plain.Levels[i].NcduRaw {
+			t.Errorf("level %d: pruned run generated more CDUs (%d > %d)",
+				i+1, pruned.Levels[i].NcduRaw, plain.Levels[i].NcduRaw)
+		}
+	}
+}
+
+func TestGreedyCoverSingleRectangle(t *testing.T) {
+	u := unit.New(2, 0)
+	for i := uint8(0); i < 3; i++ {
+		for j := uint8(0); j < 2; j++ {
+			u.Append([]uint8{0, 1}, []uint8{i, j})
+		}
+	}
+	rects := GreedyCover(u)
+	if len(rects) != 1 {
+		t.Fatalf("full rectangle covered by %d rects, want 1", len(rects))
+	}
+	r := rects[0]
+	if r.Lo[0] != 0 || r.Hi[0] != 2 || r.Lo[1] != 0 || r.Hi[1] != 1 {
+		t.Errorf("rect = %+v", r)
+	}
+}
+
+func TestGreedyCoverLShape(t *testing.T) {
+	u := unit.New(2, 0)
+	u.Append([]uint8{0, 1}, []uint8{0, 0})
+	u.Append([]uint8{0, 1}, []uint8{1, 0})
+	u.Append([]uint8{0, 1}, []uint8{1, 1})
+	rects := GreedyCover(u)
+	if len(rects) != 2 {
+		t.Fatalf("L-shape covered by %d rects, want 2 (possibly overlapping)", len(rects))
+	}
+	// Every unit must be inside some rectangle.
+	for i := 0; i < u.Len(); i++ {
+		_, b := u.Unit(i)
+		inside := false
+		for _, r := range rects {
+			ok := true
+			for x := range b {
+				if b[x] < r.Lo[x] || b[x] > r.Hi[x] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				inside = true
+			}
+		}
+		if !inside {
+			t.Errorf("unit %d not covered", i)
+		}
+	}
+}
+
+func TestLcmFineUnits(t *testing.T) {
+	cfg := &Config{Bins: 10}
+	if u := lcmFineUnits(cfg, 3); u%10 != 0 || u < 1000 {
+		t.Errorf("units = %d", u)
+	}
+	cfg = &Config{BinsPerDim: []int{6, 8}}
+	u := lcmFineUnits(cfg, 2)
+	if u%6 != 0 || u%8 != 0 {
+		t.Errorf("units %d not divisible by 6 and 8", u)
+	}
+}
+
+func TestCLIQUEMissesMAFIAOnlyCandidates(t *testing.T) {
+	// Regression of the paper's core observation: with the prefix join,
+	// CLIQUE explores fewer (or equal) candidates per level than the
+	// modified variant, never more.
+	m, _ := genData(t, 10, 10000, 36, box(10, 30, 0, 2, 3, 5, 6))
+	std, err := Run(m, Config{Tau: 0.015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Run(m, Config{Tau: 0.015, Modified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(std.Levels) && i < len(mod.Levels); i++ {
+		if std.Levels[i].Ncdu > mod.Levels[i].Ncdu {
+			t.Errorf("level %d: standard Ncdu %d > modified %d", i+1, std.Levels[i].Ncdu, mod.Levels[i].Ncdu)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package cluster assembles the dense units a clustering engine
+// registers into reported clusters: units in the same subspace that
+// share a common face are connected (union-find), each connected
+// component becomes a cluster, clusters that are proper subsets of a
+// higher-dimensional cluster are eliminated, and each survivor is
+// rendered as a minimal-length DNF expression (a union of maximal
+// hyper-rectangles over the grid's bins), per §3.2 and §4.4 of the
+// paper.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/unit"
+)
+
+// Box is an axis-aligned run of bins in a cluster's subspace:
+// dimension x of the subspace covers bin indices
+// [BinLo[x], BinHi[x]] inclusive.
+type Box struct {
+	BinLo []uint8
+	BinHi []uint8
+}
+
+// Cluster is a connected component of dense units in one subspace.
+type Cluster struct {
+	// Dims is the subspace, ascending dimension indices.
+	Dims []uint8
+	// Units are the dense units of the component (K == len(Dims)).
+	Units *unit.Array
+	// Boxes is the minimal DNF cover of Units: a disjoint set of
+	// rectangles whose union is exactly the component's region.
+	Boxes []Box
+}
+
+// Subspace returns the cluster's dimensionality.
+func (c *Cluster) Subspace() int { return len(c.Dims) }
+
+// Assemble partitions the registered dense units (arrays of any
+// dimensionality) into clusters: per subspace, units sharing a common
+// face are connected and each component becomes one cluster with its
+// minimal box cover. The result is sorted by descending subspace size,
+// then by subspace dims.
+func Assemble(registered []*unit.Array) []Cluster {
+	var out []Cluster
+	for _, arr := range registered {
+		if arr == nil || arr.Len() == 0 {
+			continue
+		}
+		// Group unit indices by subspace.
+		bySub := map[string][]int{}
+		for i := 0; i < arr.Len(); i++ {
+			key := arr.SubspaceKey(i)
+			bySub[key] = append(bySub[key], i)
+		}
+		// Deterministic subspace order.
+		keys := make([]string, 0, len(bySub))
+		for k := range bySub {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			idxs := bySub[key]
+			out = append(out, components(arr, idxs)...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Dims) != len(out[j].Dims) {
+			return len(out[i].Dims) > len(out[j].Dims)
+		}
+		return dimsLess(out[i].Dims, out[j].Dims)
+	})
+	return out
+}
+
+func dimsLess(a, b []uint8) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// components runs union-find over the units of one subspace using
+// neighbour hashing: each unit probes its 2k face-adjacent bin tuples.
+func components(arr *unit.Array, idxs []int) []Cluster {
+	k := arr.K
+	pos := make(map[string]int, len(idxs)) // unit key -> position in idxs
+	for p, i := range idxs {
+		pos[arr.Key(i)] = p
+	}
+	parent := make([]int, len(idxs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	probe := make([]uint8, 2*k)
+	for p, i := range idxs {
+		d, b := arr.Unit(i)
+		copy(probe[:k], d)
+		copy(probe[k:], b)
+		bins := probe[k:]
+		for x := 0; x < k; x++ {
+			orig := bins[x]
+			if orig > 0 {
+				bins[x] = orig - 1
+				if q, ok := pos[string(probe)]; ok {
+					union(p, q)
+				}
+			}
+			bins[x] = orig + 1
+			if q, ok := pos[string(probe)]; ok {
+				union(p, q)
+			}
+			bins[x] = orig
+		}
+	}
+	groups := map[int][]int{}
+	for p := range idxs {
+		r := find(p)
+		groups[r] = append(groups[r], p)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	var out []Cluster
+	for _, r := range roots {
+		members := groups[r]
+		u := unit.New(k, len(members))
+		for _, p := range members {
+			d, b := arr.Unit(idxs[p])
+			u.AppendRaw(d, b)
+		}
+		u.Sort()
+		d0, _ := u.Unit(0)
+		c := Cluster{
+			Dims:  append([]uint8(nil), d0...),
+			Units: u,
+			Boxes: coverBoxes(u),
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// coverBoxes greedily merges the component's unit cells into maximal
+// rectangles: along each dimension in turn, boxes identical in every
+// other dimension with contiguous bin runs are fused. The union is
+// preserved exactly; for convex (rectangular) clusters the result is a
+// single box, i.e. a minimal DNF term.
+func coverBoxes(u *unit.Array) []Box {
+	k := u.K
+	boxes := make([]Box, u.Len())
+	for i := range boxes {
+		_, b := u.Unit(i)
+		boxes[i] = Box{
+			BinLo: append([]uint8(nil), b...),
+			BinHi: append([]uint8(nil), b...),
+		}
+	}
+	for x := 0; x < k; x++ {
+		boxes = mergeAlong(boxes, x)
+	}
+	return boxes
+}
+
+func mergeAlong(boxes []Box, x int) []Box {
+	// Group by all coordinates except x.
+	type runGroup struct{ members []int }
+	groups := map[string]*runGroup{}
+	var keys []string
+	keyBuf := make([]uint8, 0, 32)
+	for i, b := range boxes {
+		keyBuf = keyBuf[:0]
+		for j := range b.BinLo {
+			if j == x {
+				continue
+			}
+			keyBuf = append(keyBuf, b.BinLo[j], b.BinHi[j])
+		}
+		key := string(keyBuf)
+		g, ok := groups[key]
+		if !ok {
+			g = &runGroup{}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.members = append(g.members, i)
+	}
+	sort.Strings(keys)
+	var out []Box
+	for _, key := range keys {
+		m := groups[key].members
+		sort.Slice(m, func(a, b int) bool { return boxes[m[a]].BinLo[x] < boxes[m[b]].BinLo[x] })
+		cur := boxes[m[0]]
+		for _, i := range m[1:] {
+			b := boxes[i]
+			if int(b.BinLo[x]) <= int(cur.BinHi[x])+1 {
+				if b.BinHi[x] > cur.BinHi[x] {
+					cur.BinHi[x] = b.BinHi[x]
+				}
+				continue
+			}
+			out = append(out, cur)
+			cur = b
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// EliminateSubsets removes clusters that are proper subsets of a
+// higher-dimensional cluster: cluster A is dropped when some cluster B
+// spans a strict superset of A's dimensions and the projection of B's
+// units onto A's subspace covers all of A's units. Only unique clusters
+// of the highest dimensionality survive, as the paper's parent
+// processor does before printing.
+func EliminateSubsets(cs []Cluster) []Cluster {
+	keep := make([]bool, len(cs))
+	for i := range keep {
+		keep[i] = true
+	}
+	for a := range cs {
+		for b := range cs {
+			if a == b || !keep[a] {
+				continue
+			}
+			if len(cs[b].Dims) <= len(cs[a].Dims) {
+				continue
+			}
+			if !subsetDims(cs[a].Dims, cs[b].Dims) {
+				continue
+			}
+			if coveredBy(&cs[a], &cs[b]) {
+				keep[a] = false
+			}
+		}
+	}
+	var out []Cluster
+	for i, k := range keep {
+		if k {
+			out = append(out, cs[i])
+		}
+	}
+	return out
+}
+
+func subsetDims(sub, super []uint8) bool {
+	j := 0
+	for _, d := range sub {
+		for j < len(super) && super[j] < d {
+			j++
+		}
+		if j >= len(super) || super[j] != d {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// coveredBy reports whether every unit of a appears among the
+// projections of b's units onto a's subspace.
+func coveredBy(a, b *Cluster) bool {
+	proj := make(map[string]bool, b.Units.Len())
+	buf := make([]uint8, len(a.Dims))
+	for i := 0; i < b.Units.Len(); i++ {
+		if b.Units.Project(i, a.Dims, buf) {
+			proj[string(buf)] = true
+		}
+	}
+	for i := 0; i < a.Units.Len(); i++ {
+		_, bins := a.Units.Unit(i)
+		if !proj[string(bins)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the cluster's bounding interval in each of its
+// subspace dimensions, in value space.
+func (c *Cluster) Bounds(g *grid.Grid) []dataset.Range {
+	out := make([]dataset.Range, len(c.Dims))
+	for x, d := range c.Dims {
+		bins := g.Dims[d].Bins
+		lo, hi := bins[len(bins)-1].Bounds.Hi, bins[0].Bounds.Lo
+		for _, box := range c.Boxes {
+			bl := bins[box.BinLo[x]].Bounds.Lo
+			bh := bins[box.BinHi[x]].Bounds.Hi
+			if bl < lo {
+				lo = bl
+			}
+			if bh > hi {
+				hi = bh
+			}
+		}
+		out[x] = dataset.Range{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// DNF renders the cluster as a disjunction of conjunctions of
+// per-dimension intervals, e.g.
+//
+//	(d0 ∈ [2.0, 3.5) ∧ d4 ∈ [0.0, 1.0)) ∨ (…)
+func (c *Cluster) DNF(g *grid.Grid) string {
+	var sb strings.Builder
+	for bi, box := range c.Boxes {
+		if bi > 0 {
+			sb.WriteString(" ∨ ")
+		}
+		sb.WriteString("(")
+		for x, d := range c.Dims {
+			if x > 0 {
+				sb.WriteString(" ∧ ")
+			}
+			bins := g.Dims[d].Bins
+			lo := bins[box.BinLo[x]].Bounds.Lo
+			hi := bins[box.BinHi[x]].Bounds.Hi
+			fmt.Fprintf(&sb, "d%d ∈ [%.4g, %.4g)", d, lo, hi)
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// String summarizes the cluster without value-space information.
+func (c *Cluster) String() string {
+	ds := make([]string, len(c.Dims))
+	for i, d := range c.Dims {
+		ds[i] = fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf("cluster{dims=[%s] units=%d boxes=%d}", strings.Join(ds, ","), c.Units.Len(), len(c.Boxes))
+}
+
+// Contains reports whether a d-dimensional record lies inside the
+// cluster's region: some cover box contains the record's bin in every
+// cluster dimension.
+func (c *Cluster) Contains(rec []float64, g *grid.Grid) bool {
+	for _, box := range c.Boxes {
+		inside := true
+		for x, d := range c.Dims {
+			b := g.Dims[d].BinOf(rec[d])
+			if b < box.BinLo[x] || b > box.BinHi[x] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
+	"pmafia/internal/rng"
+	"pmafia/internal/unit"
+)
+
+func arr(k int, units ...[2][]uint8) *unit.Array {
+	a := unit.New(k, len(units))
+	for _, u := range units {
+		a.Append(u[0], u[1])
+	}
+	return a
+}
+
+func TestAssembleSingleComponent(t *testing.T) {
+	// Three units in a row in subspace {0,1}: one cluster, one box.
+	a := arr(2,
+		[2][]uint8{{0, 1}, {2, 5}},
+		[2][]uint8{{0, 1}, {3, 5}},
+		[2][]uint8{{0, 1}, {4, 5}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cs))
+	}
+	c := cs[0]
+	if len(c.Dims) != 2 || c.Dims[0] != 0 || c.Dims[1] != 1 {
+		t.Errorf("dims = %v", c.Dims)
+	}
+	if c.Units.Len() != 3 {
+		t.Errorf("units = %d", c.Units.Len())
+	}
+	if len(c.Boxes) != 1 {
+		t.Fatalf("boxes = %d, want 1 (contiguous run must fuse)", len(c.Boxes))
+	}
+	b := c.Boxes[0]
+	if b.BinLo[0] != 2 || b.BinHi[0] != 4 || b.BinLo[1] != 5 || b.BinHi[1] != 5 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+func TestAssembleSeparateComponents(t *testing.T) {
+	// Two units far apart in the same subspace: two clusters.
+	a := arr(1,
+		[2][]uint8{{3}, {0}},
+		[2][]uint8{{3}, {5}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(cs))
+	}
+}
+
+func TestAssembleDiagonalNotConnected(t *testing.T) {
+	// Diagonal cells share no face: two clusters.
+	a := arr(2,
+		[2][]uint8{{0, 1}, {2, 2}},
+		[2][]uint8{{0, 1}, {3, 3}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 2 {
+		t.Fatalf("diagonal cells must form 2 clusters, got %d", len(cs))
+	}
+}
+
+func TestAssembleDifferentSubspaces(t *testing.T) {
+	a := arr(1,
+		[2][]uint8{{0}, {1}},
+		[2][]uint8{{4}, {1}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 2 {
+		t.Fatalf("different subspaces: %d clusters, want 2", len(cs))
+	}
+}
+
+func TestAssembleLShape(t *testing.T) {
+	// L-shaped component: connected (shares faces), needs 2 boxes.
+	a := arr(2,
+		[2][]uint8{{0, 1}, {0, 0}},
+		[2][]uint8{{0, 1}, {1, 0}},
+		[2][]uint8{{0, 1}, {1, 1}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 1 {
+		t.Fatalf("L-shape is one component, got %d clusters", len(cs))
+	}
+	if len(cs[0].Boxes) != 2 {
+		t.Errorf("L-shape cover = %d boxes, want 2", len(cs[0].Boxes))
+	}
+	// Union of boxes must cover exactly 3 cells.
+	cells := 0
+	for _, b := range cs[0].Boxes {
+		area := 1
+		for x := range b.BinLo {
+			area *= int(b.BinHi[x]-b.BinLo[x]) + 1
+		}
+		cells += area
+	}
+	if cells != 3 {
+		t.Errorf("cover spans %d cells, want 3", cells)
+	}
+}
+
+func TestAssembleRectangleFusesToOneBox(t *testing.T) {
+	// A full 2x3 rectangle of cells must fuse into a single box.
+	a := unit.New(2, 6)
+	for i := uint8(0); i < 2; i++ {
+		for j := uint8(0); j < 3; j++ {
+			a.Append([]uint8{1, 4}, []uint8{i + 2, j + 7})
+		}
+	}
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d", len(cs))
+	}
+	if len(cs[0].Boxes) != 1 {
+		t.Errorf("rectangle cover = %d boxes, want 1", len(cs[0].Boxes))
+	}
+}
+
+func TestAssembleSortsByDimensionality(t *testing.T) {
+	a1 := arr(1, [2][]uint8{{0}, {1}})
+	a3 := arr(3, [2][]uint8{{0, 1, 2}, {1, 1, 1}})
+	cs := Assemble([]*unit.Array{a1, a3})
+	if len(cs) != 2 || len(cs[0].Dims) != 3 {
+		t.Errorf("expected 3-dim cluster first: %v", cs)
+	}
+}
+
+func TestEliminateSubsets(t *testing.T) {
+	// 2-dim cluster {0,1} bins (1,1) is the projection of 3-dim cluster
+	// {0,1,2} bins (1,1,4): must be eliminated.
+	sub := arr(2, [2][]uint8{{0, 1}, {1, 1}})
+	super := arr(3, [2][]uint8{{0, 1, 2}, {1, 1, 4}})
+	cs := Assemble([]*unit.Array{sub, super})
+	if len(cs) != 2 {
+		t.Fatalf("assembled %d", len(cs))
+	}
+	kept := EliminateSubsets(cs)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d clusters, want 1", len(kept))
+	}
+	if len(kept[0].Dims) != 3 {
+		t.Errorf("kept the wrong cluster: %v", kept[0])
+	}
+}
+
+func TestEliminateSubsetsKeepsNonCovered(t *testing.T) {
+	// Same subspace relation but different bins: not a projection, keep
+	// both.
+	sub := arr(2, [2][]uint8{{0, 1}, {9, 9}})
+	super := arr(3, [2][]uint8{{0, 1, 2}, {1, 1, 4}})
+	kept := EliminateSubsets(Assemble([]*unit.Array{sub, super}))
+	if len(kept) != 2 {
+		t.Fatalf("kept %d clusters, want 2", len(kept))
+	}
+}
+
+func TestEliminateSubsetsPartialCoverage(t *testing.T) {
+	// Sub-cluster has one unit covered and one not: keep it.
+	sub := arr(2,
+		[2][]uint8{{0, 1}, {1, 1}},
+		[2][]uint8{{0, 1}, {2, 1}},
+	)
+	super := arr(3, [2][]uint8{{0, 1, 2}, {1, 1, 4}})
+	kept := EliminateSubsets(Assemble([]*unit.Array{sub, super}))
+	if len(kept) != 2 {
+		t.Fatalf("kept %d clusters, want 2 (partial coverage must survive)", len(kept))
+	}
+}
+
+func mkGrid(t *testing.T, dims int) *grid.Grid {
+	t.Helper()
+	doms := make([]dataset.Range, dims)
+	for i := range doms {
+		doms[i] = dataset.Range{Lo: 0, Hi: 100}
+	}
+	h := histogram.New(doms, 100)
+	s := rng.New(7)
+	rec := make([]float64, dims)
+	for i := 0; i < 2000; i++ {
+		for j := range rec {
+			rec[j] = s.In(0, 100)
+		}
+		h.AddRecord(rec)
+	}
+	g, err := grid.BuildUniform(h, 10, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBoundsAndDNF(t *testing.T) {
+	g := mkGrid(t, 3)
+	a := arr(2,
+		[2][]uint8{{0, 2}, {2, 5}},
+		[2][]uint8{{0, 2}, {3, 5}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d", len(cs))
+	}
+	b := cs[0].Bounds(g)
+	// bins are width 10: bin 2..3 of dim0 = [20,40); bin 5 of dim2 = [50,60)
+	if b[0].Lo != 20 || b[0].Hi != 40 {
+		t.Errorf("bounds dim0 = %v", b[0])
+	}
+	if b[1].Lo != 50 || b[1].Hi != 60 {
+		t.Errorf("bounds dim2 = %v", b[1])
+	}
+	dnf := cs[0].DNF(g)
+	if !strings.Contains(dnf, "d0 ∈ [20, 40)") || !strings.Contains(dnf, "d2 ∈ [50, 60)") {
+		t.Errorf("DNF = %q", dnf)
+	}
+	if strings.Contains(dnf, "∨") {
+		t.Errorf("single box must have no disjunction: %q", dnf)
+	}
+}
+
+func TestDNFDisjunction(t *testing.T) {
+	g := mkGrid(t, 2)
+	a := arr(1,
+		[2][]uint8{{0}, {0}},
+		[2][]uint8{{0}, {1}},
+		[2][]uint8{{0}, {5}},
+	)
+	cs := Assemble([]*unit.Array{a})
+	// Two components: {0,1} and {5}.
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d", len(cs))
+	}
+	for _, c := range cs {
+		if strings.Contains(c.DNF(g), "∨") {
+			t.Errorf("component should be one box: %q", c.DNF(g))
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	a := arr(2, [2][]uint8{{1, 3}, {0, 0}})
+	cs := Assemble([]*unit.Array{a})
+	s := cs[0].String()
+	if !strings.Contains(s, "dims=[1,3]") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAssembleEmptyAndNil(t *testing.T) {
+	cs := Assemble([]*unit.Array{nil, unit.New(2, 0)})
+	if len(cs) != 0 {
+		t.Errorf("clusters = %d, want 0", len(cs))
+	}
+}
+
+func TestLargeComponentConnectivity(t *testing.T) {
+	// A 10-cell snake in 2D must form one component.
+	a := unit.New(2, 10)
+	for i := uint8(0); i < 10; i++ {
+		a.Append([]uint8{0, 1}, []uint8{i, i / 2})
+	}
+	// Cells (i, i/2): consecutive cells differ by 1 in dim0 and 0 or 1
+	// in dim1 — only face-adjacent when dim1 equal. Build instead an
+	// explicit staircase with both steps present.
+	b := unit.New(2, 0)
+	for i := uint8(0); i < 5; i++ {
+		b.Append([]uint8{0, 1}, []uint8{i, i})
+		b.Append([]uint8{0, 1}, []uint8{i + 1, i})
+	}
+	cs := Assemble([]*unit.Array{b})
+	if len(cs) != 1 {
+		t.Errorf("staircase should be one component, got %d", len(cs))
+	}
+}
+
+// TestCoverBoxesPreservesUnion checks, with randomized components,
+// that the box cover contains exactly the cells of the units — no
+// cell lost, none invented.
+func TestCoverBoxesPreservesUnion(t *testing.T) {
+	s := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		cells := map[[2]uint8]bool{}
+		u := unit.New(2, 0)
+		for i := 0; i < 12; i++ {
+			c := [2]uint8{uint8(s.Intn(4)), uint8(s.Intn(4))}
+			if cells[c] {
+				continue
+			}
+			cells[c] = true
+			u.Append([]uint8{0, 1}, []uint8{c[0], c[1]})
+		}
+		boxes := coverBoxes(u)
+		covered := map[[2]uint8]int{}
+		for _, b := range boxes {
+			for x := b.BinLo[0]; ; x++ {
+				for y := b.BinLo[1]; ; y++ {
+					covered[[2]uint8{x, y}]++
+					if y == b.BinHi[1] {
+						break
+					}
+				}
+				if x == b.BinHi[0] {
+					break
+				}
+			}
+		}
+		for c := range cells {
+			if covered[c] != 1 {
+				t.Fatalf("trial %d: cell %v covered %d times (cells %v, boxes %+v)", trial, c, covered[c], cells, boxes)
+			}
+		}
+		for c := range covered {
+			if !cells[c] {
+				t.Fatalf("trial %d: cover invented cell %v", trial, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package datagen reproduces the paper's synthetic data generator
+// (§5.1): the user specifies, per cluster, the subspace it lives in and
+// its extent in every subspace dimension; all dimensions are scaled to
+// [0, 100]; points are placed so the cluster region is covered exactly
+// as defined (every unit interval of every cluster dimension receives
+// at least one point — the per-dimension form of the paper's
+// one-point-per-unit-cube guarantee, which is what the 1-D adaptive
+// histograms observe); values of non-subspace attributes are drawn
+// uniformly over the whole attribute range; 10% noise records with all
+// attributes uniform are added; the dimension labels can be permuted
+// and the record order is always shuffled. Randomness comes from the
+// inversive congruential generator, as in the paper.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/rng"
+)
+
+// Box is a hyper-rectangle in a cluster's subspace: one range per
+// subspace dimension, in the dimension's attribute units.
+type Box []dataset.Range
+
+// Cluster specifies one embedded cluster. Clusters may be unions of
+// several boxes ("arbitrary shapes instead of just hyper-rectangular
+// regions").
+type Cluster struct {
+	// Dims is the subspace the cluster is embedded in.
+	Dims []int
+	// Boxes is the union of hyper-rectangles forming the cluster
+	// region; every Box must have len(Dims) ranges.
+	Boxes []Box
+	// Points is the number of records drawn in this cluster; 0 means
+	// an equal share of Spec.Records.
+	Points int
+}
+
+// Spec describes a synthetic data set.
+type Spec struct {
+	// Dims is the data dimensionality d.
+	Dims int
+	// Records is the number of non-noise records.
+	Records int
+	// AttrRanges gives each attribute's [min, max); nil means [0, 100)
+	// everywhere.
+	AttrRanges []dataset.Range
+	// Clusters are the embedded clusters; records are divided among
+	// them. Empty means fully uniform data.
+	Clusters []Cluster
+	// NoiseFraction adds noise records (all attributes uniform) on top
+	// of Records; negative means none, 0 means the paper's 10%.
+	NoiseFraction float64
+	// Seed drives the inversive congruential generator.
+	Seed uint64
+	// PermuteDims randomly relabels the dimensions so results cannot
+	// depend on the order in which the user listed them.
+	PermuteDims bool
+}
+
+// Truth is the ground truth of a generated data set, used by the
+// quality metrics.
+type Truth struct {
+	// Clusters are the effective cluster definitions after dimension
+	// permutation, with dims sorted ascending.
+	Clusters []Cluster
+	// Perm maps original dimension index to its generated position
+	// (identity when PermuteDims is false).
+	Perm []int
+	// NoiseRecords is the number of noise records appended before the
+	// final shuffle.
+	NoiseRecords int
+}
+
+// Generate produces the data set and its ground truth.
+func Generate(spec Spec) (*dataset.Matrix, *Truth, error) {
+	if err := validate(&spec); err != nil {
+		return nil, nil, err
+	}
+	s := rng.New(spec.Seed)
+
+	perm := identity(spec.Dims)
+	if spec.PermuteDims {
+		perm = s.Perm(spec.Dims)
+	}
+	clusters := permuteClusters(spec.Clusters, perm)
+
+	shares := pointShares(spec.Records, clusters)
+	noise := int(math.Round(spec.NoiseFraction * float64(spec.Records)))
+	if spec.NoiseFraction < 0 {
+		noise = 0
+	}
+	total := 0
+	for _, n := range shares {
+		total += n
+	}
+	uniform := noise
+	if len(clusters) == 0 {
+		// No clusters: the base records themselves are uniform data.
+		uniform += spec.Records
+	}
+	m := dataset.NewMatrix(total+uniform, spec.Dims)
+
+	row := 0
+	for ci, cl := range clusters {
+		genCluster(m, row, shares[ci], cl, spec.AttrRanges, s.Split())
+		row += shares[ci]
+	}
+	for i := 0; i < uniform; i++ {
+		rec := m.Row(row + i)
+		for j := range rec {
+			rec[j] = s.In(spec.AttrRanges[j].Lo, spec.AttrRanges[j].Hi)
+		}
+	}
+	// Shuffle record order so nothing depends on generation order.
+	s.Shuffle(m.NumRecords(), func(i, j int) {
+		ri, rj := m.Row(i), m.Row(j)
+		for x := range ri {
+			ri[x], rj[x] = rj[x], ri[x]
+		}
+	})
+	return m, &Truth{Clusters: clusters, Perm: perm, NoiseRecords: noise}, nil
+}
+
+func validate(spec *Spec) error {
+	if spec.Dims < 1 || spec.Dims > 255 {
+		return fmt.Errorf("datagen: Dims %d out of [1,255]", spec.Dims)
+	}
+	if spec.Records < 1 {
+		return fmt.Errorf("datagen: Records %d < 1", spec.Records)
+	}
+	if spec.AttrRanges == nil {
+		spec.AttrRanges = make([]dataset.Range, spec.Dims)
+		for i := range spec.AttrRanges {
+			spec.AttrRanges[i] = dataset.Range{Lo: 0, Hi: 100}
+		}
+	}
+	if len(spec.AttrRanges) != spec.Dims {
+		return fmt.Errorf("datagen: %d attribute ranges for %d dims", len(spec.AttrRanges), spec.Dims)
+	}
+	for i, r := range spec.AttrRanges {
+		if r.Width() <= 0 {
+			return fmt.Errorf("datagen: attribute %d has empty range %v", i, r)
+		}
+	}
+	if spec.NoiseFraction == 0 {
+		spec.NoiseFraction = 0.10
+	}
+	for ci, cl := range spec.Clusters {
+		if len(cl.Dims) == 0 {
+			return fmt.Errorf("datagen: cluster %d has no dims", ci)
+		}
+		seen := map[int]bool{}
+		for _, d := range cl.Dims {
+			if d < 0 || d >= spec.Dims {
+				return fmt.Errorf("datagen: cluster %d references dim %d of %d", ci, d, spec.Dims)
+			}
+			if seen[d] {
+				return fmt.Errorf("datagen: cluster %d repeats dim %d", ci, d)
+			}
+			seen[d] = true
+		}
+		if len(cl.Boxes) == 0 {
+			return fmt.Errorf("datagen: cluster %d has no boxes", ci)
+		}
+		for bi, b := range cl.Boxes {
+			if len(b) != len(cl.Dims) {
+				return fmt.Errorf("datagen: cluster %d box %d has %d ranges for %d dims", ci, bi, len(b), len(cl.Dims))
+			}
+			for x, r := range b {
+				ar := spec.AttrRanges[cl.Dims[x]]
+				if r.Lo < ar.Lo || r.Hi > ar.Hi || r.Width() <= 0 {
+					return fmt.Errorf("datagen: cluster %d box %d dim %d extent %v outside attribute range %v", ci, bi, cl.Dims[x], r, ar)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permuteClusters relabels cluster dims through perm and re-sorts each
+// cluster's dims ascending (keeping extents aligned).
+func permuteClusters(cs []Cluster, perm []int) []Cluster {
+	out := make([]Cluster, len(cs))
+	for i, c := range cs {
+		nc := Cluster{Dims: make([]int, len(c.Dims)), Points: c.Points}
+		order := make([]int, len(c.Dims))
+		for x, d := range c.Dims {
+			nc.Dims[x] = perm[d]
+			order[x] = x
+		}
+		// sort dims ascending, carrying box ranges along
+		for a := 1; a < len(nc.Dims); a++ {
+			for b := a; b > 0 && nc.Dims[order[b]] < nc.Dims[order[b-1]]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		sortedDims := make([]int, len(nc.Dims))
+		for x, o := range order {
+			sortedDims[x] = nc.Dims[o]
+		}
+		nc.Dims = sortedDims
+		nc.Boxes = make([]Box, len(c.Boxes))
+		for bi, b := range c.Boxes {
+			nb := make(Box, len(b))
+			for x, o := range order {
+				nb[x] = b[o]
+			}
+			nc.Boxes[bi] = nb
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+func pointShares(records int, cs []Cluster) []int {
+	shares := make([]int, len(cs))
+	if len(cs) == 0 {
+		return shares
+	}
+	unspecified := 0
+	left := records
+	for i, c := range cs {
+		if c.Points > 0 {
+			shares[i] = c.Points
+			left -= c.Points
+		} else {
+			unspecified++
+		}
+	}
+	if unspecified > 0 && left > 0 {
+		each := left / unspecified
+		for i := range shares {
+			if shares[i] == 0 {
+				shares[i] = each
+				left -= each
+			}
+		}
+		// distribute the remainder
+		for i := range shares {
+			if left <= 0 {
+				break
+			}
+			shares[i]++
+			left--
+		}
+	}
+	return shares
+}
+
+// genCluster fills rows [row, row+n) of m with one cluster's records.
+func genCluster(m *dataset.Matrix, row, n int, cl Cluster, attrs []dataset.Range, s *rng.Source) {
+	if n <= 0 {
+		return
+	}
+	d := m.Dims()
+	inCluster := make([]bool, d)
+	for _, dim := range cl.Dims {
+		inCluster[dim] = true
+	}
+	// Non-subspace attributes: uniform over the whole range.
+	for i := 0; i < n; i++ {
+		rec := m.Row(row + i)
+		for j := 0; j < d; j++ {
+			if !inCluster[j] {
+				rec[j] = s.In(attrs[j].Lo, attrs[j].Hi)
+			}
+		}
+	}
+	// Divide points among boxes in proportion to a simple equal split.
+	per := n / len(cl.Boxes)
+	off := 0
+	for bi, box := range cl.Boxes {
+		cnt := per
+		if bi == len(cl.Boxes)-1 {
+			cnt = n - off
+		}
+		genBox(m, row+off, cnt, cl.Dims, box, attrs, s)
+		off += cnt
+	}
+}
+
+// genBox fills the subspace attributes of cnt records. For each cluster
+// dimension the box extent is divided into unit intervals of the
+// paper's [0,100] scaled space; each interval receives at least one
+// point (when cnt allows), the rest are uniform — so the generated
+// cluster spans exactly the user-defined region.
+func genBox(m *dataset.Matrix, row, cnt int, dims []int, box Box, attrs []dataset.Range, s *rng.Source) {
+	for x, dim := range dims {
+		ext := box[x]
+		ar := attrs[dim]
+		// Width of the extent in the scaled [0,100] space.
+		scaledW := ext.Width() / ar.Width() * 100
+		strata := int(math.Ceil(scaledW))
+		if strata < 1 {
+			strata = 1
+		}
+		if strata > cnt {
+			strata = cnt
+		}
+		// Assign strata to a random subset of the records so the
+		// "corner" points of different dimensions are uncorrelated.
+		order := s.Perm(cnt)
+		for i := 0; i < cnt; i++ {
+			rec := m.Row(row + order[i])
+			if i < strata {
+				lo := ext.Lo + ext.Width()*float64(i)/float64(strata)
+				hi := ext.Lo + ext.Width()*float64(i+1)/float64(strata)
+				rec[dim] = s.In(lo, hi)
+			} else {
+				rec[dim] = s.In(ext.Lo, ext.Hi)
+			}
+		}
+	}
+}
+
+// UniformBox is a convenience constructor for a single-box cluster
+// specification with the same extent description in every dimension.
+func UniformBox(dims []int, extents []dataset.Range, points int) Cluster {
+	return Cluster{Dims: dims, Boxes: []Box{Box(extents)}, Points: points}
+}

@@ -1,0 +1,267 @@
+package datagen
+
+import (
+	"testing"
+
+	"pmafia/internal/dataset"
+)
+
+func simpleSpec() Spec {
+	return Spec{
+		Dims:    5,
+		Records: 2000,
+		Clusters: []Cluster{
+			UniformBox([]int{1, 3}, []dataset.Range{{Lo: 20, Hi: 30}, {Lo: 60, Hi: 75}}, 0),
+		},
+		Seed: 42,
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	m, truth, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 cluster records + 10% noise
+	if m.NumRecords() != 2200 {
+		t.Errorf("records = %d, want 2200", m.NumRecords())
+	}
+	if truth.NoiseRecords != 200 {
+		t.Errorf("noise = %d, want 200", truth.NoiseRecords)
+	}
+	if m.Dims() != 5 {
+		t.Errorf("dims = %d", m.Dims())
+	}
+}
+
+func TestValuesWithinAttrRanges(t *testing.T) {
+	spec := simpleSpec()
+	spec.AttrRanges = []dataset.Range{
+		{Lo: 0, Hi: 100}, {Lo: 0, Hi: 100}, {Lo: -50, Hi: 50}, {Lo: 0, Hi: 100}, {Lo: 1000, Hi: 2000},
+	}
+	m, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumRecords(); i++ {
+		rec := m.Row(i)
+		for j, v := range rec {
+			r := spec.AttrRanges[j]
+			if v < r.Lo || v >= r.Hi {
+				t.Fatalf("record %d dim %d value %v outside %v", i, j, v, r)
+			}
+		}
+	}
+}
+
+func TestClusterDensity(t *testing.T) {
+	// Count records inside the cluster region; must be at least the
+	// cluster share (noise can add a few more).
+	m, truth, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := truth.Clusters[0]
+	in := 0
+	for i := 0; i < m.NumRecords(); i++ {
+		rec := m.Row(i)
+		hit := true
+		for x, d := range cl.Dims {
+			if !cl.Boxes[0][x].Contains(rec[d]) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			in++
+		}
+	}
+	if in < 2000 {
+		t.Errorf("only %d records inside the cluster region, want >= 2000", in)
+	}
+}
+
+func TestPerDimensionCoverage(t *testing.T) {
+	// Every unit interval (in the [0,100] scale) of a cluster dimension
+	// must contain at least one cluster point.
+	m, truth, err := Generate(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := truth.Clusters[0]
+	for x, d := range cl.Dims {
+		ext := cl.Boxes[0][x]
+		units := int(ext.Width()) // attr range is [0,100] so scaled = raw
+		seen := make([]bool, units)
+		for i := 0; i < m.NumRecords(); i++ {
+			v := m.Row(i)[d]
+			if v >= ext.Lo && v < ext.Hi {
+				u := int((v - ext.Lo) / ext.Width() * float64(units))
+				if u >= units {
+					u = units - 1
+				}
+				seen[u] = true
+			}
+		}
+		for u, ok := range seen {
+			if !ok {
+				t.Errorf("dim %d unit interval %d has no point", d, u)
+			}
+		}
+	}
+}
+
+func TestPermuteDims(t *testing.T) {
+	spec := simpleSpec()
+	spec.PermuteDims = true
+	spec.Seed = 7
+	m, truth, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth dims must be sorted ascending and valid.
+	cl := truth.Clusters[0]
+	for i := 1; i < len(cl.Dims); i++ {
+		if cl.Dims[i] <= cl.Dims[i-1] {
+			t.Fatalf("truth dims not ascending: %v", cl.Dims)
+		}
+	}
+	// The permuted cluster must actually be present: count points in
+	// the region defined by the permuted dims.
+	in := 0
+	for i := 0; i < m.NumRecords(); i++ {
+		rec := m.Row(i)
+		hit := true
+		for x, d := range cl.Dims {
+			if !cl.Boxes[0][x].Contains(rec[d]) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			in++
+		}
+	}
+	if in < 2000 {
+		t.Errorf("permuted cluster region holds %d points, want >= 2000", in)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m1, _, _ := Generate(simpleSpec())
+	m2, _, _ := Generate(simpleSpec())
+	for i := range m1.Values {
+		if m1.Values[i] != m2.Values[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	spec := simpleSpec()
+	spec.Seed++
+	m3, _, _ := Generate(spec)
+	same := 0
+	for i := range m1.Values {
+		if m1.Values[i] == m3.Values[i] {
+			same++
+		}
+	}
+	if same > len(m1.Values)/100 {
+		t.Errorf("different seeds produced %d/%d equal values", same, len(m1.Values))
+	}
+}
+
+func TestMultiBoxCluster(t *testing.T) {
+	spec := Spec{
+		Dims:    3,
+		Records: 1000,
+		Clusters: []Cluster{{
+			Dims: []int{0, 1},
+			Boxes: []Box{
+				{{Lo: 0, Hi: 10}, {Lo: 0, Hi: 10}},
+				{{Lo: 50, Hi: 60}, {Lo: 50, Hi: 60}},
+			},
+		}},
+		NoiseFraction: -1,
+		Seed:          3,
+	}
+	m, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, inB := 0, 0
+	for i := 0; i < m.NumRecords(); i++ {
+		rec := m.Row(i)
+		if rec[0] < 10 && rec[1] < 10 {
+			inA++
+		}
+		if rec[0] >= 50 && rec[0] < 60 && rec[1] >= 50 && rec[1] < 60 {
+			inB++
+		}
+	}
+	if inA < 400 || inB < 400 {
+		t.Errorf("box shares: %d, %d — want ~500 each", inA, inB)
+	}
+}
+
+func TestNoNoise(t *testing.T) {
+	spec := simpleSpec()
+	spec.NoiseFraction = -1
+	m, truth, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.NoiseRecords != 0 || m.NumRecords() != 2000 {
+		t.Errorf("records = %d noise = %d", m.NumRecords(), truth.NoiseRecords)
+	}
+}
+
+func TestExplicitPoints(t *testing.T) {
+	spec := Spec{
+		Dims:    2,
+		Records: 1000,
+		Clusters: []Cluster{
+			UniformBox([]int{0}, []dataset.Range{{Lo: 0, Hi: 10}}, 700),
+			UniformBox([]int{1}, []dataset.Range{{Lo: 0, Hi: 10}}, 0), // gets remainder
+		},
+		NoiseFraction: -1,
+		Seed:          5,
+	}
+	m, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRecords() != 1000 {
+		t.Errorf("records = %d, want 1000", m.NumRecords())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []Spec{
+		{Dims: 0, Records: 10},
+		{Dims: 2, Records: 0},
+		{Dims: 2, Records: 10, Clusters: []Cluster{{Dims: nil, Boxes: []Box{{}}}}},
+		{Dims: 2, Records: 10, Clusters: []Cluster{UniformBox([]int{5}, []dataset.Range{{Lo: 0, Hi: 1}}, 0)}},
+		{Dims: 2, Records: 10, Clusters: []Cluster{UniformBox([]int{0, 0}, []dataset.Range{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}, 0)}},
+		{Dims: 2, Records: 10, Clusters: []Cluster{UniformBox([]int{0}, []dataset.Range{{Lo: -5, Hi: 1}}, 0)}},
+		{Dims: 2, Records: 10, Clusters: []Cluster{{Dims: []int{0}, Boxes: []Box{{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}}}},
+		{Dims: 2, Records: 10, AttrRanges: []dataset.Range{{Lo: 0, Hi: 1}}},
+	}
+	for i, spec := range bad {
+		if _, _, err := Generate(spec); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+}
+
+func TestUniformDataNoClusters(t *testing.T) {
+	m, truth, err := Generate(Spec{Dims: 3, Records: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Clusters) != 0 {
+		t.Error("no clusters expected")
+	}
+	// 500 + 10% noise — all uniform; just check count and range.
+	if m.NumRecords() != 550 {
+		t.Errorf("records = %d", m.NumRecords())
+	}
+}

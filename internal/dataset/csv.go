@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses numeric CSV into a Matrix. If the first row contains
+// any non-numeric field it is treated as a header and its fields are
+// returned as column names; otherwise names is nil.
+func ReadCSV(r io.Reader) (m *Matrix, names []string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate widths ourselves for better errors
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("dataset: empty CSV")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	row, numeric := parseRow(first)
+	d := len(first)
+	if numeric {
+		m = &Matrix{D: d}
+		m.Append(row)
+	} else {
+		names = first
+		m = &Matrix{D: d}
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		line++
+		if len(rec) != d {
+			return nil, nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), d)
+		}
+		row, ok := parseRow(rec)
+		if !ok {
+			return nil, nil, fmt.Errorf("dataset: line %d has a non-numeric field", line)
+		}
+		m.Append(row)
+	}
+	if m.NumRecords() == 0 {
+		return nil, nil, fmt.Errorf("dataset: CSV contains a header but no data rows")
+	}
+	return m, names, nil
+}
+
+func parseRow(fields []string) ([]float64, bool) {
+	row := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, false
+		}
+		row[i] = v
+	}
+	return row, true
+}
+
+// WriteCSV writes src as CSV. If names is non-nil it is emitted as a
+// header row and must have exactly src.Dims() entries.
+func WriteCSV(w io.Writer, src Source, names []string) error {
+	cw := csv.NewWriter(w)
+	d := src.Dims()
+	if names != nil {
+		if len(names) != d {
+			return fmt.Errorf("dataset: %d column names for %d dims", len(names), d)
+		}
+		if err := cw.Write(names); err != nil {
+			return err
+		}
+	}
+	fields := make([]string, d)
+	sc := src.Scan(defaultScanChunk)
+	defer sc.Close()
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		for r := 0; r < n; r++ {
+			rec := chunk[r*d : (r+1)*d]
+			for j, v := range rec {
+				fields[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(fields); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

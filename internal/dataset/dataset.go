@@ -1,0 +1,210 @@
+// Package dataset defines the record model shared by the clustering
+// engines: d-dimensional numeric records, chunked scanning (so the same
+// algorithms run in-core and out-of-core), per-dimension domains, and a
+// CSV codec for interchange.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Range is a half-open interval [Lo, Hi) describing a dimension's domain
+// or a cluster boundary in one dimension.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (r Range) Width() float64 { return r.Hi - r.Lo }
+
+// Contains reports whether v lies in [Lo, Hi).
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v < r.Hi }
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// String formats the range as "[lo, hi)".
+func (r Range) String() string { return fmt.Sprintf("[%g, %g)", r.Lo, r.Hi) }
+
+// Source is a rewindable supplier of d-dimensional records. The two
+// implementations are the in-memory Matrix (here) and the on-disk record
+// file (internal/diskio); the clustering engines only see this
+// interface, which is what makes them out-of-core capable.
+type Source interface {
+	// Dims returns the dimensionality d of every record.
+	Dims() int
+	// NumRecords returns the total number of records.
+	NumRecords() int
+	// Scan returns a new scanner positioned at the first record that
+	// yields chunks of at most chunkRecords records.
+	Scan(chunkRecords int) Scanner
+}
+
+// Scanner iterates over a Source in chunks. A chunk is a row-major
+// []float64 of n*Dims values; the slice is only valid until the next
+// Next call. Usage:
+//
+//	sc := src.Scan(b)
+//	for {
+//		chunk, n := sc.Next()
+//		if n == 0 { break }
+//		... use chunk[:n*d] ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner interface {
+	// Next returns the next chunk and the number of records in it;
+	// n == 0 signals the end of the stream or an error (check Err).
+	Next() (chunk []float64, n int)
+	// Err returns the first error encountered, if any.
+	Err() error
+	// Close releases resources held by the scanner.
+	Close() error
+}
+
+// Matrix is an in-memory Source: NumRecords rows of Dims values stored
+// row-major in a single backing slice.
+type Matrix struct {
+	D      int
+	Values []float64 // len = n*D
+}
+
+// NewMatrix allocates an n-record, d-dimensional matrix of zeros.
+func NewMatrix(n, d int) *Matrix {
+	return &Matrix{D: d, Values: make([]float64, n*d)}
+}
+
+// FromRows builds a Matrix from a slice of rows, validating that every
+// row has the same width.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("dataset: no rows")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, errors.New("dataset: zero-dimensional rows")
+	}
+	m := NewMatrix(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("dataset: row %d has %d values, want %d", i, len(r), d)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Dims returns the dimensionality.
+func (m *Matrix) Dims() int { return m.D }
+
+// NumRecords returns the number of records.
+func (m *Matrix) NumRecords() int {
+	if m.D == 0 {
+		return 0
+	}
+	return len(m.Values) / m.D
+}
+
+// Row returns the i-th record as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Values[i*m.D : (i+1)*m.D] }
+
+// Append adds a record, which must have exactly Dims values.
+func (m *Matrix) Append(rec []float64) {
+	if len(rec) != m.D {
+		panic(fmt.Sprintf("dataset: appending %d-wide record to %d-dim matrix", len(rec), m.D))
+	}
+	m.Values = append(m.Values, rec...)
+}
+
+// Slice returns a view of records [lo, hi) sharing storage with m.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	return &Matrix{D: m.D, Values: m.Values[lo*m.D : hi*m.D]}
+}
+
+// Scan implements Source.
+func (m *Matrix) Scan(chunkRecords int) Scanner {
+	if chunkRecords <= 0 {
+		chunkRecords = 1
+	}
+	return &matrixScanner{m: m, chunk: chunkRecords}
+}
+
+type matrixScanner struct {
+	m     *Matrix
+	chunk int
+	pos   int
+}
+
+func (s *matrixScanner) Next() ([]float64, int) {
+	n := s.m.NumRecords() - s.pos
+	if n <= 0 {
+		return nil, 0
+	}
+	if n > s.chunk {
+		n = s.chunk
+	}
+	lo := s.pos
+	s.pos += n
+	return s.m.Values[lo*s.m.D : (lo+n)*s.m.D], n
+}
+
+func (s *matrixScanner) Err() error   { return nil }
+func (s *matrixScanner) Close() error { return nil }
+
+// Domains scans src once and returns the observed [min, max] range of
+// each dimension, widened at the top by a relative epsilon so that the
+// maximum value itself falls inside the half-open domain.
+func Domains(src Source) ([]Range, error) {
+	d := src.Dims()
+	domains := make([]Range, d)
+	for i := range domains {
+		domains[i] = Range{Lo: maxFloat, Hi: -maxFloat}
+	}
+	sc := src.Scan(defaultScanChunk)
+	defer sc.Close()
+	seen := 0
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		seen += n
+		for r := 0; r < n; r++ {
+			rec := chunk[r*d : (r+1)*d]
+			for j, v := range rec {
+				if v < domains[j].Lo {
+					domains[j].Lo = v
+				}
+				if v > domains[j].Hi {
+					domains[j].Hi = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen == 0 {
+		return nil, errors.New("dataset: empty source")
+	}
+	for j := range domains {
+		domains[j] = widen(domains[j])
+	}
+	return domains, nil
+}
+
+// widen nudges the top of a closed observed range so the half-open
+// convention keeps the maximum inside, and gives zero-width domains a
+// unit width so bin construction never divides by zero.
+func widen(r Range) Range {
+	if r.Hi <= r.Lo {
+		return Range{Lo: r.Lo, Hi: r.Lo + 1}
+	}
+	w := r.Hi - r.Lo
+	return Range{Lo: r.Lo, Hi: r.Hi + w*1e-9 + 1e-300}
+}
+
+const (
+	maxFloat         = 1.797693134862315708145274237317043567981e308
+	defaultScanChunk = 4096
+)

@@ -1,0 +1,416 @@
+// Package diskio implements the disk substrate pMAFIA runs on: a binary
+// record-file format, buffered chunked scanning of B records at a time
+// (so data sets never need to fit in memory), and staging of a shared
+// data set onto per-processor local stores, mirroring the paper's IBM
+// SP2 setup where each node copies its N/p share from the shared disk to
+// its local disk before the k passes of the algorithm.
+package diskio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"pmafia/internal/dataset"
+)
+
+// Format: little-endian throughout.
+//
+//	magic   [4]byte  "PMAF"
+//	version uint32   1
+//	dims    uint32
+//	records uint64
+//	domains dims × (lo float64, hi float64)
+//	data    records × dims × float64 (row-major)
+const (
+	magic       = "PMAF"
+	version     = 1
+	headerFixed = 4 + 4 + 4 + 8
+)
+
+// Writer streams records into a new record file. Domains are tracked
+// incrementally and written into the header when Close is called.
+type Writer struct {
+	f    *os.File
+	bw   *bufio.Writer
+	d    int
+	n    uint64
+	lo   []float64
+	hi   []float64
+	buf  []byte
+	path string
+}
+
+// Create opens path for writing a d-dimensional record file, truncating
+// any existing file.
+func Create(path string, d int) (*Writer, error) {
+	if d <= 0 || d > math.MaxUint32 {
+		return nil, fmt.Errorf("diskio: invalid dimensionality %d", d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:    f,
+		bw:   bufio.NewWriterSize(f, 1<<20),
+		d:    d,
+		lo:   make([]float64, d),
+		hi:   make([]float64, d),
+		buf:  make([]byte, 8*d),
+		path: path,
+	}
+	for i := 0; i < d; i++ {
+		w.lo[i] = math.Inf(1)
+		w.hi[i] = math.Inf(-1)
+	}
+	// Reserve header space with an advancing write so the buffered data
+	// stream starts after it; the real header is written on Close.
+	if _, err := f.Write(make([]byte, headerFixed+16*d)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeHeader() error {
+	hdr := make([]byte, headerFixed+16*w.d)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.d))
+	binary.LittleEndian.PutUint64(hdr[12:], w.n)
+	for i := 0; i < w.d; i++ {
+		lo, hi := w.lo[i], w.hi[i]
+		if lo > hi { // no records observed and no domains injected
+			lo, hi = 0, 1
+		}
+		binary.LittleEndian.PutUint64(hdr[headerFixed+16*i:], math.Float64bits(lo))
+		binary.LittleEndian.PutUint64(hdr[headerFixed+16*i+8:], math.Float64bits(hi))
+	}
+	_, err := w.f.WriteAt(hdr, 0)
+	return err
+}
+
+// Append writes one record, which must have exactly d values.
+func (w *Writer) Append(rec []float64) error {
+	if len(rec) != w.d {
+		return fmt.Errorf("diskio: record width %d, want %d", len(rec), w.d)
+	}
+	for i, v := range rec {
+		if v < w.lo[i] {
+			w.lo[i] = v
+		}
+		if v > w.hi[i] {
+			w.hi[i] = v
+		}
+		binary.LittleEndian.PutUint64(w.buf[8*i:], math.Float64bits(v))
+	}
+	w.n++
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// AppendChunk writes n records from a row-major chunk.
+func (w *Writer) AppendChunk(chunk []float64, n int) error {
+	for r := 0; r < n; r++ {
+		if err := w.Append(chunk[r*w.d : (r+1)*w.d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumRecords returns the number of records appended so far.
+func (w *Writer) NumRecords() int { return int(w.n) }
+
+// Close flushes buffered data, finalizes the header, and closes the
+// file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.writeHeader(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// WriteSource copies every record of src into a new record file at
+// path.
+func WriteSource(path string, src dataset.Source) error {
+	w, err := Create(path, src.Dims())
+	if err != nil {
+		return err
+	}
+	sc := src.Scan(8192)
+	defer sc.Close()
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		if err := w.AppendChunk(chunk, n); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// Stats accumulates I/O counters for a File. Counters are atomic so
+// concurrent scanners can share them.
+type Stats struct {
+	BytesRead int64
+	Reads     int64
+}
+
+// File is an opened record file; it implements dataset.Source with
+// buffered chunked reads and records I/O statistics.
+type File struct {
+	path    string
+	d       int
+	n       int
+	domains []dataset.Range
+	dataOff int64
+	stats   Stats
+}
+
+// Open validates the header of the record file at path. The file is
+// reopened by each scanner, so a File may be scanned concurrently.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, headerFixed)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("diskio: %s: short header: %w", path, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("diskio: %s: bad magic %q", path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("diskio: %s: unsupported version %d", path, v)
+	}
+	d := int(binary.LittleEndian.Uint32(hdr[8:]))
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	if d <= 0 {
+		return nil, fmt.Errorf("diskio: %s: invalid dims %d", path, d)
+	}
+	domBuf := make([]byte, 16*d)
+	if _, err := io.ReadFull(f, domBuf); err != nil {
+		return nil, fmt.Errorf("diskio: %s: short domain table: %w", path, err)
+	}
+	domains := make([]dataset.Range, d)
+	for i := range domains {
+		domains[i].Lo = math.Float64frombits(binary.LittleEndian.Uint64(domBuf[16*i:]))
+		domains[i].Hi = math.Float64frombits(binary.LittleEndian.Uint64(domBuf[16*i+8:]))
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	dataOff := int64(headerFixed + 16*d)
+	want := dataOff + int64(n)*int64(d)*8
+	if fi.Size() < want {
+		return nil, fmt.Errorf("diskio: %s: truncated: size %d, want %d", path, fi.Size(), want)
+	}
+	return &File{path: path, d: d, n: int(n), domains: domains, dataOff: dataOff}, nil
+}
+
+// Dims returns the dimensionality.
+func (f *File) Dims() int { return f.d }
+
+// NumRecords returns the record count.
+func (f *File) NumRecords() int { return f.n }
+
+// Path returns the file path.
+func (f *File) Path() string { return f.path }
+
+// Domains returns the per-dimension value ranges recorded in the
+// header, widened so the observed maximum falls inside the half-open
+// interval.
+func (f *File) Domains() []dataset.Range {
+	out := make([]dataset.Range, f.d)
+	for i, r := range f.domains {
+		if r.Hi <= r.Lo {
+			out[i] = dataset.Range{Lo: r.Lo, Hi: r.Lo + 1}
+		} else {
+			out[i] = dataset.Range{Lo: r.Lo, Hi: r.Hi + (r.Hi-r.Lo)*1e-9}
+		}
+	}
+	return out
+}
+
+// StatsSnapshot returns the I/O counters accumulated by all scanners of
+// this File.
+func (f *File) StatsSnapshot() Stats {
+	return Stats{
+		BytesRead: atomic.LoadInt64(&f.stats.BytesRead),
+		Reads:     atomic.LoadInt64(&f.stats.Reads),
+	}
+}
+
+// Scan implements dataset.Source; each scanner opens its own descriptor
+// so concurrent scans are safe.
+func (f *File) Scan(chunkRecords int) dataset.Scanner {
+	return f.ScanRange(0, f.n, chunkRecords)
+}
+
+// ScanRange returns a scanner over records [lo, hi), used by ranks that
+// process a contiguous share of a shared file.
+func (f *File) ScanRange(lo, hi, chunkRecords int) dataset.Scanner {
+	if chunkRecords <= 0 {
+		chunkRecords = 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > f.n {
+		hi = f.n
+	}
+	h, err := os.Open(f.path)
+	if err != nil {
+		return &fileScanner{err: err}
+	}
+	if _, err := h.Seek(f.dataOff+int64(lo)*int64(f.d)*8, io.SeekStart); err != nil {
+		h.Close()
+		return &fileScanner{err: err}
+	}
+	return &fileScanner{
+		f:      f,
+		h:      h,
+		br:     bufio.NewReaderSize(h, 1<<20),
+		left:   hi - lo,
+		vals:   make([]float64, chunkRecords*f.d),
+		raw:    make([]byte, chunkRecords*f.d*8),
+		stats:  &f.stats,
+		chunkR: chunkRecords,
+	}
+}
+
+type fileScanner struct {
+	f      *File
+	h      *os.File
+	br     *bufio.Reader
+	left   int
+	vals   []float64
+	raw    []byte
+	stats  *Stats
+	chunkR int
+	err    error
+}
+
+func (s *fileScanner) Next() ([]float64, int) {
+	if s.err != nil || s.left <= 0 {
+		return nil, 0
+	}
+	n := s.chunkR
+	if n > s.left {
+		n = s.left
+	}
+	nb := n * s.f.d * 8
+	if _, err := io.ReadFull(s.br, s.raw[:nb]); err != nil {
+		s.err = fmt.Errorf("diskio: reading %s: %w", s.f.path, err)
+		return nil, 0
+	}
+	atomic.AddInt64(&s.stats.BytesRead, int64(nb))
+	atomic.AddInt64(&s.stats.Reads, 1)
+	for i := 0; i < n*s.f.d; i++ {
+		s.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.raw[8*i:]))
+	}
+	s.left -= n
+	return s.vals[:n*s.f.d], n
+}
+
+func (s *fileScanner) Err() error { return s.err }
+
+func (s *fileScanner) Close() error {
+	if s.h != nil {
+		return s.h.Close()
+	}
+	return nil
+}
+
+// ShareBounds returns the contiguous record range [lo, hi) owned by
+// rank out of p processors over n records, the block distribution the
+// paper uses when staging the shared data set.
+func ShareBounds(n, rank, p int) (lo, hi int) {
+	if p <= 0 {
+		return 0, n
+	}
+	lo = rank * n / p
+	hi = (rank + 1) * n / p
+	return
+}
+
+// Stage copies rank's N/p contiguous share of the shared record file
+// into localDir (the simulated local disk) and returns the opened local
+// file. The local file's header domains describe the *global* data set,
+// copied from the shared header, because the adaptive-grid phase needs
+// the global domains.
+func Stage(shared *File, localDir string, rank, p int) (*File, error) {
+	if err := os.MkdirAll(localDir, 0o755); err != nil {
+		return nil, err
+	}
+	lo, hi := ShareBounds(shared.NumRecords(), rank, p)
+	localPath := filepath.Join(localDir, fmt.Sprintf("shard-%04d-of-%04d.pmaf", rank, p))
+	w, err := Create(localPath, shared.Dims())
+	if err != nil {
+		return nil, err
+	}
+	sc := shared.ScanRange(lo, hi, 8192)
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		if err := w.AppendChunk(chunk, n); err != nil {
+			sc.Close()
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		sc.Close()
+		w.Close()
+		return nil, err
+	}
+	sc.Close()
+	// Preserve the global domains: overwrite the local writer's
+	// observed domains with the shared header's before finalizing.
+	copy(w.lo, domLo(shared.domains))
+	copy(w.hi, domHi(shared.domains))
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return Open(localPath)
+}
+
+func domLo(rs []dataset.Range) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Lo
+	}
+	return out
+}
+
+func domHi(rs []dataset.Range) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Hi
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package gen implements candidate-dense-unit (CDU) generation: the
+// paper's MAFIA join (any two (k-1)-dimensional dense units sharing any
+// k-2 dimensions combine into a k-dimensional candidate), the CLIQUE
+// prefix join used by the baseline, repeat elimination, and the optimal
+// task-partitioning equation (eq. 1) that splits the O(Ndu²) pairwise
+// generation work evenly across processors.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"pmafia/internal/unit"
+)
+
+// Join attempts to combine two units of equal dimensionality k-1 into
+// one unit of dimensionality k. It reports ok=false when the pair is
+// not combinable under the join's rule. Implementations must write the
+// result into dims/bins, which have length k.
+type Join func(aDims, aBins, bDims, bBins, dims, bins []uint8) (ok bool)
+
+// MergeMAFIA is the paper's join: two (k-1)-dimensional units combine
+// when they share any k-2 dimensions with identical bins on every
+// shared dimension; the result is the ordered union. For k-1 = 1 any
+// two units in different dimensions combine.
+func MergeMAFIA(aDims, aBins, bDims, bBins, dims, bins []uint8) bool {
+	k1 := len(aDims)
+	// Merge the two ordered dim lists; reject if a shared dim has
+	// different bins or the union is not exactly k1+1 wide.
+	i, j, w := 0, 0, 0
+	for i < k1 && j < k1 {
+		switch {
+		case aDims[i] < bDims[j]:
+			if w >= len(dims) {
+				return false
+			}
+			dims[w], bins[w] = aDims[i], aBins[i]
+			i++
+			w++
+		case aDims[i] > bDims[j]:
+			if w >= len(dims) {
+				return false
+			}
+			dims[w], bins[w] = bDims[j], bBins[j]
+			j++
+			w++
+		default: // shared dimension
+			if aBins[i] != bBins[j] {
+				return false
+			}
+			if w >= len(dims) {
+				return false
+			}
+			dims[w], bins[w] = aDims[i], aBins[i]
+			i++
+			j++
+			w++
+		}
+	}
+	for i < k1 {
+		if w >= len(dims) {
+			return false
+		}
+		dims[w], bins[w] = aDims[i], aBins[i]
+		i++
+		w++
+	}
+	for j < k1 {
+		if w >= len(dims) {
+			return false
+		}
+		dims[w], bins[w] = bDims[j], bBins[j]
+		j++
+		w++
+	}
+	return w == len(dims)
+}
+
+// MergeCLIQUE is the baseline join from CLIQUE [2]: the two units must
+// agree on their first k-2 dimensions and bins, and their last
+// dimensions must differ (the smaller-dimension unit first). This is
+// the Apriori-style prefix join the paper shows misses candidates.
+func MergeCLIQUE(aDims, aBins, bDims, bBins, dims, bins []uint8) bool {
+	k1 := len(aDims)
+	for x := 0; x < k1-1; x++ {
+		if aDims[x] != bDims[x] || aBins[x] != bBins[x] {
+			return false
+		}
+	}
+	if aDims[k1-1] >= bDims[k1-1] {
+		return false
+	}
+	copy(dims, aDims)
+	copy(bins, aBins)
+	dims[k1] = bDims[k1-1]
+	bins[k1] = bBins[k1-1]
+	return true
+}
+
+// GenerateRange builds the CDUs obtainable by combining dense units
+// i ∈ [lo, hi) with every dense unit j > i, the work assignment of one
+// processor under the partitioning of eq. 1. It returns the CDUs (with
+// duplicates — elimination is a separate step, as in the paper) and a
+// full-length combined mask marking every dense unit that participated
+// in at least one successful join; ranks OR their masks to find the
+// non-combinable units that get registered as potential clusters.
+func GenerateRange(du *unit.Array, lo, hi int, join Join) (cdus *unit.Array, combined []bool) {
+	n := du.Len()
+	k := du.K + 1
+	cdus = unit.New(k, 0)
+	combined = make([]bool, n)
+	dims := make([]uint8, k)
+	bins := make([]uint8, k)
+	for i := lo; i < hi && i < n; i++ {
+		aD, aB := du.Unit(i)
+		for j := i + 1; j < n; j++ {
+			bD, bB := du.Unit(j)
+			if join(aD, aB, bD, bB, dims, bins) {
+				cdus.AppendRaw(dims, bins)
+				combined[i] = true
+				combined[j] = true
+			}
+		}
+	}
+	return cdus, combined
+}
+
+// Generate builds all CDUs from the full dense-unit array.
+func Generate(du *unit.Array, join Join) (*unit.Array, []bool) {
+	return GenerateRange(du, 0, du.Len(), join)
+}
+
+// MarkRepeats returns, for CDUs with index in [lo, hi), whether each is
+// a repeat of an identical CDU at a smaller index (the paper's
+// Eliminate-repeat-CDUs, with the O(Ncdu²) pairwise scan replaced by a
+// first-occurrence index). The returned slice has length hi-lo.
+func MarkRepeats(cdus *unit.Array, lo, hi int) []bool {
+	n := cdus.Len()
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	first := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		key := cdus.Key(i)
+		if _, ok := first[key]; !ok {
+			first[key] = i
+		}
+	}
+	marks := make([]bool, hi-lo)
+	for i := lo; i < hi; i++ {
+		if first[cdus.Key(i)] < i {
+			marks[i-lo] = true
+		}
+	}
+	return marks
+}
+
+// CompactUnique builds a new array with the marked repeats removed;
+// marks must cover the whole array.
+func CompactUnique(cdus *unit.Array, repeats []bool) *unit.Array {
+	if len(repeats) != cdus.Len() {
+		panic(fmt.Sprintf("gen: %d marks for %d CDUs", len(repeats), cdus.Len()))
+	}
+	out := unit.New(cdus.K, cdus.Len())
+	for i := 0; i < cdus.Len(); i++ {
+		if !repeats[i] {
+			d, b := cdus.Unit(i)
+			out.AppendRaw(d, b)
+		}
+	}
+	return out
+}
+
+// PairWork returns the number of pairwise comparisons performed for
+// unit index i out of n units: it is compared with every unit after it.
+func PairWork(n, i int) int64 { return int64(n - 1 - i) }
+
+// TotalPairWork returns n(n-1)/2, the total comparison count.
+func TotalPairWork(n int) int64 { return int64(n) * int64(n-1) / 2 }
+
+// PartitionPairs returns p+1 boundaries 0 = n₀ ≤ n₁ ≤ … ≤ n_p = n such
+// that each rank r, processing unit indices [n_r, n_{r+1}) against all
+// later units, performs as close as possible to an equal share of the
+// total pairwise work — the integer-exact version of eq. 1.
+func PartitionPairs(n, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	bounds := make([]int, p+1)
+	total := TotalPairWork(n)
+	var cum int64
+	idx := 0
+	for r := 1; r < p; r++ {
+		target := total * int64(r) / int64(p)
+		// Advance while taking the next unit lands the cumulative work
+		// closer to the target than stopping does.
+		for idx < n {
+			w := PairWork(n, idx)
+			if cum+w-target > target-cum {
+				break
+			}
+			cum += w
+			idx++
+		}
+		bounds[r] = idx
+	}
+	bounds[p] = n
+	return bounds
+}
+
+// PartitionPairsQuadratic solves eq. 1 the paper's way: iteratively,
+// each boundary is the root of the quadratic that equates the rank's
+// pair count to Ndu(Ndu-1)/(2p). It returns p+1 boundaries like
+// PartitionPairs; the two agree within rounding (verified in tests).
+func PartitionPairsQuadratic(n, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	bounds := make([]int, p+1)
+	nf := float64(n)
+	for r := 1; r < p; r++ {
+		// Cumulative work of the first x units is x(2n-1-x)/2; set it
+		// equal to r/p of the total n(n-1)/2 and solve for x.
+		c := nf * (nf - 1) * float64(r) / float64(p)
+		disc := (2*nf-1)*(2*nf-1) - 4*c
+		if disc < 0 {
+			disc = 0
+		}
+		x := ((2*nf - 1) - math.Sqrt(disc)) / 2
+		b := int(math.Round(x))
+		if b < bounds[r-1] {
+			b = bounds[r-1]
+		}
+		if b > n {
+			b = n
+		}
+		bounds[r] = b
+	}
+	bounds[p] = n
+	return bounds
+}
+
+// RangeShare returns the contiguous index range [lo, hi) of rank out of
+// p over n items under an even block distribution — the partitioning
+// used for the linear-work task-parallel steps (dense-unit
+// identification and data-structure construction).
+func RangeShare(n, rank, p int) (lo, hi int) {
+	if p <= 0 {
+		return 0, n
+	}
+	return rank * n / p, (rank + 1) * n / p
+}

@@ -1,0 +1,413 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmafia/internal/rng"
+	"pmafia/internal/unit"
+)
+
+func mk(k int, units ...[2][]uint8) *unit.Array {
+	a := unit.New(k, len(units))
+	for _, u := range units {
+		a.Append(u[0], u[1])
+	}
+	return a
+}
+
+func TestMergeMAFIA1D(t *testing.T) {
+	dims := make([]uint8, 2)
+	bins := make([]uint8, 2)
+	// Two 1-dim units in different dims always combine.
+	if !MergeMAFIA([]uint8{1}, []uint8{7}, []uint8{3}, []uint8{2}, dims, bins) {
+		t.Fatal("1-dim units in different dims must combine")
+	}
+	if dims[0] != 1 || dims[1] != 3 || bins[0] != 7 || bins[1] != 2 {
+		t.Errorf("merged = %v %v", dims, bins)
+	}
+	// Same dim never combines.
+	if MergeMAFIA([]uint8{1}, []uint8{7}, []uint8{1}, []uint8{2}, dims, bins) {
+		t.Error("same-dim 1-dim units must not combine")
+	}
+}
+
+func TestMergeMAFIAPaperExample(t *testing.T) {
+	// The paper's motivating example: {a1,b7,c8} and {b7,c8,d9} share
+	// dims {b,c} (k-2 = 2 of 3) and must combine into {a1,b7,c8,d9},
+	// which the CLIQUE join misses. Use dims 1,7,8,9 with bins 1,7,8,9
+	// echoing Figure 2.
+	dims := make([]uint8, 4)
+	bins := make([]uint8, 4)
+	ok := MergeMAFIA(
+		[]uint8{1, 7, 8}, []uint8{1, 7, 8},
+		[]uint8{7, 8, 9}, []uint8{7, 8, 9},
+		dims, bins)
+	if !ok {
+		t.Fatal("paper example must combine under MAFIA join")
+	}
+	want := []uint8{1, 7, 8, 9}
+	for i := range want {
+		if dims[i] != want[i] || bins[i] != want[i] {
+			t.Fatalf("merged = %v %v, want %v", dims, bins, want)
+		}
+	}
+	// And must NOT combine under the CLIQUE prefix join.
+	if MergeCLIQUE(
+		[]uint8{1, 7, 8}, []uint8{1, 7, 8},
+		[]uint8{7, 8, 9}, []uint8{7, 8, 9},
+		dims, bins) {
+		t.Error("paper example must not combine under CLIQUE join")
+	}
+}
+
+func TestMergeMAFIARejectsBinMismatch(t *testing.T) {
+	dims := make([]uint8, 3)
+	bins := make([]uint8, 3)
+	if MergeMAFIA(
+		[]uint8{1, 2}, []uint8{0, 5},
+		[]uint8{2, 3}, []uint8{6, 1},
+		dims, bins) {
+		t.Error("shared dim with different bins must not combine")
+	}
+}
+
+func TestMergeMAFIARejectsTooFewShared(t *testing.T) {
+	dims := make([]uint8, 3)
+	bins := make([]uint8, 3)
+	// 2-dim units sharing 0 dims: union is 4-wide, not 3.
+	if MergeMAFIA(
+		[]uint8{1, 2}, []uint8{0, 0},
+		[]uint8{3, 4}, []uint8{0, 0},
+		dims, bins) {
+		t.Error("2-dim units sharing no dims must not combine into 3 dims")
+	}
+	// Identical dim sets: union is 2-wide.
+	if MergeMAFIA(
+		[]uint8{1, 2}, []uint8{0, 0},
+		[]uint8{1, 2}, []uint8{0, 0},
+		dims, bins) {
+		t.Error("identical units must not combine")
+	}
+}
+
+func TestMergeCLIQUE(t *testing.T) {
+	dims := make([]uint8, 3)
+	bins := make([]uint8, 3)
+	if !MergeCLIQUE(
+		[]uint8{1, 2}, []uint8{4, 5},
+		[]uint8{1, 3}, []uint8{4, 6},
+		dims, bins) {
+		t.Fatal("prefix-share units must combine")
+	}
+	if dims[2] != 3 || bins[2] != 6 {
+		t.Errorf("merged = %v %v", dims, bins)
+	}
+	// Prefix bins must match too.
+	if MergeCLIQUE(
+		[]uint8{1, 2}, []uint8{4, 5},
+		[]uint8{1, 3}, []uint8{9, 6},
+		dims, bins) {
+		t.Error("prefix bin mismatch must not combine")
+	}
+	// Ordering: b's last dim must exceed a's.
+	if MergeCLIQUE(
+		[]uint8{1, 3}, []uint8{4, 6},
+		[]uint8{1, 2}, []uint8{4, 5},
+		dims, bins) {
+		t.Error("descending pair must not combine (avoids double generation)")
+	}
+}
+
+func TestMAFIASupersetOfCLIQUE(t *testing.T) {
+	// Every pair CLIQUE combines, MAFIA combines too (same result).
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		k1 := 2 + int(seed%3)
+		aD := make([]uint8, k1)
+		aB := make([]uint8, k1)
+		bD := make([]uint8, k1)
+		bB := make([]uint8, k1)
+		cur := uint8(0)
+		for i := 0; i < k1; i++ {
+			cur += 1 + uint8(s.Intn(3))
+			aD[i] = cur
+			aB[i] = uint8(s.Intn(4))
+		}
+		copy(bD, aD)
+		copy(bB, aB)
+		bD[k1-1] = aD[k1-1] + 1 + uint8(s.Intn(3))
+		bB[k1-1] = uint8(s.Intn(4))
+		d1 := make([]uint8, k1+1)
+		b1 := make([]uint8, k1+1)
+		d2 := make([]uint8, k1+1)
+		b2 := make([]uint8, k1+1)
+		if !MergeCLIQUE(aD, aB, bD, bB, d1, b1) {
+			return false // constructed to be CLIQUE-joinable
+		}
+		if !MergeMAFIA(aD, aB, bD, bB, d2, b2) {
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] || b1[i] != b2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateChoose(t *testing.T) {
+	// 4 one-dim dense units in distinct dims -> C(4,2)=6 CDUs, all
+	// units combined.
+	du := mk(1,
+		[2][]uint8{{0}, {1}},
+		[2][]uint8{{1}, {2}},
+		[2][]uint8{{2}, {3}},
+		[2][]uint8{{3}, {4}},
+	)
+	cdus, combined := Generate(du, MergeMAFIA)
+	if cdus.Len() != 6 {
+		t.Errorf("Ncdu = %d, want 6", cdus.Len())
+	}
+	for i, c := range combined {
+		if !c {
+			t.Errorf("unit %d not marked combined", i)
+		}
+	}
+}
+
+func TestGenerateNonCombinable(t *testing.T) {
+	// A unit in the same dim as another never combines with it.
+	du := mk(1,
+		[2][]uint8{{0}, {1}},
+		[2][]uint8{{0}, {2}},
+	)
+	cdus, combined := Generate(du, MergeMAFIA)
+	if cdus.Len() != 0 {
+		t.Errorf("Ncdu = %d, want 0", cdus.Len())
+	}
+	if combined[0] || combined[1] {
+		t.Error("non-combinable units marked combined")
+	}
+}
+
+func TestGenerateRangeUnionEqualsFull(t *testing.T) {
+	s := rng.New(9)
+	du := unit.New(1, 10)
+	for d := 0; d < 10; d++ {
+		du.Append([]uint8{uint8(d)}, []uint8{uint8(s.Intn(3))})
+	}
+	full, fullComb := Generate(du, MergeMAFIA)
+	// Split the range across 3 "ranks" and union results.
+	bounds := PartitionPairs(du.Len(), 3)
+	merged := unit.New(2, 0)
+	comb := make([]bool, du.Len())
+	for r := 0; r < 3; r++ {
+		c, cb := GenerateRange(du, bounds[r], bounds[r+1], MergeMAFIA)
+		merged.AppendRaw(c.Dims, c.Bins)
+		for i, v := range cb {
+			comb[i] = comb[i] || v
+		}
+	}
+	if merged.Len() != full.Len() {
+		t.Errorf("ranged union Ncdu = %d, full = %d", merged.Len(), full.Len())
+	}
+	merged.Sort()
+	full.Sort()
+	for i := 0; i < full.Len(); i++ {
+		if merged.Key(i) != full.Key(i) {
+			t.Fatalf("ranged union differs from full at %d", i)
+		}
+	}
+	for i := range comb {
+		if comb[i] != fullComb[i] {
+			t.Fatalf("combined mask differs at %d", i)
+		}
+	}
+}
+
+func TestMarkRepeatsAndCompact(t *testing.T) {
+	cdus := mk(2,
+		[2][]uint8{{0, 1}, {1, 1}},
+		[2][]uint8{{0, 2}, {1, 1}},
+		[2][]uint8{{0, 1}, {1, 1}}, // repeat of 0
+		[2][]uint8{{0, 2}, {1, 1}}, // repeat of 1
+		[2][]uint8{{0, 3}, {1, 1}},
+	)
+	marks := MarkRepeats(cdus, 0, cdus.Len())
+	want := []bool{false, false, true, true, false}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Errorf("mark[%d] = %v, want %v", i, marks[i], want[i])
+		}
+	}
+	uniq := CompactUnique(cdus, marks)
+	if uniq.Len() != 3 {
+		t.Errorf("unique = %d, want 3", uniq.Len())
+	}
+}
+
+func TestMarkRepeatsRangesComposable(t *testing.T) {
+	// Marks computed per-range must equal the full-array marks.
+	s := rng.New(10)
+	cdus := unit.New(2, 40)
+	for i := 0; i < 40; i++ {
+		d1 := uint8(s.Intn(3))
+		cdus.Append([]uint8{d1, d1 + 1 + uint8(s.Intn(2))}, []uint8{uint8(s.Intn(2)), uint8(s.Intn(2))})
+	}
+	full := MarkRepeats(cdus, 0, cdus.Len())
+	var stitched []bool
+	for r := 0; r < 4; r++ {
+		lo, hi := RangeShare(cdus.Len(), r, 4)
+		stitched = append(stitched, MarkRepeats(cdus, lo, hi)...)
+	}
+	for i := range full {
+		if full[i] != stitched[i] {
+			t.Fatalf("mark %d differs between full and stitched", i)
+		}
+	}
+}
+
+func TestPartitionPairsProperties(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			b := PartitionPairs(n, p)
+			if len(b) != p+1 || b[0] != 0 || b[p] != n {
+				t.Fatalf("n=%d p=%d: bounds %v", n, p, b)
+			}
+			var prev int
+			var maxW, minW int64 = 0, 1 << 62
+			for r := 0; r < p; r++ {
+				if b[r] < prev {
+					t.Fatalf("n=%d p=%d: non-monotone %v", n, p, b)
+				}
+				prev = b[r]
+				var w int64
+				for i := b[r]; i < b[r+1]; i++ {
+					w += PairWork(n, i)
+				}
+				if w > maxW {
+					maxW = w
+				}
+				if w < minW {
+					minW = w
+				}
+			}
+			// Imbalance is bounded by the largest single-unit work
+			// (one pair row is at most n-1 comparisons).
+			if n > p*2 && maxW-minW > int64(n)+2 {
+				t.Errorf("n=%d p=%d: imbalance %d > n+2", n, p, maxW-minW)
+			}
+		}
+	}
+}
+
+func TestPartitionQuadraticAgreesWithExact(t *testing.T) {
+	for _, n := range []int{10, 100, 1234} {
+		for _, p := range []int{2, 4, 8, 16} {
+			exact := PartitionPairs(n, p)
+			quad := PartitionPairsQuadratic(n, p)
+			for r := range exact {
+				diff := exact[r] - quad[r]
+				if diff < -2 || diff > 2 {
+					t.Errorf("n=%d p=%d rank %d: exact %d vs quadratic %d", n, p, r, exact[r], quad[r])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionFirstRankSmallest(t *testing.T) {
+	// Early units carry more pair work, so the first rank's index range
+	// must be the narrowest.
+	b := PartitionPairs(1000, 4)
+	first := b[1] - b[0]
+	last := b[4] - b[3]
+	if first >= last {
+		t.Errorf("first range %d should be narrower than last %d", first, last)
+	}
+}
+
+func TestRangeShare(t *testing.T) {
+	total := 0
+	prev := 0
+	for r := 0; r < 5; r++ {
+		lo, hi := RangeShare(17, r, 5)
+		if lo != prev {
+			t.Fatalf("gap at rank %d", r)
+		}
+		total += hi - lo
+		prev = hi
+	}
+	if total != 17 {
+		t.Errorf("shares cover %d, want 17", total)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	s := rng.New(1)
+	du := unit.New(2, 200)
+	for i := 0; i < 200; i++ {
+		d1 := uint8(s.Intn(10))
+		du.Append([]uint8{d1, d1 + 1 + uint8(s.Intn(5))}, []uint8{uint8(s.Intn(5)), uint8(s.Intn(5))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(du, MergeMAFIA)
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	// p < 1 coerces to 1.
+	b := PartitionPairs(10, 0)
+	if len(b) != 2 || b[1] != 10 {
+		t.Errorf("p=0 bounds %v", b)
+	}
+	q := PartitionPairsQuadratic(10, 0)
+	if len(q) != 2 || q[1] != 10 {
+		t.Errorf("p=0 quadratic bounds %v", q)
+	}
+	// More ranks than units: trailing ranks get empty ranges but the
+	// partition stays valid.
+	b = PartitionPairs(3, 8)
+	if b[len(b)-1] != 3 {
+		t.Errorf("n<p bounds %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("non-monotone %v", b)
+		}
+	}
+}
+
+func TestRangeShareDegenerate(t *testing.T) {
+	lo, hi := RangeShare(5, 0, 0)
+	if lo != 0 || hi != 5 {
+		t.Errorf("p=0 share = [%d,%d)", lo, hi)
+	}
+}
+
+func TestCompactUniquePanicsOnBadMarks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on mark/CDU length mismatch")
+		}
+	}()
+	cdus := mk(1, [2][]uint8{{0}, {1}})
+	CompactUnique(cdus, []bool{true, false})
+}
+
+func TestMarkRepeatsClamping(t *testing.T) {
+	cdus := mk(1,
+		[2][]uint8{{0}, {1}},
+		[2][]uint8{{0}, {1}},
+	)
+	marks := MarkRepeats(cdus, -5, 99)
+	if len(marks) != 2 || marks[0] || !marks[1] {
+		t.Errorf("clamped marks = %v", marks)
+	}
+}

@@ -1,0 +1,327 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/histogram"
+	"pmafia/internal/rng"
+)
+
+func uniformHist(n, units int, seed uint64) *histogram.Hist {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 100}}, units)
+	s := rng.New(seed)
+	for i := 0; i < n; i++ {
+		h.AddRecord([]float64{s.In(0, 100)})
+	}
+	return h
+}
+
+// clusteredHist puts frac of the points uniformly into [lo,hi) and the
+// rest uniformly over the whole domain.
+func clusteredHist(n, units int, lo, hi, frac float64, seed uint64) *histogram.Hist {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 100}}, units)
+	s := rng.New(seed)
+	for i := 0; i < n; i++ {
+		if s.Float64() < frac {
+			h.AddRecord([]float64{s.In(lo, hi)})
+		} else {
+			h.AddRecord([]float64{s.In(0, 100)})
+		}
+	}
+	return h
+}
+
+func TestAdaptiveUniformDimBecomesFixedSplit(t *testing.T) {
+	h := uniformHist(50000, 1000, 1)
+	g, err := BuildAdaptive(h, AdaptiveParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dims[0]
+	if !d.Uniform {
+		t.Fatal("uniform data not detected as equi-distributed")
+	}
+	if d.NumBins() != 5 {
+		t.Errorf("equi-split bins = %d, want 5", d.NumBins())
+	}
+	// No bin of an equi-distributed dimension may be dense.
+	for i, b := range d.Bins {
+		if float64(b.Count) > b.Threshold {
+			t.Errorf("bin %d of uniform dim is dense: count %d > threshold %.0f", i, b.Count, b.Threshold)
+		}
+	}
+}
+
+func TestAdaptiveClusterDimHasDenseBin(t *testing.T) {
+	h := clusteredHist(50000, 1000, 20, 30, 0.4, 2)
+	g, err := BuildAdaptive(h, AdaptiveParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dims[0]
+	if d.Uniform {
+		t.Fatal("clustered dim detected as equi-distributed")
+	}
+	dense := 0
+	var denseBin Bin
+	for _, b := range d.Bins {
+		if float64(b.Count) > b.Threshold {
+			dense++
+			denseBin = b
+		}
+	}
+	if dense == 0 {
+		t.Fatal("no dense bin found over the cluster")
+	}
+	// The dense bin(s) must overlap the cluster region.
+	if !denseBin.Bounds.Overlaps(dataset.Range{Lo: 20, Hi: 30}) {
+		t.Errorf("dense bin %v does not overlap cluster [20,30)", denseBin.Bounds)
+	}
+}
+
+func TestAdaptiveBinsPartitionDomain(t *testing.T) {
+	h := clusteredHist(20000, 500, 55, 70, 0.5, 3)
+	g, err := BuildAdaptive(h, AdaptiveParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dims[0]
+	if d.Bins[0].Bounds.Lo != 0 {
+		t.Errorf("first bin starts at %v", d.Bins[0].Bounds.Lo)
+	}
+	last := d.Bins[len(d.Bins)-1]
+	if last.Bounds.Hi != 100 {
+		t.Errorf("last bin ends at %v", last.Bounds.Hi)
+	}
+	for i := 1; i < len(d.Bins); i++ {
+		if d.Bins[i].Bounds.Lo != d.Bins[i-1].Bounds.Hi {
+			t.Errorf("gap between bin %d and %d", i-1, i)
+		}
+		if d.Bins[i].UnitLo != d.Bins[i-1].UnitHi {
+			t.Errorf("unit gap between bin %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestBinOfConsistentWithBounds(t *testing.T) {
+	h := clusteredHist(20000, 500, 40, 60, 0.5, 4)
+	g, _ := BuildAdaptive(h, AdaptiveParams{})
+	d := g.Dims[0]
+	f := func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), 100)
+		b := d.Bins[d.BinOf(v)]
+		return v >= b.Bounds.Lo-1e-9 && v < b.Bounds.Hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinCountsSumToN(t *testing.T) {
+	h := clusteredHist(10000, 200, 10, 15, 0.3, 5)
+	g, _ := BuildAdaptive(h, AdaptiveParams{})
+	var total int64
+	for _, b := range g.Dims[0].Bins {
+		total += b.Count
+	}
+	if total != 10000 {
+		t.Errorf("bin counts sum to %d, want 10000", total)
+	}
+}
+
+func TestThresholdFormula(t *testing.T) {
+	// For a non-uniform dim: threshold = α·N·width/|D|.
+	h := clusteredHist(10000, 100, 10, 30, 0.6, 6)
+	g, _ := BuildAdaptive(h, AdaptiveParams{Alpha: 2})
+	d := g.Dims[0]
+	if d.Uniform {
+		t.Skip("unexpectedly uniform")
+	}
+	for _, b := range d.Bins {
+		units := float64(b.UnitHi - b.UnitLo)
+		want := 2 * 10000 * units / 100
+		if math.Abs(b.Threshold-want) > 1e-6 {
+			t.Errorf("threshold %.2f, want %.2f", b.Threshold, want)
+		}
+	}
+}
+
+func TestUniformBoostRaisesThreshold(t *testing.T) {
+	h := uniformHist(20000, 1000, 7)
+	low, _ := BuildAdaptive(h, AdaptiveParams{UniformBoost: 1})
+	boosted, _ := BuildAdaptive(h, AdaptiveParams{UniformBoost: 3})
+	if !low.Dims[0].Uniform || !boosted.Dims[0].Uniform {
+		t.Skip("dim not detected uniform")
+	}
+	if boosted.Dims[0].Bins[0].Threshold <= low.Dims[0].Bins[0].Threshold {
+		t.Error("UniformBoost did not raise the threshold")
+	}
+}
+
+func TestMaxBinsRespected(t *testing.T) {
+	// β=0 merges nothing: 1000 windows of 1 unit => must be re-merged
+	// below MaxBins automatically.
+	h := clusteredHist(50000, 1000, 20, 30, 0.4, 8)
+	g, err := BuildAdaptive(h, AdaptiveParams{WindowUnits: 1, BetaPercent: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Dims[0].NumBins(); n > MaxBins {
+		t.Errorf("bins = %d > MaxBins", n)
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	values := []int64{10, 11, 50, 52, 9}
+	starts := []int{0, 2, 4, 6, 8, 10}
+	b := mergeWindows(values, starts, 20)
+	// 10,11 merge; 50,52 merge; 9 separate => boundaries 0,4,8,10
+	want := []int{0, 4, 8, 10}
+	if len(b) != len(want) {
+		t.Fatalf("boundaries = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("boundaries = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestMergeWindowsAllEqual(t *testing.T) {
+	values := []int64{5, 5, 5}
+	starts := []int{0, 1, 2, 3}
+	b := mergeWindows(values, starts, 0)
+	if len(b) != 2 || b[0] != 0 || b[1] != 3 {
+		t.Errorf("equal windows should merge to one bin: %v", b)
+	}
+}
+
+func TestMergeWindowsEmpty(t *testing.T) {
+	b := mergeWindows(nil, []int{0}, 50)
+	if len(b) != 2 {
+		t.Errorf("empty input boundaries = %v", b)
+	}
+}
+
+func TestEqualUnitSplit(t *testing.T) {
+	b := equalUnitSplit(10, 3)
+	if b[0] != 0 || b[len(b)-1] != 10 || len(b) != 4 {
+		t.Errorf("split = %v", b)
+	}
+	// k > units degrades gracefully
+	b = equalUnitSplit(2, 5)
+	if b[len(b)-1] != 2 {
+		t.Errorf("overspecified split = %v", b)
+	}
+}
+
+func TestBuildUniform(t *testing.T) {
+	h := clusteredHist(10000, 100, 10, 30, 0.5, 9)
+	g, err := BuildUniform(h, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dims[0]
+	if d.NumBins() != 10 {
+		t.Fatalf("bins = %d", d.NumBins())
+	}
+	for _, b := range d.Bins {
+		if math.Abs(b.Bounds.Width()-10) > 1e-9 {
+			t.Errorf("uniform bin width %v, want 10", b.Bounds.Width())
+		}
+		if b.Threshold != 100 { // tau*N = 0.01*10000
+			t.Errorf("threshold %v, want 100", b.Threshold)
+		}
+	}
+}
+
+func TestBuildUniformErrors(t *testing.T) {
+	h := uniformHist(100, 50, 10)
+	if _, err := BuildUniform(h, 0, 0.01); err == nil {
+		t.Error("xi=0: want error")
+	}
+	if _, err := BuildUniform(h, 10, 0); err == nil {
+		t.Error("tau=0: want error")
+	}
+	if _, err := BuildUniform(h, 10, 1); err == nil {
+		t.Error("tau=1: want error")
+	}
+	if _, err := BuildUniform(h, 51, 0.01); err == nil {
+		t.Error("xi>units: want error")
+	}
+}
+
+func TestBuildUniformVariable(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 100}, {Lo: 0, Hi: 1}}, 100)
+	s := rng.New(11)
+	for i := 0; i < 1000; i++ {
+		h.AddRecord([]float64{s.In(0, 100), s.Float64()})
+	}
+	g, err := BuildUniformVariable(h, []int{5, 20}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dims[0].NumBins() != 5 || g.Dims[1].NumBins() != 20 {
+		t.Errorf("bins = %d,%d", g.Dims[0].NumBins(), g.Dims[1].NumBins())
+	}
+	if _, err := BuildUniformVariable(h, []int{5}, 0.01); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	p := AdaptiveParams{}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.WindowUnits != 5 || p.BetaPercent != 50 || p.Alpha != 1.5 || p.EquiSplit != 5 || p.UniformBoost != 1.5 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []AdaptiveParams{
+		{BetaPercent: -1},
+		{BetaPercent: 101},
+		{Alpha: -2},
+		{EquiSplit: 300},
+		{UniformBoost: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, p)
+		}
+	}
+}
+
+func TestBinRow(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 10}, {Lo: 0, Hi: 10}}, 10)
+	s := rng.New(12)
+	for i := 0; i < 1000; i++ {
+		h.AddRecord([]float64{s.In(0, 10), s.In(0, 10)})
+	}
+	g, err := BuildUniform(h, 5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint8, 2)
+	g.BinRow([]float64{1.5, 9.5}, out)
+	if out[0] != 0 || out[1] != 4 {
+		t.Errorf("BinRow = %v", out)
+	}
+}
+
+func TestTotalBins(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}, 20)
+	s := rng.New(13)
+	for i := 0; i < 100; i++ {
+		h.AddRecord([]float64{s.Float64(), s.Float64()})
+	}
+	g, _ := BuildUniform(h, 4, 0.01)
+	if g.TotalBins() != 8 {
+		t.Errorf("TotalBins = %d, want 8", g.TotalBins())
+	}
+}

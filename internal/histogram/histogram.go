@@ -1,0 +1,143 @@
+// Package histogram builds the per-dimension fine-grained histograms
+// that feed pMAFIA's adaptive grid computation (Algorithm 1 in the
+// paper). Each dimension's domain is divided into a fixed number of
+// small fine units; one pass over the data counts records per unit; the
+// grid package then takes window maxima and merges adjacent windows
+// into variable-sized bins.
+package histogram
+
+import (
+	"fmt"
+
+	"pmafia/internal/dataset"
+)
+
+// Hist is a set of per-dimension fine-unit histograms over a common
+// unit count. Counts are int64 so histograms from many ranks can be
+// summed without overflow.
+type Hist struct {
+	Units   int             // fine units per dimension
+	Domains []dataset.Range // per-dimension domains
+	Counts  [][]int64       // [dim][unit]
+	N       int64           // records accumulated
+}
+
+// New allocates a histogram with units fine units for each of the given
+// domains.
+func New(domains []dataset.Range, units int) *Hist {
+	if units <= 0 {
+		panic(fmt.Sprintf("histogram: invalid unit count %d", units))
+	}
+	h := &Hist{Units: units, Domains: domains, Counts: make([][]int64, len(domains))}
+	for i := range h.Counts {
+		h.Counts[i] = make([]int64, units)
+	}
+	return h
+}
+
+// UnitOf maps value v in dimension dim to its fine-unit index, clamping
+// out-of-domain values to the boundary units.
+func (h *Hist) UnitOf(dim int, v float64) int {
+	dom := h.Domains[dim]
+	f := float64(h.Units) * (v - dom.Lo) / dom.Width()
+	if !(f > 0) { // also catches NaN
+		return 0
+	}
+	if f >= float64(h.Units) { // clamp before int conversion can overflow
+		return h.Units - 1
+	}
+	return int(f)
+}
+
+// AddRecord counts one d-dimensional record.
+func (h *Hist) AddRecord(rec []float64) {
+	for dim, v := range rec {
+		h.Counts[dim][h.UnitOf(dim, v)]++
+	}
+	h.N++
+}
+
+// AddChunk counts n row-major records.
+func (h *Hist) AddChunk(chunk []float64, n int) {
+	d := len(h.Domains)
+	for r := 0; r < n; r++ {
+		h.AddRecord(chunk[r*d : (r+1)*d])
+	}
+}
+
+// AddSource counts every record of src, reading in chunks of
+// chunkRecords.
+func (h *Hist) AddSource(src dataset.Source, chunkRecords int) error {
+	sc := src.Scan(chunkRecords)
+	defer sc.Close()
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		h.AddChunk(chunk, n)
+	}
+	return sc.Err()
+}
+
+// Flatten serializes all counts (dim-major) plus the record count into
+// a single vector, the shape exchanged by the parallel Reduce step.
+func (h *Hist) Flatten() []int64 {
+	out := make([]int64, 0, len(h.Counts)*h.Units+1)
+	for _, c := range h.Counts {
+		out = append(out, c...)
+	}
+	return append(out, h.N)
+}
+
+// SetFlattened replaces the counts from a vector produced by Flatten
+// (typically after a sum-Reduce across ranks).
+func (h *Hist) SetFlattened(v []int64) error {
+	want := len(h.Counts)*h.Units + 1
+	if len(v) != want {
+		return fmt.Errorf("histogram: flattened length %d, want %d", len(v), want)
+	}
+	for i := range h.Counts {
+		copy(h.Counts[i], v[i*h.Units:(i+1)*h.Units])
+	}
+	h.N = v[len(v)-1]
+	return nil
+}
+
+// WindowMaxima reduces dimension dim's fine counts to window values:
+// each window of windowUnits consecutive units is represented by its
+// maximum count, per Algorithm 1. The last window may be narrower when
+// Units is not a multiple of windowUnits. It returns the window values
+// and the fine-unit start index of each window (with a final sentinel
+// equal to Units).
+func (h *Hist) WindowMaxima(dim, windowUnits int) (values []int64, starts []int) {
+	if windowUnits <= 0 {
+		windowUnits = 1
+	}
+	c := h.Counts[dim]
+	for lo := 0; lo < h.Units; lo += windowUnits {
+		hi := lo + windowUnits
+		if hi > h.Units {
+			hi = h.Units
+		}
+		m := c[lo]
+		for _, v := range c[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		values = append(values, m)
+		starts = append(starts, lo)
+	}
+	starts = append(starts, h.Units)
+	return values, starts
+}
+
+// SumRange returns the total count of fine units [lo, hi) in dim.
+func (h *Hist) SumRange(dim, lo, hi int) int64 {
+	var s int64
+	for _, v := range h.Counts[dim][lo:hi] {
+		s += v
+	}
+	return s
+}

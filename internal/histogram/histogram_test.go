@@ -1,0 +1,195 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmafia/internal/dataset"
+)
+
+func dom01(d int) []dataset.Range {
+	doms := make([]dataset.Range, d)
+	for i := range doms {
+		doms[i] = dataset.Range{Lo: 0, Hi: 1}
+	}
+	return doms
+}
+
+func TestUnitOf(t *testing.T) {
+	h := New(dom01(1), 10)
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 1}, {0.95, 9}, {0.999, 9},
+		{-5, 0}, // clamp below
+		{1, 9},  // clamp at Hi
+		{7, 9},  // clamp above
+	}
+	for _, c := range cases {
+		if got := h.UnitOf(0, c.v); got != c.want {
+			t.Errorf("UnitOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestUnitOfProperty(t *testing.T) {
+	h := New([]dataset.Range{{Lo: -3, Hi: 11}}, 137)
+	f := func(v float64) bool {
+		u := h.UnitOf(0, v)
+		return u >= 0 && u < 137
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRecordCounts(t *testing.T) {
+	h := New(dom01(2), 4)
+	h.AddRecord([]float64{0.1, 0.9})
+	h.AddRecord([]float64{0.1, 0.1})
+	if h.N != 2 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.Counts[0][0] != 2 || h.Counts[1][3] != 1 || h.Counts[1][0] != 1 {
+		t.Errorf("counts wrong: %v", h.Counts)
+	}
+}
+
+func TestAddSourceMatchesAddChunk(t *testing.T) {
+	m, _ := dataset.FromRows([][]float64{{0.1, 0.2}, {0.5, 0.6}, {0.9, 0.95}, {0.3, 0.4}})
+	h1 := New(dom01(2), 8)
+	if err := h1.AddSource(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(dom01(2), 8)
+	h2.AddChunk(m.Values, 4)
+	for d := 0; d < 2; d++ {
+		for u := 0; u < 8; u++ {
+			if h1.Counts[d][u] != h2.Counts[d][u] {
+				t.Fatalf("counts differ at dim %d unit %d", d, u)
+			}
+		}
+	}
+	if h1.N != h2.N {
+		t.Errorf("N differ: %d vs %d", h1.N, h2.N)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	h := New(dom01(3), 5)
+	h.AddRecord([]float64{0.1, 0.5, 0.9})
+	h.AddRecord([]float64{0.2, 0.5, 0.9})
+	v := h.Flatten()
+	if len(v) != 3*5+1 {
+		t.Fatalf("flatten length %d", len(v))
+	}
+	h2 := New(dom01(3), 5)
+	if err := h2.SetFlattened(v); err != nil {
+		t.Fatal(err)
+	}
+	if h2.N != 2 {
+		t.Errorf("N = %d", h2.N)
+	}
+	for d := 0; d < 3; d++ {
+		for u := 0; u < 5; u++ {
+			if h.Counts[d][u] != h2.Counts[d][u] {
+				t.Fatalf("counts differ after round trip at %d/%d", d, u)
+			}
+		}
+	}
+}
+
+func TestSetFlattenedLengthError(t *testing.T) {
+	h := New(dom01(2), 4)
+	if err := h.SetFlattened(make([]int64, 3)); err == nil {
+		t.Error("want length error")
+	}
+}
+
+func TestFlattenSumEqualsReduce(t *testing.T) {
+	// Summing flattened vectors from two ranks must equal the histogram
+	// of the union — the Reduce contract.
+	m1, _ := dataset.FromRows([][]float64{{0.1}, {0.6}})
+	m2, _ := dataset.FromRows([][]float64{{0.7}, {0.2}, {0.8}})
+	h1 := New(dom01(1), 4)
+	h1.AddSource(m1, 10)
+	h2 := New(dom01(1), 4)
+	h2.AddSource(m2, 10)
+	v1, v2 := h1.Flatten(), h2.Flatten()
+	sum := make([]int64, len(v1))
+	for i := range v1 {
+		sum[i] = v1[i] + v2[i]
+	}
+	global := New(dom01(1), 4)
+	if err := global.SetFlattened(sum); err != nil {
+		t.Fatal(err)
+	}
+	both := New(dom01(1), 4)
+	both.AddSource(m1, 10)
+	both.AddSource(m2, 10)
+	if global.N != both.N {
+		t.Errorf("N: %d vs %d", global.N, both.N)
+	}
+	for u := 0; u < 4; u++ {
+		if global.Counts[0][u] != both.Counts[0][u] {
+			t.Errorf("unit %d: %d vs %d", u, global.Counts[0][u], both.Counts[0][u])
+		}
+	}
+}
+
+func TestWindowMaxima(t *testing.T) {
+	h := New(dom01(1), 10)
+	copy(h.Counts[0], []int64{1, 5, 2, 2, 9, 0, 0, 3, 3, 1})
+	values, starts := h.WindowMaxima(0, 3)
+	wantV := []int64{5, 9, 3, 1} // windows [0,3) [3,6) [6,9) [9,10)
+	wantS := []int{0, 3, 6, 9, 10}
+	if len(values) != len(wantV) {
+		t.Fatalf("values = %v", values)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] {
+			t.Errorf("window %d value %d, want %d", i, values[i], wantV[i])
+		}
+	}
+	for i := range wantS {
+		if starts[i] != wantS[i] {
+			t.Errorf("start %d = %d, want %d", i, starts[i], wantS[i])
+		}
+	}
+}
+
+func TestWindowMaximaWholeDim(t *testing.T) {
+	h := New(dom01(1), 6)
+	copy(h.Counts[0], []int64{1, 2, 3, 4, 5, 6})
+	values, starts := h.WindowMaxima(0, 100)
+	if len(values) != 1 || values[0] != 6 {
+		t.Errorf("values = %v", values)
+	}
+	if starts[0] != 0 || starts[1] != 6 {
+		t.Errorf("starts = %v", starts)
+	}
+}
+
+func TestSumRange(t *testing.T) {
+	h := New(dom01(1), 5)
+	copy(h.Counts[0], []int64{1, 2, 3, 4, 5})
+	if s := h.SumRange(0, 1, 4); s != 9 {
+		t.Errorf("SumRange = %d, want 9", s)
+	}
+	if s := h.SumRange(0, 0, 5); s != 15 {
+		t.Errorf("SumRange full = %d, want 15", s)
+	}
+	if s := h.SumRange(0, 2, 2); s != 0 {
+		t.Errorf("SumRange empty = %d, want 0", s)
+	}
+}
+
+func TestNewPanicsOnBadUnits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(_, 0) did not panic")
+		}
+	}()
+	New(dom01(1), 0)
+}

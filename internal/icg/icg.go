@@ -1,0 +1,201 @@
+// Package icg implements inversive congruential pseudorandom number
+// generators (ICGs).
+//
+// The pMAFIA paper generates its synthetic data sets with the inversive
+// congruential generator of Eichenauer-Herrmann and Grothe ("A new
+// inversive congruential pseudorandom number generator with power of two
+// modulus", ACM TOMACS 2(1), 1992) because long sequences from Unix
+// linear congruential generators fall into regular planes. This package
+// provides that generator (PowerOfTwo) plus the classic prime-modulus
+// inversive generator (Prime) used for cross-validation in tests.
+//
+// Both generators follow the recurrence
+//
+//	x[n+1] = a * inv(x[n]) + b  (mod m)
+//
+// where inv is the multiplicative inverse modulo m. For the power-of-two
+// generator (m = 2^64) the state is kept odd, which guarantees the
+// inverse exists; with a odd and b even the next state is odd again, and
+// the sequence walks the odd residues with period 2^(e-2) for suitably
+// chosen parameters.
+package icg
+
+// Default parameters for the power-of-two generator. The conditions for
+// the maximal period 2^(e-2) are structural congruences on the
+// multiplier and increment: Mult ≡ 3 (mod 4) and Incr ≡ 4 (mod 8).
+// (Confirmed by exhaustively measuring the periods of all parameter
+// pairs at e=8: the b ≡ 4 (mod 8) class reaches the maximal period for
+// every a ≡ 3 (mod 4); the remaining maximal classes couple b mod 8 to
+// a mod 8, so we use the unconditional subfamily.) The specific values
+// are arbitrary large constants in that family; tests verify the
+// congruences and re-measure periods of scaled-down instances
+// exhaustively.
+const (
+	DefaultMult uint64 = 0x9e3779b97f4a7c13 // ≡ 3 (mod 4)
+	DefaultIncr uint64 = 0xbf58476d1ce4e5b4 // ≡ 4 (mod 8)
+)
+
+// PowerOfTwo is an inversive congruential generator with modulus 2^64.
+// The zero value is not valid; use NewPowerOfTwo.
+type PowerOfTwo struct {
+	a, b  uint64
+	state uint64 // always odd
+}
+
+// NewPowerOfTwo returns a power-of-two-modulus ICG seeded from seed with
+// the default multiplier and increment.
+func NewPowerOfTwo(seed uint64) *PowerOfTwo {
+	return NewPowerOfTwoParams(seed, DefaultMult, DefaultIncr)
+}
+
+// NewPowerOfTwoParams returns a power-of-two-modulus ICG with explicit
+// parameters. The multiplier must be ≡ 3 (mod 4) and the increment
+// ≡ 4 (mod 8) for the state to remain odd and the period to be maximal;
+// invalid parameters are coerced to the nearest valid ones.
+func NewPowerOfTwoParams(seed, a, b uint64) *PowerOfTwo {
+	if a%4 != 3 {
+		a = a - a%4 + 3
+	}
+	if b%8 != 4 {
+		b = b - b%8 + 4
+	}
+	g := &PowerOfTwo{a: a, b: b}
+	g.Seed(seed)
+	return g
+}
+
+// Seed resets the generator state. Distinct seeds are first dispersed
+// through a 64-bit mixing function so that close seeds do not yield
+// correlated initial states; the state is forced odd.
+func (g *PowerOfTwo) Seed(seed uint64) {
+	g.state = mix64(seed) | 1
+}
+
+// Uint64 advances the generator and returns the next 64-bit value.
+// The raw state is always odd, so the low bit is scrambled with a final
+// xor-shift before returning.
+func (g *PowerOfTwo) Uint64() uint64 {
+	g.state = g.a*invPow2(g.state) + g.b
+	x := g.state
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return x
+}
+
+// State returns the current internal state (odd). Useful for tests that
+// measure the period of the underlying recurrence.
+func (g *PowerOfTwo) State() uint64 { return g.state }
+
+// Step advances the raw recurrence once without output scrambling and
+// returns the new state. Exposed for exhaustive period tests.
+func (g *PowerOfTwo) Step() uint64 {
+	g.state = g.a*invPow2(g.state) + g.b
+	return g.state
+}
+
+// invPow2 returns the multiplicative inverse of odd x modulo 2^64 using
+// Newton-Hensel iteration: each step doubles the number of correct
+// low-order bits, so five iterations from a 5-bit-correct start suffice
+// for 64 bits.
+func invPow2(x uint64) uint64 {
+	// 3*x ^ 2 is correct to 5 bits for odd x (classic trick).
+	inv := 3 * x
+	inv ^= 2
+	for i := 0; i < 5; i++ {
+		inv *= 2 - x*inv
+	}
+	return inv
+}
+
+// mix64 is a bijective 64-bit finalizer (splitmix64-style) used only for
+// seed dispersion, not for output generation.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Prime is an inversive congruential generator with a prime modulus,
+// x[n+1] = a*inv(x[n]) + b (mod p), with inv(0) defined as 0. It is the
+// original Eichenauer-Lehn construction and is used in tests as an
+// independent reference implementation.
+type Prime struct {
+	p, a, b uint64
+	state   uint64
+}
+
+// DefaultPrime is the Mersenne prime 2^31-1, a standard ICG modulus.
+const DefaultPrime uint64 = 1<<31 - 1
+
+// NewPrime returns a prime-modulus ICG with modulus DefaultPrime and
+// small classic parameters.
+func NewPrime(seed uint64) *Prime {
+	return NewPrimeParams(seed, DefaultPrime, 1288490188, 1)
+}
+
+// NewPrimeParams returns a prime-modulus ICG with explicit modulus and
+// parameters. p must be prime for inverses to be well defined; callers
+// are responsible for that (tests use small known primes).
+func NewPrimeParams(seed, p, a, b uint64) *Prime {
+	g := &Prime{p: p, a: a % p, b: b % p}
+	g.Seed(seed)
+	return g
+}
+
+// Seed resets the state to a value in [0, p).
+func (g *Prime) Seed(seed uint64) { g.state = mix64(seed) % g.p }
+
+// Uint64 advances the generator and returns the next value in [0, p).
+func (g *Prime) Uint64() uint64 {
+	g.state = (mulmod(g.a, invMod(g.state, g.p), g.p) + g.b) % g.p
+	return g.state
+}
+
+// Modulus returns the generator's modulus p.
+func (g *Prime) Modulus() uint64 { return g.p }
+
+// invMod returns the multiplicative inverse of x modulo prime p, with
+// inv(0) = 0 by the ICG convention, computed by Fermat's little theorem
+// (x^(p-2) mod p).
+func invMod(x, p uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return powmod(x, p-2, p)
+}
+
+// powmod returns b^e mod m using binary exponentiation with 128-bit-safe
+// modular multiplication.
+func powmod(b, e, m uint64) uint64 {
+	r := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulmod(r, b, m)
+		}
+		b = mulmod(b, b, m)
+		e >>= 1
+	}
+	return r
+}
+
+// mulmod returns a*b mod m without overflow for m < 2^63, using the
+// double-and-add method when the product would overflow 64 bits.
+func mulmod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a == 0 || b <= (1<<63)/a {
+		return a * b % m
+	}
+	var r uint64
+	for b > 0 {
+		if b&1 == 1 {
+			r = (r + a) % m
+		}
+		a = (a + a) % m
+		b >>= 1
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package mafia
+
+import (
+	"testing"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+)
+
+func TestAssignLabelsClusterPoints(t *testing.T) {
+	spec := datagen.Spec{
+		Dims:    6,
+		Records: 5000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{1, 3},
+				[]dataset.Range{{Lo: 20, Hi: 35}, {Lo: 60, Hi: 75}}, 0),
+		},
+		Seed: 51,
+	}
+	m, truth, err := datagen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := res.Assign(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != m.NumRecords() {
+		t.Fatalf("labels = %d, want %d", len(labels), m.NumRecords())
+	}
+	// Count in-truth records labeled vs unlabeled.
+	tc := truth.Clusters[0]
+	inLabeled, inUnlabeled, outLabeled, outUnlabeled := 0, 0, 0, 0
+	for i := 0; i < m.NumRecords(); i++ {
+		rec := m.Row(i)
+		inTruth := true
+		for x, d := range tc.Dims {
+			if !tc.Boxes[0][x].Contains(rec[d]) {
+				inTruth = false
+				break
+			}
+		}
+		switch {
+		case inTruth && labels[i] >= 0:
+			inLabeled++
+		case inTruth:
+			inUnlabeled++
+		case labels[i] >= 0:
+			outLabeled++
+		default:
+			outUnlabeled++
+		}
+	}
+	if inLabeled < 9*(inLabeled+inUnlabeled)/10 {
+		t.Errorf("only %d/%d cluster records labeled", inLabeled, inLabeled+inUnlabeled)
+	}
+	// Records outside the truth region should mostly be outliers; allow
+	// some slack for the bin-aligned cluster boundary.
+	if outLabeled > (outLabeled+outUnlabeled)/5 {
+		t.Errorf("%d/%d non-cluster records were labeled", outLabeled, outLabeled+outUnlabeled)
+	}
+}
+
+func TestAssignRecordDirect(t *testing.T) {
+	m, _ := genData(t, 5, 4000, 52, box(10, 25, 0, 2))
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	inside := []float64{15, 50, 15, 50, 50}
+	outside := []float64{90, 50, 90, 50, 50}
+	if res.AssignRecord(inside) < 0 {
+		t.Error("record inside the cluster not assigned")
+	}
+	if res.AssignRecord(outside) >= 0 {
+		t.Error("record far outside the cluster was assigned")
+	}
+}
+
+func TestAssignDimMismatch(t *testing.T) {
+	m, _ := genData(t, 4, 2000, 53, box(10, 25, 0, 2))
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.NewMatrix(3, 7)
+	if _, err := res.Assign(other, 0); err == nil {
+		t.Error("dim mismatch: want error")
+	}
+}
+
+func TestAssignPrefersHigherDimensionalCluster(t *testing.T) {
+	// Clusters are sorted by descending dimensionality; a record inside
+	// a 3-d cluster must get the 3-d label even if a 2-d cluster also
+	// contains it.
+	m, _ := genData(t, 8, 8000, 54,
+		box(10, 25, 0, 2, 4),
+		box(60, 75, 1, 3),
+	)
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) < 2 {
+		t.Skipf("only %d clusters found", len(res.Clusters))
+	}
+	rec := []float64{15, 50, 15, 50, 15, 50, 50, 50}
+	ci := res.AssignRecord(rec)
+	if ci < 0 {
+		t.Fatal("record not assigned")
+	}
+	if got := len(res.Clusters[ci].Dims); got != 3 {
+		t.Errorf("assigned to %d-dim cluster, want 3-dim", got)
+	}
+}

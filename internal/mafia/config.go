@@ -1,0 +1,157 @@
+// Package mafia implements the pMAFIA subspace clustering engine
+// (Algorithm 2 of the paper): a single pass builds per-dimension
+// histograms, the adaptive grid fixes variable-sized bins and
+// thresholds, and a bottom-up level loop alternates candidate-dense-
+// unit generation (task parallel), population counting over the data
+// (data parallel, out of core), and dense-unit identification until no
+// dense units remain; finally the registered dense units are assembled
+// into clusters.
+//
+// The same engine also runs the CLIQUE baseline: a uniform grid, the
+// prefix join, and a global density threshold are injected through the
+// Config (see internal/clique).
+package mafia
+
+import (
+	"fmt"
+
+	"pmafia/internal/gen"
+	"pmafia/internal/grid"
+	"pmafia/internal/unit"
+)
+
+// GridKind selects how bins and thresholds are computed.
+type GridKind int
+
+const (
+	// AdaptiveGrid is pMAFIA's Algorithm 1 (default).
+	AdaptiveGrid GridKind = iota
+	// UniformGrid is CLIQUE's fixed equal-width binning with a global
+	// density threshold.
+	UniformGrid
+	// UniformVariableGrid is the Table 3 variant: a per-dimension bin
+	// count with a global density threshold.
+	UniformVariableGrid
+)
+
+// CountStrategy selects the population-pass implementation.
+type CountStrategy int
+
+const (
+	// CountAuto picks per level: the direct scan for small candidate
+	// sets, the grouped hash beyond autoCountThreshold CDUs (default).
+	CountAuto CountStrategy = iota
+	// CountGrouped hashes each record's bin tuple per distinct
+	// subspace — O(d + Σ|subspace|) per record.
+	CountGrouped
+	// CountDirect compares every record against every CDU —
+	// O(Ncdu·k) per record.
+	CountDirect
+)
+
+// autoCountThreshold is the CDU count above which CountAuto switches
+// from the direct scan to the grouped hash (measured crossover; see
+// the ablation-count benchmark).
+const autoCountThreshold = 512
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// Grid selects adaptive (pMAFIA) or uniform (CLIQUE) binning.
+	Grid GridKind
+	// Adaptive holds Algorithm 1 parameters (AdaptiveGrid only).
+	Adaptive grid.AdaptiveParams
+	// UniformBins is ξ, the bins per dimension (UniformGrid only).
+	UniformBins int
+	// UniformBinsPerDim overrides UniformBins per dimension
+	// (UniformVariableGrid only).
+	UniformBinsPerDim []int
+	// UniformTau is CLIQUE's global density threshold as a fraction of
+	// N (uniform grids only).
+	UniformTau float64
+
+	// FineUnits is the number of fine histogram units per dimension.
+	FineUnits int
+	// ChunkRecords is B, the number of records read per I/O chunk.
+	ChunkRecords int
+	// Tau is τ: a task-parallel step is divided among ranks only when
+	// it has more than Tau items, otherwise every rank does all of it
+	// (the paper's minimal-work guarantee).
+	Tau int
+	// Join is the candidate generation rule; nil means the MAFIA join.
+	Join gen.Join
+	// Count selects the population-pass strategy.
+	Count CountStrategy
+	// MaxLevels caps the level loop (0 = up to the data dimensionality).
+	MaxLevels int
+	// Prune, when non-nil, is called after dense-unit identification at
+	// each level with the dense units and their global populations; it
+	// returns the units allowed to seed the next level (CLIQUE's MDL
+	// subspace pruning plugs in here). It must be deterministic — every
+	// rank calls it on identical inputs.
+	Prune func(du *unit.Array, counts []int64) *unit.Array
+}
+
+// Validate fills defaults and rejects inconsistent settings.
+func (c *Config) Validate(dims int) error {
+	if dims <= 0 || dims > 255 {
+		return fmt.Errorf("mafia: dimensionality %d out of [1,255] (unit encoding is one byte per dim)", dims)
+	}
+	if c.FineUnits < 0 {
+		return fmt.Errorf("mafia: FineUnits %d < 0", c.FineUnits)
+	}
+	// FineUnits == 0 means auto: the engine picks from the data size
+	// (min(1000, max(50, N/10))) once the record count is known.
+	if c.ChunkRecords == 0 {
+		c.ChunkRecords = 8192
+	}
+	if c.ChunkRecords < 1 {
+		return fmt.Errorf("mafia: ChunkRecords %d < 1", c.ChunkRecords)
+	}
+	if c.Tau == 0 {
+		c.Tau = 64
+	}
+	if c.Tau < 1 {
+		return fmt.Errorf("mafia: Tau %d < 1", c.Tau)
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = dims
+	}
+	if c.MaxLevels < 1 {
+		return fmt.Errorf("mafia: MaxLevels %d < 1", c.MaxLevels)
+	}
+	if c.MaxLevels > dims {
+		c.MaxLevels = dims
+	}
+	if c.Join == nil {
+		c.Join = gen.MergeMAFIA
+	}
+	switch c.Grid {
+	case AdaptiveGrid:
+		if err := c.Adaptive.Validate(); err != nil {
+			return err
+		}
+	case UniformGrid:
+		if c.UniformBins == 0 {
+			c.UniformBins = 10
+		}
+		if c.UniformTau == 0 {
+			c.UniformTau = 0.01
+		}
+		if c.UniformBins < 1 || c.UniformBins > grid.MaxBins {
+			return fmt.Errorf("mafia: UniformBins %d out of [1,%d]", c.UniformBins, grid.MaxBins)
+		}
+		if c.UniformTau <= 0 || c.UniformTau >= 1 {
+			return fmt.Errorf("mafia: UniformTau %v out of (0,1)", c.UniformTau)
+		}
+	case UniformVariableGrid:
+		if len(c.UniformBinsPerDim) != dims {
+			return fmt.Errorf("mafia: UniformBinsPerDim has %d entries for %d dims", len(c.UniformBinsPerDim), dims)
+		}
+		if c.UniformTau == 0 {
+			c.UniformTau = 0.01
+		}
+	default:
+		return fmt.Errorf("mafia: unknown grid kind %d", c.Grid)
+	}
+	return nil
+}

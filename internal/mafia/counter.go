@@ -1,0 +1,126 @@
+package mafia
+
+import (
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/unit"
+)
+
+// counter populates candidate dense units from a stream of records.
+// The grouped strategy organizes CDUs by their subspace: one bin-tuple
+// hash lookup per (record, subspace) replaces one comparison per
+// (record, CDU), which is the difference between O(d + Σ_s k_s) and
+// O(Ncdu·k) per record.
+type counter struct {
+	g        *grid.Grid
+	cdus     *unit.Array
+	counts   []int64
+	strategy CountStrategy
+
+	// grouped strategy state
+	subDims [][]uint8        // distinct subspaces
+	subIdx  []map[string]int // bins-key -> CDU index, per subspace
+	binRow  []uint8          // scratch: bin index per data dimension
+	keyBuf  []uint8          // scratch: bins of one subspace
+}
+
+func newCounter(g *grid.Grid, cdus *unit.Array, strategy CountStrategy) *counter {
+	if strategy == CountAuto {
+		if cdus.Len() > autoCountThreshold {
+			strategy = CountGrouped
+		} else {
+			strategy = CountDirect
+		}
+	}
+	c := &counter{
+		g:        g,
+		cdus:     cdus,
+		counts:   make([]int64, cdus.Len()),
+		strategy: strategy,
+		binRow:   make([]uint8, len(g.Dims)),
+		keyBuf:   make([]uint8, cdus.K),
+	}
+	if strategy == CountGrouped {
+		bySub := map[string]int{} // subspace key -> index in subDims
+		for i := 0; i < cdus.Len(); i++ {
+			d, b := cdus.Unit(i)
+			sk := string(d)
+			si, ok := bySub[sk]
+			if !ok {
+				si = len(c.subDims)
+				bySub[sk] = si
+				c.subDims = append(c.subDims, append([]uint8(nil), d...))
+				c.subIdx = append(c.subIdx, map[string]int{})
+			}
+			c.subIdx[si][string(b)] = i
+		}
+	}
+	return c
+}
+
+// addChunk counts n row-major records.
+func (c *counter) addChunk(chunk []float64, n int) {
+	d := len(c.g.Dims)
+	switch c.strategy {
+	case CountGrouped:
+		for r := 0; r < n; r++ {
+			c.g.BinRow(chunk[r*d:(r+1)*d], c.binRow)
+			for si, dims := range c.subDims {
+				key := c.keyBuf[:len(dims)]
+				for x, dim := range dims {
+					key[x] = c.binRow[dim]
+				}
+				if idx, ok := c.subIdx[si][string(key)]; ok {
+					c.counts[idx]++
+				}
+			}
+		}
+	default: // CountDirect
+		k := c.cdus.K
+		for r := 0; r < n; r++ {
+			c.g.BinRow(chunk[r*d:(r+1)*d], c.binRow)
+			for i := 0; i < c.cdus.Len(); i++ {
+				ud, ub := c.cdus.Unit(i)
+				hit := true
+				for x := 0; x < k; x++ {
+					if c.binRow[ud[x]] != ub[x] {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					c.counts[i]++
+				}
+			}
+		}
+	}
+}
+
+// addSource counts every record of src in chunks of chunkRecords.
+func (c *counter) addSource(src dataset.Source, chunkRecords int) error {
+	sc := src.Scan(chunkRecords)
+	defer sc.Close()
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		c.addChunk(chunk, n)
+	}
+	return sc.Err()
+}
+
+// maxThreshold returns the density threshold of CDU i: its population
+// must exceed the threshold of every bin that forms it, so the
+// effective bar is the maximum (paper §4.4).
+func maxThreshold(g *grid.Grid, cdus *unit.Array, i int) float64 {
+	d, b := cdus.Unit(i)
+	t := 0.0
+	for x := range d {
+		bt := g.Dims[d[x]].Bins[b[x]].Threshold
+		if bt > t {
+			t = bt
+		}
+	}
+	return t
+}

@@ -1,0 +1,470 @@
+package mafia
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pmafia/internal/cluster"
+	"pmafia/internal/dataset"
+	"pmafia/internal/gen"
+	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
+	"pmafia/internal/sp2"
+	"pmafia/internal/unit"
+)
+
+// LevelStats records one level of the bottom-up loop, the quantities
+// Table 2 of the paper reports plus wall-clock instrumentation.
+type LevelStats struct {
+	K       int // dimensionality of the level
+	NcduRaw int // CDUs generated before repeat elimination
+	Ncdu    int // unique CDUs whose population was counted
+	Ndu     int // dense units identified
+	// Seconds is the wall-clock time of the whole level and
+	// PopulateSeconds the part spent in the population pass over the
+	// data. Meaningful on single-processor runs (on the simulated
+	// machine with p > 1 the wall clock interleaves all ranks).
+	Seconds         float64
+	PopulateSeconds float64
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// N is the total number of records clustered.
+	N int
+	// Grid holds the bins and thresholds the run used.
+	Grid *grid.Grid
+	// Levels records per-level candidate/dense unit counts.
+	Levels []LevelStats
+	// Clusters are the reported clusters: unique, highest
+	// dimensionality, minimal DNF covers.
+	Clusters []cluster.Cluster
+	// Report carries the parallel machine's timing/communication
+	// figures.
+	Report *sp2.Report
+	// Seconds is the modeled parallel run time (max rank virtual clock
+	// in Sim mode; wall clock in Real mode).
+	Seconds float64
+}
+
+// Run clusters a single in-core or on-disk source on one processor.
+func Run(src dataset.Source, cfg Config) (*Result, error) {
+	return RunParallel([]dataset.Source{src}, nil, cfg, sp2.Config{Procs: 1})
+}
+
+// RunParallel clusters data distributed over one shard per rank.
+// domains may be nil, in which case a preliminary parallel pass
+// computes the global per-dimension domains. All shards must have the
+// same dimensionality; shard r is read only by rank r.
+func RunParallel(shards []dataset.Source, domains []dataset.Range, cfg Config, mcfg sp2.Config) (*Result, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("mafia: no shards")
+	}
+	if mcfg.Procs == 0 {
+		mcfg.Procs = len(shards)
+	}
+	if mcfg.Procs != len(shards) {
+		return nil, fmt.Errorf("mafia: %d shards for %d ranks", len(shards), mcfg.Procs)
+	}
+	d := shards[0].Dims()
+	for r, s := range shards {
+		if s.Dims() != d {
+			return nil, fmt.Errorf("mafia: shard %d has %d dims, want %d", r, s.Dims(), d)
+		}
+	}
+	if err := cfg.Validate(d); err != nil {
+		return nil, err
+	}
+	if domains != nil && len(domains) != d {
+		return nil, fmt.Errorf("mafia: %d domains for %d dims", len(domains), d)
+	}
+
+	total := 0
+	for _, s := range shards {
+		total += s.NumRecords()
+	}
+	results := make([]*Result, mcfg.Procs)
+	rep, err := sp2.Run(mcfg, func(c *sp2.Comm) error {
+		e := &engine{c: c, shard: shards[c.Rank()], cfg: &cfg, totalRecords: total}
+		res, err := e.run(domains)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+	res.Report = rep
+	res.Seconds = rep.ParallelSeconds
+	return res, nil
+}
+
+// engine is one rank's view of a run. All ranks execute the same
+// sequence of steps (SPMD) and hold identical replicated state (grid,
+// unit arrays); only histogram building and population counting touch
+// rank-local data.
+type engine struct {
+	c            *sp2.Comm
+	shard        dataset.Source
+	cfg          *Config
+	g            *grid.Grid
+	totalRecords int
+}
+
+func (e *engine) run(domains []dataset.Range) (*Result, error) {
+	cfg := e.cfg
+	d := e.shard.Dims()
+
+	if domains == nil {
+		var err error
+		domains, err = e.globalDomains()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 0: per-rank fine histograms, reduced to the global one.
+	h := histogram.New(domains, e.fineUnits())
+	if err := h.AddSource(e.shard, cfg.ChunkRecords); err != nil {
+		return nil, err
+	}
+	flat := h.Flatten()
+	e.c.AllreduceSumI64(flat)
+	if err := h.SetFlattened(flat); err != nil {
+		return nil, err
+	}
+	if h.N == 0 {
+		return nil, errors.New("mafia: empty data set")
+	}
+
+	// Adaptive intervals (or the uniform CLIQUE grid) from the global
+	// histogram; deterministic, so every rank computes the same grid.
+	var err error
+	switch cfg.Grid {
+	case AdaptiveGrid:
+		e.g, err = grid.BuildAdaptive(h, cfg.Adaptive)
+	case UniformGrid:
+		e.g, err = grid.BuildUniform(h, cfg.UniformBins, cfg.UniformTau)
+	case UniformVariableGrid:
+		e.g, err = grid.BuildUniformVariable(h, cfg.UniformBinsPerDim, cfg.UniformTau)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{N: int(h.N), Grid: e.g}
+
+	// Level 1: every bin is a candidate dense unit; its population is
+	// its histogram count, so no extra pass is needed.
+	lvlStart := time.Now()
+	cdus1, counts1 := levelOneCandidates(e.g)
+	du := e.identifyDense(cdus1, counts1)
+	res.Levels = append(res.Levels, LevelStats{
+		K: 1, NcduRaw: cdus1.Len(), Ncdu: cdus1.Len(), Ndu: du.Len(),
+		Seconds: time.Since(lvlStart).Seconds(),
+	})
+
+	var registered []*unit.Array
+	for k := 2; du.Len() > 0 && k <= cfg.MaxLevels && k <= d; k++ {
+		lvlStart = time.Now()
+		raw := e.generate(du, k)
+		cdus := e.dedup(raw)
+		var duNext *unit.Array
+		var duCounts []int64
+		var popSec float64
+		if cdus.Len() > 0 {
+			popStart := time.Now()
+			counts, err := e.populate(cdus)
+			if err != nil {
+				return nil, err
+			}
+			popSec = time.Since(popStart).Seconds()
+			duNext = e.identifyDense(cdus, counts)
+			duCounts = denseCounts(e.g, cdus, counts)
+		} else {
+			duNext = unit.New(k, 0)
+		}
+		res.Levels = append(res.Levels, LevelStats{
+			K: k, NcduRaw: raw.Len(), Ncdu: cdus.Len(), Ndu: duNext.Len(),
+			Seconds: time.Since(lvlStart).Seconds(), PopulateSeconds: popSec,
+		})
+		registered = append(registered, uncovered(du, duNext))
+		du = duNext
+		if cfg.Prune != nil && du.Len() > 0 {
+			du = cfg.Prune(du, duCounts)
+		}
+	}
+	if du.Len() > 0 {
+		// The loop stopped at the dimensionality cap with dense units
+		// in hand: they are maximal by construction.
+		registered = append(registered, du)
+	}
+
+	res.Clusters = cluster.EliminateSubsets(cluster.Assemble(registered))
+	return res, nil
+}
+
+// fineUnits resolves the fine-histogram resolution: an explicit
+// configuration wins; otherwise scale with the (whole-machine) record
+// count so tiny data sets do not produce one-count histograms whose
+// window maxima are pure noise.
+func (e *engine) fineUnits() int {
+	if e.cfg.FineUnits > 0 {
+		return e.cfg.FineUnits
+	}
+	n := e.totalRecords
+	units := n / 10
+	if units > 1000 {
+		units = 1000
+	}
+	if units < 50 {
+		units = 50
+	}
+	return units
+}
+
+// globalDomains computes per-dimension [min, max] over all shards with
+// a pair of min/max reductions, then widens the top ends so maxima fall
+// inside the half-open domains.
+func (e *engine) globalDomains() ([]dataset.Range, error) {
+	d := e.shard.Dims()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	sc := e.shard.Scan(e.cfg.ChunkRecords)
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		for r := 0; r < n; r++ {
+			rec := chunk[r*d : (r+1)*d]
+			for j, v := range rec {
+				if v < lo[j] {
+					lo[j] = v
+				}
+				if v > hi[j] {
+					hi[j] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		sc.Close()
+		return nil, err
+	}
+	sc.Close()
+	e.c.AllreduceMinF64(lo)
+	e.c.AllreduceMaxF64(hi)
+	domains := make([]dataset.Range, d)
+	for i := range domains {
+		switch {
+		case math.IsInf(lo[i], 1): // no records anywhere
+			domains[i] = dataset.Range{Lo: 0, Hi: 1}
+		case hi[i] <= lo[i]:
+			domains[i] = dataset.Range{Lo: lo[i], Hi: lo[i] + 1}
+		default:
+			w := hi[i] - lo[i]
+			domains[i] = dataset.Range{Lo: lo[i], Hi: hi[i] + w*1e-9}
+		}
+	}
+	return domains, nil
+}
+
+// levelOneCandidates lists every bin of every dimension as a
+// 1-dimensional CDU together with its already-known population.
+func levelOneCandidates(g *grid.Grid) (*unit.Array, []int64) {
+	cdus := unit.New(1, g.TotalBins())
+	counts := make([]int64, 0, g.TotalBins())
+	for di := range g.Dims {
+		for bi, b := range g.Dims[di].Bins {
+			cdus.AppendRaw([]uint8{uint8(di)}, []uint8{uint8(bi)})
+			counts = append(counts, b.Count)
+		}
+	}
+	return cdus, counts
+}
+
+// generate builds the level-k CDUs from the (k-1)-dimensional dense
+// units. With more than Tau dense units the pairwise work is split by
+// the eq. 1 partitioning and the per-rank results are gathered on the
+// parent and broadcast (Algorithm 3); otherwise every rank generates
+// everything.
+func (e *engine) generate(du *unit.Array, k int) *unit.Array {
+	p := e.c.Size()
+	if p > 1 && du.Len() > e.cfg.Tau {
+		bounds := gen.PartitionPairs(du.Len(), p)
+		local, _ := gen.GenerateRange(du, bounds[e.c.Rank()], bounds[e.c.Rank()+1], e.cfg.Join)
+		payload := e.c.GatherConcatBcast(local.Encode())
+		all, err := unit.Decode(k, payload)
+		if err != nil {
+			panic(fmt.Sprintf("mafia: corrupt gathered CDUs: %v", err))
+		}
+		return all
+	}
+	cdus, _ := gen.Generate(du, e.cfg.Join)
+	return cdus
+}
+
+// dedup eliminates repeated CDUs (Algorithm 4). With more than Tau
+// CDUs each rank marks repeats in its block of the array and the marks
+// are OR-reduced; compaction is deterministic and replicated.
+func (e *engine) dedup(cdus *unit.Array) *unit.Array {
+	n := cdus.Len()
+	if n == 0 {
+		return cdus
+	}
+	p := e.c.Size()
+	if p > 1 && n > e.cfg.Tau {
+		lo, hi := gen.RangeShare(n, e.c.Rank(), p)
+		marks := make([]bool, n)
+		copy(marks[lo:hi], gen.MarkRepeats(cdus, lo, hi))
+		e.c.AllreduceOrBool(marks)
+		return gen.CompactUnique(cdus, marks)
+	}
+	return gen.CompactUnique(cdus, gen.MarkRepeats(cdus, 0, n))
+}
+
+// populate counts each CDU's population over this rank's shard (read
+// in chunks of B records) and sum-reduces to the global counts — the
+// data-parallel heart of the algorithm.
+func (e *engine) populate(cdus *unit.Array) ([]int64, error) {
+	cnt := newCounter(e.g, cdus, e.cfg.Count)
+	if err := cnt.addSource(e.shard, e.cfg.ChunkRecords); err != nil {
+		return nil, err
+	}
+	e.c.AllreduceSumI64(cnt.counts)
+	return cnt.counts, nil
+}
+
+// identifyDense compares each CDU's population against the thresholds
+// of the bins forming it (Algorithm 5) and builds the dense-unit arrays
+// (Algorithm 6). With more than Tau CDUs each rank processes its block
+// and the per-rank arrays are gathered and broadcast.
+func (e *engine) identifyDense(cdus *unit.Array, counts []int64) *unit.Array {
+	n := cdus.Len()
+	p := e.c.Size()
+	if p > 1 && n > e.cfg.Tau {
+		lo, hi := gen.RangeShare(n, e.c.Rank(), p)
+		local := e.denseInRange(cdus, counts, lo, hi)
+		payload := e.c.GatherConcatBcast(local.Encode())
+		all, err := unit.Decode(cdus.K, payload)
+		if err != nil {
+			panic(fmt.Sprintf("mafia: corrupt gathered dense units: %v", err))
+		}
+		return all
+	}
+	return e.denseInRange(cdus, counts, 0, n)
+}
+
+func (e *engine) denseInRange(cdus *unit.Array, counts []int64, lo, hi int) *unit.Array {
+	out := unit.New(cdus.K, hi-lo)
+	for i := lo; i < hi; i++ {
+		if float64(counts[i]) > maxThreshold(e.g, cdus, i) {
+			d, b := cdus.Unit(i)
+			out.AppendRaw(d, b)
+		}
+	}
+	return out
+}
+
+// denseCounts returns the populations of the dense CDUs in scan order,
+// aligned with the dense-unit array identifyDense builds.
+func denseCounts(g *grid.Grid, cdus *unit.Array, counts []int64) []int64 {
+	var out []int64
+	for i := 0; i < cdus.Len(); i++ {
+		if float64(counts[i]) > maxThreshold(g, cdus, i) {
+			out = append(out, counts[i])
+		}
+	}
+	return out
+}
+
+// uncovered returns the dense units of level k that are not a face of
+// any dense unit of level k+1. These are maximal regions: no
+// higher-dimensional dense unit extends them, so they are registered
+// for cluster reporting. (The paper registers units that failed to
+// combine into any CDU; checking coverage against the *dense* units of
+// the next level is the same idea applied after the density test, and
+// guarantees every maximal dense region is reported.)
+func uncovered(du, duNext *unit.Array) *unit.Array {
+	if duNext.Len() == 0 {
+		return du
+	}
+	k1 := duNext.K
+	faces := make(map[string]bool, duNext.Len()*k1)
+	fd := make([]uint8, k1-1)
+	fb := make([]uint8, k1-1)
+	for i := 0; i < duNext.Len(); i++ {
+		d, b := duNext.Unit(i)
+		for drop := 0; drop < k1; drop++ {
+			w := 0
+			for x := 0; x < k1; x++ {
+				if x == drop {
+					continue
+				}
+				fd[w], fb[w] = d[x], b[x]
+				w++
+			}
+			faces[unit.KeyOf(fd, fb)] = true
+		}
+	}
+	out := unit.New(du.K, 0)
+	for i := 0; i < du.Len(); i++ {
+		if !faces[du.Key(i)] {
+			d, b := du.Unit(i)
+			out.AppendRaw(d, b)
+		}
+	}
+	return out
+}
+
+// AssignRecord returns the index into Clusters of the first cluster
+// containing the record (clusters are ordered by descending
+// dimensionality, so ties go to the most specific cluster), or -1 when
+// the record belongs to no cluster (an outlier/noise record).
+func (r *Result) AssignRecord(rec []float64) int {
+	for ci := range r.Clusters {
+		if r.Clusters[ci].Contains(rec, r.Grid) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// Assign labels every record of src with its cluster index per
+// AssignRecord, reading in chunks of chunkRecords. The result has one
+// entry per record in scan order.
+func (r *Result) Assign(src dataset.Source, chunkRecords int) ([]int32, error) {
+	if chunkRecords <= 0 {
+		chunkRecords = 8192
+	}
+	d := src.Dims()
+	if d != len(r.Grid.Dims) {
+		return nil, fmt.Errorf("mafia: assigning %d-dim records with a %d-dim result", d, len(r.Grid.Dims))
+	}
+	labels := make([]int32, 0, src.NumRecords())
+	sc := src.Scan(chunkRecords)
+	defer sc.Close()
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			labels = append(labels, int32(r.AssignRecord(chunk[i*d:(i+1)*d])))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}

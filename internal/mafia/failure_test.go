@@ -1,0 +1,144 @@
+package mafia
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/sp2"
+)
+
+// errSource fails after yielding a few chunks, simulating a disk error
+// mid-pass.
+type errSource struct {
+	d, n      int
+	failAfter int
+}
+
+func (s *errSource) Dims() int       { return s.d }
+func (s *errSource) NumRecords() int { return s.n }
+func (s *errSource) Scan(chunk int) dataset.Scanner {
+	return &errScanner{src: s, chunk: chunk}
+}
+
+type errScanner struct {
+	src    *errSource
+	chunk  int
+	served int
+	err    error
+}
+
+func (s *errScanner) Next() ([]float64, int) {
+	if s.served >= s.src.failAfter {
+		s.err = errors.New("injected I/O failure")
+		return nil, 0
+	}
+	n := s.chunk
+	if n > s.src.n-s.served {
+		n = s.src.n - s.served
+	}
+	if n <= 0 {
+		return nil, 0
+	}
+	s.served += n
+	return make([]float64, n*s.src.d), n
+}
+
+func (s *errScanner) Err() error   { return s.err }
+func (s *errScanner) Close() error { return nil }
+
+func TestScanErrorPropagatesSerial(t *testing.T) {
+	src := &errSource{d: 4, n: 1000, failAfter: 128}
+	_, err := Run(src, Config{ChunkRecords: 64})
+	if err == nil {
+		t.Fatal("injected scan failure did not surface")
+	}
+}
+
+func TestScanErrorDoesNotHangParallel(t *testing.T) {
+	// One failing rank must release the others (the sp2 machine is
+	// poisoned) and the error must come back — not a deadlock.
+	good, _ := genData(t, 4, 2000, 81, box(10, 25, 0, 2))
+	shards := []dataset.Source{
+		good.Slice(0, 1000),
+		&errSource{d: 4, n: 1000, failAfter: 100},
+		good.Slice(1000, 2000),
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunParallel(shards, nil, Config{ChunkRecords: 64}, sp2.Config{Procs: 3})
+		done <- err
+	}()
+	err := <-done
+	if err == nil {
+		t.Fatal("parallel run with a failing shard returned no error")
+	}
+}
+
+func TestCorruptDiskFileSurfaces(t *testing.T) {
+	m, _ := genData(t, 4, 2000, 82, box(10, 25, 0, 2))
+	dir := t.TempDir()
+	path := dir + "/d.pmaf"
+	if err := diskio.WriteSource(path, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := diskio.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the data section after opening: scans must now fail and
+	// the engine must report, not panic.
+	if err := os.Truncate(path, 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(f, Config{ChunkRecords: 64}); err == nil {
+		t.Fatal("truncated data file did not produce an error")
+	}
+}
+
+func TestEngineInvariantsOnRandomData(t *testing.T) {
+	// Randomized mini data sets: the engine must terminate, keep level
+	// statistics consistent (Ndu <= Ncdu <= NcduRaw after dedup,
+	// ascending K), and report clusters with sorted unique dims.
+	for seed := uint64(0); seed < 12; seed++ {
+		spec := []struct{ d, n int }{
+			{2, 300}, {3, 500}, {5, 800}, {9, 1200},
+		}[seed%4]
+		var m *dataset.Matrix
+		if seed%3 == 0 {
+			m, _ = genData(t, spec.d, spec.n, 900+seed) // uniform
+		} else {
+			dims := []int{0, spec.d - 1}
+			m, _ = genData(t, spec.d, spec.n, 900+seed, box(20, 45, dims...))
+		}
+		res, err := Run(m, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prevK := 0
+		for _, l := range res.Levels {
+			if l.K != prevK+1 {
+				t.Errorf("seed %d: level K %d after %d", seed, l.K, prevK)
+			}
+			prevK = l.K
+			if l.Ndu > l.Ncdu {
+				t.Errorf("seed %d level %d: Ndu %d > Ncdu %d", seed, l.K, l.Ndu, l.Ncdu)
+			}
+			if l.Ncdu > l.NcduRaw && l.K > 1 {
+				t.Errorf("seed %d level %d: Ncdu %d > raw %d", seed, l.K, l.Ncdu, l.NcduRaw)
+			}
+		}
+		for ci, c := range res.Clusters {
+			for x := 1; x < len(c.Dims); x++ {
+				if c.Dims[x] <= c.Dims[x-1] {
+					t.Errorf("seed %d cluster %d: dims not ascending: %v", seed, ci, c.Dims)
+				}
+			}
+			if c.Units.Len() == 0 || len(c.Boxes) == 0 {
+				t.Errorf("seed %d cluster %d: empty cluster reported", seed, ci)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package model implements the paper's §4.5 running-time analysis and
+// tools to validate measured runs against it. The paper gives the
+// total time as
+//
+//	T(p) = O(c^k) + (N/(p·B))·k·γ + α·S·p·k
+//
+// — a compute term exponential in the highest cluster dimensionality
+// k, a data-parallel I/O/scan term dividing by p, and a communication
+// term growing with p. For measured sweeps over p the package fits the
+// two-parameter Amdahl form T(p) = serial + work/p by least squares,
+// which quantifies the paper's "heavily data parallel" claim: the
+// fitted serial fraction bounds the achievable speedup.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostParams are the machine constants of the §4.5 formula.
+type CostParams struct {
+	// GammaSec is the time to read one block of B records from local
+	// disk (γ).
+	GammaSec float64
+	// AlphaSec is the per-message latency (α).
+	AlphaSec float64
+	// ComputeSec is the data-independent compute term (the c^k part),
+	// measured or estimated at p = 1.
+	ComputeSec float64
+	// ScanSecPerRecord is the per-record processing time of one pass.
+	ScanSecPerRecord float64
+}
+
+// Predict evaluates the §4.5 total-time formula for N records, k
+// passes, p processors, block size B and total exchanged bytes S with
+// bandwidth bw.
+func Predict(c CostParams, n, k, p, b int, s, bw float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	blocks := float64(n) / float64(p*b)
+	t := c.ComputeSec
+	t += float64(n) / float64(p) * float64(k) * c.ScanSecPerRecord
+	t += blocks * float64(k) * c.GammaSec
+	if p > 1 {
+		t += (c.AlphaSec + s/bw) * float64(p) * float64(k)
+	}
+	return t
+}
+
+// AmdahlFit is the least-squares fit of T(p) = Serial + Work/p.
+type AmdahlFit struct {
+	// Serial is the fitted p-independent time (replicated work,
+	// communication, fixed costs).
+	Serial float64
+	// Work is the fitted perfectly-divisible work (at p = 1 the model
+	// predicts Serial + Work).
+	Work float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// SerialFraction returns Serial / (Serial + Work), the Amdahl serial
+// fraction: the asymptotic inverse-speedup bound.
+func (f AmdahlFit) SerialFraction() float64 {
+	if f.Serial+f.Work == 0 {
+		return 0
+	}
+	return f.Serial / (f.Serial + f.Work)
+}
+
+// Predict evaluates the fitted model at p processors.
+func (f AmdahlFit) Predict(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return f.Serial + f.Work/float64(p)
+}
+
+// MaxSpeedup returns the fit's asymptotic speedup bound
+// (Serial+Work)/Serial, or +Inf when the serial term is non-positive.
+func (f AmdahlFit) MaxSpeedup() float64 {
+	if f.Serial <= 0 {
+		return math.Inf(1)
+	}
+	return (f.Serial + f.Work) / f.Serial
+}
+
+// FitAmdahl fits T(p) = s + w/p to measured (procs, seconds) pairs by
+// ordinary least squares in the regressor x = 1/p. It needs at least
+// two distinct processor counts.
+func FitAmdahl(procs []int, seconds []float64) (AmdahlFit, error) {
+	if len(procs) != len(seconds) {
+		return AmdahlFit{}, fmt.Errorf("model: %d procs for %d times", len(procs), len(seconds))
+	}
+	if len(procs) < 2 {
+		return AmdahlFit{}, fmt.Errorf("model: need at least 2 points, have %d", len(procs))
+	}
+	n := float64(len(procs))
+	var sx, sy, sxx, sxy float64
+	for i, p := range procs {
+		if p < 1 {
+			return AmdahlFit{}, fmt.Errorf("model: invalid proc count %d", p)
+		}
+		x := 1 / float64(p)
+		y := seconds[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return AmdahlFit{}, fmt.Errorf("model: all processor counts identical")
+	}
+	w := (n*sxy - sx*sy) / det
+	s := (sy - w*sx) / n
+	fit := AmdahlFit{Serial: s, Work: w}
+
+	// R²
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i, p := range procs {
+		pred := fit.Predict(p)
+		ssTot += (seconds[i] - mean) * (seconds[i] - mean)
+		ssRes += (seconds[i] - pred) * (seconds[i] - pred)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}

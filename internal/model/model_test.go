@@ -1,0 +1,131 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmafia/internal/rng"
+)
+
+func TestFitAmdahlExact(t *testing.T) {
+	// Synthetic data from a known model must be recovered exactly.
+	const serial, work = 0.5, 8.0
+	procs := []int{1, 2, 4, 8, 16}
+	times := make([]float64, len(procs))
+	for i, p := range procs {
+		times[i] = serial + work/float64(p)
+	}
+	fit, err := FitAmdahl(procs, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Serial-serial) > 1e-9 || math.Abs(fit.Work-work) > 1e-9 {
+		t.Errorf("fit = %+v, want serial %v work %v", fit, serial, work)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v for exact data", fit.R2)
+	}
+	if math.Abs(fit.SerialFraction()-serial/(serial+work)) > 1e-9 {
+		t.Errorf("serial fraction = %v", fit.SerialFraction())
+	}
+	if math.Abs(fit.MaxSpeedup()-(serial+work)/serial) > 1e-9 {
+		t.Errorf("max speedup = %v", fit.MaxSpeedup())
+	}
+}
+
+func TestFitAmdahlNoisy(t *testing.T) {
+	s := rng.New(3)
+	const serial, work = 1.0, 20.0
+	procs := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	times := make([]float64, len(procs))
+	for i, p := range procs {
+		times[i] = (serial + work/float64(p)) * (1 + 0.02*s.NormFloat64())
+	}
+	fit, err := FitAmdahl(procs, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Serial-serial) > 0.5 || math.Abs(fit.Work-work) > 2 {
+		t.Errorf("noisy fit off: %+v", fit)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitAmdahlProperty(t *testing.T) {
+	// For any positive (serial, work) the fit on exact data recovers
+	// the parameters.
+	f := func(rawS, rawW float64) bool {
+		serial := math.Mod(math.Abs(rawS), 100) + 0.01
+		work := math.Mod(math.Abs(rawW), 1000) + 0.01
+		procs := []int{1, 2, 5, 9}
+		times := make([]float64, len(procs))
+		for i, p := range procs {
+			times[i] = serial + work/float64(p)
+		}
+		fit, err := FitAmdahl(procs, times)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Serial-serial) < 1e-6*(1+serial) &&
+			math.Abs(fit.Work-work) < 1e-6*(1+work)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitAmdahlErrors(t *testing.T) {
+	if _, err := FitAmdahl([]int{1}, []float64{1}); err == nil {
+		t.Error("one point: want error")
+	}
+	if _, err := FitAmdahl([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := FitAmdahl([]int{2, 2}, []float64{1, 1}); err == nil {
+		t.Error("identical procs: want error")
+	}
+	if _, err := FitAmdahl([]int{0, 2}, []float64{1, 1}); err == nil {
+		t.Error("invalid proc: want error")
+	}
+}
+
+func TestPredictFormulaShape(t *testing.T) {
+	c := CostParams{
+		GammaSec:         1e-3,
+		AlphaSec:         30e-6,
+		ComputeSec:       0.1,
+		ScanSecPerRecord: 1e-6,
+	}
+	t1 := Predict(c, 1_000_000, 5, 1, 8192, 1e4, 100e6)
+	t4 := Predict(c, 1_000_000, 5, 4, 8192, 1e4, 100e6)
+	t64 := Predict(c, 1_000_000, 5, 64, 8192, 1e4, 100e6)
+	if t4 >= t1 {
+		t.Errorf("more procs should be faster in the data-parallel regime: %v vs %v", t4, t1)
+	}
+	// With enough processors the α·S·p·k term dominates and time grows
+	// again — the trade-off the paper's analysis predicts.
+	t512 := Predict(c, 1_000_000, 5, 512, 8192, 1e4, 100e6)
+	if t512 <= t64 {
+		t.Errorf("communication term should eventually dominate: T(512)=%v <= T(64)=%v", t512, t64)
+	}
+}
+
+func TestPredictSingleProcNoComm(t *testing.T) {
+	c := CostParams{GammaSec: 1e-3, AlphaSec: 1, ComputeSec: 0, ScanSecPerRecord: 0}
+	// p=1 must not include the communication term, per the paper
+	// ("substituting p = 1 and S = 0").
+	withComm := Predict(c, 1000, 2, 1, 100, 1e9, 1)
+	if withComm > 0.1 {
+		t.Errorf("p=1 charged communication: %v", withComm)
+	}
+}
+
+func TestMaxSpeedupInfinity(t *testing.T) {
+	f := AmdahlFit{Serial: 0, Work: 10}
+	if !math.IsInf(f.MaxSpeedup(), 1) {
+		t.Errorf("zero serial should give infinite bound")
+	}
+}

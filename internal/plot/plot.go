@@ -1,0 +1,249 @@
+// Package plot renders the experiment harness's series as standalone
+// SVG line charts, so the paper's figures (run times vs processors,
+// database size, dimensionality) can be regenerated as images with no
+// external tooling. The implementation is a minimal, dependency-free
+// SVG writer: axes with tick labels, one polyline plus markers per
+// series, and a legend.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes a figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX/LogY select logarithmic axes (base 2 on X — processor
+	// counts; base 10 on Y — run times).
+	LogX bool
+	LogY bool
+}
+
+// seriesColors are distinguishable default stroke colors.
+var seriesColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// SVG writes the chart as a standalone SVG of the given pixel size.
+func (c *Chart) SVG(w io.Writer, width, height int) error {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+	xs, ys, err := c.collect()
+	if err != nil {
+		return err
+	}
+	xmin, xmax := bounds(xs, c.LogX)
+	ymin, ymax := bounds(ys, c.LogY)
+	// Y usually wants to include 0 on linear axes.
+	if !c.LogY && ymin > 0 {
+		ymin = 0
+	}
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	toX := func(v float64) float64 {
+		return marginLeft + plotW*fraction(v, xmin, xmax, c.LogX)
+	}
+	toY := func(v float64) float64 {
+		return marginTop + plotH*(1-fraction(v, ymin, ymax, c.LogY))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Title.
+	fmt.Fprintf(&sb, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, escape(c.Title))
+	// Axes box.
+	fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#444"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks.
+	for _, tv := range ticks(xmin, xmax, c.LogX) {
+		x := toX(tv)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#bbb"/>`+"\n", x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, tickLabel(tv))
+	}
+	for _, tv := range ticks(ymin, ymax, c.LogY) {
+		y := toY(tv)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#bbb"/>`+"\n", marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, tickLabel(tv))
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-12, escape(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n", toX(s.X[i]), toY(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 14 + float64(si)*16
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-130, ly, marginLeft+plotW-110, ly, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW-104, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+func (c *Chart) collect() (xs, ys []float64, err error) {
+	if len(c.Series) == 0 {
+		return nil, nil, fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return nil, nil, fmt.Errorf("plot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return nil, nil, fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				return nil, nil, fmt.Errorf("plot: series %q has non-positive x on a log axis", s.Name)
+			}
+			if c.LogY && s.Y[i] <= 0 {
+				return nil, nil, fmt.Errorf("plot: series %q has non-positive y on a log axis", s.Name)
+			}
+			xs = append(xs, s.X[i])
+			ys = append(ys, s.Y[i])
+		}
+	}
+	return xs, ys, nil
+}
+
+// bounds returns the [min, max] of vs, widened when degenerate.
+func bounds(vs []float64, log bool) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		if log {
+			lo, hi = lo/2, hi*2
+		} else {
+			lo, hi = lo-1, hi+1
+		}
+	}
+	return lo, hi
+}
+
+// fraction maps v into [0,1] within [lo,hi], linearly or
+// logarithmically.
+func fraction(v, lo, hi float64, log bool) float64 {
+	if log {
+		return (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// ticks picks 4-8 human-friendly tick values covering [lo, hi].
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		// Powers of 2 when the range is narrow (processor counts),
+		// powers of 10 otherwise.
+		base := 10.0
+		if hi/lo <= 64 {
+			base = 2
+		}
+		start := math.Floor(math.Log(lo)/math.Log(base) + 1e-9)
+		for e := start; ; e++ {
+			v := math.Pow(base, e)
+			if v > hi*1.0001 {
+				break
+			}
+			if v >= lo*0.9999 {
+				out = append(out, v)
+			}
+			if len(out) > 20 {
+				break
+			}
+		}
+		if len(out) < 2 {
+			return []float64{lo, hi}
+		}
+		return out
+	}
+	span := hi - lo
+	step := niceStep(span / 5)
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// niceStep rounds raw up to a 1/2/5 × 10^k value.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	frac := raw / mag
+	switch {
+	case frac <= 1:
+		return mag
+	case frac <= 2:
+		return 2 * mag
+	case frac <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func tickLabel(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

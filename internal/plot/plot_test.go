@@ -1,0 +1,157 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Run time vs processors",
+		XLabel: "procs",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "pMAFIA", X: []float64{1, 2, 4, 8, 16}, Y: []float64{3215, 1773, 834, 508, 451}},
+			{Name: "CLIQUE", X: []float64{1, 2, 4, 8, 16}, Y: []float64{2469, 1324, 664, 338, 184}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleChart().SVG(&sb, 640, 420); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Run time vs processors",
+		"pMAFIA", "CLIQUE", "procs", "seconds", "circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 10 {
+		t.Errorf("want 10 markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGDefaultsAndEscaping(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a <b> & "c"`
+	var sb strings.Builder
+	if err := c.SVG(&sb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "&lt;b&gt;") || !strings.Contains(out, "&amp;") {
+		t.Error("escapes missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Chart{}).SVG(&sb, 100, 100); err == nil {
+		t.Error("empty chart: want error")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := bad.SVG(&sb, 100, 100); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	logbad := &Chart{LogY: true, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{0}}}}
+	if err := logbad.SVG(&sb, 100, 100); err == nil {
+		t.Error("non-positive log value: want error")
+	}
+	empty := &Chart{Series: []Series{{Name: "x"}}}
+	if err := empty.SVG(&sb, 100, 100); err == nil {
+		t.Error("empty series: want error")
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	c := &Chart{
+		LogX: true, LogY: true,
+		Series: []Series{{Name: "s", X: []float64{1, 2, 4, 8, 16}, Y: []float64{100, 52, 26, 14, 8}}},
+	}
+	var sb strings.Builder
+	if err := c.SVG(&sb, 640, 420); err != nil {
+		t.Fatal(err)
+	}
+	// On log-x the point spacing between 1,2 and 8,16 must be equal.
+	// Spot-check by parsing circle positions.
+	out := sb.String()
+	var xs []float64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "<circle") {
+			continue
+		}
+		var x, y, r float64
+		if _, err := fmt.Sscanf(line, `<circle cx="%f" cy="%f" r="%f"`, &x, &y, &r); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		xs = append(xs, x)
+	}
+	if len(xs) != 5 {
+		t.Fatalf("markers = %d", len(xs))
+	}
+	d1 := xs[1] - xs[0]
+	d4 := xs[4] - xs[3]
+	if math.Abs(d1-d4) > 0.5 {
+		t.Errorf("log-x spacing not uniform per octave: %v vs %v", d1, d4)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.3: 0.5, 0.09: 0.1, 1.5: 2, 3: 5, 7: 10, 10: 10, 0: 1,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	ts := ticks(0, 100, false)
+	if len(ts) < 4 || len(ts) > 9 {
+		t.Errorf("tick count = %d (%v)", len(ts), ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Errorf("ticks not increasing: %v", ts)
+		}
+	}
+}
+
+func TestTicksLogPowersOfTwo(t *testing.T) {
+	ts := ticks(1, 16, true)
+	want := []float64{1, 2, 4, 8, 16}
+	if len(ts) != len(want) {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-9 {
+			t.Fatalf("ticks = %v, want %v", ts, want)
+		}
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	lo, hi := bounds([]float64{5, 5, 5}, false)
+	if lo >= hi {
+		t.Errorf("degenerate bounds not widened: %v %v", lo, hi)
+	}
+	lo, hi = bounds([]float64{8}, true)
+	if lo >= hi || lo <= 0 {
+		t.Errorf("degenerate log bounds: %v %v", lo, hi)
+	}
+}

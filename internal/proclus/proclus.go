@@ -1,0 +1,412 @@
+// Package proclus implements PROCLUS (Aggarwal, Procopiuc, Wolf, Yu,
+// Park — SIGMOD'99), the projected clustering algorithm the paper
+// contrasts pMAFIA with in §2 and §5.9.2. Unlike pMAFIA it requires
+// the user to supply the number of clusters k and the average cluster
+// dimensionality l — the inputs the paper argues "are not possible to
+// be known apriori for real data sets" — and it partitions records
+// around medoids instead of describing dense regions.
+//
+// The implementation follows the published three-phase structure:
+//
+//  1. Initialization: draw a random sample and greedily pick a
+//     well-separated candidate medoid set by max-min distance.
+//  2. Iterative phase: for the current medoids, compute each medoid's
+//     locality, pick the k·l best dimensions by locality Z-score (at
+//     least two per medoid), assign every record to the nearest medoid
+//     under the Manhattan segmental distance of its dimensions, and
+//     hill-climb by swapping the worst medoid for a random candidate
+//     while the objective improves.
+//  3. Refinement: recompute dimensions from the final clusters,
+//     reassign, and mark points beyond their cluster's sphere of
+//     influence as outliers.
+package proclus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/rng"
+)
+
+// Config holds PROCLUS's (user-supplied) parameters.
+type Config struct {
+	// K is the number of clusters — required.
+	K int
+	// AvgDims is l, the average cluster dimensionality — required.
+	AvgDims int
+	// SampleFactor is A: the random sample holds A·K points
+	// (default 30).
+	SampleFactor int
+	// CandidateFactor is B: the greedy candidate set holds B·K medoids
+	// (default 3).
+	CandidateFactor int
+	// MaxBadIterations stops the hill climb after this many swaps
+	// without improvement (default 20).
+	MaxBadIterations int
+	// MinDeviation is the fraction of the average cluster size below
+	// which a cluster counts as bad and its medoid is replaced
+	// (default 0.1).
+	MinDeviation float64
+	// Seed drives sampling and medoid replacement.
+	Seed uint64
+}
+
+func (c *Config) validate(n, d int) error {
+	if c.K < 1 {
+		return fmt.Errorf("proclus: K %d < 1", c.K)
+	}
+	if c.AvgDims < 2 {
+		return fmt.Errorf("proclus: AvgDims %d < 2 (the algorithm needs at least two dims per cluster)", c.AvgDims)
+	}
+	if c.AvgDims > d {
+		return fmt.Errorf("proclus: AvgDims %d > data dimensionality %d", c.AvgDims, d)
+	}
+	if c.SampleFactor == 0 {
+		c.SampleFactor = 30
+	}
+	if c.CandidateFactor == 0 {
+		c.CandidateFactor = 3
+	}
+	if c.MaxBadIterations == 0 {
+		c.MaxBadIterations = 20
+	}
+	if c.MinDeviation == 0 {
+		c.MinDeviation = 0.1
+	}
+	if c.K > n {
+		return fmt.Errorf("proclus: K %d > records %d", c.K, n)
+	}
+	return nil
+}
+
+// Cluster is one projected cluster.
+type Cluster struct {
+	// Medoid is the index of the cluster's representative record.
+	Medoid int
+	// Dims is the subspace selected for the cluster, ascending.
+	Dims []int
+	// Members are record indices assigned to the cluster (excluding
+	// outliers after refinement).
+	Members []int
+}
+
+// Result is a PROCLUS clustering.
+type Result struct {
+	Clusters []Cluster
+	// Outliers are record indices assigned to no cluster.
+	Outliers []int
+	// Objective is the final average within-cluster segmental
+	// distance (lower is better).
+	Objective float64
+}
+
+// Run clusters the matrix. PROCLUS is an in-core algorithm — it
+// requires random access to records — so it takes a Matrix rather
+// than a scanning Source.
+func Run(m *dataset.Matrix, cfg Config) (*Result, error) {
+	n, d := m.NumRecords(), m.Dims()
+	if n == 0 {
+		return nil, fmt.Errorf("proclus: empty data set")
+	}
+	if err := cfg.validate(n, d); err != nil {
+		return nil, err
+	}
+	s := rng.New(cfg.Seed)
+
+	candidates := initialCandidates(m, &cfg, s)
+	current := candidates[:cfg.K]
+	best := append([]int(nil), current...)
+	bestObj := math.Inf(1)
+	bad := 0
+	for bad < cfg.MaxBadIterations {
+		dims := findDimensions(m, current, cfg.AvgDims)
+		assign, _ := assignPoints(m, current, dims)
+		obj := objective(m, current, dims, assign)
+		if obj < bestObj {
+			bestObj = obj
+			copy(best, current)
+			bad = 0
+		} else {
+			bad++
+		}
+		// Replace the medoid of the worst (smallest) cluster with a
+		// random unused candidate.
+		current = swapWorst(current, candidates, assign, &cfg, s)
+	}
+
+	// Refinement: one more dimension selection from the best medoids,
+	// final assignment, outlier determination.
+	dims := findDimensions(m, best, cfg.AvgDims)
+	assign, dist := assignPoints(m, best, dims)
+	res := &Result{Objective: objective(m, best, dims, assign)}
+	radius := influenceRadii(m, best, dims)
+	members := make([][]int, cfg.K)
+	for i := 0; i < n; i++ {
+		ci := assign[i]
+		if dist[i] > radius[ci] {
+			res.Outliers = append(res.Outliers, i)
+			continue
+		}
+		members[ci] = append(members[ci], i)
+	}
+	for ci := 0; ci < cfg.K; ci++ {
+		res.Clusters = append(res.Clusters, Cluster{
+			Medoid:  best[ci],
+			Dims:    dims[ci],
+			Members: members[ci],
+		})
+	}
+	return res, nil
+}
+
+// initialCandidates samples A·K records and greedily keeps B·K
+// max-min-separated ones (full-space Euclidean distance), medoid
+// candidates per the paper's initialization phase.
+func initialCandidates(m *dataset.Matrix, cfg *Config, s *rng.Source) []int {
+	n := m.NumRecords()
+	sampleSize := cfg.SampleFactor * cfg.K
+	if sampleSize > n {
+		sampleSize = n
+	}
+	perm := s.Perm(n)[:sampleSize]
+	want := cfg.CandidateFactor * cfg.K
+	if want > sampleSize {
+		want = sampleSize
+	}
+	chosen := []int{perm[0]}
+	minDist := make([]float64, sampleSize)
+	for i, p := range perm {
+		minDist[i] = euclid(m.Row(p), m.Row(chosen[0]))
+	}
+	for len(chosen) < want {
+		bi, bd := -1, -1.0
+		for i, p := range perm {
+			if minDist[i] > bd {
+				bd = minDist[i]
+				bi = i
+				_ = p
+			}
+		}
+		next := perm[bi]
+		chosen = append(chosen, next)
+		minDist[bi] = -1
+		for i, p := range perm {
+			if minDist[i] < 0 {
+				continue
+			}
+			if dd := euclid(m.Row(p), m.Row(next)); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	return chosen
+}
+
+// findDimensions computes, for each medoid, its locality (points
+// closer to it than to any other medoid), the per-dimension mean
+// absolute deviation inside the locality, and picks the K·AvgDims
+// globally smallest Z-scores with at least two dims per medoid.
+func findDimensions(m *dataset.Matrix, medoids []int, avgDims int) [][]int {
+	k, d := len(medoids), m.Dims()
+	n := m.NumRecords()
+	// Locality radius: distance to the nearest other medoid.
+	radius := make([]float64, k)
+	for i := range medoids {
+		radius[i] = math.Inf(1)
+		for j := range medoids {
+			if i == j {
+				continue
+			}
+			if dd := euclid(m.Row(medoids[i]), m.Row(medoids[j])); dd < radius[i] {
+				radius[i] = dd
+			}
+		}
+	}
+	if k == 1 {
+		radius[0] = math.Inf(1)
+	}
+	// Per-medoid per-dim average absolute deviation within the
+	// locality.
+	x := make([][]float64, k)
+	cnt := make([]int, k)
+	for i := range x {
+		x[i] = make([]float64, d)
+	}
+	for r := 0; r < n; r++ {
+		rec := m.Row(r)
+		for i, med := range medoids {
+			if euclid(rec, m.Row(med)) <= radius[i] {
+				cnt[i]++
+				mr := m.Row(med)
+				for j := 0; j < d; j++ {
+					x[i][j] += math.Abs(rec[j] - mr[j])
+				}
+			}
+		}
+	}
+	type scored struct {
+		med, dim int
+		z        float64
+	}
+	var all []scored
+	for i := 0; i < k; i++ {
+		if cnt[i] == 0 {
+			cnt[i] = 1
+		}
+		mean, sd := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			x[i][j] /= float64(cnt[i])
+			mean += x[i][j]
+		}
+		mean /= float64(d)
+		for j := 0; j < d; j++ {
+			sd += (x[i][j] - mean) * (x[i][j] - mean)
+		}
+		sd = math.Sqrt(sd / float64(d-1))
+		if sd == 0 {
+			sd = 1
+		}
+		for j := 0; j < d; j++ {
+			all = append(all, scored{i, j, (x[i][j] - mean) / sd})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
+	// Two dims per medoid first, then globally best until K·AvgDims.
+	total := k * avgDims
+	picked := make([][]int, k)
+	chosen := 0
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range all {
+			if chosen >= total {
+				break
+			}
+			if pass == 0 && len(picked[s.med]) >= 2 {
+				continue
+			}
+			if contains(picked[s.med], s.dim) {
+				continue
+			}
+			picked[s.med] = append(picked[s.med], s.dim)
+			chosen++
+		}
+	}
+	for i := range picked {
+		sort.Ints(picked[i])
+	}
+	return picked
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// assignPoints gives every record to the medoid with the smallest
+// Manhattan segmental distance over that medoid's dimensions.
+func assignPoints(m *dataset.Matrix, medoids []int, dims [][]int) (assign []int, dist []float64) {
+	n := m.NumRecords()
+	assign = make([]int, n)
+	dist = make([]float64, n)
+	for r := 0; r < n; r++ {
+		rec := m.Row(r)
+		bi, bd := 0, math.Inf(1)
+		for i, med := range medoids {
+			dd := segmental(rec, m.Row(med), dims[i])
+			if dd < bd {
+				bd = dd
+				bi = i
+			}
+		}
+		assign[r] = bi
+		dist[r] = bd
+	}
+	return assign, dist
+}
+
+// objective is the average within-cluster segmental distance.
+func objective(m *dataset.Matrix, medoids []int, dims [][]int, assign []int) float64 {
+	n := m.NumRecords()
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += segmental(m.Row(r), m.Row(medoids[assign[r]]), dims[assign[r]])
+	}
+	return total / float64(n)
+}
+
+// swapWorst replaces the medoid of the smallest cluster with a random
+// unused candidate.
+func swapWorst(current, candidates, assign []int, cfg *Config, s *rng.Source) []int {
+	counts := make([]int, len(current))
+	for _, a := range assign {
+		counts[a]++
+	}
+	worst, wc := 0, math.MaxInt
+	for i, c := range counts {
+		if c < wc {
+			wc = c
+			worst = i
+		}
+	}
+	used := map[int]bool{}
+	for _, c := range current {
+		used[c] = true
+	}
+	next := append([]int(nil), current...)
+	for tries := 0; tries < 4*len(candidates); tries++ {
+		cand := candidates[s.Intn(len(candidates))]
+		if !used[cand] {
+			next[worst] = cand
+			break
+		}
+	}
+	return next
+}
+
+// influenceRadii returns, per cluster, the distance to the nearest
+// other medoid under the cluster's own segmental distance — points
+// farther than this from their medoid are outliers (the refinement
+// phase's sphere of influence).
+func influenceRadii(m *dataset.Matrix, medoids []int, dims [][]int) []float64 {
+	k := len(medoids)
+	out := make([]float64, k)
+	for i := range medoids {
+		out[i] = math.Inf(1)
+		for j := range medoids {
+			if i == j {
+				continue
+			}
+			if dd := segmental(m.Row(medoids[i]), m.Row(medoids[j]), dims[i]); dd < out[i] {
+				out[i] = dd
+			}
+		}
+	}
+	return out
+}
+
+// segmental is the Manhattan segmental distance: the mean absolute
+// difference over the given dimensions.
+func segmental(a, b []float64, dims []int) float64 {
+	if len(dims) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, j := range dims {
+		t += math.Abs(a[j] - b[j])
+	}
+	return t / float64(len(dims))
+}
+
+func euclid(a, b []float64) float64 {
+	t := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		t += d * d
+	}
+	return math.Sqrt(t)
+}

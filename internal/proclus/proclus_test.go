@@ -1,0 +1,169 @@
+package proclus
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+)
+
+// twoClusterData embeds two projected clusters in different subspaces.
+func twoClusterData(t *testing.T, seed uint64) (*dataset.Matrix, *datagen.Truth) {
+	t.Helper()
+	m, truth, err := datagen.Generate(datagen.Spec{
+		Dims:    8,
+		Records: 3000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{0, 2, 4},
+				[]dataset.Range{{Lo: 10, Hi: 20}, {Lo: 10, Hi: 20}, {Lo: 10, Hi: 20}}, 0),
+			datagen.UniformBox([]int{1, 5, 7},
+				[]dataset.Range{{Lo: 70, Hi: 80}, {Lo: 70, Hi: 80}, {Lo: 70, Hi: 80}}, 0),
+		},
+		NoiseFraction: -1,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, truth
+}
+
+func TestConfigValidation(t *testing.T) {
+	m, _ := twoClusterData(t, 1)
+	cases := []Config{
+		{K: 0, AvgDims: 3},
+		{K: 2, AvgDims: 1},
+		{K: 2, AvgDims: 99},
+		{K: 99999, AvgDims: 3},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(m, cfg); err == nil {
+			t.Errorf("case %d: want error for %+v", i, cfg)
+		}
+	}
+	if _, err := Run(dataset.NewMatrix(0, 3), Config{K: 1, AvgDims: 2}); err == nil {
+		t.Error("empty data: want error")
+	}
+}
+
+func TestFindsTwoProjectedClusters(t *testing.T) {
+	m, truth := twoClusterData(t, 2)
+	res, err := Run(m, Config{K: 2, AvgDims: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	// Each PROCLUS cluster's selected dims should substantially
+	// overlap one of the truth subspaces.
+	for _, c := range res.Clusters {
+		bestOverlap := 0
+		for _, tc := range truth.Clusters {
+			overlap := 0
+			for _, d := range c.Dims {
+				for _, td := range tc.Dims {
+					if d == td {
+						overlap++
+					}
+				}
+			}
+			if overlap > bestOverlap {
+				bestOverlap = overlap
+			}
+		}
+		if bestOverlap < 2 {
+			t.Errorf("cluster dims %v overlap truth by only %d", c.Dims, bestOverlap)
+		}
+	}
+	// Members must cover most records (little noise was added).
+	covered := 0
+	for _, c := range res.Clusters {
+		covered += len(c.Members)
+	}
+	if covered < m.NumRecords()/2 {
+		t.Errorf("only %d/%d records in clusters", covered, m.NumRecords())
+	}
+}
+
+func TestMembersPartitionRecords(t *testing.T) {
+	m, _ := twoClusterData(t, 3)
+	res, err := Run(m, Config{K: 2, AvgDims: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, m.NumRecords())
+	for _, c := range res.Clusters {
+		for _, r := range c.Members {
+			seen[r]++
+		}
+	}
+	for _, r := range res.Outliers {
+		seen[r]++
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("record %d appears %d times across clusters+outliers", i, s)
+		}
+	}
+}
+
+func TestDimsPerClusterAtLeastTwo(t *testing.T) {
+	m, _ := twoClusterData(t, 4)
+	res, err := Run(m, Config{K: 2, AvgDims: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		if len(c.Dims) < 2 {
+			t.Errorf("cluster has %d dims, want >= 2", len(c.Dims))
+		}
+		if !sort.IntsAreSorted(c.Dims) {
+			t.Errorf("dims not sorted: %v", c.Dims)
+		}
+		total += len(c.Dims)
+	}
+	if total != 2*4 {
+		t.Errorf("total dims = %d, want K*AvgDims = 8", total)
+	}
+}
+
+func TestObjectiveFinite(t *testing.T) {
+	m, _ := twoClusterData(t, 5)
+	res, err := Run(m, Config{K: 3, AvgDims: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Objective) || math.IsInf(res.Objective, 0) || res.Objective < 0 {
+		t.Errorf("objective = %v", res.Objective)
+	}
+}
+
+func TestSegmentalDistance(t *testing.T) {
+	a := []float64{0, 10, 20}
+	b := []float64{1, 12, 100}
+	if d := segmental(a, b, []int{0, 1}); d != 1.5 {
+		t.Errorf("segmental = %v, want 1.5", d)
+	}
+	if d := segmental(a, b, nil); d != 0 {
+		t.Errorf("empty dims segmental = %v", d)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	m, _ := twoClusterData(t, 6)
+	a, err := Run(m, Config{K: 2, AvgDims: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Config{K: 2, AvgDims: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || len(a.Outliers) != len(b.Outliers) {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,221 @@
+// Package quality scores clustering output against the ground truth of
+// a generated data set: did the run find each embedded cluster's
+// subspace, how much of the cluster region does the reported cluster
+// cover (the paper's "partially detected / thrown away as outliers"
+// axis in Table 3), and how far off the reported boundaries are (the
+// §3.2 boundary-accuracy claim for adaptive grids).
+package quality
+
+import (
+	"math"
+
+	"pmafia/internal/cluster"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/mafia"
+)
+
+// Match scores one ground-truth cluster against the best-matching
+// reported cluster.
+type Match struct {
+	// TruthIndex identifies the ground-truth cluster.
+	TruthIndex int
+	// Found is the index into Result.Clusters of the best match, or -1
+	// when nothing overlapped the truth subspace.
+	Found int
+	// DimsExact is true when the reported subspace is exactly the
+	// truth subspace.
+	DimsExact bool
+	// DimPrecision and DimRecall measure subspace agreement.
+	DimPrecision, DimRecall float64
+	// VolumeRecall is the fraction of the truth region's volume
+	// covered by the union of the reported cluster's boxes (its exact
+	// DNF cover), so mass thrown away at the boundaries — the paper's
+	// "detected the clusters only partially" — lowers it.
+	// 1 = fully recovered.
+	VolumeRecall float64
+	// VolumeExcess is the reported volume relative to the truth volume
+	// over shared dims; values well above 1 mean the cluster bled into
+	// its surroundings.
+	VolumeExcess float64
+	// BoundaryError is the mean relative deviation of the reported
+	// interval endpoints from the truth endpoints, averaged over
+	// shared dims (0 = exact boundaries).
+	BoundaryError float64
+}
+
+// Summary aggregates a whole run.
+type Summary struct {
+	Matches []Match
+	// FoundClusters is the number of clusters the run reported.
+	FoundClusters int
+	// TruthClusters is the number embedded by the generator.
+	TruthClusters int
+	// AllSubspacesExact is true when every truth cluster matched a
+	// reported cluster with exactly the right dims.
+	AllSubspacesExact bool
+	// MeanVolumeRecall averages VolumeRecall over truth clusters.
+	MeanVolumeRecall float64
+	// MeanBoundaryError averages BoundaryError over matched clusters.
+	MeanBoundaryError float64
+	// Spurious is the number of reported clusters that were not the
+	// best match of any truth cluster.
+	Spurious int
+}
+
+// Evaluate scores res against truth.
+func Evaluate(res *mafia.Result, truth *datagen.Truth) Summary {
+	s := Summary{
+		FoundClusters:     len(res.Clusters),
+		TruthClusters:     len(truth.Clusters),
+		AllSubspacesExact: true,
+	}
+	used := make(map[int]bool)
+	for ti, tc := range truth.Clusters {
+		m := matchOne(res, ti, tc)
+		if m.Found >= 0 {
+			used[m.Found] = true
+		}
+		if !m.DimsExact {
+			s.AllSubspacesExact = false
+		}
+		s.Matches = append(s.Matches, m)
+	}
+	nMatched := 0
+	for _, m := range s.Matches {
+		s.MeanVolumeRecall += m.VolumeRecall
+		if m.Found >= 0 {
+			s.MeanBoundaryError += m.BoundaryError
+			nMatched++
+		}
+	}
+	if len(s.Matches) > 0 {
+		s.MeanVolumeRecall /= float64(len(s.Matches))
+	}
+	if nMatched > 0 {
+		s.MeanBoundaryError /= float64(nMatched)
+	}
+	s.Spurious = len(res.Clusters) - len(used)
+	return s
+}
+
+// truthExtent returns the bounding interval of the truth cluster in
+// subspace position x (union over its boxes).
+func truthExtent(tc datagen.Cluster, x int) dataset.Range {
+	ext := tc.Boxes[0][x]
+	for _, b := range tc.Boxes[1:] {
+		if b[x].Lo < ext.Lo {
+			ext.Lo = b[x].Lo
+		}
+		if b[x].Hi > ext.Hi {
+			ext.Hi = b[x].Hi
+		}
+	}
+	return ext
+}
+
+func matchOne(res *mafia.Result, ti int, tc datagen.Cluster) Match {
+	m := Match{TruthIndex: ti, Found: -1}
+	truthDims := map[int]int{} // data dim -> subspace position
+	for x, d := range tc.Dims {
+		truthDims[d] = x
+	}
+	bestScore := -1.0
+	for ci := range res.Clusters {
+		c := &res.Clusters[ci]
+		shared := 0
+		for _, d := range c.Dims {
+			if _, ok := truthDims[int(d)]; ok {
+				shared++
+			}
+		}
+		if shared == 0 {
+			continue
+		}
+		// Jaccard on dims, tie-broken by volume overlap.
+		jaccard := float64(shared) / float64(len(c.Dims)+len(tc.Dims)-shared)
+		bounds := c.Bounds(res.Grid)
+		overlap := 1.0
+		for x, d := range c.Dims {
+			tx, ok := truthDims[int(d)]
+			if !ok {
+				continue
+			}
+			ext := truthExtent(tc, tx)
+			inter := intersect(bounds[x], ext)
+			overlap *= inter / ext.Width()
+		}
+		score := jaccard + 0.001*overlap
+		if score > bestScore {
+			bestScore = score
+			m.Found = ci
+		}
+	}
+	if m.Found < 0 {
+		return m
+	}
+	c := &res.Clusters[m.Found]
+	bounds := c.Bounds(res.Grid)
+	shared := 0
+	volExcess := 1.0
+	boundaryErr := 0.0
+	for x, d := range c.Dims {
+		tx, ok := truthDims[int(d)]
+		if !ok {
+			continue
+		}
+		shared++
+		ext := truthExtent(tc, tx)
+		volExcess *= bounds[x].Width() / ext.Width()
+		boundaryErr += (math.Abs(bounds[x].Lo-ext.Lo) + math.Abs(bounds[x].Hi-ext.Hi)) / (2 * ext.Width())
+	}
+	m.DimPrecision = float64(shared) / float64(len(c.Dims))
+	m.DimRecall = float64(shared) / float64(len(tc.Dims))
+	m.DimsExact = shared == len(tc.Dims) && shared == len(c.Dims)
+	if shared > 0 {
+		m.BoundaryError = boundaryErr / float64(shared)
+	}
+	m.VolumeRecall = boxRecall(c, res.Grid, truthDims, tc)
+	m.VolumeExcess = volExcess
+	return m
+}
+
+// boxRecall sums, over the cluster's (disjoint) cover boxes, the
+// fraction of the truth region each box captures: the intersection
+// ratio in every shared dimension times the box's domain fraction in
+// every reported-but-not-truth dimension (an extra dimension restricts
+// which slice of the truth cluster the box can cover).
+func boxRecall(c *cluster.Cluster, g *grid.Grid, truthDims map[int]int, tc datagen.Cluster) float64 {
+	total := 0.0
+	for _, box := range c.Boxes {
+		frac := 1.0
+		for x, d := range c.Dims {
+			bins := g.Dims[d].Bins
+			bb := dataset.Range{
+				Lo: bins[box.BinLo[x]].Bounds.Lo,
+				Hi: bins[box.BinHi[x]].Bounds.Hi,
+			}
+			if tx, ok := truthDims[int(d)]; ok {
+				ext := truthExtent(tc, tx)
+				frac *= intersect(bb, ext) / ext.Width()
+			} else {
+				frac *= bb.Width() / g.Dims[d].Domain.Width()
+			}
+		}
+		total += frac
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+func intersect(a, b dataset.Range) float64 {
+	lo := math.Max(a.Lo, b.Lo)
+	hi := math.Min(a.Hi, b.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,155 @@
+package quality
+
+import (
+	"testing"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+)
+
+func run(t *testing.T, spec datagen.Spec, cfg mafia.Config) (*mafia.Result, *datagen.Truth) {
+	t.Helper()
+	m, truth, err := datagen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mafia.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, truth
+}
+
+func TestEvaluatePerfectRecovery(t *testing.T) {
+	spec := datagen.Spec{
+		Dims:    8,
+		Records: 8000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{1, 4, 6}, []dataset.Range{{Lo: 20, Hi: 35}, {Lo: 50, Hi: 65}, {Lo: 5, Hi: 20}}, 0),
+		},
+		Seed: 21,
+	}
+	res, truth := run(t, spec, mafia.Config{})
+	s := Evaluate(res, truth)
+	if s.TruthClusters != 1 {
+		t.Fatalf("truth clusters = %d", s.TruthClusters)
+	}
+	m := s.Matches[0]
+	if m.Found < 0 {
+		t.Fatal("no match found")
+	}
+	if !m.DimsExact {
+		t.Errorf("dims not exact: precision %.2f recall %.2f", m.DimPrecision, m.DimRecall)
+	}
+	if m.VolumeRecall < 0.9 {
+		t.Errorf("volume recall %.3f, want >= 0.9", m.VolumeRecall)
+	}
+	if m.BoundaryError > 0.1 {
+		t.Errorf("boundary error %.3f, want <= 0.1 (adaptive grids hug the cluster)", m.BoundaryError)
+	}
+	if !s.AllSubspacesExact {
+		t.Error("AllSubspacesExact = false")
+	}
+}
+
+func TestEvaluateNoClustersFound(t *testing.T) {
+	// Uniform data with a truth cluster claim that the run won't find:
+	// construct truth manually.
+	m, _, err := datagen.Generate(datagen.Spec{Dims: 4, Records: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mafia.Run(m, mafia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := &datagen.Truth{Clusters: []datagen.Cluster{
+		datagen.UniformBox([]int{0, 1}, []dataset.Range{{Lo: 10, Hi: 20}, {Lo: 10, Hi: 20}}, 0),
+	}}
+	s := Evaluate(res, truth)
+	if s.Matches[0].Found >= 0 && s.Matches[0].DimsExact {
+		t.Error("uniform data should not match the fabricated truth exactly")
+	}
+	if s.AllSubspacesExact {
+		t.Error("AllSubspacesExact should be false")
+	}
+}
+
+func TestEvaluateCountsSpurious(t *testing.T) {
+	spec := datagen.Spec{
+		Dims:    6,
+		Records: 6000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{0, 2}, []dataset.Range{{Lo: 10, Hi: 25}, {Lo: 10, Hi: 25}}, 0),
+		},
+		Seed: 22,
+	}
+	res, truth := run(t, spec, mafia.Config{})
+	s := Evaluate(res, truth)
+	if s.Spurious != s.FoundClusters-1 && s.FoundClusters > 0 {
+		t.Errorf("spurious = %d with %d found", s.Spurious, s.FoundClusters)
+	}
+}
+
+func TestVolumeRecallPartialDetection(t *testing.T) {
+	// CLIQUE with coarse fixed bins loses cluster boundary mass: the
+	// cluster [22,38) spans bins [20,30)+[30,40) partially; edge bins
+	// may fall under the global threshold. VolumeRecall must reflect
+	// any loss and stay in [0, 1].
+	spec := datagen.Spec{
+		Dims:    5,
+		Records: 5000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{1, 3}, []dataset.Range{{Lo: 22, Hi: 38}, {Lo: 52, Hi: 68}}, 0),
+		},
+		Seed: 23,
+	}
+	res, truth := run(t, spec, mafia.Config{Grid: mafia.UniformGrid, UniformBins: 10, UniformTau: 0.02})
+	s := Evaluate(res, truth)
+	m := s.Matches[0]
+	if m.VolumeRecall < 0 || m.VolumeRecall > 1.000001 {
+		t.Errorf("volume recall %v out of [0,1]", m.VolumeRecall)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b dataset.Range
+		want float64
+	}{
+		{dataset.Range{Lo: 0, Hi: 10}, dataset.Range{Lo: 5, Hi: 15}, 5},
+		{dataset.Range{Lo: 0, Hi: 10}, dataset.Range{Lo: 10, Hi: 15}, 0},
+		{dataset.Range{Lo: 0, Hi: 10}, dataset.Range{Lo: 2, Hi: 3}, 1},
+		{dataset.Range{Lo: 5, Hi: 6}, dataset.Range{Lo: 0, Hi: 10}, 1},
+	}
+	for i, c := range cases {
+		if got := intersect(c.a, c.b); got != c.want {
+			t.Errorf("case %d: intersect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveBoundariesBeatCoarseUniform(t *testing.T) {
+	// The §3.2 claim: adaptive grids report boundaries closer to the
+	// true cluster than a coarse uniform grid.
+	spec := datagen.Spec{
+		Dims:    5,
+		Records: 8000,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{0, 2}, []dataset.Range{{Lo: 23, Hi: 41}, {Lo: 57, Hi: 74}}, 0),
+		},
+		Seed: 24,
+	}
+	resA, truth := run(t, spec, mafia.Config{})
+	resU, _ := run(t, spec, mafia.Config{Grid: mafia.UniformGrid, UniformBins: 5, UniformTau: 0.02})
+	sA := Evaluate(resA, truth)
+	sU := Evaluate(resU, truth)
+	if sA.Matches[0].Found < 0 {
+		t.Fatal("adaptive run found nothing")
+	}
+	if sU.Matches[0].Found >= 0 && sA.Matches[0].BoundaryError >= sU.Matches[0].BoundaryError {
+		t.Errorf("adaptive boundary error %.3f not better than 5-bin uniform %.3f",
+			sA.Matches[0].BoundaryError, sU.Matches[0].BoundaryError)
+	}
+}

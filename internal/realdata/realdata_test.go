@@ -1,0 +1,156 @@
+package realdata
+
+import (
+	"testing"
+
+	"pmafia/internal/grid"
+	"pmafia/internal/mafia"
+)
+
+func TestDAXShape(t *testing.T) {
+	m := DAX(1)
+	if m.NumRecords() != DAXRecords || m.Dims() != DAXDims {
+		t.Fatalf("shape %dx%d", m.NumRecords(), m.Dims())
+	}
+	for i := 0; i < m.NumRecords(); i++ {
+		for _, v := range m.Row(i) {
+			if v < 0 || v >= 100 {
+				t.Fatalf("value %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestDAXHasLowDimensionalClusters(t *testing.T) {
+	m := DAX(1)
+	res, err := mafia.Run(m, mafia.Config{Adaptive: adaptiveAlpha(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDim := map[int]int{}
+	for _, c := range res.Clusters {
+		byDim[len(c.Dims)]++
+	}
+	multi := 0
+	for d, n := range byDim {
+		if d >= 3 {
+			multi += n
+		}
+	}
+	if multi == 0 {
+		t.Errorf("no clusters of dimension >= 3 found: %v", byDim)
+	}
+	for d := range byDim {
+		if d > 8 {
+			t.Errorf("implausibly high-dimensional cluster (%d dims) in DAX-like data", d)
+		}
+	}
+}
+
+func TestIonosphereShape(t *testing.T) {
+	m := Ionosphere(2)
+	if m.NumRecords() != IonosphereRecords || m.Dims() != IonosphereDims {
+		t.Fatalf("shape %dx%d", m.NumRecords(), m.Dims())
+	}
+	for i := 0; i < m.NumRecords(); i++ {
+		for _, v := range m.Row(i) {
+			if v < -1 || v >= 1 {
+				t.Fatalf("value %v out of [-1,1)", v)
+			}
+		}
+	}
+}
+
+func TestIonosphereAlphaSweep(t *testing.T) {
+	// §5.9.2: raising α from 2 to 3 collapses many small clusters to
+	// (about) one dominant cluster.
+	m := Ionosphere(2)
+	at2, err := mafia.Run(m, mafia.Config{Adaptive: adaptiveAlpha(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at3, err := mafia.Run(m, mafia.Config{Adaptive: adaptiveAlpha(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at2.Clusters) == 0 {
+		t.Fatal("alpha=2 found nothing")
+	}
+	if len(at3.Clusters) >= len(at2.Clusters) {
+		t.Errorf("alpha=3 clusters (%d) not fewer than alpha=2 (%d)", len(at3.Clusters), len(at2.Clusters))
+	}
+}
+
+func TestEachMovieShape(t *testing.T) {
+	m := EachMovie(50000, 3)
+	if m.NumRecords() != 50000 || m.Dims() != EachMovieDims {
+		t.Fatalf("shape %dx%d", m.NumRecords(), m.Dims())
+	}
+	for i := 0; i < 1000; i++ {
+		rec := m.Row(i)
+		if rec[0] < 0 || rec[0] >= EachMovieUsers {
+			t.Fatalf("user id %v out of range", rec[0])
+		}
+		if rec[1] < 0 || rec[1] >= EachMovieMovies {
+			t.Fatalf("movie id %v out of range", rec[1])
+		}
+		if rec[2] < 0 || rec[2] >= 1 || rec[3] < 0 || rec[3] >= 1 {
+			t.Fatalf("score/weight out of range: %v", rec)
+		}
+	}
+}
+
+func TestEachMovieDefaultSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-size EachMovie is large")
+	}
+	m := EachMovie(0, 1)
+	if m.NumRecords() != 2811983 {
+		t.Errorf("default records = %d", m.NumRecords())
+	}
+}
+
+func TestEachMovieTwoDimensionalClusters(t *testing.T) {
+	m := EachMovie(60000, 3)
+	res, err := mafia.Run(m, mafia.Config{Adaptive: adaptiveAlpha(1.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoD := 0
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 2 && c.Dims[0] == 0 && c.Dims[1] == 1 {
+			twoD++
+		}
+		if len(c.Dims) > 2 {
+			t.Errorf("cluster of dimension %d in ratings data", len(c.Dims))
+		}
+	}
+	if twoD < 3 {
+		t.Errorf("found %d (user,movie) clusters, want several", twoD)
+	}
+}
+
+func adaptiveAlpha(a float64) grid.AdaptiveParams {
+	return grid.AdaptiveParams{Alpha: a}
+}
+
+func TestEachMovieExactlySevenBlocks(t *testing.T) {
+	// With a fixed seed the seven embedded user×movie blocks must come
+	// back as exactly seven 2-dimensional clusters (the paper's §5.9.3
+	// finding), since blocks are placed in disjoint sevenths of both
+	// id spaces.
+	m := EachMovie(150000, 5)
+	res, err := mafia.Run(m, mafia.Config{Adaptive: adaptiveAlpha(1.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoD := 0
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 2 && c.Dims[0] == 0 && c.Dims[1] == 1 {
+			twoD++
+		}
+	}
+	if twoD != 7 {
+		t.Errorf("found %d (user,movie) clusters, want exactly 7", twoD)
+	}
+}

@@ -1,0 +1,119 @@
+// Package rng provides the seedable random source used throughout the
+// repository. It layers standard distributions (uniform, integer ranges,
+// Gaussian) and Fisher-Yates permutations on top of the inversive
+// congruential generator from internal/icg, which the pMAFIA paper
+// adopts in place of Unix LCGs for its synthetic data generation.
+package rng
+
+import (
+	"math"
+
+	"pmafia/internal/icg"
+)
+
+// Source is a deterministic, seedable pseudorandom source. It is not
+// safe for concurrent use; derive independent sources per goroutine with
+// Split.
+type Source struct {
+	g *icg.PowerOfTwo
+	// cached second Box-Muller variate
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{g: icg.NewPowerOfTwo(seed)}
+}
+
+// Split derives an independent child source from this source's stream;
+// the parent advances by one value. Use it to give each worker or each
+// dimension its own deterministic stream.
+func (s *Source) Split() *Source {
+	return &Source{g: icg.NewPowerOfTwo(s.g.Uint64())}
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 { return s.g.Uint64() }
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.g.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using rejection sampling to
+// avoid modulo bias. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return s.g.Uint64() & (n - 1)
+	}
+	// Rejection: discard values in the tail that would bias low results.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := s.g.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// In returns a uniform value in [lo, hi). If hi <= lo it returns lo.
+func (s *Source) In(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Float64()*(hi-lo)
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (s *Source) NormFloat64() float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return s.gauss
+	}
+	// Avoid log(0) by drawing u1 from (0, 1].
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	s.gauss = r * math.Sin(2*math.Pi*u2)
+	s.hasGauss = true
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a pseudorandom permutation of [0, n) (Fisher-Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles xs in place.
+func (s *Source) ShuffleInts(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, mirroring math/rand's API shape.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,193 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64Range(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %.4f, want 0.5±0.005", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUnbiased(t *testing.T) {
+	// n=3: each residue should appear ~1/3 of the time.
+	s := New(4)
+	var c [3]int
+	const n = 90000
+	for i := 0; i < n; i++ {
+		c[s.Uint64n(3)]++
+	}
+	for r, count := range c {
+		frac := float64(count) / n
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Errorf("residue %d frequency %.4f, want ~0.333", r, frac)
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.In(-4, 9)
+		if v < -4 || v >= 9 {
+			t.Fatalf("In(-4,9) = %v", v)
+		}
+	}
+	if v := s.In(5, 5); v != 5 {
+		t.Errorf("In(5,5) = %v, want 5", v)
+	}
+	if v := s.In(5, 2); v != 5 {
+		t.Errorf("In(5,2) = %v, want lo", v)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%257)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		q := append([]int(nil), p...)
+		sort.Ints(q)
+		for i, v := range q {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// First element of Perm(4) should be uniform over {0,1,2,3}.
+	s := New(7)
+	var c [4]int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		c[s.Perm(4)[0]]++
+	}
+	for v, count := range c {
+		frac := float64(count) / n
+		if math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("Perm(4)[0]=%d frequency %.4f, want 0.25", v, frac)
+		}
+	}
+}
+
+func TestShuffleMatchesShuffleInts(t *testing.T) {
+	a := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	b := append([]int(nil), a...)
+	s1 := New(11)
+	s2 := New(11)
+	s1.ShuffleInts(a)
+	s2.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ShuffleInts and Shuffle disagree at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(42)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("sibling streams matched %d/1000 outputs", same)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed sources diverged")
+		}
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Float64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.NormFloat64()
+	}
+}

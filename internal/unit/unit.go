@@ -1,0 +1,314 @@
+// Package unit implements the dense-unit and candidate-dense-unit
+// (CDU) representation of pMAFIA. A unit in a k-dimensional subspace is
+// an ordered set of k dimension indices plus one bin index per
+// dimension. Following §4.2 of the paper, units are stored as linear
+// byte arrays — one array for all dimensions and one for all bin
+// indices — which keeps the task-parallel exchanges to a single small
+// message per collective.
+package unit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Array holds units of a fixed dimensionality K in two parallel byte
+// arrays. Unit i occupies Dims[i*K:(i+1)*K] (ascending dimension
+// indices) and Bins[i*K:(i+1)*K] (the bin index for each dimension).
+type Array struct {
+	K    int
+	Dims []uint8
+	Bins []uint8
+}
+
+// New returns an empty array of k-dimensional units with capacity for
+// capUnits units.
+func New(k, capUnits int) *Array {
+	return &Array{
+		K:    k,
+		Dims: make([]uint8, 0, k*capUnits),
+		Bins: make([]uint8, 0, k*capUnits),
+	}
+}
+
+// Len returns the number of units.
+func (a *Array) Len() int {
+	if a.K == 0 {
+		return 0
+	}
+	return len(a.Dims) / a.K
+}
+
+// Unit returns views of unit i's dimensions and bins; the slices alias
+// the array's storage.
+func (a *Array) Unit(i int) (dims, bins []uint8) {
+	return a.Dims[i*a.K : (i+1)*a.K], a.Bins[i*a.K : (i+1)*a.K]
+}
+
+// Append adds a unit. dims must be strictly ascending and both slices
+// must have length K; this is validated in order to preserve the
+// canonical-form invariant the joins and dedup rely on.
+func (a *Array) Append(dims, bins []uint8) {
+	if len(dims) != a.K || len(bins) != a.K {
+		panic(fmt.Sprintf("unit: appending %d/%d-wide unit to K=%d array", len(dims), len(bins), a.K))
+	}
+	for i := 1; i < len(dims); i++ {
+		if dims[i] <= dims[i-1] {
+			panic(fmt.Sprintf("unit: dims %v not strictly ascending", dims))
+		}
+	}
+	a.Dims = append(a.Dims, dims...)
+	a.Bins = append(a.Bins, bins...)
+}
+
+// AppendRaw adds pre-validated units wholesale (used when
+// concatenating per-rank arrays whose elements are already canonical).
+func (a *Array) AppendRaw(dims, bins []uint8) {
+	if len(dims) != len(bins) || len(dims)%a.K != 0 {
+		panic("unit: raw append with mismatched lengths")
+	}
+	a.Dims = append(a.Dims, dims...)
+	a.Bins = append(a.Bins, bins...)
+}
+
+// Slice returns a view of units [lo, hi) sharing storage.
+func (a *Array) Slice(lo, hi int) *Array {
+	return &Array{K: a.K, Dims: a.Dims[lo*a.K : hi*a.K], Bins: a.Bins[lo*a.K : hi*a.K]}
+}
+
+// Clone returns a deep copy.
+func (a *Array) Clone() *Array {
+	return &Array{
+		K:    a.K,
+		Dims: append([]uint8(nil), a.Dims...),
+		Bins: append([]uint8(nil), a.Bins...),
+	}
+}
+
+// Key returns a string key identifying unit i (its dims and bins),
+// suitable for map-based dedup and face lookups.
+func (a *Array) Key(i int) string {
+	buf := make([]byte, 0, 2*a.K)
+	d, b := a.Unit(i)
+	buf = append(buf, d...)
+	buf = append(buf, b...)
+	return string(buf)
+}
+
+// KeyOf builds the same key from raw dims/bins slices.
+func KeyOf(dims, bins []uint8) string {
+	buf := make([]byte, 0, len(dims)+len(bins))
+	buf = append(buf, dims...)
+	buf = append(buf, bins...)
+	return string(buf)
+}
+
+// SubspaceKey returns a key identifying unit i's subspace (dims only).
+func (a *Array) SubspaceKey(i int) string {
+	d, _ := a.Unit(i)
+	return string(d)
+}
+
+// String renders unit i as e.g. "{d1:b7, d8:b2}".
+func (a *Array) String(i int) string {
+	d, b := a.Unit(i)
+	s := "{"
+	for j := range d {
+		if j > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("d%d:b%d", d[j], b[j])
+	}
+	return s + "}"
+}
+
+// Compare orders units i and j lexicographically by (dims, bins).
+func (a *Array) Compare(i, j int) int {
+	di, bi := a.Unit(i)
+	dj, bj := a.Unit(j)
+	for x := 0; x < a.K; x++ {
+		if di[x] != dj[x] {
+			if di[x] < dj[x] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for x := 0; x < a.K; x++ {
+		if bi[x] != bj[x] {
+			if bi[x] < bj[x] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Swap exchanges units i and j in place.
+func (a *Array) Swap(i, j int) {
+	di, bi := a.Unit(i)
+	dj, bj := a.Unit(j)
+	for x := 0; x < a.K; x++ {
+		di[x], dj[x] = dj[x], di[x]
+		bi[x], bj[x] = bj[x], bi[x]
+	}
+}
+
+// Sort orders the units lexicographically by (dims, bins).
+func (a *Array) Sort() {
+	sort.Sort((*sorter)(a))
+}
+
+type sorter Array
+
+func (s *sorter) Len() int           { return (*Array)(s).Len() }
+func (s *sorter) Swap(i, j int)      { (*Array)(s).Swap(i, j) }
+func (s *sorter) Less(i, j int) bool { return (*Array)(s).Compare(i, j) < 0 }
+
+// Dedup removes duplicate units (keeping first occurrences' order of
+// the sorted sequence) and returns the number removed. The array is
+// sorted as a side effect.
+func (a *Array) Dedup() (removed int) {
+	n := a.Len()
+	if n < 2 {
+		return 0
+	}
+	a.Sort()
+	w := 1
+	for i := 1; i < n; i++ {
+		if a.Compare(i, w-1) == 0 {
+			continue
+		}
+		if i != w {
+			copy(a.Dims[w*a.K:(w+1)*a.K], a.Dims[i*a.K:(i+1)*a.K])
+			copy(a.Bins[w*a.K:(w+1)*a.K], a.Bins[i*a.K:(i+1)*a.K])
+		}
+		w++
+	}
+	removed = n - w
+	a.Dims = a.Dims[:w*a.K]
+	a.Bins = a.Bins[:w*a.K]
+	return removed
+}
+
+// IsFace reports whether the (sub-dimensional) unit (subDims, subBins)
+// is a face of unit i of a: every dimension of sub appears in unit i
+// with the same bin.
+func (a *Array) IsFace(subDims, subBins []uint8, i int) bool {
+	d, b := a.Unit(i)
+	j := 0
+	for x := range subDims {
+		for j < len(d) && d[j] < subDims[x] {
+			j++
+		}
+		if j >= len(d) || d[j] != subDims[x] || b[j] != subBins[x] {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Adjacent reports whether units i and j of a live in the same
+// subspace and differ in exactly one dimension's bin, by exactly one —
+// i.e. they share a common (k-1)-dimensional face, the paper's
+// connectivity relation for assembling clusters.
+func (a *Array) Adjacent(i, j int) bool {
+	di, bi := a.Unit(i)
+	dj, bj := a.Unit(j)
+	diffs := 0
+	for x := 0; x < a.K; x++ {
+		if di[x] != dj[x] {
+			return false
+		}
+		if bi[x] != bj[x] {
+			lo, hi := bi[x], bj[x]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi-lo != 1 {
+				return false
+			}
+			diffs++
+		}
+	}
+	return diffs == 1
+}
+
+// SharedDims returns how many dimensions units i and j have in common
+// with equal bins, and how many dimensions they have in common at all.
+func (a *Array) SharedDims(i, j int) (equalBins, shared int) {
+	di, bi := a.Unit(i)
+	dj, bj := a.Unit(j)
+	x, y := 0, 0
+	for x < a.K && y < a.K {
+		switch {
+		case di[x] < dj[y]:
+			x++
+		case di[x] > dj[y]:
+			y++
+		default:
+			shared++
+			if bi[x] == bj[y] {
+				equalBins++
+			}
+			x++
+			y++
+		}
+	}
+	return equalBins, shared
+}
+
+// Project writes the bins of unit i restricted to the given subspace
+// dims into out and reports whether every subspace dim is present in
+// the unit.
+func (a *Array) Project(i int, subDims, out []uint8) bool {
+	d, b := a.Unit(i)
+	j := 0
+	for x := range subDims {
+		for j < len(d) && d[j] < subDims[x] {
+			j++
+		}
+		if j >= len(d) || d[j] != subDims[x] {
+			return false
+		}
+		out[x] = b[j]
+		j++
+	}
+	return true
+}
+
+// Encode serializes the array unit-major: for each unit, its K
+// dimension bytes followed by its K bin bytes. Concatenating the
+// encodings of several arrays (of equal K) in rank order yields a valid
+// encoding of the concatenated array, which is what the parallel
+// gather-and-broadcast steps rely on to ship both arrays in a single
+// message.
+func (a *Array) Encode() []byte {
+	out := make([]byte, 0, 2*len(a.Dims))
+	for i := 0; i < a.Len(); i++ {
+		d, b := a.Unit(i)
+		out = append(out, d...)
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Decode parses a unit-major encoding of k-dimensional units.
+func Decode(k int, data []byte) (*Array, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("unit: decode with k=%d", k)
+	}
+	if len(data)%(2*k) != 0 {
+		return nil, fmt.Errorf("unit: %d bytes is not a multiple of unit size %d", len(data), 2*k)
+	}
+	n := len(data) / (2 * k)
+	a := New(k, n)
+	for i := 0; i < n; i++ {
+		rec := data[i*2*k : (i+1)*2*k]
+		a.Dims = append(a.Dims, rec[:k]...)
+		a.Bins = append(a.Bins, rec[k:]...)
+	}
+	return a, nil
+}

@@ -1,0 +1,355 @@
+package unit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmafia/internal/rng"
+)
+
+func TestAppendAndUnit(t *testing.T) {
+	a := New(2, 4)
+	a.Append([]uint8{1, 7}, []uint8{3, 9})
+	a.Append([]uint8{0, 5}, []uint8{2, 2})
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	d, b := a.Unit(0)
+	if d[0] != 1 || d[1] != 7 || b[0] != 3 || b[1] != 9 {
+		t.Errorf("unit 0 = %v %v", d, b)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	cases := []struct {
+		dims, bins []uint8
+	}{
+		{[]uint8{1}, []uint8{1, 2}},    // wrong width
+		{[]uint8{2, 1}, []uint8{0, 0}}, // not ascending
+		{[]uint8{3, 3}, []uint8{0, 0}}, // duplicate dim
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			New(2, 1).Append(c.dims, c.bins)
+		}()
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := New(2, 3)
+	a.Append([]uint8{1, 2}, []uint8{3, 4})
+	a.Append([]uint8{1, 2}, []uint8{3, 5})
+	a.Append([]uint8{1, 3}, []uint8{3, 4})
+	keys := map[string]bool{}
+	for i := 0; i < a.Len(); i++ {
+		keys[a.Key(i)] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("expected 3 distinct keys, got %d", len(keys))
+	}
+	if a.Key(0) != KeyOf([]uint8{1, 2}, []uint8{3, 4}) {
+		t.Error("Key and KeyOf disagree")
+	}
+}
+
+func TestSubspaceKey(t *testing.T) {
+	a := New(2, 2)
+	a.Append([]uint8{1, 2}, []uint8{3, 4})
+	a.Append([]uint8{1, 2}, []uint8{9, 9})
+	if a.SubspaceKey(0) != a.SubspaceKey(1) {
+		t.Error("same dims should share subspace key")
+	}
+}
+
+func TestSortAndCompare(t *testing.T) {
+	a := New(2, 3)
+	a.Append([]uint8{2, 3}, []uint8{0, 0})
+	a.Append([]uint8{1, 2}, []uint8{5, 5})
+	a.Append([]uint8{1, 2}, []uint8{4, 9})
+	a.Sort()
+	if d, _ := a.Unit(0); d[0] != 1 {
+		t.Errorf("sort order wrong: first unit dims %v", d)
+	}
+	_, b := a.Unit(0)
+	if b[0] != 4 {
+		t.Errorf("bins tiebreak wrong: %v", b)
+	}
+	if a.Compare(0, 1) >= 0 || a.Compare(1, 0) <= 0 || a.Compare(1, 1) != 0 {
+		t.Error("Compare inconsistent")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := New(2, 5)
+	u := [][2][]uint8{
+		{{1, 2}, {3, 4}},
+		{{1, 2}, {3, 4}},
+		{{1, 3}, {0, 0}},
+		{{1, 2}, {3, 4}},
+		{{1, 3}, {0, 0}},
+	}
+	for _, x := range u {
+		a.Append(x[0], x[1])
+	}
+	removed := a.Dedup()
+	if removed != 3 {
+		t.Errorf("removed = %d, want 3", removed)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2", a.Len())
+	}
+	keys := map[string]bool{}
+	for i := 0; i < a.Len(); i++ {
+		if keys[a.Key(i)] {
+			t.Fatal("duplicate survived dedup")
+		}
+		keys[a.Key(i)] = true
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := New(3, 50)
+		ref := map[string]bool{}
+		for i := 0; i < 50; i++ {
+			d1 := uint8(s.Intn(3))
+			d2 := d1 + 1 + uint8(s.Intn(3))
+			d3 := d2 + 1 + uint8(s.Intn(3))
+			dims := []uint8{d1, d2, d3}
+			bins := []uint8{uint8(s.Intn(2)), uint8(s.Intn(2)), uint8(s.Intn(2))}
+			a.Append(dims, bins)
+			ref[KeyOf(dims, bins)] = true
+		}
+		a.Dedup()
+		if a.Len() != len(ref) {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !ref[a.Key(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFace(t *testing.T) {
+	a := New(3, 1)
+	a.Append([]uint8{1, 4, 7}, []uint8{2, 5, 8})
+	cases := []struct {
+		dims, bins []uint8
+		want       bool
+	}{
+		{[]uint8{1, 4}, []uint8{2, 5}, true},
+		{[]uint8{1, 7}, []uint8{2, 8}, true},
+		{[]uint8{4}, []uint8{5}, true},
+		{[]uint8{1, 4}, []uint8{2, 6}, false}, // wrong bin
+		{[]uint8{1, 5}, []uint8{2, 5}, false}, // dim not present
+		{[]uint8{1, 4, 7}, []uint8{2, 5, 8}, true},
+	}
+	for i, c := range cases {
+		if got := a.IsFace(c.dims, c.bins, 0); got != c.want {
+			t.Errorf("case %d: IsFace = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	a := New(2, 5)
+	a.Append([]uint8{1, 2}, []uint8{3, 4}) // 0
+	a.Append([]uint8{1, 2}, []uint8{3, 5}) // 1: adjacent to 0
+	a.Append([]uint8{1, 2}, []uint8{4, 5}) // 2: diagonal from 0
+	a.Append([]uint8{1, 3}, []uint8{3, 4}) // 3: different subspace
+	a.Append([]uint8{1, 2}, []uint8{3, 7}) // 4: gap of 2 from 1
+	if !a.Adjacent(0, 1) || !a.Adjacent(1, 0) {
+		t.Error("0-1 should be adjacent")
+	}
+	if a.Adjacent(0, 2) {
+		t.Error("diagonal units are not adjacent (no common face)")
+	}
+	if a.Adjacent(0, 3) {
+		t.Error("different subspaces are never adjacent")
+	}
+	if a.Adjacent(1, 4) {
+		t.Error("bins two apart are not adjacent")
+	}
+	if !a.Adjacent(2, 1) {
+		t.Error("2-1 differ in exactly one bin by 1: should be adjacent")
+	}
+}
+
+func TestSharedDims(t *testing.T) {
+	a := New(3, 2)
+	a.Append([]uint8{1, 7, 8}, []uint8{0, 1, 2})
+	a.Append([]uint8{7, 8, 9}, []uint8{1, 3, 4})
+	eq, sh := a.SharedDims(0, 1)
+	if sh != 2 {
+		t.Errorf("shared = %d, want 2", sh)
+	}
+	if eq != 1 { // dim 7 matches bins (1==1); dim 8 bins differ (2 vs 3)
+		t.Errorf("equalBins = %d, want 1", eq)
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := New(3, 1)
+	a.Append([]uint8{1, 4, 7}, []uint8{2, 5, 8})
+	out := make([]uint8, 2)
+	if !a.Project(0, []uint8{1, 7}, out) {
+		t.Fatal("projection onto {1,7} should succeed")
+	}
+	if out[0] != 2 || out[1] != 8 {
+		t.Errorf("projected bins = %v", out)
+	}
+	if a.Project(0, []uint8{1, 5}, out) {
+		t.Error("projection onto absent dim should fail")
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	a := New(1, 3)
+	a.Append([]uint8{0}, []uint8{1})
+	a.Append([]uint8{0}, []uint8{2})
+	a.Append([]uint8{0}, []uint8{3})
+	s := a.Slice(1, 3)
+	if s.Len() != 2 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	_, b := s.Unit(0)
+	if b[0] != 2 {
+		t.Errorf("slice unit 0 bins = %v", b)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 1)
+	a.Append([]uint8{0}, []uint8{1})
+	c := a.Clone()
+	c.Bins[0] = 9
+	if a.Bins[0] == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestAppendRaw(t *testing.T) {
+	a := New(2, 2)
+	a.AppendRaw([]uint8{1, 2, 3, 4}, []uint8{0, 0, 1, 1})
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched raw append did not panic")
+		}
+	}()
+	a.AppendRaw([]uint8{1}, []uint8{1, 2})
+}
+
+func TestSortIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := New(2, 20)
+		before := map[string]int{}
+		for i := 0; i < 20; i++ {
+			d1 := uint8(s.Intn(5))
+			dims := []uint8{d1, d1 + 1 + uint8(s.Intn(3))}
+			bins := []uint8{uint8(s.Intn(4)), uint8(s.Intn(4))}
+			a.Append(dims, bins)
+			before[KeyOf(dims, bins)]++
+		}
+		a.Sort()
+		after := map[string]int{}
+		for i := 0; i < a.Len(); i++ {
+			after[a.Key(i)]++
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		// verify sortedness
+		for i := 1; i < a.Len(); i++ {
+			if a.Compare(i-1, i) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := New(2, 1)
+	a.Append([]uint8{1, 8}, []uint8{7, 2})
+	if got := a.String(0); got != "{d1:b7, d8:b2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a := New(3, 4)
+	a.Append([]uint8{0, 2, 5}, []uint8{1, 2, 3})
+	a.Append([]uint8{1, 3, 6}, []uint8{4, 5, 6})
+	enc := a.Encode()
+	if len(enc) != 2*2*3 {
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+	b, err := Decode(3, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != a.Len() {
+		t.Fatalf("decoded %d units", b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Key(i) != b.Key(i) {
+			t.Errorf("unit %d differs after round trip", i)
+		}
+	}
+}
+
+func TestEncodeConcatenation(t *testing.T) {
+	// Concatenating encodings must decode to the concatenated array —
+	// the property the parallel gathers rely on.
+	a := New(2, 1)
+	a.Append([]uint8{0, 1}, []uint8{5, 6})
+	b := New(2, 1)
+	b.Append([]uint8{2, 3}, []uint8{7, 8})
+	joined, err := Decode(2, append(a.Encode(), b.Encode()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 2 || joined.Key(0) != a.Key(0) || joined.Key(1) != b.Key(0) {
+		t.Errorf("concatenated decode wrong")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(0, nil); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Decode(2, make([]byte, 5)); err == nil {
+		t.Error("misaligned payload: want error")
+	}
+}
+
+func TestLenZeroK(t *testing.T) {
+	a := &Array{}
+	if a.Len() != 0 {
+		t.Errorf("zero-value Len = %d", a.Len())
+	}
+}

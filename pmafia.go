@@ -1,0 +1,213 @@
+// Package pmafia is a Go implementation of pMAFIA — the scalable
+// parallel subspace clustering algorithm with adaptive grids of Nagesh,
+// Goil and Choudhary (ICPP 2000) — together with the CLIQUE baseline it
+// is evaluated against, a synthetic data generator matching the
+// paper's, out-of-core record files, and a simulated distributed-memory
+// machine for reproducing the paper's parallel results on any host.
+//
+// Quick start:
+//
+//	data, truth, _ := pmafia.Generate(pmafia.Spec{
+//		Dims:    8,
+//		Records: 50000,
+//		Clusters: []pmafia.ClusterSpec{
+//			pmafia.UniformBox([]int{1, 4, 6}, []pmafia.Range{{20, 35}, {50, 65}, {5, 20}}, 0),
+//		},
+//		Seed: 1,
+//	})
+//	res, _ := pmafia.Run(data, pmafia.Config{})
+//	for _, c := range res.Clusters {
+//		fmt.Println(c.DNF(res.Grid))
+//	}
+//	_ = truth
+//
+// pMAFIA is fully unsupervised: the only knobs are the density factor
+// α (Alpha, > 1.5) and the window-merge percentage β (BetaPercent,
+// 25-75); the defaults follow the paper.
+package pmafia
+
+import (
+	"pmafia/internal/clique"
+	"pmafia/internal/cluster"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/grid"
+	"pmafia/internal/mafia"
+	"pmafia/internal/realdata"
+	"pmafia/internal/sp2"
+)
+
+// Core data types, re-exported so downstream users can name them.
+type (
+	// Range is a half-open interval [Lo, Hi).
+	Range = dataset.Range
+	// Matrix is an in-memory data set (rows of float64 records).
+	Matrix = dataset.Matrix
+	// Source is anything the engines can scan in chunks: a Matrix or an
+	// on-disk record File.
+	Source = dataset.Source
+	// Result is a clustering outcome: grid, per-level statistics,
+	// clusters and the parallel machine report.
+	Result = mafia.Result
+	// LevelStats reports candidate and dense unit counts per level.
+	LevelStats = mafia.LevelStats
+	// Cluster is a reported cluster: a connected set of dense units in
+	// one subspace with a minimal DNF cover.
+	Cluster = cluster.Cluster
+	// Grid is the computed per-dimension binning.
+	Grid = grid.Grid
+	// MachineConfig configures the message-passing machine (rank
+	// count, Sim/Real mode, latency and bandwidth of the cost model).
+	MachineConfig = sp2.Config
+	// MachineReport is the timing/communication report of a run.
+	MachineReport = sp2.Report
+	// Spec describes a synthetic data set (the paper's §5.1 generator).
+	Spec = datagen.Spec
+	// ClusterSpec is one embedded cluster of a Spec.
+	ClusterSpec = datagen.Cluster
+	// BoxSpec is one hyper-rectangle of a ClusterSpec (a range per
+	// subspace dimension).
+	BoxSpec = datagen.Box
+	// Truth is a generated data set's ground truth.
+	Truth = datagen.Truth
+	// File is an on-disk record file (implements Source).
+	File = diskio.File
+)
+
+// Machine execution modes.
+const (
+	// Sim serializes ranks and reports honest virtual time (default).
+	Sim = sp2.Sim
+	// Real runs ranks concurrently and reports wall-clock time.
+	Real = sp2.Real
+)
+
+// Config holds the user-facing pMAFIA parameters. The zero value is
+// the paper's recommended configuration (α = 1.5, β = 50%, fully
+// unsupervised).
+type Config struct {
+	// Alpha is the density deviation factor α; a cell is dense when its
+	// population exceeds α times the equidistribution expectation of
+	// every bin forming it. Values above 1.5 work well (paper §4.4).
+	Alpha float64
+	// BetaPercent is the adaptive-grid merge threshold β as a
+	// percentage; 25-75 works well (paper §4.4).
+	BetaPercent float64
+	// FineUnits is the number of fine histogram units per dimension
+	// (default 1000).
+	FineUnits int
+	// WindowUnits is the fine units per window in Algorithm 1
+	// (default 5).
+	WindowUnits int
+	// EquiSplit is the number of fixed partitions an equi-distributed
+	// dimension is re-split into (default 5).
+	EquiSplit int
+	// ChunkRecords is B, the number of records per out-of-core read
+	// (default 8192).
+	ChunkRecords int
+	// TaskThreshold is τ: minimum item count before a task-parallel
+	// step is divided among processors (default 64).
+	TaskThreshold int
+	// MaxLevels caps the subspace dimensionality explored (0 = all).
+	MaxLevels int
+}
+
+func (c Config) toInternal() mafia.Config {
+	return mafia.Config{
+		Adaptive: grid.AdaptiveParams{
+			Alpha:       c.Alpha,
+			BetaPercent: c.BetaPercent,
+			WindowUnits: c.WindowUnits,
+			EquiSplit:   c.EquiSplit,
+		},
+		FineUnits:    c.FineUnits,
+		ChunkRecords: c.ChunkRecords,
+		Tau:          c.TaskThreshold,
+		MaxLevels:    c.MaxLevels,
+	}
+}
+
+// Run clusters src with pMAFIA on a single processor.
+func Run(src Source, cfg Config) (*Result, error) {
+	return mafia.Run(src, cfg.toInternal())
+}
+
+// RunParallel clusters data distributed over one shard per rank of the
+// machine. domains may be nil (a parallel pass discovers them). In Sim
+// mode (the default) the run reports honest per-rank virtual time even
+// on a single-core host; in Real mode ranks execute concurrently.
+func RunParallel(shards []Source, domains []Range, cfg Config, machine MachineConfig) (*Result, error) {
+	return mafia.RunParallel(shards, domains, cfg.toInternal(), machine)
+}
+
+// CLIQUEConfig holds the baseline's parameters (which, unlike pMAFIA's,
+// must be supplied by the user: the bin count ξ and the global density
+// threshold τ).
+type CLIQUEConfig = clique.Config
+
+// RunCLIQUE clusters src with the CLIQUE baseline on one processor.
+func RunCLIQUE(src Source, cfg CLIQUEConfig) (*Result, error) {
+	return clique.Run(src, cfg)
+}
+
+// RunCLIQUEParallel is the parallelized CLIQUE used by the paper's
+// head-to-head comparisons.
+func RunCLIQUEParallel(shards []Source, domains []Range, cfg CLIQUEConfig, machine MachineConfig) (*Result, error) {
+	return clique.RunParallel(shards, domains, cfg, machine)
+}
+
+// Generate produces a synthetic data set and its ground truth with the
+// paper's generator (inversive congruential randomness, per-dimension
+// coverage guarantees, 10% noise, shuffled records).
+func Generate(spec Spec) (*Matrix, *Truth, error) {
+	return datagen.Generate(spec)
+}
+
+// UniformBox builds a single-box cluster specification.
+func UniformBox(dims []int, extents []Range, points int) ClusterSpec {
+	return datagen.UniformBox(dims, extents, points)
+}
+
+// FromRows builds an in-memory data set from rows.
+func FromRows(rows [][]float64) (*Matrix, error) { return dataset.FromRows(rows) }
+
+// Domains scans src once and returns each dimension's value range.
+func Domains(src Source) ([]Range, error) { return dataset.Domains(src) }
+
+// WriteFile stores src as an on-disk record file at path.
+func WriteFile(path string, src Source) error { return diskio.WriteSource(path, src) }
+
+// OpenFile opens an on-disk record file; the result implements Source
+// and can be clustered out of core.
+func OpenFile(path string) (*File, error) { return diskio.Open(path) }
+
+// Stage copies rank's N/p share of a shared record file into localDir,
+// simulating the paper's shared-disk → local-disk staging.
+func Stage(shared *File, localDir string, rank, p int) (*File, error) {
+	return diskio.Stage(shared, localDir, rank, p)
+}
+
+// ShardMatrix splits an in-memory data set into p contiguous shards
+// for RunParallel.
+func ShardMatrix(m *Matrix, p int) []Source {
+	out := make([]Source, p)
+	n := m.NumRecords()
+	for r := 0; r < p; r++ {
+		lo, hi := diskio.ShareBounds(n, r, p)
+		out[r] = m.Slice(lo, hi)
+	}
+	return out
+}
+
+// SampleDAX returns the DAX-like financial sample data set (22
+// dimensions, 2757 records; see the paper's §5.9.1).
+func SampleDAX(seed uint64) *Matrix { return realdata.DAX(seed) }
+
+// SampleIonosphere returns the ionosphere-like radar sample data set
+// (34 dimensions, 351 records; §5.9.2).
+func SampleIonosphere(seed uint64) *Matrix { return realdata.Ionosphere(seed) }
+
+// SampleRatings returns an EachMovie-like ratings data set with the
+// given number of records (§5.9.3).
+func SampleRatings(records int, seed uint64) *Matrix { return realdata.EachMovie(records, seed) }

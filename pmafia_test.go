@@ -1,0 +1,173 @@
+package pmafia
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func sampleSpec(seed uint64) Spec {
+	return Spec{
+		Dims:    8,
+		Records: 6000,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{1, 4, 6}, []Range{{Lo: 20, Hi: 35}, {Lo: 50, Hi: 65}, {Lo: 5, Hi: 20}}, 0),
+		},
+		Seed: seed,
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	data, truth, err := Generate(sampleSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == nil || len(truth.Clusters) != 1 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	res, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 3 && c.Dims[0] == 1 && c.Dims[1] == 4 && c.Dims[2] == 6 {
+			found = true
+			dnf := c.DNF(res.Grid)
+			if dnf == "" {
+				t.Error("empty DNF")
+			}
+		}
+	}
+	if !found {
+		t.Error("embedded cluster not found through the public API")
+	}
+}
+
+func TestPublicParallelMatchesSerial(t *testing.T) {
+	data, _, err := Generate(sampleSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(ShardMatrix(data, 4), nil, Config{}, MachineConfig{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Clusters) != len(serial.Clusters) {
+		t.Errorf("parallel %d clusters vs serial %d", len(par.Clusters), len(serial.Clusters))
+	}
+	if par.Report.Procs != 4 {
+		t.Errorf("report procs = %d", par.Report.Procs)
+	}
+}
+
+func TestPublicCLIQUE(t *testing.T) {
+	data, _, err := Generate(Spec{
+		Dims:    6,
+		Records: 2000,
+		Clusters: []ClusterSpec{
+			UniformBox([]int{0, 3}, []Range{{Lo: 20, Hi: 40}, {Lo: 60, Hi: 80}}, 0),
+		},
+		NoiseFraction: 2.0,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCLIQUE(data, CLIQUEConfig{Bins: 10, Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("CLIQUE found nothing")
+	}
+}
+
+func TestPublicFileAPI(t *testing.T) {
+	data, _, err := Generate(sampleSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.pmaf")
+	if err := WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != data.NumRecords() {
+		t.Fatalf("file records = %d", f.NumRecords())
+	}
+	// Stage three shards and run in parallel from disk.
+	shards := make([]Source, 3)
+	for r := 0; r < 3; r++ {
+		local, err := Stage(f, filepath.Join(dir, "local"), r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[r] = local
+	}
+	res, err := RunParallel(shards, f.Domains(), Config{ChunkRecords: 512}, MachineConfig{Procs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("disk-staged run found nothing")
+	}
+}
+
+func TestPublicDomains(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 10}, {5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms, err := Domains(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doms[0].Lo != 1 || doms[1].Lo != 2 {
+		t.Errorf("domains = %v", doms)
+	}
+}
+
+func TestPublicSamples(t *testing.T) {
+	if m := SampleDAX(1); m.Dims() != 22 || m.NumRecords() != 2757 {
+		t.Error("DAX sample shape wrong")
+	}
+	if m := SampleIonosphere(1); m.Dims() != 34 || m.NumRecords() != 351 {
+		t.Error("ionosphere sample shape wrong")
+	}
+	if m := SampleRatings(1000, 1); m.Dims() != 4 || m.NumRecords() != 1000 {
+		t.Error("ratings sample shape wrong")
+	}
+}
+
+func TestConfigKnobsReachEngine(t *testing.T) {
+	data, _, err := Generate(sampleSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge alpha should suppress all clusters.
+	res, err := Run(data, Config{Alpha: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 0 {
+		t.Errorf("alpha=50 still found %d clusters", len(res.Clusters))
+	}
+	// MaxLevels=1 must stop after level 1.
+	res, err = Run(data, Config{MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Levels {
+		if l.K > 1 {
+			t.Errorf("MaxLevels=1 but level %d ran", l.K)
+		}
+	}
+}
