@@ -1,0 +1,11 @@
+.PHONY: build test check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Extended tier-1 gate: vet + gofmt + full suite under -race.
+check:
+	sh scripts/check.sh

@@ -6,6 +6,7 @@
 //	experiments -scale 10        # 10x more records
 //	experiments -procs 1,2,4,8,16,32
 //	experiments -csv out.csv     # also dump CSV series for plotting
+//	experiments -json bench.json # machine-readable tables for diffing
 //	experiments -list            # list experiment ids
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		procs = flag.String("procs", "1,2,4,8,16", "comma list of machine sizes")
 		mode  = flag.String("mode", "sim", "machine mode: sim or real")
 		csvP  = flag.String("csv", "", "optional CSV output path")
+		jsonP = flag.String("json", "", "optional machine-readable JSON output path")
 		svgD  = flag.String("svg", "", "optional directory for figure SVGs")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -71,6 +73,15 @@ func main() {
 		}
 		defer f.Close()
 		o.CSV = f
+	}
+	if *jsonP != "" {
+		f, err := os.Create(*jsonP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.JSON = f
 	}
 
 	var err error

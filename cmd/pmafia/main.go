@@ -12,12 +12,23 @@
 //	pmafia data.csv
 //	pmafia -alpha 2 -procs 8 data.pmaf
 //	pmafia -clique -bins 10 -tau 0.01 data.csv
+//	pmafia -procs 8 -trace trace.json -metrics metrics.json data.pmaf
+//
+// With -trace the run writes a Chrome trace_event file (open it in
+// chrome://tracing or Perfetto: one track per rank, one span per engine
+// phase); -metrics writes the flat counters and per-phase aggregates as
+// JSON; -pprof serves net/http/pprof on the given address for the
+// duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 
 	"pmafia/internal/clique"
@@ -25,57 +36,94 @@ import (
 	"pmafia/internal/diskio"
 	"pmafia/internal/grid"
 	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
 	"pmafia/internal/sp2"
+	"pmafia/internal/tabular"
 )
 
+// options collects every flag of the command.
+type options struct {
+	alpha, beta float64
+	procs       int
+	mode        string
+	chunk       int
+	useClique   bool
+	bins        int
+	tau         float64
+	levels      bool
+	verbose     bool
+	tracePath   string
+	metricsPath string
+	pprofAddr   string
+}
+
 func main() {
-	var (
-		alpha     = flag.Float64("alpha", 1.5, "density deviation factor α (pMAFIA)")
-		beta      = flag.Float64("beta", 50, "adaptive-grid merge threshold β in percent (pMAFIA)")
-		procs     = flag.Int("procs", 1, "processors of the simulated machine")
-		mode      = flag.String("mode", "sim", "machine mode: sim (virtual time) or real (concurrent)")
-		chunk     = flag.Int("chunk", 8192, "records per out-of-core read (B)")
-		useClique = flag.Bool("clique", false, "run the CLIQUE baseline instead of pMAFIA")
-		bins      = flag.Int("bins", 10, "bins per dimension ξ (CLIQUE)")
-		tau       = flag.Float64("tau", 0.01, "global density threshold τ as a fraction of N (CLIQUE)")
-		levels    = flag.Bool("levels", false, "print per-level candidate/dense unit counts")
-		verbose   = flag.Bool("v", false, "print per-cluster DNF expressions in full")
-	)
+	var o options
+	flag.Float64Var(&o.alpha, "alpha", 1.5, "density deviation factor α (pMAFIA)")
+	flag.Float64Var(&o.beta, "beta", 50, "adaptive-grid merge threshold β in percent (pMAFIA)")
+	flag.IntVar(&o.procs, "procs", 1, "processors of the simulated machine")
+	flag.StringVar(&o.mode, "mode", "sim", "machine mode: sim (virtual time) or real (concurrent)")
+	flag.IntVar(&o.chunk, "chunk", 8192, "records per out-of-core read (B)")
+	flag.BoolVar(&o.useClique, "clique", false, "run the CLIQUE baseline instead of pMAFIA")
+	flag.IntVar(&o.bins, "bins", 10, "bins per dimension ξ (CLIQUE)")
+	flag.Float64Var(&o.tau, "tau", 0.01, "global density threshold τ as a fraction of N (CLIQUE)")
+	flag.BoolVar(&o.levels, "levels", false, "print per-level counts and the per-collective breakdown")
+	flag.BoolVar(&o.verbose, "v", false, "print per-cluster DNF expressions in full")
+	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON file (one track per rank)")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write flat metrics JSON (counters + per-phase aggregates)")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmafia [flags] <input.csv|input.pmaf>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *alpha, *beta, *procs, *mode, *chunk, *useClique, *bins, *tau, *levels, *verbose); err != nil {
+	if o.pprofAddr != "" {
+		fmt.Fprintf(os.Stderr, "pmafia: pprof listening on http://%s/debug/pprof/\n", o.pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pmafia: pprof:", err)
+			}
+		}()
+	}
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "pmafia:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, alpha, beta float64, procs int, mode string, chunk int, useClique bool, bins int, tau float64, levels, verbose bool) error {
+func run(path string, o options) error {
 	src, domains, err := open(path)
 	if err != nil {
 		return err
 	}
-	mcfg := sp2.Config{Procs: procs}
-	switch mode {
+	mcfg := sp2.Config{Procs: o.procs}
+	switch o.mode {
 	case "sim":
 		mcfg.Mode = sp2.Sim
 	case "real":
 		mcfg.Mode = sp2.Real
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
-	shards := shardSource(src, procs)
+	var rec *obs.Recorder
+	if o.tracePath != "" || o.metricsPath != "" {
+		rec = obs.New()
+		if f, ok := src.(*diskio.File); ok {
+			f.SetRecorder(rec)
+		}
+	}
+	shards := shardSource(src, o.procs)
 
 	var res *mafia.Result
-	if useClique {
-		res, err = clique.RunParallel(shards, domains, clique.Config{Bins: bins, Tau: tau, ChunkRecords: chunk}, mcfg)
+	if o.useClique {
+		ccfg := clique.Config{Bins: o.bins, Tau: o.tau, ChunkRecords: o.chunk, Recorder: rec}
+		res, err = clique.RunParallel(shards, domains, ccfg, mcfg)
 	} else {
 		cfg := mafia.Config{
-			Adaptive:     grid.AdaptiveParams{Alpha: alpha, BetaPercent: beta},
-			ChunkRecords: chunk,
+			Adaptive:     grid.AdaptiveParams{Alpha: o.alpha, BetaPercent: o.beta},
+			ChunkRecords: o.chunk,
+			Recorder:     rec,
 		}
 		res, err = mafia.RunParallel(shards, domains, cfg, mcfg)
 	}
@@ -84,10 +132,13 @@ func run(path string, alpha, beta float64, procs int, mode string, chunk int, us
 	}
 
 	fmt.Printf("%d records, %d dimensions, %d processors: %.3fs (comm %.4fs)\n",
-		res.N, len(res.Grid.Dims), procs, res.Seconds, res.Report.CommSeconds)
-	if levels {
+		res.N, len(res.Grid.Dims), o.procs, res.Seconds, res.Report.CommSeconds)
+	if o.levels {
 		for _, l := range res.Levels {
 			fmt.Printf("  level %d: %d raw CDUs, %d unique, %d dense\n", l.K, l.NcduRaw, l.Ncdu, l.Ndu)
+		}
+		if err := collectiveTable(res.Report).Render(os.Stdout); err != nil {
+			return err
 		}
 	}
 	fmt.Printf("%d cluster(s) discovered:\n", len(res.Clusters))
@@ -97,7 +148,7 @@ func run(path string, alpha, beta float64, procs int, mode string, chunk int, us
 			dims[j] = fmt.Sprint(d)
 		}
 		fmt.Printf("  #%d dims {%s}, %d dense units, %d boxes\n", i+1, strings.Join(dims, ","), c.Units.Len(), len(c.Boxes))
-		if verbose {
+		if o.verbose {
 			fmt.Printf("     %s\n", c.DNF(res.Grid))
 		} else {
 			for j, b := range c.Bounds(res.Grid) {
@@ -105,7 +156,53 @@ func run(path string, alpha, beta float64, procs int, mode string, chunk int, us
 			}
 		}
 	}
+	if rec != nil {
+		if err := rec.PhaseTable().Render(os.Stdout); err != nil {
+			return err
+		}
+		if o.tracePath != "" {
+			if err := writeTo(o.tracePath, rec.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.tracePath)
+		}
+		if o.metricsPath != "" {
+			if err := writeTo(o.metricsPath, rec.WriteMetricsJSON); err != nil {
+				return err
+			}
+			fmt.Printf("metrics written to %s\n", o.metricsPath)
+		}
+	}
 	return nil
+}
+
+// collectiveTable renders the machine report's per-collective-kind
+// breakdown.
+func collectiveTable(rep *sp2.Report) *tabular.Table {
+	t := tabular.New("Collectives by kind", "kind", "count", "bytes", "modeled s")
+	kinds := make([]string, 0, len(rep.ByKind))
+	for k := range rep.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		st := rep.ByKind[k]
+		t.AddRow(k, tabular.I(int(st.Count)), tabular.I(int(st.Bytes)), tabular.F(st.Seconds))
+	}
+	return t
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // open loads the input as a record file or CSV and returns the source

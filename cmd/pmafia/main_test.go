@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -98,13 +99,98 @@ func TestShardSourceCoversAllRecords(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	pmaf, csv := writeSample(t, dir)
-	if err := run(pmaf, 1.5, 50, 2, "sim", 512, false, 10, 0.01, true, true); err != nil {
+	base := options{alpha: 1.5, beta: 50, mode: "sim", chunk: 512, bins: 10, tau: 0.01}
+
+	o := base
+	o.procs, o.levels, o.verbose = 2, true, true
+	if err := run(pmaf, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(csv, 1.5, 50, 1, "sim", 512, true, 10, 0.02, false, false); err != nil {
+
+	o = base
+	o.procs, o.useClique, o.tau = 1, true, 0.02
+	if err := run(csv, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(pmaf, 1.5, 50, 1, "bogus", 512, false, 10, 0.01, false, false); err == nil {
+
+	o = base
+	o.procs, o.mode = 1, "bogus"
+	if err := run(pmaf, o); err == nil {
 		t.Error("bogus mode: want error")
+	}
+}
+
+// TestRunWithTraceAndMetrics exercises the observability flags in both
+// machine modes: the trace must be valid Chrome trace_event JSON with
+// one track per rank and a span for every engine phase.
+func TestRunWithTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, _ := writeSample(t, dir)
+	for _, mode := range []string{"sim", "real"} {
+		o := options{
+			alpha: 1.5, beta: 50, procs: 4, mode: mode, chunk: 512,
+			bins: 10, tau: 0.01, levels: true,
+			tracePath:   filepath.Join(dir, mode+"-trace.json"),
+			metricsPath: filepath.Join(dir, mode+"-metrics.json"),
+		}
+		if err := run(pmaf, o); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+
+		raw, err := os.ReadFile(o.tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				Ph   string  `json:"ph"`
+				Ts   float64 `json:"ts"`
+				Dur  float64 `json:"dur"`
+				Tid  int     `json:"tid"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: trace is not valid JSON: %v", mode, err)
+		}
+		tracks := map[int]bool{}
+		phases := map[string]bool{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				tracks[ev.Tid] = true
+				phases[ev.Name] = true
+			}
+		}
+		if len(tracks) != 4 {
+			t.Errorf("%s: %d rank tracks, want 4", mode, len(tracks))
+		}
+		for _, want := range []string{"run", "histogram", "grid", "generate", "dedup", "populate", "identify", "clusters"} {
+			if !phases[want] {
+				t.Errorf("%s: trace has no %q span (have %v)", mode, want, phases)
+			}
+		}
+
+		raw, err = os.ReadFile(o.metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var metrics struct {
+			Counters map[string]int64 `json:"counters"`
+			Phases   []struct {
+				Name string `json:"name"`
+			} `json:"phases"`
+		}
+		if err := json.Unmarshal(raw, &metrics); err != nil {
+			t.Fatalf("%s: metrics is not valid JSON: %v", mode, err)
+		}
+		if metrics.Counters["diskio.chunks"] == 0 {
+			t.Errorf("%s: no diskio.chunks counted", mode)
+		}
+		if metrics.Counters["cdus.generated"] == 0 || metrics.Counters["dense.units"] == 0 {
+			t.Errorf("%s: engine counters missing: %v", mode, metrics.Counters)
+		}
+		if len(metrics.Phases) == 0 {
+			t.Errorf("%s: no phase aggregates", mode)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"pmafia/internal/dataset"
 	"pmafia/internal/gen"
 	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
 	"pmafia/internal/sp2"
 	"pmafia/internal/unit"
 )
@@ -49,6 +50,9 @@ type Config struct {
 	TaskTau int
 	// MaxLevels caps the level loop.
 	MaxLevels int
+	// Recorder, when non-nil, receives phase spans and engine counters
+	// exactly as in a pMAFIA run (the baseline shares the engine).
+	Recorder *obs.Recorder
 }
 
 func (c *Config) toMafia(dims int) mafia.Config {
@@ -63,6 +67,7 @@ func (c *Config) toMafia(dims int) mafia.Config {
 		Join:         join,
 		MaxLevels:    c.MaxLevels,
 		UniformTau:   c.Tau,
+		Recorder:     c.Recorder,
 	}
 	if c.BinsPerDim != nil {
 		mc.Grid = mafia.UniformVariableGrid

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"pmafia/internal/dataset"
+	"pmafia/internal/obs"
 )
 
 // Format: little-endian throughout.
@@ -184,7 +185,14 @@ type File struct {
 	domains []dataset.Range
 	dataOff int64
 	stats   Stats
+	rec     *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder: every chunk read by
+// any scanner opened after the call bumps the machine-global
+// "diskio.chunks" and "diskio.bytes" counters (scanners may run on any
+// rank, so the counters are rank-less). A nil recorder detaches.
+func (f *File) SetRecorder(rec *obs.Recorder) { f.rec = rec }
 
 // Open validates the header of the record file at path. The file is
 // reopened by each scanner, so a File may be scanned concurrently.
@@ -297,6 +305,7 @@ func (f *File) ScanRange(lo, hi, chunkRecords int) dataset.Scanner {
 		vals:   make([]float64, chunkRecords*f.d),
 		raw:    make([]byte, chunkRecords*f.d*8),
 		stats:  &f.stats,
+		rec:    f.rec,
 		chunkR: chunkRecords,
 	}
 }
@@ -309,6 +318,7 @@ type fileScanner struct {
 	vals   []float64
 	raw    []byte
 	stats  *Stats
+	rec    *obs.Recorder
 	chunkR int
 	err    error
 }
@@ -328,6 +338,10 @@ func (s *fileScanner) Next() ([]float64, int) {
 	}
 	atomic.AddInt64(&s.stats.BytesRead, int64(nb))
 	atomic.AddInt64(&s.stats.Reads, 1)
+	if s.rec != nil {
+		s.rec.AddGlobal("diskio.chunks", 1)
+		s.rec.AddGlobal("diskio.bytes", int64(nb))
+	}
 	for i := 0; i < n*s.f.d; i++ {
 		s.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.raw[8*i:]))
 	}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -41,9 +42,60 @@ type Options struct {
 	Out io.Writer
 	// CSV, when non-nil, receives CSV copies of every table.
 	CSV io.Writer
+	// JSON, when non-nil, receives one machine-readable document
+	// describing every table of the run (see flushJSON), so the
+	// performance trajectory can be diffed across commits.
+	JSON io.Writer
 	// SVGDir, when non-empty, receives an SVG line chart per figure
 	// experiment (fig3, table1, fig5-7, table5).
 	SVGDir string
+
+	// collected accumulates per-experiment results for the JSON export.
+	collected []jsonExperiment
+}
+
+// jsonTable mirrors tabular.Table with lowercase JSON keys.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonExperiment is one experiment's contribution to the JSON export.
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Tables []jsonTable `json:"tables"`
+}
+
+// flushJSON writes the collected experiment tables as one indented
+// JSON document and resets the collector.
+func (o *Options) flushJSON() error {
+	if o.JSON == nil {
+		return nil
+	}
+	doc := struct {
+		Schema      string           `json:"schema"`
+		Scale       float64          `json:"scale"`
+		Seed        uint64           `json:"seed"`
+		Procs       []int            `json:"procs"`
+		Mode        string           `json:"mode"`
+		Experiments []jsonExperiment `json:"experiments"`
+	}{
+		Schema:      "pmafia.experiments/v1",
+		Scale:       o.Scale,
+		Seed:        o.Seed,
+		Procs:       o.Procs,
+		Mode:        "sim",
+		Experiments: o.collected,
+	}
+	if o.Mode == sp2.Real {
+		doc.Mode = "real"
+	}
+	o.collected = nil
+	enc := json.NewEncoder(o.JSON)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
 }
 
 func (o *Options) normalize() {
@@ -122,7 +174,7 @@ func RunAll(o *Options) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 	}
-	return nil
+	return o.flushJSON()
 }
 
 // RunOne executes a single experiment by id.
@@ -137,7 +189,10 @@ func RunOne(id string, o *Options) error {
 		sort.Strings(ids)
 		return fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 	}
-	return runOne(e, o)
+	if err := runOne(e, o); err != nil {
+		return err
+	}
+	return o.flushJSON()
 }
 
 func runOne(e Experiment, o *Options) error {
@@ -161,6 +216,13 @@ func runOne(e Experiment, o *Options) error {
 		if err := writeSVG(o.SVGDir, e.ID, tables); err != nil {
 			return err
 		}
+	}
+	if o.JSON != nil {
+		je := jsonExperiment{ID: e.ID, Title: e.Title}
+		for _, t := range tables {
+			je.Tables = append(je.Tables, jsonTable{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+		}
+		o.collected = append(o.collected, je)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"pmafia/internal/gen"
 	"pmafia/internal/grid"
+	"pmafia/internal/obs"
 	"pmafia/internal/unit"
 )
 
@@ -89,6 +90,10 @@ type Config struct {
 	// subspace pruning plugs in here). It must be deterministic — every
 	// rank calls it on identical inputs.
 	Prune func(du *unit.Array, counts []int64) *unit.Array
+	// Recorder, when non-nil, receives per-rank phase spans and engine
+	// counters; it is also handed to the sp2 machine so collectives
+	// charge their cost into the enclosing span. nil costs nothing.
+	Recorder *obs.Recorder
 }
 
 // Validate fills defaults and rejects inconsistent settings.

@@ -1,8 +1,11 @@
 package mafia
 
 import (
+	"fmt"
+
 	"pmafia/internal/dataset"
 	"pmafia/internal/grid"
+	"pmafia/internal/obs"
 	"pmafia/internal/unit"
 )
 
@@ -15,6 +18,7 @@ type counter struct {
 	g        *grid.Grid
 	cdus     *unit.Array
 	counts   []int64
+	records  int64 // records scanned by this counter
 	strategy CountStrategy
 
 	// grouped strategy state
@@ -60,6 +64,7 @@ func newCounter(g *grid.Grid, cdus *unit.Array, strategy CountStrategy) *counter
 
 // addChunk counts n row-major records.
 func (c *counter) addChunk(chunk []float64, n int) {
+	c.records += int64(n)
 	d := len(c.g.Dims)
 	switch c.strategy {
 	case CountGrouped:
@@ -108,6 +113,42 @@ func (c *counter) addSource(src dataset.Source, chunkRecords int) error {
 		c.addChunk(chunk, n)
 	}
 	return sc.Err()
+}
+
+// levelTally is the single per-level bookkeeping record of the engine:
+// the phase code fills it in as the level runs, and both the reported
+// LevelStats and the recorder's counters are derived from it — one
+// source of truth, no double bookkeeping.
+type levelTally struct {
+	k          int     // level dimensionality
+	raw        int     // CDUs generated before repeat elimination
+	unique     int     // CDUs whose population was counted
+	dense      int     // dense units identified
+	records    int64   // records scanned by the population pass
+	seconds    float64 // wall-clock time of the whole level
+	popSeconds float64 // wall-clock time of the population pass
+}
+
+// stats converts the tally into the LevelStats row Result reports.
+func (t *levelTally) stats() LevelStats {
+	return LevelStats{
+		K: t.k, NcduRaw: t.raw, Ncdu: t.unique, Ndu: t.dense,
+		Seconds: t.seconds, PopulateSeconds: t.popSeconds,
+	}
+}
+
+// emit mirrors the tally into the recorder's counter space: run-wide
+// totals plus a per-level dense-unit count. A nil recorder is free.
+func (t *levelTally) emit(rec *obs.Recorder, rank int) {
+	if rec == nil {
+		return
+	}
+	rec.Add(rank, "cdus.generated", int64(t.raw))
+	rec.Add(rank, "cdus.deduped", int64(t.raw-t.unique))
+	rec.Add(rank, "cdus.populated", int64(t.unique))
+	rec.Add(rank, "dense.units", int64(t.dense))
+	rec.Add(rank, "populate.records", t.records)
+	rec.Add(rank, fmt.Sprintf("level.%02d.dense", t.k), int64(t.dense))
 }
 
 // maxThreshold returns the density threshold of CDU i: its population

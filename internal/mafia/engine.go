@@ -85,6 +85,10 @@ func RunParallel(shards []dataset.Source, domains []dataset.Range, cfg Config, m
 	for _, s := range shards {
 		total += s.NumRecords()
 	}
+	if mcfg.Recorder == nil {
+		mcfg.Recorder = cfg.Recorder
+	}
+	cfg.Recorder = mcfg.Recorder
 	results := make([]*Result, mcfg.Procs)
 	rep, err := sp2.Run(mcfg, func(c *sp2.Comm) error {
 		e := &engine{c: c, shard: shards[c.Rank()], cfg: &cfg, totalRecords: total}
@@ -119,23 +123,34 @@ type engine struct {
 func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	cfg := e.cfg
 	d := e.shard.Dims()
+	rec := cfg.Recorder
+	rank := e.c.Rank()
+	root := rec.Start(rank, "run")
+	defer root.End()
 
 	if domains == nil {
+		sp := rec.Start(rank, "domains")
 		var err error
 		domains, err = e.globalDomains()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Phase 0: per-rank fine histograms, reduced to the global one.
+	sp := rec.Start(rank, "histogram")
 	h := histogram.New(domains, e.fineUnits())
 	if err := h.AddSource(e.shard, cfg.ChunkRecords); err != nil {
+		sp.End()
 		return nil, err
 	}
+	rec.Add(rank, "histogram.records", int64(e.shard.NumRecords()))
 	flat := h.Flatten()
 	e.c.AllreduceSumI64(flat)
-	if err := h.SetFlattened(flat); err != nil {
+	err := h.SetFlattened(flat)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	if h.N == 0 {
@@ -144,7 +159,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 
 	// Adaptive intervals (or the uniform CLIQUE grid) from the global
 	// histogram; deterministic, so every rank computes the same grid.
-	var err error
+	sp = rec.Start(rank, "grid")
 	switch cfg.Grid {
 	case AdaptiveGrid:
 		e.g, err = grid.BuildAdaptive(h, cfg.Adaptive)
@@ -153,6 +168,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	case UniformVariableGrid:
 		e.g, err = grid.BuildUniformVariable(h, cfg.UniformBinsPerDim, cfg.UniformTau)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -161,38 +177,56 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 
 	// Level 1: every bin is a candidate dense unit; its population is
 	// its histogram count, so no extra pass is needed.
+	lsp := rec.Start(rank, "level").SetLevel(1)
 	lvlStart := time.Now()
 	cdus1, counts1 := levelOneCandidates(e.g)
+	isp := rec.Start(rank, "identify").SetLevel(1)
 	du := e.identifyDense(cdus1, counts1)
-	res.Levels = append(res.Levels, LevelStats{
-		K: 1, NcduRaw: cdus1.Len(), Ncdu: cdus1.Len(), Ndu: du.Len(),
-		Seconds: time.Since(lvlStart).Seconds(),
-	})
+	isp.End()
+	tally := levelTally{
+		k: 1, raw: cdus1.Len(), unique: cdus1.Len(), dense: du.Len(),
+		seconds: time.Since(lvlStart).Seconds(),
+	}
+	lsp.End()
+	res.Levels = append(res.Levels, tally.stats())
+	tally.emit(rec, rank)
 
 	var registered []*unit.Array
 	for k := 2; du.Len() > 0 && k <= cfg.MaxLevels && k <= d; k++ {
+		lsp = rec.Start(rank, "level").SetLevel(k)
 		lvlStart = time.Now()
+		gsp := rec.Start(rank, "generate").SetLevel(k)
 		raw := e.generate(du, k)
+		gsp.End()
+		dsp := rec.Start(rank, "dedup").SetLevel(k)
 		cdus := e.dedup(raw)
+		dsp.End()
 		var duNext *unit.Array
 		var duCounts []int64
-		var popSec float64
+		tally = levelTally{k: k, raw: raw.Len(), unique: cdus.Len()}
 		if cdus.Len() > 0 {
+			psp := rec.Start(rank, "populate").SetLevel(k)
 			popStart := time.Now()
-			counts, err := e.populate(cdus)
+			counts, records, err := e.populate(cdus)
+			psp.End()
 			if err != nil {
+				lsp.End()
 				return nil, err
 			}
-			popSec = time.Since(popStart).Seconds()
+			tally.popSeconds = time.Since(popStart).Seconds()
+			tally.records = records
+			isp = rec.Start(rank, "identify").SetLevel(k)
 			duNext = e.identifyDense(cdus, counts)
+			isp.End()
 			duCounts = denseCounts(e.g, cdus, counts)
 		} else {
 			duNext = unit.New(k, 0)
 		}
-		res.Levels = append(res.Levels, LevelStats{
-			K: k, NcduRaw: raw.Len(), Ncdu: cdus.Len(), Ndu: duNext.Len(),
-			Seconds: time.Since(lvlStart).Seconds(), PopulateSeconds: popSec,
-		})
+		tally.dense = duNext.Len()
+		tally.seconds = time.Since(lvlStart).Seconds()
+		lsp.End()
+		res.Levels = append(res.Levels, tally.stats())
+		tally.emit(rec, rank)
 		registered = append(registered, uncovered(du, duNext))
 		du = duNext
 		if cfg.Prune != nil && du.Len() > 0 {
@@ -205,7 +239,9 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		registered = append(registered, du)
 	}
 
+	sp = rec.Start(rank, "clusters")
 	res.Clusters = cluster.EliminateSubsets(cluster.Assemble(registered))
+	sp.End()
 	return res, nil
 }
 
@@ -335,14 +371,15 @@ func (e *engine) dedup(cdus *unit.Array) *unit.Array {
 
 // populate counts each CDU's population over this rank's shard (read
 // in chunks of B records) and sum-reduces to the global counts — the
-// data-parallel heart of the algorithm.
-func (e *engine) populate(cdus *unit.Array) ([]int64, error) {
+// data-parallel heart of the algorithm. The second result is the
+// number of records this rank scanned.
+func (e *engine) populate(cdus *unit.Array) ([]int64, int64, error) {
 	cnt := newCounter(e.g, cdus, e.cfg.Count)
 	if err := cnt.addSource(e.shard, e.cfg.ChunkRecords); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	e.c.AllreduceSumI64(cnt.counts)
-	return cnt.counts, nil
+	return cnt.counts, cnt.records, nil
 }
 
 // identifyDense compares each CDU's population against the thresholds

@@ -1,0 +1,136 @@
+package mafia
+
+import (
+	"math"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/obs"
+	"pmafia/internal/sp2"
+)
+
+// runInstrumented executes an 8-rank run with a recorder attached.
+func runInstrumented(t *testing.T, mode sp2.Mode) (*Result, *obs.Recorder, int) {
+	t.Helper()
+	const p = 8
+	m, _ := genData(t, 8, 4000, 31, box(20, 45, 1, 3, 5))
+	srcs := make([]dataset.Source, p)
+	n := m.NumRecords()
+	for r := 0; r < p; r++ {
+		lo, hi := diskio.ShareBounds(n, r, p)
+		srcs[r] = m.Slice(lo, hi)
+	}
+	rec := obs.New()
+	cfg := Config{Recorder: rec}
+	res, err := RunParallel(srcs, nil, cfg, sp2.Config{Procs: p, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec, p
+}
+
+// TestSimSpanSumsMatchRankSeconds is the paper-reproduction exactness
+// check: in Sim mode the per-rank top-level span tiling (a single
+// "run" span) must account for that rank's entire virtual clock.
+func TestSimSpanSumsMatchRankSeconds(t *testing.T) {
+	res, rec, p := runInstrumented(t, sp2.Sim)
+	if rec.Ranks() != p {
+		t.Fatalf("recorded %d rank tracks, want %d", rec.Ranks(), p)
+	}
+	for rank := 0; rank < p; rank++ {
+		var topSum float64
+		for _, sp := range rec.Spans(rank) {
+			if sp.Depth == 0 {
+				topSum += sp.Duration()
+			}
+		}
+		want := res.Report.RankSeconds[rank]
+		// The root span opens after the rank's first baton acquisition
+		// and closes just before its last compute slice ends, so the
+		// difference is real bookkeeping time — microseconds — while
+		// the virtual clock carries the modeled run.
+		if math.Abs(topSum-want) > 0.05 {
+			t.Errorf("rank %d: top-level spans sum to %v, RankSeconds %v", rank, topSum, want)
+		}
+	}
+}
+
+// TestEnginePhasesRecorded checks every engine phase appears as a span
+// on every rank and that the level labels follow the bottom-up loop.
+func TestEnginePhasesRecorded(t *testing.T) {
+	res, rec, p := runInstrumented(t, sp2.Sim)
+	for rank := 0; rank < p; rank++ {
+		phases := map[string]bool{}
+		maxLevel := 0
+		for _, sp := range rec.Spans(rank) {
+			phases[sp.Name] = true
+			if sp.Level > maxLevel {
+				maxLevel = sp.Level
+			}
+			if sp.Duration() < 0 {
+				t.Fatalf("rank %d: span %q negative duration", rank, sp.Name)
+			}
+		}
+		for _, want := range []string{"run", "histogram", "grid", "level", "generate", "dedup", "populate", "identify", "clusters"} {
+			if !phases[want] {
+				t.Errorf("rank %d: no %q span (have %v)", rank, want, phases)
+			}
+		}
+		if wantLevels := len(res.Levels); maxLevel != wantLevels {
+			t.Errorf("rank %d: deepest span level %d, result has %d levels", rank, maxLevel, wantLevels)
+		}
+	}
+}
+
+// TestLevelStatsMatchRecorderCounters is the single-source-of-truth
+// seam: the LevelStats rows of the result and the recorder's counters
+// are both derived from the same levelTally, so they must agree.
+func TestLevelStatsMatchRecorderCounters(t *testing.T) {
+	res, rec, p := runInstrumented(t, sp2.Sim)
+	var raw, unique, dense int64
+	for _, l := range res.Levels {
+		raw += int64(l.NcduRaw)
+		unique += int64(l.Ncdu)
+		dense += int64(l.Ndu)
+	}
+	// Counters are per rank and every rank holds the replicated unit
+	// arrays, so each counter is p times the result's totals.
+	if got := rec.Counter("cdus.generated"); got != raw*int64(p) {
+		t.Errorf("cdus.generated = %d, want %d", got, raw*int64(p))
+	}
+	if got := rec.Counter("cdus.populated"); got != unique*int64(p) {
+		t.Errorf("cdus.populated = %d, want %d", got, unique*int64(p))
+	}
+	if got := rec.Counter("dense.units"); got != dense*int64(p) {
+		t.Errorf("dense.units = %d, want %d", got, dense*int64(p))
+	}
+	// The population passes scan each record once per level >= 2, so
+	// the rank-summed record counter must be a multiple of N and equal
+	// the per-level tallies' sum.
+	var popLevels int64
+	for _, l := range res.Levels {
+		if l.K >= 2 && l.Ncdu > 0 {
+			popLevels++
+		}
+	}
+	if got := rec.Counter("populate.records"); got != popLevels*int64(res.N) {
+		t.Errorf("populate.records = %d, want %d (%d passes over %d records)",
+			got, popLevels*int64(res.N), popLevels, res.N)
+	}
+}
+
+// TestRealModeEngineRecorder runs the instrumented engine with
+// concurrent ranks; under -race this exercises the whole stack's
+// Real-mode recording path.
+func TestRealModeEngineRecorder(t *testing.T) {
+	_, rec, p := runInstrumented(t, sp2.Real)
+	for rank := 0; rank < p; rank++ {
+		if len(rec.Spans(rank)) == 0 {
+			t.Errorf("rank %d recorded no spans", rank)
+		}
+	}
+	if rec.Counter("histogram.records") == 0 {
+		t.Error("histogram.records not counted")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// deterministicRecorder builds a fixed two-rank recording with the
+// manual clock, so its exports are byte-stable.
+func deterministicRecorder() *Recorder {
+	r := New()
+	clk := bindManual(r, 2)
+	for rank := 0; rank < 2; rank++ {
+		run := r.Start(rank, "run")
+		h := r.Start(rank, "histogram")
+		r.Add(rank, "histogram.records", 1000)
+		clk.advance(rank, 0.5)
+		r.Comm(rank, "reduce", 8000, 0.125)
+		h.End()
+		l := r.Start(rank, "level").SetLevel(2)
+		p := r.Start(rank, "populate").SetLevel(2)
+		clk.advance(rank, 1.5)
+		r.Comm(rank, "reduce", 256, 0.25)
+		p.End()
+		l.End()
+		run.End()
+	}
+	r.AddGlobal("diskio.chunks", 4)
+	return r
+}
+
+// TestChromeTraceGolden locks the Chrome trace_event export format:
+// the output must match the checked-in golden file byte for byte and
+// parse as valid trace_event JSON (complete "X" events with
+// microsecond ts/dur, metadata "M" events naming the rank tracks).
+func TestChromeTraceGolden(t *testing.T) {
+	r := deterministicRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (rerun with -update to accept):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur <= 0 {
+				t.Errorf("X event %q: ts %v dur %v", ev.Name, ev.Ts, ev.Dur)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 8 { // 4 spans per rank × 2 ranks
+		t.Errorf("%d complete events, want 8", complete)
+	}
+	if meta != 3 { // process_name + 2 thread_names
+		t.Errorf("%d metadata events, want 3", meta)
+	}
+}
+
+func TestMetricsExport(t *testing.T) {
+	r := deterministicRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if m.Ranks != 2 {
+		t.Errorf("Ranks = %d, want 2", m.Ranks)
+	}
+	if m.Counters["histogram.records"] != 2000 || m.Counters["diskio.chunks"] != 4 {
+		t.Errorf("counters: %v", m.Counters)
+	}
+	// Aggregation: populate(level 2) over 2 ranks, 1.5s+0.25s comm each.
+	var found bool
+	for _, p := range m.Phases {
+		if p.Name == "populate" && p.Level == 2 {
+			found = true
+			if p.Spans != 2 || p.Seconds != 3.0 || p.CommSeconds != 0.5 || p.CommBytes != 512 {
+				t.Errorf("populate summary: %+v", p)
+			}
+			if p.MaxSeconds != 1.5 {
+				t.Errorf("populate max rank seconds = %v, want 1.5", p.MaxSeconds)
+			}
+		}
+	}
+	if !found {
+		t.Error("no populate/level-2 phase summary")
+	}
+}

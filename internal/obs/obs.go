@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the reproduction: named,
+// nestable phase spans and flat counters recorded per rank of the sp2
+// machine, exported as a Chrome trace_event file (open it in
+// chrome://tracing or Perfetto — one row per rank), a flat metrics JSON
+// document, and a human-readable per-phase table.
+//
+// The recorder is pay-for-use. Every method has a nil-receiver no-op
+// fast path, so instrumented code calls through a possibly-nil
+// *Recorder without allocating; a run with no recorder attached costs
+// a pointer test per instrumentation point.
+//
+// Time is whatever the bound clocks say. sp2.Run binds each rank's
+// clock when Config.Recorder is set: in Sim mode that is the rank's
+// *virtual* clock, so traces of simulated runs are exact (span
+// durations include the modeled communication and synchronization
+// jumps of collectives, and per rank they add up to the machine
+// report's RankSeconds); in Real mode it is wall-clock time since the
+// machine started. Spans opened for an unbound rank fall back to a
+// wall clock anchored at the recorder's creation.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase on one rank. Fields are written while the
+// span is open and must be read only after the run completes (or under
+// the recorder's snapshot methods).
+type Span struct {
+	// Name is the phase name (e.g. "populate").
+	Name string
+	// Rank is the machine rank the span was recorded on.
+	Rank int
+	// Level is the bottom-up level k the span belongs to, 0 when the
+	// phase is not level-scoped.
+	Level int
+	// Depth is the nesting depth (0 = top-level).
+	Depth int
+	// Start and Stop are clock readings in seconds.
+	Start, Stop float64
+	// CommSeconds and CommBytes are the modeled communication cost and
+	// payload bytes of the collectives that completed inside this span
+	// while it was the innermost open span on its rank.
+	CommSeconds float64
+	CommBytes   int64
+
+	r    *Recorder
+	open bool
+}
+
+// Duration returns Stop-Start (0 for a still-open span).
+func (s *Span) Duration() float64 {
+	if s == nil || s.open {
+		return 0
+	}
+	return s.Stop - s.Start
+}
+
+// rankState is one rank's recording track.
+type rankState struct {
+	clock func() float64
+	spans []*Span // all spans in start order
+	stack []*Span // currently open spans, innermost last
+	ctrs  map[string]int64
+}
+
+// Recorder collects spans and counters for a run. A single mutex
+// serializes all mutation: instrumentation points are phase- and
+// chunk-granular, far too coarse for the lock to matter, and it keeps
+// concurrent Real-mode ranks race-free by construction.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	ranks  []*rankState
+	global map[string]int64
+}
+
+// New creates an empty recorder.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now(), global: map[string]int64{}}
+}
+
+// BindRanks sizes the per-rank tracks to p ranks and installs their
+// clock. sp2.Run calls this before launching rank goroutines; binding
+// while spans are being recorded is not supported.
+func (r *Recorder) BindRanks(p int, clock func(rank int) float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.ranks) < p {
+		r.ranks = append(r.ranks, &rankState{ctrs: map[string]int64{}})
+	}
+	for i := 0; i < p; i++ {
+		rank := i
+		r.ranks[i].clock = func() float64 { return clock(rank) }
+	}
+}
+
+// rank returns the track for rank, growing the track table with
+// wall-clocked states for ranks never bound. Caller holds r.mu.
+func (r *Recorder) rank(rank int) *rankState {
+	if rank < 0 {
+		rank = 0
+	}
+	for len(r.ranks) <= rank {
+		r.ranks = append(r.ranks, &rankState{ctrs: map[string]int64{}})
+	}
+	rs := r.ranks[rank]
+	if rs.clock == nil {
+		rs.clock = func() float64 { return time.Since(r.epoch).Seconds() }
+	}
+	return rs
+}
+
+// Start opens a span named name on rank, nested inside the rank's
+// innermost open span. Returns nil (a no-op span) on a nil recorder.
+func (r *Recorder) Start(rank int, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.rank(rank)
+	s := &Span{Name: name, Rank: rank, Depth: len(rs.stack), Start: rs.clock(), r: r, open: true}
+	rs.spans = append(rs.spans, s)
+	rs.stack = append(rs.stack, s)
+	return s
+}
+
+// SetLevel labels the span with the bottom-up level k and returns the
+// span for chaining.
+func (s *Span) SetLevel(k int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	s.Level = k
+	s.r.mu.Unlock()
+	return s
+}
+
+// End closes the span, reading the rank clock. Ending an already-ended
+// span is a no-op; ending out of order also closes the spans nested
+// inside it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !s.open {
+		return
+	}
+	rs := r.rank(s.Rank)
+	now := rs.clock()
+	for i := len(rs.stack) - 1; i >= 0; i-- {
+		sp := rs.stack[i]
+		sp.Stop = now
+		sp.open = false
+		if sp == s {
+			rs.stack = rs.stack[:i]
+			return
+		}
+	}
+	// s was not on the stack (already popped by an enclosing End).
+	s.Stop = now
+	s.open = false
+}
+
+// Add bumps rank-local counter name by delta.
+func (r *Recorder) Add(rank int, name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.rank(rank).ctrs[name] += delta
+	r.mu.Unlock()
+}
+
+// AddGlobal bumps a machine-global counter (used by code that has no
+// rank identity, such as shared file scanners).
+func (r *Recorder) AddGlobal(name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.global[name] += delta
+	r.mu.Unlock()
+}
+
+// Comm attributes one completed collective to rank: its modeled cost
+// and payload bytes are charged to the rank's innermost open span and
+// mirrored into per-kind counters. sp2's combiner calls this for every
+// rank while all ranks are parked inside the collective, which makes
+// the cross-goroutine write safe (the parked ranks synchronize on the
+// machine mutex before touching their own track again).
+func (r *Recorder) Comm(rank int, kind string, bytes int64, seconds float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.rank(rank)
+	if n := len(rs.stack); n > 0 {
+		sp := rs.stack[n-1]
+		sp.CommSeconds += seconds
+		sp.CommBytes += bytes
+	}
+	rs.ctrs["comm."+kind+".count"]++
+	rs.ctrs["comm."+kind+".bytes"] += bytes
+}
+
+// Ranks returns the number of rank tracks recorded.
+func (r *Recorder) Ranks() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ranks)
+}
+
+// Spans returns rank's spans in start order. The returned slice is a
+// snapshot; the spans themselves are shared, so read them only after
+// the run completes.
+func (r *Recorder) Spans(rank int) []*Span {
+	if r == nil || rank < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank >= len(r.ranks) {
+		return nil
+	}
+	return append([]*Span(nil), r.ranks[rank].spans...)
+}
+
+// Counter returns the summed value of counter name over every rank
+// plus the global space.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.global[name]
+	for _, rs := range r.ranks {
+		v += rs.ctrs[name]
+	}
+	return v
+}

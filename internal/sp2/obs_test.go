@@ -1,0 +1,119 @@
+package sp2
+
+import (
+	"math"
+	"testing"
+
+	"pmafia/internal/obs"
+)
+
+// TestReportByKind checks the per-collective-kind breakdown sums back
+// to the aggregate totals.
+func TestReportByKind(t *testing.T) {
+	rep, err := Run(Config{Procs: 4}, func(c *Comm) error {
+		c.AllreduceSumI64([]int64{1, 2})
+		c.AllreduceMaxF64([]float64{1})
+		c.Barrier()
+		c.GatherConcatBcast([]byte{byte(c.Rank())})
+		c.BcastBytes(0, []byte{1, 2, 3})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := map[string]int64{KindReduce: 2, KindBarrier: 1, KindGather: 1, KindBcast: 1}
+	var colls, bytes int64
+	var secs float64
+	for kind, st := range rep.ByKind {
+		if st.Count != wantCounts[kind] {
+			t.Errorf("%s count = %d, want %d", kind, st.Count, wantCounts[kind])
+		}
+		colls += st.Count
+		bytes += st.Bytes
+		secs += st.Seconds
+	}
+	if colls != rep.Collectives {
+		t.Errorf("per-kind counts sum to %d, Collectives = %d", colls, rep.Collectives)
+	}
+	if bytes != rep.BytesMoved {
+		t.Errorf("per-kind bytes sum to %d, BytesMoved = %d", bytes, rep.BytesMoved)
+	}
+	if math.Abs(secs-rep.CommSeconds) > 1e-12 {
+		t.Errorf("per-kind seconds sum to %v, CommSeconds = %v", secs, rep.CommSeconds)
+	}
+}
+
+// TestSimSpansMatchVirtualClocks is the exactness guarantee: a span
+// measured around a collective with a large modeled cost must see
+// exactly that cost on the rank's virtual clock, not wall time.
+func TestSimSpansMatchVirtualClocks(t *testing.T) {
+	const p = 4
+	const latency = 1.0 // 1 s/stage => barrier costs 2 s of virtual time
+	rec := obs.New()
+	rep, err := Run(Config{Procs: p, Mode: Sim, LatencySec: latency, Recorder: rec},
+		func(c *Comm) error {
+			s := c.Rank()
+			sp := rec.Start(s, "comm-phase")
+			c.Barrier()
+			sp.End()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost := latency * stages(p)
+	for rank := 0; rank < p; rank++ {
+		spans := rec.Spans(rank)
+		if len(spans) != 1 {
+			t.Fatalf("rank %d recorded %d spans, want 1", rank, len(spans))
+		}
+		sp := spans[0]
+		// The span's virtual duration is the modeled barrier cost plus
+		// sub-millisecond real compute; wall time is microseconds, so a
+		// tight tolerance separates the two regimes.
+		if math.Abs(sp.Duration()-wantCost) > 0.05 {
+			t.Errorf("rank %d span duration %v, want ~%v (virtual)", rank, sp.Duration(), wantCost)
+		}
+		if math.Abs(sp.CommSeconds-wantCost) > 1e-12 {
+			t.Errorf("rank %d span comm %v, want %v", rank, sp.CommSeconds, wantCost)
+		}
+		// And the span end must agree with the rank's final clock.
+		if math.Abs(sp.Stop-rep.RankSeconds[rank]) > 0.05 {
+			t.Errorf("rank %d span stops at %v, RankSeconds %v", rank, sp.Stop, rep.RankSeconds[rank])
+		}
+	}
+}
+
+// TestRealModeRecorder drives the recorder from concurrently executing
+// ranks (run under -race this proves the Real-mode path is safe) and
+// checks wall-clock spans still nest and collect comm counters.
+func TestRealModeRecorder(t *testing.T) {
+	const p = 8
+	rec := obs.New()
+	_, err := Run(Config{Procs: p, Mode: Real, Recorder: rec}, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			sp := rec.Start(c.Rank(), "iter").SetLevel(i % 3)
+			x := []int64{int64(c.Rank())}
+			c.AllreduceSumI64(x)
+			rec.Add(c.Rank(), "iters", 1)
+			sp.End()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("iters"); got != p*50 {
+		t.Errorf("iters = %d, want %d", got, p*50)
+	}
+	if got := rec.Counter("comm." + KindReduce + ".count"); got != int64(p)*50 {
+		t.Errorf("comm.reduce.count = %d, want %d", got, p*50)
+	}
+	for rank := 0; rank < p; rank++ {
+		for _, sp := range rec.Spans(rank) {
+			if sp.Duration() < 0 {
+				t.Fatalf("rank %d span %q has negative duration", rank, sp.Name)
+			}
+		}
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"pmafia/internal/obs"
 )
 
 // Mode selects between honest-virtual-time simulation and real
@@ -52,6 +54,11 @@ type Config struct {
 	LatencySec float64
 	// BandwidthBytesPerSec is the link bandwidth. Default 102 MB/s.
 	BandwidthBytesPerSec float64
+	// Recorder, when non-nil, receives the run's observability stream:
+	// Run binds each rank's span clock to the machine (virtual time in
+	// Sim mode, wall time in Real mode) and every collective charges its
+	// modeled cost into the rank's innermost open span.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) validate() error {
@@ -70,6 +77,24 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// CollectiveStats is the per-kind breakdown of one collective family.
+type CollectiveStats struct {
+	// Count is the number of collectives of this kind performed.
+	Count int64
+	// Bytes is the payload bytes moved, summed over collective stages.
+	Bytes int64
+	// Seconds is the modeled communication time charged.
+	Seconds float64
+}
+
+// Collective kinds reported in Report.ByKind.
+const (
+	KindReduce  = "reduce"  // the Allreduce* family
+	KindBcast   = "bcast"   // BcastBytes
+	KindGather  = "gather"  // GatherConcatBcast
+	KindBarrier = "barrier" // Barrier
+)
+
 // Report summarizes a finished run.
 type Report struct {
 	Procs int
@@ -86,6 +111,9 @@ type Report struct {
 	BytesMoved int64
 	// Collectives counts collective operations performed.
 	Collectives int64
+	// ByKind breaks the three aggregates above down per collective kind
+	// (KindReduce, KindBcast, KindGather, KindBarrier).
+	ByKind map[string]CollectiveStats
 }
 
 type machine struct {
@@ -110,6 +138,8 @@ type machine struct {
 	commSec  float64
 	bytes    int64
 	colls    int64
+	byKind   map[string]*CollectiveStats
+	start    time.Time
 
 	baton chan struct{}
 }
@@ -147,12 +177,16 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 		slotsBol: make([][]bool, p),
 		vclocks:  make([]float64, p),
 		resumeAt: make([]time.Time, p),
+		byKind:   map[string]*CollectiveStats{},
 		baton:    make(chan struct{}, 1),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.baton <- struct{}{}
 
-	start := time.Now()
+	m.start = time.Now()
+	if cfg.Recorder != nil {
+		cfg.Recorder.BindRanks(p, m.now)
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, p)
 	for r := 0; r < p; r++ {
@@ -194,6 +228,10 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 		CommSeconds: m.commSec,
 		BytesMoved:  m.bytes,
 		Collectives: m.colls,
+		ByKind:      map[string]CollectiveStats{},
+	}
+	for kind, st := range m.byKind {
+		rep.ByKind[kind] = *st
 	}
 	if cfg.Mode == Sim {
 		for _, v := range m.vclocks {
@@ -202,10 +240,29 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 			}
 		}
 	} else {
-		rep.ParallelSeconds = time.Since(start).Seconds()
+		rep.ParallelSeconds = time.Since(m.start).Seconds()
 	}
 	return rep, nil
 }
+
+// now returns rank's current clock reading in seconds: the virtual
+// clock in Sim mode (valid only while the rank is inside its compute
+// section, which is where instrumented code runs), wall time since the
+// machine started in Real mode.
+func (m *machine) now(rank int) float64 {
+	if m.cfg.Mode != Sim {
+		return time.Since(m.start).Seconds()
+	}
+	m.mu.Lock()
+	v := m.vclocks[rank] + time.Since(m.resumeAt[rank]).Seconds()
+	m.mu.Unlock()
+	return v
+}
+
+// Now returns this rank's current clock reading in seconds (see
+// machine.now). It is the time base of the observability layer's
+// spans.
+func (c *Comm) Now() float64 { return c.m.now(c.rank) }
 
 // poison marks the machine failed and wakes all waiters.
 func (m *machine) poison(err error) {
@@ -267,7 +324,7 @@ func stages(p int) float64 {
 
 // collective runs one rendezvous: every rank deposits, the last arrival
 // combines and charges the communication cost, then everyone collects.
-func (c *Comm) collective(msgBytes int, costStages float64, deposit, combine func(m *machine)) {
+func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit, combine func(m *machine)) {
 	m := c.m
 	c.endCompute()
 
@@ -314,9 +371,26 @@ func (c *Comm) collective(msgBytes int, costStages float64, deposit, combine fun
 		for i := range m.vclocks {
 			m.vclocks[i] = maxV + cost
 		}
+		stageBytes := int64(float64(msgBytes) * costStages)
 		m.commSec += cost
-		m.bytes += int64(float64(msgBytes) * costStages)
+		m.bytes += stageBytes
 		m.colls++
+		st := m.byKind[kind]
+		if st == nil {
+			st = &CollectiveStats{}
+			m.byKind[kind] = st
+		}
+		st.Count++
+		st.Bytes += stageBytes
+		st.Seconds += cost
+		if rec := m.cfg.Recorder; rec != nil {
+			// Every rank is parked in this rendezvous, so charging the
+			// cost into each rank's innermost open span is race-free:
+			// the parked ranks reacquire m.mu before resuming.
+			for r := 0; r < m.cfg.Procs; r++ {
+				rec.Comm(r, kind, stageBytes, cost)
+			}
+		}
 		m.arrived = 0
 		m.gen++
 		m.cond.Broadcast()
@@ -336,7 +410,7 @@ func (c *Comm) collective(msgBytes int, costStages float64, deposit, combine fun
 
 // Barrier synchronizes all ranks (and, in Sim mode, their clocks).
 func (c *Comm) Barrier() {
-	c.collective(0, stages(c.Size()), func(*machine) {}, func(*machine) {})
+	c.collective(KindBarrier, 0, stages(c.Size()), func(*machine) {}, func(*machine) {})
 }
 
 // AllreduceSumI64 replaces x on every rank with the element-wise sum of
@@ -344,7 +418,7 @@ func (c *Comm) Barrier() {
 // the paper's Reduce-with-sum used for global histograms and CDU
 // populations.
 func (c *Comm) AllreduceSumI64(x []int64) {
-	c.collective(8*len(x), stages(c.Size()),
+	c.collective(KindReduce, 8*len(x), stages(c.Size()),
 		func(m *machine) { m.slotsI64[c.rank] = x },
 		func(m *machine) {
 			out := make([]int64, len(x))
@@ -364,7 +438,7 @@ func (c *Comm) AllreduceSumI64(x []int64) {
 // AllreduceOrBool replaces x with the element-wise OR across ranks,
 // used to merge the per-rank "combined" and "repeated" masks.
 func (c *Comm) AllreduceOrBool(x []bool) {
-	c.collective(len(x), stages(c.Size()),
+	c.collective(KindReduce, len(x), stages(c.Size()),
 		func(m *machine) { m.slotsBol[c.rank] = x },
 		func(m *machine) {
 			out := make([]bool, len(x))
@@ -388,7 +462,7 @@ func (c *Comm) AllreduceOrBool(x []bool) {
 // paper's pattern for assembling the global CDU dimension and bin
 // arrays (Algorithm 3). Payloads may have different lengths.
 func (c *Comm) GatherConcatBcast(local []byte) []byte {
-	c.collective(len(local), 2*stages(c.Size()),
+	c.collective(KindGather, len(local), 2*stages(c.Size()),
 		func(m *machine) { m.slotsB[c.rank] = local },
 		func(m *machine) {
 			total := 0
@@ -411,7 +485,7 @@ func (c *Comm) BcastBytes(root int, data []byte) []byte {
 	if c.rank == root {
 		size = len(data)
 	}
-	c.collective(size, stages(c.Size()),
+	c.collective(KindBcast, size, stages(c.Size()),
 		func(m *machine) {
 			if c.rank == root {
 				m.outB = data
@@ -455,7 +529,7 @@ func (c *Comm) AllreduceMinF64(x []float64) {
 }
 
 func (c *Comm) allreduceF64(x []float64, op func(a, b float64) float64) {
-	c.collective(8*len(x), stages(c.Size()),
+	c.collective(KindReduce, 8*len(x), stages(c.Size()),
 		func(m *machine) { m.slotsF64[c.rank] = x },
 		func(m *machine) {
 			out := append([]float64(nil), m.slotsF64[0]...)

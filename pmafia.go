@@ -34,6 +34,7 @@ import (
 	"pmafia/internal/diskio"
 	"pmafia/internal/grid"
 	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
 	"pmafia/internal/realdata"
 	"pmafia/internal/sp2"
 )
@@ -73,7 +74,18 @@ type (
 	Truth = datagen.Truth
 	// File is an on-disk record file (implements Source).
 	File = diskio.File
+	// Recorder is the observability sink of a run: per-rank phase spans
+	// (virtual time in Sim mode, wall time in Real mode) and engine
+	// counters, exportable as a Chrome trace, metrics JSON, or a
+	// per-phase table. Attach one via Config.Recorder.
+	Recorder = obs.Recorder
+	// CollectiveStats is one collective kind's count/bytes/seconds in a
+	// MachineReport's ByKind breakdown.
+	CollectiveStats = sp2.CollectiveStats
 )
+
+// NewRecorder creates an empty observability recorder.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Machine execution modes.
 const (
@@ -111,6 +123,10 @@ type Config struct {
 	TaskThreshold int
 	// MaxLevels caps the subspace dimensionality explored (0 = all).
 	MaxLevels int
+	// Recorder, when non-nil, records per-rank phase spans and engine
+	// counters for the run (see NewRecorder). nil disables observability
+	// at zero cost.
+	Recorder *Recorder
 }
 
 func (c Config) toInternal() mafia.Config {
@@ -125,6 +141,7 @@ func (c Config) toInternal() mafia.Config {
 		ChunkRecords: c.ChunkRecords,
 		Tau:          c.TaskThreshold,
 		MaxLevels:    c.MaxLevels,
+		Recorder:     c.Recorder,
 	}
 }
 
