@@ -1,4 +1,4 @@
-.PHONY: build test check
+.PHONY: build test check faults
 
 build:
 	go build ./...
@@ -6,6 +6,14 @@ build:
 test:
 	go test ./...
 
-# Extended tier-1 gate: vet + gofmt + full suite under -race.
+# Extended tier-1 gate: vet + gofmt + full suite under -race + a short
+# fuzz smoke on the diskio header parser.
 check:
 	sh scripts/check.sh
+
+# Fault matrix: every injected failure (crash, stall, read errors,
+# corruption) must terminate with a typed error under the race
+# detector — no hangs, no process crashes.
+faults:
+	go test -race -run 'Fault|Corrupt|Stall|EndToEnd|Exit|Retry|BitFlip|Abort|Atomic|Truncation' \
+		./internal/faults ./internal/sp2 ./internal/diskio ./internal/mafia ./cmd/pmafia

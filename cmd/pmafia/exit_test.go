@@ -1,0 +1,82 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles the test binary as the pmafia CLI when re-exec'd
+// with PMAFIA_HELPER=1, so exit codes can be asserted for real: every
+// failure path must leave a non-zero status and a message on stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("PMAFIA_HELPER") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-execs the test binary as pmafia and returns exit code and
+// stderr.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PMAFIA_HELPER=1")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running CLI: %v", err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, _ := writeSample(t, dir)
+	bad := filepath.Join(dir, "bad.pmaf")
+	if err := os.WriteFile(bad, []byte("XXXXjunkjunkjunkjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		code     int
+		inStderr string
+	}{
+		{"success", []string{pmaf}, 0, ""},
+		{"no input", []string{}, 2, "usage"},
+		{"extra args", []string{pmaf, pmaf}, 2, "usage"},
+		{"bad faults spec", []string{"-faults", "explode:rank=0", pmaf}, 2, "-faults"},
+		{"missing file", []string{filepath.Join(dir, "absent.pmaf")}, 1, "pmafia:"},
+		{"corrupt file", []string{bad}, 1, "bad magic"},
+		{"bad mode", []string{"-mode", "bogus", pmaf}, 1, "unknown mode"},
+		{"injected crash", []string{"-procs", "2", "-faults", "crash:rank=1,coll=0", pmaf}, 1, "rank 1"},
+		{"injected stall detected", []string{
+			"-procs", "2", "-faults", "stall:rank=0,coll=1", "-coll-timeout", "300ms", pmaf,
+		}, 1, "stall"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runCLI(t, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			if tc.code != 0 && stderr == "" {
+				t.Error("failure exited silently: no message on stderr")
+			}
+			if tc.inStderr != "" && !strings.Contains(stderr, tc.inStderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.inStderr)
+			}
+		})
+	}
+}

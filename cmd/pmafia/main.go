@@ -22,18 +22,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"pmafia/internal/clique"
 	"pmafia/internal/dataset"
 	"pmafia/internal/diskio"
+	"pmafia/internal/faults"
 	"pmafia/internal/grid"
 	"pmafia/internal/mafia"
 	"pmafia/internal/obs"
@@ -55,6 +59,8 @@ type options struct {
 	tracePath   string
 	metricsPath string
 	pprofAddr   string
+	faultSpec   string
+	collTimeout time.Duration
 }
 
 func main() {
@@ -72,10 +78,16 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON file (one track per rank)")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write flat metrics JSON (counters + per-phase aggregates)")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.faultSpec, "faults", "", `inject deterministic faults, e.g. "crash:rank=1,coll=3;readerr:chunk=2,times=5" (see internal/faults)`)
+	flag.DurationVar(&o.collTimeout, "coll-timeout", 0, "declare a rank failed after it misses a collective for this long (0: no detection; defaults to 30s when -faults is set)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmafia [flags] <input.csv|input.pmaf>")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if _, err := faults.Parse(o.faultSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "pmafia: -faults:", err)
 		os.Exit(2)
 	}
 	if o.pprofAddr != "" {
@@ -86,18 +98,29 @@ func main() {
 			}
 		}()
 	}
-	if err := run(flag.Arg(0), o); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "pmafia:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, o options) error {
+func run(ctx context.Context, path string, o options) error {
 	src, domains, err := open(path)
 	if err != nil {
 		return err
 	}
-	mcfg := sp2.Config{Procs: o.procs}
+	plan, err := faults.Parse(o.faultSpec)
+	if err != nil {
+		return err
+	}
+	mcfg := sp2.Config{Procs: o.procs, Ctx: ctx, Faults: plan, CollectiveTimeout: o.collTimeout}
+	if plan != nil && mcfg.CollectiveTimeout == 0 {
+		// Fault-injection runs must terminate: arm the failure detector
+		// even when the operator did not pick a timeout.
+		mcfg.CollectiveTimeout = 30 * time.Second
+	}
 	switch o.mode {
 	case "sim":
 		mcfg.Mode = sp2.Sim
@@ -109,9 +132,10 @@ func run(path string, o options) error {
 	var rec *obs.Recorder
 	if o.tracePath != "" || o.metricsPath != "" {
 		rec = obs.New()
-		if f, ok := src.(*diskio.File); ok {
-			f.SetRecorder(rec)
-		}
+	}
+	if f, ok := src.(*diskio.File); ok {
+		f.SetRecorder(rec)
+		f.SetFaults(plan)
 	}
 	shards := shardSource(src, o.procs)
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -103,19 +104,19 @@ func TestRunEndToEnd(t *testing.T) {
 
 	o := base
 	o.procs, o.levels, o.verbose = 2, true, true
-	if err := run(pmaf, o); err != nil {
+	if err := run(context.Background(), pmaf, o); err != nil {
 		t.Fatal(err)
 	}
 
 	o = base
 	o.procs, o.useClique, o.tau = 1, true, 0.02
-	if err := run(csv, o); err != nil {
+	if err := run(context.Background(), csv, o); err != nil {
 		t.Fatal(err)
 	}
 
 	o = base
 	o.procs, o.mode = 1, "bogus"
-	if err := run(pmaf, o); err == nil {
+	if err := run(context.Background(), pmaf, o); err == nil {
 		t.Error("bogus mode: want error")
 	}
 }
@@ -133,7 +134,7 @@ func TestRunWithTraceAndMetrics(t *testing.T) {
 			tracePath:   filepath.Join(dir, mode+"-trace.json"),
 			metricsPath: filepath.Join(dir, mode+"-metrics.json"),
 		}
-		if err := run(pmaf, o); err != nil {
+		if err := run(context.Background(), pmaf, o); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 

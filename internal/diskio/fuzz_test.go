@@ -1,0 +1,83 @@
+package diskio
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpen throws arbitrary bytes at the header/record parser: Open
+// must either reject the file or hand back a File whose full scan
+// terminates cleanly — never panic, hang, or allocate from unvalidated
+// header fields.
+func FuzzOpen(f *testing.F) {
+	// Seed with well-formed files of both versions, their truncations,
+	// and any committed corpus files.
+	v2 := filepath.Join(f.TempDir(), "seed.pmaf")
+	w, err := CreateWithFrames(v2, 3, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]float64{float64(i), float64(2 * i), float64(3 * i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	v2bytes, err := os.ReadFile(v2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2bytes)
+	f.Add(v2bytes[:len(v2bytes)-5])
+	f.Add(v2bytes[:headerFixedV2+7])
+
+	v1 := make([]byte, headerFixedV1+16*2+8*2*3)
+	copy(v1, magic)
+	binary.LittleEndian.PutUint32(v1[4:], version1)
+	binary.LittleEndian.PutUint32(v1[8:], 2)
+	binary.LittleEndian.PutUint64(v1[12:], 3)
+	for i := 0; i < 6; i++ {
+		binary.LittleEndian.PutUint64(v1[headerFixedV1+16*2+8*i:], math.Float64bits(float64(i)))
+	}
+	f.Add(v1)
+	f.Add(v1[:headerFixedV1])
+
+	if entries, err := os.ReadDir("testdata"); err == nil {
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if b, err := os.ReadFile(filepath.Join("testdata", e.Name())); err == nil {
+				f.Add(b)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.pmaf")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		fl, err := Open(path)
+		if err != nil {
+			return
+		}
+		_ = fl.Domains()
+		sc := fl.Scan(64)
+		defer sc.Close()
+		for {
+			if _, n := sc.Next(); n == 0 {
+				break
+			}
+		}
+		_ = sc.Err()
+	})
+}

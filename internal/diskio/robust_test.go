@@ -1,0 +1,570 @@
+package diskio
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/faults"
+	"pmafia/internal/obs"
+)
+
+// writeV1 emits a legacy version-1 record file (no checksum table)
+// byte-for-byte, so the reader's backward compatibility is tested
+// against the real v1 layout rather than against the current writer.
+func writeV1(t *testing.T, path string, d int, recs [][]float64) {
+	t.Helper()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range recs {
+		for i, v := range r {
+			lo[i] = math.Min(lo[i], v)
+			hi[i] = math.Max(hi[i], v)
+		}
+	}
+	buf := make([]byte, headerFixedV1+16*d+8*d*len(recs))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], version1)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(d))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(len(recs)))
+	for i := 0; i < d; i++ {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = 0, 1
+		}
+		binary.LittleEndian.PutUint64(buf[headerFixedV1+16*i:], math.Float64bits(lo[i]))
+		binary.LittleEndian.PutUint64(buf[headerFixedV1+16*i+8:], math.Float64bits(hi[i]))
+	}
+	off := headerFixedV1 + 16*d
+	for _, r := range recs {
+		for _, v := range r {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, f *File) ([]float64, error) {
+	t.Helper()
+	sc := f.Scan(3)
+	defer sc.Close()
+	var got []float64
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		got = append(got, chunk[:n*f.Dims()]...)
+	}
+	return got, sc.Err()
+}
+
+func TestV1StillReadable(t *testing.T) {
+	path := tmpPath(t, "v1.pmaf")
+	recs := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	writeV1(t, path, 2, recs)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != 1 || f.FrameRecords() != 0 {
+		t.Errorf("version=%d frameRecords=%d, want 1 and 0", f.Version(), f.FrameRecords())
+	}
+	got, err := scanAll(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestV2VersionAndFrames(t *testing.T) {
+	path := tmpPath(t, "v2.pmaf")
+	if err := WriteSource(path, makeMatrix(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != version2 || f.FrameRecords() != DefaultFrameRecords {
+		t.Errorf("version=%d frameRecords=%d", f.Version(), f.FrameRecords())
+	}
+}
+
+// writeV2Small writes n records of d dims with a small checksum frame,
+// returning the data-section offset for corruption tests.
+func writeV2Small(t *testing.T, path string, n, d, frameRecs int) int64 {
+	t.Helper()
+	w, err := CreateWithFrames(path, d, frameRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range rec {
+			rec[j] = float64(i*d + j)
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return int64(headerFixedV2 + 16*d)
+}
+
+func flipBitOnDisk(t *testing.T, path string, off int64) {
+	t.Helper()
+	h, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	var b [1]byte
+	if _, err := h.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := h.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnDiskBitFlipDetectedV2: a single flipped bit in the data section
+// of a v2 file surfaces as a CorruptionError naming the right frame,
+// and is counted in Stats and the obs recorder.
+func TestOnDiskBitFlipDetectedV2(t *testing.T) {
+	path := tmpPath(t, "flip.pmaf")
+	dataOff := writeV2Small(t, path, 20, 2, 4) // frames of 4 records
+	// Corrupt record 9 → frame 2 (records [8,12)).
+	flipBitOnDisk(t, path, dataOff+9*2*8)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	f.SetRecorder(rec)
+	_, err = scanAll(t, f)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CorruptionError", err, err)
+	}
+	if ce.Frame != 2 || ce.RecLo != 8 || ce.RecHi != 12 {
+		t.Errorf("corruption at frame=%d recs=[%d,%d), want frame 2 [8,12)", ce.Frame, ce.RecLo, ce.RecHi)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err %v does not wrap ErrCorrupt", err)
+	}
+	if st := f.StatsSnapshot(); st.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", st.Corruptions)
+	}
+	if rec.Counter("diskio.corruptions") != 1 {
+		t.Errorf("obs corruptions = %d", rec.Counter("diskio.corruptions"))
+	}
+}
+
+// TestOnDiskBitFlipSilentOnV1 documents the gap the v2 format closes: a
+// v1 file has no checksums, so the same flipped bit reads back as
+// (garbage) data without any error.
+func TestOnDiskBitFlipSilentOnV1(t *testing.T) {
+	path := tmpPath(t, "flipv1.pmaf")
+	writeV1(t, path, 2, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	flipBitOnDisk(t, path, int64(headerFixedV1+16*2)+3*8)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanAll(t, f); err != nil {
+		t.Fatalf("v1 scan reported %v; v1 carries no checksums", err)
+	}
+}
+
+// TestScanRangeMidFrameVerifiesFromBoundary: a range scan starting
+// mid-frame cannot verify its head frame (it never saw the frame's
+// first bytes) but must verify every subsequent frame.
+func TestScanRangeMidFrameVerifiesFromBoundary(t *testing.T) {
+	path := tmpPath(t, "midframe.pmaf")
+	dataOff := writeV2Small(t, path, 24, 2, 4)
+	// Corrupt record 1 (frame 0) and record 10 (frame 2).
+	flipBitOnDisk(t, path, dataOff+1*2*8)
+	flipBitOnDisk(t, path, dataOff+10*2*8)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start at record 2, mid-frame-0: frame 0's corruption is invisible,
+	// frame 2's must still be caught.
+	sc := f.ScanRange(2, 24, 3)
+	defer sc.Close()
+	for {
+		if _, n := sc.Next(); n == 0 {
+			break
+		}
+	}
+	var ce *CorruptionError
+	if !errors.As(sc.Err(), &ce) || ce.Frame != 2 {
+		t.Fatalf("err = %v, want CorruptionError in frame 2", sc.Err())
+	}
+	// A frame-aligned range scan over only clean frames passes.
+	sc2 := f.ScanRange(12, 24, 5)
+	defer sc2.Close()
+	n := 0
+	for {
+		_, k := sc2.Next()
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	if sc2.Err() != nil || n != 12 {
+		t.Fatalf("clean tail scan: n=%d err=%v", n, sc2.Err())
+	}
+}
+
+// TestTransientReadErrorRetried: injected transient read failures are
+// retried with backoff and the scan succeeds; retries are counted.
+func TestTransientReadErrorRetried(t *testing.T) {
+	path := tmpPath(t, "transient.pmaf")
+	if err := WriteSource(path, makeMatrix(12, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 1, Times: 2}))
+	f.SetRetryPolicy(3, 100*time.Microsecond)
+	rec := obs.New()
+	f.SetRecorder(rec)
+	got, err := scanAll(t, f)
+	if err != nil {
+		t.Fatalf("transient fault not absorbed: %v", err)
+	}
+	if len(got) != 24 {
+		t.Fatalf("got %d values", len(got))
+	}
+	if st := f.StatsSnapshot(); st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+	if rec.Counter("diskio.retries") != 2 {
+		t.Errorf("obs retries = %d", rec.Counter("diskio.retries"))
+	}
+}
+
+// TestRetryBudgetExhausted: a fault that outlives the retry budget
+// surfaces as a *ChunkError naming the chunk and wrapping the cause.
+func TestRetryBudgetExhausted(t *testing.T) {
+	path := tmpPath(t, "exhaust.pmaf")
+	if err := WriteSource(path, makeMatrix(12, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 2, Times: 10}))
+	f.SetRetryPolicy(3, 100*time.Microsecond)
+	_, err = scanAll(t, f)
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ChunkError", err, err)
+	}
+	if ce.Chunk != 2 || ce.Attempts != 4 {
+		t.Errorf("chunk=%d attempts=%d, want chunk 2, 4 attempts", ce.Chunk, ce.Attempts)
+	}
+	if !errors.Is(err, faults.ErrRead) {
+		t.Errorf("err %v does not wrap faults.ErrRead", err)
+	}
+}
+
+// TestShortReadRetried: an injected short read is transient and the
+// next attempt succeeds.
+func TestShortReadRetried(t *testing.T) {
+	path := tmpPath(t, "short.pmaf")
+	if err := WriteSource(path, makeMatrix(9, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ShortRead, Index: 0}))
+	f.SetRetryPolicy(2, 100*time.Microsecond)
+	if _, err := scanAll(t, f); err != nil {
+		t.Fatalf("short read not retried: %v", err)
+	}
+	if st := f.StatsSnapshot(); st.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestInjectedBitFlipCaughtByChecksum: a bit flip injected into the
+// read path (not the disk) is caught by the v2 frame checksum.
+func TestInjectedBitFlipCaughtByChecksum(t *testing.T) {
+	path := tmpPath(t, "injflip.pmaf")
+	if err := WriteSource(path, makeMatrix(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaults(faults.New(7, faults.Fault{Kind: faults.BitFlip, Index: 1}))
+	_, err = scanAll(t, f)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+// TestAtomicClose: nothing exists at the target path until Close, and
+// the temp file is gone after it.
+func TestAtomicClose(t *testing.T) {
+	path := tmpPath(t, "atomic.pmaf")
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target path exists before Close (err=%v)", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("temp file missing before Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("target missing after Close: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after Close (err=%v)", err)
+	}
+}
+
+// TestAbortLeavesNothing: Abort removes the temp file and never touches
+// the target; double Abort/Close are no-ops.
+func TestAbortLeavesNothing(t *testing.T) {
+	path := tmpPath(t, "abort.pmaf")
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close after Abort: %v", err)
+	}
+	for _, p := range []string{path, path + ".tmp"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s exists after Abort (err=%v)", p, err)
+		}
+	}
+}
+
+// TestCloseKeepsPreviousFileUntilRename: rewriting an existing path
+// leaves the old complete file in place until the new one is finished.
+func TestCloseKeepsPreviousFileUntilRename(t *testing.T) {
+	path := tmpPath(t, "swap.pmaf")
+	if err := WriteSource(path, makeMatrix(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Open(path)
+	if err != nil || old.NumRecords() != 5 || old.Dims() != 2 {
+		t.Fatalf("old file unreadable mid-rewrite: %v", err)
+	}
+	if err := w.AppendChunk(makeMatrix(4, 3).Row(0)[:0:0], 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]float64{float64(i), 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	now, err := Open(path)
+	if err != nil || now.NumRecords() != 4 || now.Dims() != 3 {
+		t.Fatalf("new file wrong after swap: n=%d d=%d err=%v", now.NumRecords(), now.Dims(), err)
+	}
+}
+
+// failingSource yields one good chunk, then errors.
+type failingSource struct{ d int }
+
+func (s *failingSource) Dims() int                      { return s.d }
+func (s *failingSource) NumRecords() int                { return 100 }
+func (s *failingSource) Scan(chunk int) dataset.Scanner { return &failingScanner{d: s.d} }
+
+type failingScanner struct {
+	d    int
+	step int
+	err  error
+}
+
+func (s *failingScanner) Next() ([]float64, int) {
+	s.step++
+	if s.step == 1 {
+		return make([]float64, s.d), 1
+	}
+	s.err = errors.New("source exploded")
+	return nil, 0
+}
+func (s *failingScanner) Err() error   { return s.err }
+func (s *failingScanner) Close() error { return nil }
+
+// TestWriteSourceAbortsOnSourceError: a failing source must not leave a
+// half-written file at the target path.
+func TestWriteSourceAbortsOnSourceError(t *testing.T) {
+	path := tmpPath(t, "fail.pmaf")
+	err := WriteSource(path, &failingSource{d: 2})
+	if err == nil || err.Error() != "source exploded" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("half-written file left at target (err=%v)", statErr)
+	}
+	if _, statErr := os.Stat(path + ".tmp"); !os.IsNotExist(statErr) {
+		t.Errorf("temp file left behind (err=%v)", statErr)
+	}
+}
+
+// corruptHeader writes a v2 file then patches header fields, for the
+// Open validation table below.
+func corruptHeader(t *testing.T, path string, patch func(hdr []byte)) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch(buf)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenValidatesHeaderAgainstSize: crafted or corrupt headers are
+// rejected by Open before any allocation or scan.
+func TestOpenValidatesHeaderAgainstSize(t *testing.T) {
+	cases := []struct {
+		name  string
+		patch func(hdr []byte)
+	}{
+		{"zero dims", func(h []byte) { binary.LittleEndian.PutUint32(h[8:], 0) }},
+		{"absurd dims", func(h []byte) { binary.LittleEndian.PutUint32(h[8:], 1<<30) }},
+		{"overflowing records", func(h []byte) { binary.LittleEndian.PutUint64(h[12:], math.MaxUint64/2) }},
+		{"records beyond file", func(h []byte) { binary.LittleEndian.PutUint64(h[12:], 10_000) }},
+		{"zero frame size", func(h []byte) { binary.LittleEndian.PutUint32(h[20:], 0) }},
+		{"unknown version", func(h []byte) { binary.LittleEndian.PutUint32(h[4:], 9) }},
+		{"bad magic", func(h []byte) { copy(h, "XXXX") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := tmpPath(t, "hdr.pmaf")
+			if err := WriteSource(path, makeMatrix(6, 2)); err != nil {
+				t.Fatal(err)
+			}
+			corruptHeader(t, path, tc.patch)
+			if _, err := Open(path); err == nil {
+				t.Error("Open accepted a corrupt header")
+			}
+		})
+	}
+	t.Run("trailing garbage on v2", func(t *testing.T) {
+		path := tmpPath(t, "trail.pmaf")
+		if err := WriteSource(path, makeMatrix(6, 2)); err != nil {
+			t.Fatal(err)
+		}
+		h, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte{0})
+		h.Close()
+		if _, err := Open(path); err == nil {
+			t.Error("Open accepted a v2 file with a size mismatch")
+		}
+	})
+	t.Run("v1 zero dims", func(t *testing.T) {
+		path := tmpPath(t, "v1bad.pmaf")
+		writeV1(t, path, 2, [][]float64{{1, 2}})
+		corruptHeader(t, path, func(h []byte) { binary.LittleEndian.PutUint32(h[8:], 0) })
+		if _, err := Open(path); err == nil {
+			t.Error("Open accepted a zero-dim v1 header")
+		}
+	})
+}
+
+// TestTruncationIsPermanent: data missing from the middle of the file
+// (here: the file shrinks after Open) is truncation, failed without
+// burning the retry budget on an error that cannot heal.
+func TestTruncationIsPermanent(t *testing.T) {
+	path := tmpPath(t, "trunc.pmaf")
+	if err := WriteSource(path, makeMatrix(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 200); err != nil {
+		t.Fatal(err)
+	}
+	_, err = scanAll(t, f)
+	if err == nil {
+		t.Fatal("truncated file scanned clean")
+	}
+	if st := f.StatsSnapshot(); st.Retries != 0 {
+		t.Errorf("truncation was retried %d times", st.Retries)
+	}
+}
+
+// TestStageProducesV2: staged shards inherit the hardened format.
+func TestStageProducesV2(t *testing.T) {
+	shared := tmpPath(t, "shared.pmaf")
+	if err := WriteSource(shared, makeMatrix(40, 2)); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Open(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Stage(sf, tmpPath(t, "local"), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Version() != version2 {
+		t.Errorf("staged shard version = %d", local.Version())
+	}
+	if local.NumRecords() != 10 {
+		t.Errorf("staged shard has %d records", local.NumRecords())
+	}
+}

@@ -1,0 +1,366 @@
+// Package faults is the seeded, deterministic fault-injection framework
+// for the sp2 machine and the diskio substrate. The paper's SP2/MPI runs
+// assume a perfect machine — no rank dies mid-collective, no chunk read
+// fails, no file is ever silently corrupted. A Plan lets a test (or the
+// pmafia CLI via -faults) inject exactly those failures at chosen,
+// reproducible points:
+//
+//   - RankCrash: the target rank panics when it enters its Index-th
+//     collective (sp2 consults Collective).
+//   - RankStall: the target rank sleeps for Stall at its Index-th
+//     collective, modeling a straggler or a dead node (detected by the
+//     machine's collective-timeout watchdog).
+//   - ReadError: a scanner's Index-th chunk read fails with ErrRead, a
+//     transient error the disk layer retries.
+//   - ShortRead: the chunk read returns only part of the requested
+//     bytes, also transient.
+//   - BitFlip: one seeded-pseudorandom bit of the chunk is flipped
+//     after the read — silent corruption that only a checksumming file
+//     format can detect.
+//
+// Every fault fires a bounded number of times (Times, default 1), so a
+// single transient fault exercises the retry path while Times larger
+// than the retry budget exhausts it and surfaces a typed error. All
+// randomness derives from the Plan seed through a stateless splitmix64
+// hash, so a failing run is reproducible from its spec string alone.
+//
+// The textual spec accepted by Parse is a semicolon-separated list of
+// clauses:
+//
+//	spec      = clause *( ";" clause )
+//	clause    = "seed" "=" uint | kind ":" kv *( "," kv )
+//	kind      = "crash" | "stall" | "readerr" | "shortread" | "bitflip"
+//	kv        = "rank=" int | "coll=" int | "chunk=" int |
+//	            "for=" duration | "times=" int
+//
+// Examples:
+//
+//	crash:rank=1,coll=3
+//	stall:rank=2,coll=0,for=250ms
+//	readerr:chunk=4,times=5;bitflip:chunk=2;seed=42
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors carried by injected faults, so hardened code and
+// tests can identify an injected failure with errors.Is.
+var (
+	// ErrCrash is the cause recorded when an injected rank crash fires.
+	ErrCrash = errors.New("faults: injected rank crash")
+	// ErrRead is the transient error an injected ReadError produces.
+	ErrRead = errors.New("faults: injected transient read error")
+	// ErrShortRead is the transient error an injected ShortRead wraps.
+	ErrShortRead = errors.New("faults: injected short read")
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// RankCrash panics the target rank at a collective (sp2).
+	RankCrash Kind = iota
+	// RankStall delays the target rank at a collective (sp2).
+	RankStall
+	// ReadError fails a chunk read with a transient error (diskio).
+	ReadError
+	// ShortRead truncates a chunk read (diskio).
+	ShortRead
+	// BitFlip corrupts one bit of a read chunk (diskio).
+	BitFlip
+)
+
+var kindNames = [...]string{
+	RankCrash: "crash",
+	RankStall: "stall",
+	ReadError: "readerr",
+	ShortRead: "shortread",
+	BitFlip:   "bitflip",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// machineKind reports whether the kind targets the sp2 machine (as
+// opposed to the disk substrate).
+func (k Kind) machineKind() bool { return k == RankCrash || k == RankStall }
+
+// Fault is one injection point.
+type Fault struct {
+	// Kind selects what happens.
+	Kind Kind
+	// Rank is the sp2 rank targeted by RankCrash/RankStall.
+	Rank int
+	// Index is the 0-based ordinal at which the fault fires: the
+	// rank's collective count for machine faults, the scanner's chunk
+	// count for disk faults.
+	Index int64
+	// Stall is how long a RankStall sleeps. Zero means "until the
+	// machine's failure detector gives up on the rank" (one hour).
+	Stall time.Duration
+	// Times bounds how often the fault fires (default 1). A disk
+	// fault with Times greater than the retry budget defeats the
+	// retries and surfaces a typed error.
+	Times int
+}
+
+// DefaultStall is the stand-in duration for a stall with no explicit
+// "for=": long enough that only the failure detector ends it.
+const DefaultStall = time.Hour
+
+// armed is a Fault plus its remaining fire budget.
+type armed struct {
+	Fault
+	left int
+}
+
+// Plan is a set of armed faults plus the seed that derives all
+// injection randomness. A Plan is safe for concurrent use; the zero of
+// *Plan (nil) injects nothing, so substrates may consult it without a
+// guard.
+type Plan struct {
+	// Seed feeds the stateless splitmix64 hash behind BitPos.
+	Seed uint64
+
+	mu     sync.Mutex
+	faults []*armed
+}
+
+// New builds a plan from explicit faults. Zero-valued Times and Stall
+// fields are defaulted as documented on Fault.
+func New(seed uint64, fs ...Fault) *Plan {
+	p := &Plan{Seed: seed}
+	for _, f := range fs {
+		p.add(f)
+	}
+	return p
+}
+
+func (p *Plan) add(f Fault) {
+	if f.Times <= 0 {
+		f.Times = 1
+	}
+	if f.Kind == RankStall && f.Stall <= 0 {
+		f.Stall = DefaultStall
+	}
+	p.faults = append(p.faults, &armed{Fault: f, left: f.Times})
+}
+
+// Faults returns a copy of the plan's faults in spec order.
+func (p *Plan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Fault, len(p.faults))
+	for i, a := range p.faults {
+		out[i] = a.Fault
+	}
+	return out
+}
+
+// Collective reports the machine fault (if any) to apply when rank
+// enters its index-th collective, consuming one firing. The returned
+// duration is meaningful for RankStall only.
+func (p *Plan) Collective(rank int, index int64) (Kind, time.Duration, bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range p.faults {
+		if a.left > 0 && a.Kind.machineKind() && a.Rank == rank && a.Index == index {
+			a.left--
+			return a.Kind, a.Stall, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ReadFault reports the disk fault (if any) to apply to a scanner's
+// chunk-th read attempt, consuming one firing. Retried reads consult
+// the plan again, so a fault with Times=1 fails exactly one attempt.
+func (p *Plan) ReadFault(chunk int64) (Kind, bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range p.faults {
+		if a.left > 0 && !a.Kind.machineKind() && a.Index == chunk {
+			a.left--
+			return a.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// BitPos returns the deterministic bit offset in [0, nbits) that a
+// BitFlip at the given chunk corrupts. It is a pure function of the
+// plan seed and the chunk ordinal, so reruns corrupt the same bit.
+func (p *Plan) BitPos(chunk, nbits int64) int64 {
+	if nbits <= 0 {
+		return 0
+	}
+	var seed uint64
+	if p != nil {
+		seed = p.Seed
+	}
+	return int64(splitmix64(seed^0x9e3779b97f4a7c15^uint64(chunk)) % uint64(nbits))
+}
+
+// splitmix64 is the standard 64-bit finalizing hash (Vigna), used here
+// as a stateless seeded PRF.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Parse builds a plan from the textual spec documented on the package.
+// An empty spec yields a nil plan (inject nothing).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", v)
+			}
+			p.Seed = seed
+			continue
+		}
+		kindStr, kvs, ok := strings.Cut(clause, ":")
+		if !ok {
+			kindStr, kvs = clause, ""
+		}
+		f, err := parseClause(strings.TrimSpace(kindStr), kvs)
+		if err != nil {
+			return nil, err
+		}
+		p.add(f)
+	}
+	if len(p.faults) == 0 {
+		return nil, fmt.Errorf("faults: spec %q names no faults", spec)
+	}
+	return p, nil
+}
+
+func parseClause(kindStr, kvs string) (Fault, error) {
+	var f Fault
+	found := false
+	for k, name := range kindNames {
+		if name == kindStr {
+			f.Kind = Kind(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return f, fmt.Errorf("faults: unknown fault kind %q (want crash, stall, readerr, shortread, or bitflip)", kindStr)
+	}
+	if kvs == "" {
+		return f, nil
+	}
+	for _, kv := range strings.Split(kvs, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return f, fmt.Errorf("faults: malformed option %q in %q clause", kv, f.Kind)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "rank":
+			if !f.Kind.machineKind() {
+				return f, fmt.Errorf("faults: %q does not take rank=", f.Kind)
+			}
+			f.Rank, err = strconv.Atoi(val)
+			if err != nil || f.Rank < 0 {
+				return f, fmt.Errorf("faults: bad rank %q", val)
+			}
+		case "coll":
+			if !f.Kind.machineKind() {
+				return f, fmt.Errorf("faults: %q does not take coll= (use chunk=)", f.Kind)
+			}
+			f.Index, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || f.Index < 0 {
+				return f, fmt.Errorf("faults: bad collective index %q", val)
+			}
+		case "chunk":
+			if f.Kind.machineKind() {
+				return f, fmt.Errorf("faults: %q does not take chunk= (use coll=)", f.Kind)
+			}
+			f.Index, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || f.Index < 0 {
+				return f, fmt.Errorf("faults: bad chunk index %q", val)
+			}
+		case "for":
+			if f.Kind != RankStall {
+				return f, fmt.Errorf("faults: only stall takes for=")
+			}
+			f.Stall, err = time.ParseDuration(val)
+			if err != nil || f.Stall <= 0 {
+				return f, fmt.Errorf("faults: bad stall duration %q", val)
+			}
+		case "times":
+			f.Times, err = strconv.Atoi(val)
+			if err != nil || f.Times < 1 {
+				return f, fmt.Errorf("faults: bad times %q", val)
+			}
+		default:
+			return f, fmt.Errorf("faults: unknown option %q in %q clause", key, f.Kind)
+		}
+	}
+	return f, nil
+}
+
+// String renders the plan back as a spec Parse accepts (faults keep
+// their remaining budgets out of the rendering; the original Times is
+// shown).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, a := range p.faults {
+		var kvs []string
+		if a.Kind.machineKind() {
+			kvs = append(kvs, fmt.Sprintf("rank=%d", a.Rank), fmt.Sprintf("coll=%d", a.Index))
+			if a.Kind == RankStall && a.Stall != DefaultStall {
+				kvs = append(kvs, fmt.Sprintf("for=%s", a.Stall))
+			}
+		} else {
+			kvs = append(kvs, fmt.Sprintf("chunk=%d", a.Index))
+		}
+		if a.Times != 1 {
+			kvs = append(kvs, fmt.Sprintf("times=%d", a.Times))
+		}
+		parts = append(parts, fmt.Sprintf("%s:%s", a.Kind, strings.Join(kvs, ",")))
+	}
+	return strings.Join(parts, ";")
+}

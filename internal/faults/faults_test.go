@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseAndString(t *testing.T) {
+	spec := "seed=42;crash:rank=1,coll=3;stall:rank=2,coll=0,for=250ms;readerr:chunk=4,times=5;bitflip:chunk=2"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("Seed = %d", p.Seed)
+	}
+	fs := p.Faults()
+	if len(fs) != 4 {
+		t.Fatalf("%d faults parsed", len(fs))
+	}
+	want := []Fault{
+		{Kind: RankCrash, Rank: 1, Index: 3, Times: 1},
+		{Kind: RankStall, Rank: 2, Index: 0, Stall: 250 * time.Millisecond, Times: 1},
+		{Kind: ReadError, Index: 4, Times: 5},
+		{Kind: BitFlip, Index: 2, Times: 1},
+	}
+	for i, w := range want {
+		if fs[i] != w {
+			t.Errorf("fault %d = %+v, want %+v", i, fs[i], w)
+		}
+	}
+	// The rendering must itself parse back to the same plan.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() || p2.Seed != 42 {
+		t.Errorf("round trip: %q vs %q", p2.String(), p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"explode:rank=0",       // unknown kind
+		"crash:rank=x",         // bad int
+		"crash:chunk=1",        // wrong axis for machine fault
+		"readerr:coll=1",       // wrong axis for disk fault
+		"readerr:for=5s",       // for= on non-stall
+		"stall:rank=0,for=-1s", // bad duration
+		"crash:rank=0,times=0", // times must be >= 1
+		"crash:rank=0,bogus=1", // unknown key
+		"seed=notanumber",      // bad seed
+		"seed=1",               // seed alone: no faults
+		"crash:rank=0,coll",    // malformed kv
+		"stall:rank=-1",        // negative rank
+		"bitflip:chunk=-2",     // negative index
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsNilPlan(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || p != nil {
+		t.Errorf("empty spec: plan=%v err=%v", p, err)
+	}
+	// A nil plan injects nothing and never panics.
+	if _, _, ok := p.Collective(0, 0); ok {
+		t.Error("nil plan fired a collective fault")
+	}
+	if _, ok := p.ReadFault(0); ok {
+		t.Error("nil plan fired a read fault")
+	}
+	if p.String() != "" {
+		t.Errorf("nil plan String = %q", p.String())
+	}
+}
+
+func TestCollectiveFiresExactlyTimes(t *testing.T) {
+	p := New(0, Fault{Kind: RankCrash, Rank: 1, Index: 2, Times: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if _, _, ok := p.Collective(1, 2); ok {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times, want 2", fired)
+	}
+	// Wrong rank or index never fires.
+	if _, _, ok := p.Collective(0, 2); ok {
+		t.Error("fired on wrong rank")
+	}
+	if _, _, ok := p.Collective(1, 3); ok {
+		t.Error("fired on wrong index")
+	}
+}
+
+func TestReadFaultConsumption(t *testing.T) {
+	p := New(0, Fault{Kind: ReadError, Index: 1}, Fault{Kind: ShortRead, Index: 1})
+	k1, ok := p.ReadFault(1)
+	if !ok || k1 != ReadError {
+		t.Fatalf("first fault: %v %v", k1, ok)
+	}
+	k2, ok := p.ReadFault(1)
+	if !ok || k2 != ShortRead {
+		t.Fatalf("second fault: %v %v", k2, ok)
+	}
+	if _, ok := p.ReadFault(1); ok {
+		t.Error("exhausted faults fired again")
+	}
+}
+
+func TestStallDefaultsToDetectionHorizon(t *testing.T) {
+	p := New(0, Fault{Kind: RankStall, Rank: 0, Index: 0})
+	_, d, ok := p.Collective(0, 0)
+	if !ok || d != DefaultStall {
+		t.Errorf("stall = %v ok=%v, want %v", d, ok, DefaultStall)
+	}
+}
+
+func TestBitPosDeterministicAndBounded(t *testing.T) {
+	p := New(7)
+	for chunk := int64(0); chunk < 64; chunk++ {
+		a := p.BitPos(chunk, 1000)
+		b := p.BitPos(chunk, 1000)
+		if a != b {
+			t.Fatalf("chunk %d: BitPos not deterministic: %d vs %d", chunk, a, b)
+		}
+		if a < 0 || a >= 1000 {
+			t.Fatalf("chunk %d: BitPos %d out of range", chunk, a)
+		}
+	}
+	// Different seeds should (overwhelmingly) pick different bits
+	// somewhere in the first 64 chunks.
+	q := New(8)
+	same := 0
+	for chunk := int64(0); chunk < 64; chunk++ {
+		if p.BitPos(chunk, 1<<20) == q.BitPos(chunk, 1<<20) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("seeds 7 and 8 derive identical bit positions")
+	}
+	if p.BitPos(0, 0) != 0 {
+		t.Error("nbits=0 must yield 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, name := range map[Kind]string{
+		RankCrash: "crash", RankStall: "stall", ReadError: "readerr",
+		ShortRead: "shortread", BitFlip: "bitflip",
+	} {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Errorf("unknown kind String = %q", Kind(99).String())
+	}
+}

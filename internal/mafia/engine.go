@@ -181,8 +181,12 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	lvlStart := time.Now()
 	cdus1, counts1 := levelOneCandidates(e.g)
 	isp := rec.Start(rank, "identify").SetLevel(1)
-	du := e.identifyDense(cdus1, counts1)
+	du, err := e.identifyDense(cdus1, counts1)
 	isp.End()
+	if err != nil {
+		lsp.End()
+		return nil, err
+	}
 	tally := levelTally{
 		k: 1, raw: cdus1.Len(), unique: cdus1.Len(), dense: du.Len(),
 		seconds: time.Since(lvlStart).Seconds(),
@@ -196,8 +200,12 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		lsp = rec.Start(rank, "level").SetLevel(k)
 		lvlStart = time.Now()
 		gsp := rec.Start(rank, "generate").SetLevel(k)
-		raw := e.generate(du, k)
+		raw, err := e.generate(du, k)
 		gsp.End()
+		if err != nil {
+			lsp.End()
+			return nil, err
+		}
 		dsp := rec.Start(rank, "dedup").SetLevel(k)
 		cdus := e.dedup(raw)
 		dsp.End()
@@ -216,8 +224,12 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 			tally.popSeconds = time.Since(popStart).Seconds()
 			tally.records = records
 			isp = rec.Start(rank, "identify").SetLevel(k)
-			duNext = e.identifyDense(cdus, counts)
+			duNext, err = e.identifyDense(cdus, counts)
 			isp.End()
+			if err != nil {
+				lsp.End()
+				return nil, err
+			}
 			duCounts = denseCounts(e.g, cdus, counts)
 		} else {
 			duNext = unit.New(k, 0)
@@ -334,7 +346,7 @@ func levelOneCandidates(g *grid.Grid) (*unit.Array, []int64) {
 // the eq. 1 partitioning and the per-rank results are gathered on the
 // parent and broadcast (Algorithm 3); otherwise every rank generates
 // everything.
-func (e *engine) generate(du *unit.Array, k int) *unit.Array {
+func (e *engine) generate(du *unit.Array, k int) (*unit.Array, error) {
 	p := e.c.Size()
 	if p > 1 && du.Len() > e.cfg.Tau {
 		bounds := gen.PartitionPairs(du.Len(), p)
@@ -342,12 +354,12 @@ func (e *engine) generate(du *unit.Array, k int) *unit.Array {
 		payload := e.c.GatherConcatBcast(local.Encode())
 		all, err := unit.Decode(k, payload)
 		if err != nil {
-			panic(fmt.Sprintf("mafia: corrupt gathered CDUs: %v", err))
+			return nil, fmt.Errorf("mafia: corrupt gathered CDUs at level %d: %w", k, err)
 		}
-		return all
+		return all, nil
 	}
 	cdus, _ := gen.Generate(du, e.cfg.Join)
-	return cdus
+	return cdus, nil
 }
 
 // dedup eliminates repeated CDUs (Algorithm 4). With more than Tau
@@ -386,7 +398,7 @@ func (e *engine) populate(cdus *unit.Array) ([]int64, int64, error) {
 // of the bins forming it (Algorithm 5) and builds the dense-unit arrays
 // (Algorithm 6). With more than Tau CDUs each rank processes its block
 // and the per-rank arrays are gathered and broadcast.
-func (e *engine) identifyDense(cdus *unit.Array, counts []int64) *unit.Array {
+func (e *engine) identifyDense(cdus *unit.Array, counts []int64) (*unit.Array, error) {
 	n := cdus.Len()
 	p := e.c.Size()
 	if p > 1 && n > e.cfg.Tau {
@@ -395,11 +407,11 @@ func (e *engine) identifyDense(cdus *unit.Array, counts []int64) *unit.Array {
 		payload := e.c.GatherConcatBcast(local.Encode())
 		all, err := unit.Decode(cdus.K, payload)
 		if err != nil {
-			panic(fmt.Sprintf("mafia: corrupt gathered dense units: %v", err))
+			return nil, fmt.Errorf("mafia: corrupt gathered dense units at level %d: %w", cdus.K, err)
 		}
-		return all
+		return all, nil
 	}
-	return e.denseInRange(cdus, counts, 0, n)
+	return e.denseInRange(cdus, counts, 0, n), nil
 }
 
 func (e *engine) denseInRange(cdus *unit.Array, counts []int64, lo, hi int) *unit.Array {

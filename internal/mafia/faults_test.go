@@ -1,0 +1,155 @@
+package mafia
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/faults"
+	"pmafia/internal/sp2"
+)
+
+// runParallelWithDeadline bounds every end-to-end fault run: injected
+// failures must terminate the whole machine, not hang it.
+func runParallelWithDeadline(t *testing.T, shards []dataset.Source, domains []dataset.Range, cfg Config, mcfg sp2.Config) (*Result, error) {
+	t.Helper()
+	type out struct {
+		res *Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := RunParallel(shards, domains, cfg, mcfg)
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunParallel hung on an injected fault")
+		return nil, nil
+	}
+}
+
+// stageShards writes the matrix to a shared record file and stages one
+// local shard file per rank, as cmd/pmafia does.
+func stageShards(t *testing.T, m *dataset.Matrix, p int) (*diskio.File, []*diskio.File) {
+	t.Helper()
+	dir := t.TempDir()
+	path := dir + "/shared.pmaf"
+	if err := diskio.WriteSource(path, m); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := diskio.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := make([]*diskio.File, p)
+	for r := 0; r < p; r++ {
+		locals[r], err = diskio.Stage(shared, dir+"/local", r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shared, locals
+}
+
+func asSources(files []*diskio.File) []dataset.Source {
+	out := make([]dataset.Source, len(files))
+	for i, f := range files {
+		out[i] = f
+	}
+	return out
+}
+
+// TestEndToEndDiskFaultNamesRankAndChunk: a persistent read failure on
+// one rank's local disk must surface from RunParallel as a RankError
+// naming that rank, unwrapping to the ChunkError naming the chunk —
+// the full failure-attribution chain from disk sector to machine.
+func TestEndToEndDiskFaultNamesRankAndChunk(t *testing.T) {
+	m, _ := genData(t, 4, 1200, 83, box(10, 25, 0, 2))
+	shared, locals := stageShards(t, m, 3)
+	plan := faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 1, Times: 100})
+	locals[1].SetFaults(plan)
+	locals[1].SetRetryPolicy(2, 100*time.Microsecond)
+	_, err := runParallelWithDeadline(t, asSources(locals), shared.Domains(),
+		Config{ChunkRecords: 64}, sp2.Config{Procs: 3})
+	if err == nil {
+		t.Fatal("persistent disk fault surfaced no error")
+	}
+	var re *sp2.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *sp2.RankError", err, err)
+	}
+	if re.Rank != 1 {
+		t.Errorf("failure attributed to rank %d, want 1", re.Rank)
+	}
+	var ce *diskio.ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %v does not unwrap to a *diskio.ChunkError", err)
+	}
+	if ce.Chunk != 1 {
+		t.Errorf("failure attributed to chunk %d, want 1", ce.Chunk)
+	}
+	if !errors.Is(err, faults.ErrRead) {
+		t.Errorf("err %v lost the root cause", err)
+	}
+}
+
+// TestEndToEndTransientDiskFaultRecovers: the same fault firing only
+// once is absorbed by the retry layer and the run completes.
+func TestEndToEndTransientDiskFaultRecovers(t *testing.T) {
+	m, _ := genData(t, 4, 1200, 84, box(10, 25, 0, 2))
+	shared, locals := stageShards(t, m, 3)
+	locals[1].SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 1}))
+	locals[1].SetRetryPolicy(3, 100*time.Microsecond)
+	res, err := runParallelWithDeadline(t, asSources(locals), shared.Domains(),
+		Config{ChunkRecords: 64}, sp2.Config{Procs: 3})
+	if err != nil {
+		t.Fatalf("transient fault killed the run: %v", err)
+	}
+	if res == nil || res.N != shared.NumRecords() {
+		t.Fatalf("result N = %d, want %d", res.N, shared.NumRecords())
+	}
+	if st := locals[1].StatsSnapshot(); st.Retries == 0 {
+		t.Error("retry layer never engaged")
+	}
+}
+
+// TestEndToEndRankCrash: a rank crashing mid-algorithm (injected via
+// the machine config, as cmd/pmafia -faults does) terminates the whole
+// run with a RankError naming the rank.
+func TestEndToEndRankCrash(t *testing.T) {
+	m, _ := genData(t, 4, 1200, 85, box(10, 25, 0, 2))
+	shards := []dataset.Source{m.Slice(0, 400), m.Slice(400, 800), m.Slice(800, 1200)}
+	plan := faults.New(0, faults.Fault{Kind: faults.RankCrash, Rank: 2, Index: 1})
+	_, err := runParallelWithDeadline(t, shards, nil,
+		Config{ChunkRecords: 64}, sp2.Config{Procs: 3, Faults: plan})
+	var re *sp2.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *sp2.RankError", err, err)
+	}
+	if re.Rank != 2 || !errors.Is(err, faults.ErrCrash) {
+		t.Errorf("RankError = %+v", re)
+	}
+}
+
+// TestEndToEndRankStallDetected: a stalled rank is detected by the
+// collective watchdog and the run terminates inside the deadline
+// instead of deadlocking in the next reduction.
+func TestEndToEndRankStallDetected(t *testing.T) {
+	m, _ := genData(t, 4, 1200, 86, box(10, 25, 0, 2))
+	shards := []dataset.Source{m.Slice(0, 400), m.Slice(400, 800), m.Slice(800, 1200)}
+	plan := faults.New(0, faults.Fault{Kind: faults.RankStall, Rank: 0, Index: 2})
+	_, err := runParallelWithDeadline(t, shards, nil, Config{ChunkRecords: 64},
+		sp2.Config{Procs: 3, Faults: plan, CollectiveTimeout: 300 * time.Millisecond})
+	if !errors.Is(err, sp2.ErrStalled) {
+		t.Fatalf("err = %v, want stall detection", err)
+	}
+	var re *sp2.RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("stall not attributed to rank 0: %v", err)
+	}
+}

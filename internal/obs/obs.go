@@ -214,6 +214,24 @@ func (r *Recorder) Comm(rank int, kind string, bytes int64, seconds float64) {
 	rs.ctrs["comm."+kind+".bytes"] += bytes
 }
 
+// CurrentPhase returns the name of rank's innermost open span, or ""
+// when the rank has no open span (or on a nil recorder). The sp2
+// machine uses it to label failures with the phase the rank died in.
+func (r *Recorder) CurrentPhase(rank int) string {
+	if r == nil || rank < 0 {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank >= len(r.ranks) {
+		return ""
+	}
+	if stack := r.ranks[rank].stack; len(stack) > 0 {
+		return stack[len(stack)-1].Name
+	}
+	return ""
+}
+
 // Ranks returns the number of rank tracks recorded.
 func (r *Recorder) Ranks() int {
 	if r == nil {

@@ -204,3 +204,33 @@ func TestPhaseTableOrdersByTime(t *testing.T) {
 		t.Errorf("phase table not ordered by time: %v", tbl.Rows)
 	}
 }
+
+func TestCurrentPhase(t *testing.T) {
+	var nilRec *Recorder
+	if got := nilRec.CurrentPhase(0); got != "" {
+		t.Errorf("nil recorder CurrentPhase = %q", got)
+	}
+	r := New()
+	if got := r.CurrentPhase(0); got != "" {
+		t.Errorf("no spans: CurrentPhase = %q", got)
+	}
+	outer := r.Start(0, "run")
+	inner := r.Start(0, "populate")
+	if got := r.CurrentPhase(0); got != "populate" {
+		t.Errorf("CurrentPhase = %q, want %q", got, "populate")
+	}
+	if got := r.CurrentPhase(1); got != "" {
+		t.Errorf("other rank CurrentPhase = %q", got)
+	}
+	inner.End()
+	if got := r.CurrentPhase(0); got != "run" {
+		t.Errorf("after inner End: CurrentPhase = %q, want %q", got, "run")
+	}
+	outer.End()
+	if got := r.CurrentPhase(0); got != "" {
+		t.Errorf("after all End: CurrentPhase = %q", got)
+	}
+	if got := r.CurrentPhase(99); got != "" {
+		t.Errorf("unknown rank CurrentPhase = %q", got)
+	}
+}

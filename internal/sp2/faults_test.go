@@ -1,0 +1,226 @@
+package sp2
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pmafia/internal/faults"
+	"pmafia/internal/obs"
+)
+
+// matrixDeadline bounds every fault-matrix run: a correct machine
+// surfaces any injected fault as a typed error well inside it.
+const matrixDeadline = 30 * time.Second
+
+// runWithDeadline runs Run in a goroutine and fails the test if it does
+// not return within matrixDeadline — the "zero hangs" guarantee.
+func runWithDeadline(t *testing.T, cfg Config, body func(*Comm) error) (*Report, error) {
+	t.Helper()
+	type out struct {
+		rep *Report
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		rep, err := Run(cfg, body)
+		done <- out{rep, err}
+	}()
+	select {
+	case o := <-done:
+		return o.rep, o.err
+	case <-time.After(matrixDeadline):
+		t.Fatalf("machine hung: Run did not return within %v", matrixDeadline)
+		return nil, nil
+	}
+}
+
+// barrierBody runs a fixed number of barriers — enough collectives for
+// any injected fault index used in the matrix to be reached.
+func barrierBody(n int) func(*Comm) error {
+	return func(c *Comm) error {
+		for i := 0; i < n; i++ {
+			c.Barrier()
+		}
+		return nil
+	}
+}
+
+// TestFaultMatrixRankCrash injects a crash on a chosen rank at a chosen
+// collective in both machine modes: the run must terminate with a
+// *RankError carrying the rank id and collective index, on every rank,
+// with no process crash.
+func TestFaultMatrixRankCrash(t *testing.T) {
+	for _, mode := range []Mode{Sim, Real} {
+		plan := faults.New(0, faults.Fault{Kind: faults.RankCrash, Rank: 1, Index: 2})
+		cfg := Config{Procs: 4, Mode: mode, Faults: plan}
+		_, err := runWithDeadline(t, cfg, barrierBody(5))
+		if err == nil {
+			t.Fatalf("mode %v: injected crash surfaced no error", mode)
+		}
+		var re *RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("mode %v: error %v (%T) is not a *RankError", mode, err, err)
+		}
+		if re.Rank != 1 || re.Collective != 2 {
+			t.Errorf("mode %v: RankError rank=%d coll=%d, want rank=1 coll=2", mode, re.Rank, re.Collective)
+		}
+		if !errors.Is(err, faults.ErrCrash) {
+			t.Errorf("mode %v: error %v does not wrap faults.ErrCrash", mode, err)
+		}
+	}
+}
+
+// TestFaultMatrixRankStall injects an indefinite stall: without the
+// failure detector this deadlocks; with CollectiveTimeout armed the run
+// must terminate within its deadline and name the stalled rank.
+func TestFaultMatrixRankStall(t *testing.T) {
+	for _, mode := range []Mode{Sim, Real} {
+		plan := faults.New(0, faults.Fault{Kind: faults.RankStall, Rank: 2, Index: 1})
+		cfg := Config{Procs: 3, Mode: mode, Faults: plan, CollectiveTimeout: 200 * time.Millisecond}
+		start := time.Now()
+		_, err := runWithDeadline(t, cfg, barrierBody(4))
+		if err == nil {
+			t.Fatalf("mode %v: stalled rank surfaced no error", mode)
+		}
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("mode %v: error %v does not wrap ErrStalled", mode, err)
+		}
+		var re *RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("mode %v: %T is not a *RankError", mode, err)
+		}
+		if re.Rank != 2 {
+			t.Errorf("mode %v: stalled rank reported as %d, want 2", mode, re.Rank)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("mode %v: detection took %v", mode, elapsed)
+		}
+	}
+}
+
+// TestFaultMatrixStragglerRecovers: a finite stall shorter than the
+// detection timeout is a straggler, not a failure — the run completes.
+func TestFaultMatrixStragglerRecovers(t *testing.T) {
+	for _, mode := range []Mode{Sim, Real} {
+		plan := faults.New(0, faults.Fault{
+			Kind: faults.RankStall, Rank: 0, Index: 0, Stall: 20 * time.Millisecond,
+		})
+		cfg := Config{Procs: 3, Mode: mode, Faults: plan, CollectiveTimeout: 10 * time.Second}
+		if _, err := runWithDeadline(t, cfg, barrierBody(3)); err != nil {
+			t.Errorf("mode %v: straggler killed the run: %v", mode, err)
+		}
+	}
+}
+
+// TestRealModePanicYieldsRankError is the -race hardening proof: a rank
+// body panicking mid-run in Real (concurrent) mode must release every
+// other rank blocked in collectives and surface as a *RankError — not
+// a hang, not a process crash.
+func TestRealModePanicYieldsRankError(t *testing.T) {
+	_, err := runWithDeadline(t, Config{Procs: 4, Mode: Real}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("rank 2 dies mid-run")
+		}
+		c.Barrier()
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking rank surfaced no error")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T) is not a *RankError", err, err)
+	}
+	if re.Rank != 2 {
+		t.Errorf("RankError.Rank = %d, want 2", re.Rank)
+	}
+}
+
+// TestBodyErrorWrappedAsRankError: a plain error returned by a rank
+// body keeps working with errors.Is through the RankError wrapper.
+func TestBodyErrorWrappedAsRankError(t *testing.T) {
+	sentinel := errors.New("shard unreadable")
+	_, err := Run(Config{Procs: 3}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		c.Barrier()
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v lost the underlying cause", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("error %v is not a *RankError naming rank 1", err)
+	}
+}
+
+// TestContextCancellationReleasesCollectives: cancelling the run's
+// context must release ranks parked inside collectives and return the
+// context's error.
+func TestContextCancellationReleasesCollectives(t *testing.T) {
+	for _, mode := range []Mode{Sim, Real} {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(30*time.Millisecond, cancel)
+		_, err := runWithDeadline(t, Config{Procs: 3, Mode: mode, Ctx: ctx}, func(c *Comm) error {
+			for i := 0; ; i++ {
+				c.Barrier()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mode %v: err = %v, want context.Canceled", mode, err)
+		}
+	}
+}
+
+// TestPreCancelledContext: an already-cancelled context fails fast
+// without launching ranks.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Run(Config{Procs: 2, Ctx: ctx}, func(c *Comm) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Errorf("err=%v ran=%v", err, ran)
+	}
+}
+
+// TestRankErrorCarriesPhase: with a Recorder attached, the RankError
+// names the observability phase the rank failed in.
+func TestRankErrorCarriesPhase(t *testing.T) {
+	rec := obs.New()
+	plan := faults.New(0, faults.Fault{Kind: faults.RankCrash, Rank: 0, Index: 0})
+	_, err := runWithDeadline(t, Config{Procs: 2, Recorder: rec, Faults: plan}, func(c *Comm) error {
+		sp := rec.Start(c.Rank(), "populate")
+		defer sp.End()
+		c.Barrier()
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RankError", err)
+	}
+	if re.Phase != "populate" {
+		t.Errorf("RankError.Phase = %q, want %q", re.Phase, "populate")
+	}
+}
+
+// TestFaultPlanFromSpec drives the machine with a CLI-style parsed
+// spec, the reproduction path cmd/pmafia -faults uses.
+func TestFaultPlanFromSpec(t *testing.T) {
+	plan, err := faults.Parse("crash:rank=0,coll=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runWithDeadline(t, Config{Procs: 2, Faults: plan}, barrierBody(3))
+	if !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+}

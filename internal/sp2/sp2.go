@@ -25,11 +25,15 @@
 package sp2
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pmafia/internal/faults"
 	"pmafia/internal/obs"
 )
 
@@ -59,6 +63,20 @@ type Config struct {
 	// Sim mode, wall time in Real mode) and every collective charges its
 	// modeled cost into the rank's innermost open span.
 	Recorder *obs.Recorder
+	// Ctx, when non-nil, cancels the run: cancellation poisons the
+	// machine, releasing every rank blocked in a collective, and the
+	// context's error is returned from Run.
+	Ctx context.Context
+	// CollectiveTimeout arms the failure detector: when some ranks have
+	// been waiting in a collective for longer than this while others
+	// never arrived, the machine is poisoned with a *RankError naming a
+	// missing rank (wrapping ErrStalled) instead of hanging forever.
+	// Zero disables detection — the paper's perfect-machine assumption.
+	CollectiveTimeout time.Duration
+	// Faults, when non-nil, is consulted at every collective entry and
+	// injects deterministic rank crashes and stalls (see
+	// internal/faults). Nil injects nothing.
+	Faults *faults.Plan
 }
 
 func (c *Config) validate() error {
@@ -116,22 +134,56 @@ type Report struct {
 	ByKind map[string]CollectiveStats
 }
 
+// ErrStalled is wrapped by the *RankError the failure detector raises
+// when a rank fails to reach a collective within CollectiveTimeout.
+var ErrStalled = errors.New("sp2: rank failed to reach collective (stall detected)")
+
+// RankError is the typed failure of one rank: which rank failed, the
+// observability phase it was in (empty without a Recorder), and the
+// collective ordinal at which it failed. Every failed Run returns one —
+// a panicking, erroring, or stalled rank surfaces as a RankError on all
+// ranks instead of a hang or a process crash.
+type RankError struct {
+	// Rank is the failed rank's id.
+	Rank int
+	// Phase is the innermost open observability span on the rank when
+	// it failed ("" when no Recorder is attached).
+	Phase string
+	// Collective is the 0-based ordinal of the collective the rank was
+	// entering when it failed; for failures between collectives it is
+	// the number of collectives the rank had entered.
+	Collective int64
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *RankError) Error() string {
+	if e.Phase != "" {
+		return fmt.Sprintf("sp2: rank %d (phase %q, collective %d): %v", e.Rank, e.Phase, e.Collective, e.Err)
+	}
+	return fmt.Sprintf("sp2: rank %d (collective %d): %v", e.Rank, e.Collective, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
+
 type machine struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	arrived  int
-	gen      uint64
-	failed   error
-	slotsB   [][]byte
-	slotsI64 [][]int64
-	slotsF64 [][]float64
-	slotsBol [][]bool
-	outB     []byte
-	outI64   []int64
-	outF64   []float64
-	outBol   []bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   int
+	arrivedAt time.Time
+	present   []bool
+	gen       uint64
+	failed    error
+	slotsB    [][]byte
+	slotsI64  [][]int64
+	slotsF64  [][]float64
+	slotsBol  [][]bool
+	outB      []byte
+	outI64    []int64
+	outF64    []float64
+	outBol    []bool
 
 	vclocks  []float64
 	resumeAt []time.Time
@@ -140,6 +192,15 @@ type machine struct {
 	colls    int64
 	byKind   map[string]*CollectiveStats
 	start    time.Time
+
+	// seq[r] counts the collectives rank r has entered; written with
+	// atomics by the owning rank, read by the watchdog and recovery.
+	seq []int64
+	// failCh is closed when the machine is poisoned, interrupting
+	// injected stalls; finCh is closed when all ranks have returned,
+	// stopping the watchdog.
+	failCh chan struct{}
+	finCh  chan struct{}
 
 	baton chan struct{}
 }
@@ -163,10 +224,18 @@ type abort struct{ err error }
 
 // Run executes body on every rank of a machine configured by cfg and
 // returns the timing report. If any rank's body returns an error or
-// panics, every rank is released and the first error is returned.
+// panics, every rank is released and a *RankError identifying the
+// failed rank is returned; with CollectiveTimeout set, a rank that
+// never reaches a collective the others are waiting in is detected and
+// reported the same way instead of deadlocking the machine.
 func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	p := cfg.Procs
 	m := &machine{
@@ -177,7 +246,11 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 		slotsBol: make([][]bool, p),
 		vclocks:  make([]float64, p),
 		resumeAt: make([]time.Time, p),
+		present:  make([]bool, p),
+		seq:      make([]int64, p),
 		byKind:   map[string]*CollectiveStats{},
+		failCh:   make(chan struct{}),
+		finCh:    make(chan struct{}),
 		baton:    make(chan struct{}, 1),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -186,6 +259,9 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 	m.start = time.Now()
 	if cfg.Recorder != nil {
 		cfg.Recorder.BindRanks(p, m.now)
+	}
+	if cfg.Ctx != nil || cfg.CollectiveTimeout > 0 {
+		go m.watchdog()
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, p)
@@ -200,21 +276,26 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 						errs[rank] = a.err
 						return
 					}
-					err := fmt.Errorf("sp2: rank %d panicked: %v", rank, e)
-					errs[rank] = err
-					m.poison(err)
+					re, ok := e.(*RankError)
+					if !ok {
+						re = m.rankError(rank, fmt.Errorf("panic: %v", e))
+					}
+					errs[rank] = re
+					m.poison(re)
 				}
 			}()
 			c.beginCompute()
 			err := body(c)
 			c.endCompute()
 			if err != nil {
-				errs[rank] = err
-				m.poison(err)
+				re := m.rankError(rank, err)
+				errs[rank] = re
+				m.poison(re)
 			}
 		}(r)
 	}
 	wg.Wait()
+	close(m.finCh)
 
 	for _, err := range errs {
 		if err != nil {
@@ -264,18 +345,100 @@ func (m *machine) now(rank int) float64 {
 // spans.
 func (c *Comm) Now() float64 { return c.m.now(c.rank) }
 
+// rankError wraps err with the rank's failure context: its current
+// observability phase and how many collectives it had entered.
+func (m *machine) rankError(rank int, err error) *RankError {
+	return &RankError{
+		Rank:       rank,
+		Phase:      m.cfg.Recorder.CurrentPhase(rank),
+		Collective: atomic.LoadInt64(&m.seq[rank]),
+		Err:        err,
+	}
+}
+
 // poison marks the machine failed and wakes all waiters.
 func (m *machine) poison(err error) {
 	m.mu.Lock()
-	if m.failed == nil {
-		m.failed = err
-	}
-	m.cond.Broadcast()
+	m.poisonLocked(err)
 	m.mu.Unlock()
 	// Drop a baton in so blocked acquirers wake up.
 	select {
 	case m.baton <- struct{}{}:
 	default:
+	}
+}
+
+// poisonLocked is poison's core; the caller holds m.mu.
+func (m *machine) poisonLocked(err error) {
+	if m.failed == nil {
+		m.failed = err
+		close(m.failCh) // interrupt injected stalls
+	}
+	m.cond.Broadcast()
+}
+
+// watchdog is the machine's failure detector: it poisons the machine
+// when the run's context is cancelled, and — with CollectiveTimeout set
+// — when a collective rendezvous has been partially assembled for
+// longer than the timeout, which means at least one rank crashed
+// silently, stalled, or deadlocked and will never arrive. The paper's
+// SP2/MPI runs assume this can't happen; the detector turns the
+// would-be hang into a *RankError naming a missing rank.
+func (m *machine) watchdog() {
+	var tick <-chan time.Time
+	if m.cfg.CollectiveTimeout > 0 {
+		interval := m.cfg.CollectiveTimeout / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	var ctxDone <-chan struct{}
+	if m.cfg.Ctx != nil {
+		ctxDone = m.cfg.Ctx.Done()
+	}
+	for {
+		select {
+		case <-m.finCh:
+			return
+		case <-ctxDone:
+			m.poison(m.cfg.Ctx.Err())
+			ctxDone = nil // poisoned; keep draining ticks until finCh
+		case <-tick:
+			m.mu.Lock()
+			if m.failed == nil && m.arrived > 0 && m.arrived < m.cfg.Procs &&
+				time.Since(m.arrivedAt) > m.cfg.CollectiveTimeout {
+				var missing []int
+				for r, in := range m.present {
+					if !in {
+						missing = append(missing, r)
+					}
+				}
+				err := &RankError{
+					Rank:       missing[0],
+					Phase:      m.cfg.Recorder.CurrentPhase(missing[0]),
+					Collective: m.colls,
+					Err: fmt.Errorf("ranks %v absent from collective %d after %v: %w",
+						missing, m.colls, m.cfg.CollectiveTimeout, ErrStalled),
+				}
+				m.poisonLocked(err)
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// stall parks the rank for d, or until the machine is poisoned —
+// whichever comes first — so an injected "dead rank" never outlives
+// the run's failure detection.
+func (c *Comm) stall(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.m.failCh:
 	}
 }
 
@@ -324,9 +487,26 @@ func stages(p int) float64 {
 
 // collective runs one rendezvous: every rank deposits, the last arrival
 // combines and charges the communication cost, then everyone collects.
+// An injected fault fires here, after the rank leaves its compute
+// section but before it joins the rendezvous — the window in which a
+// real node dies or straggles "at" an MPI collective.
 func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit, combine func(m *machine)) {
 	m := c.m
+	idx := atomic.AddInt64(&m.seq[c.rank], 1) - 1
 	c.endCompute()
+	if fk, d, ok := m.cfg.Faults.Collective(c.rank, idx); ok {
+		switch fk {
+		case faults.RankCrash:
+			panic(&RankError{
+				Rank:       c.rank,
+				Phase:      m.cfg.Recorder.CurrentPhase(c.rank),
+				Collective: idx,
+				Err:        faults.ErrCrash,
+			})
+		case faults.RankStall:
+			c.stall(d)
+		}
+	}
 
 	m.mu.Lock()
 	if m.failed != nil {
@@ -335,6 +515,10 @@ func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit
 	}
 	deposit(m)
 	myGen := m.gen
+	if m.arrived == 0 {
+		m.arrivedAt = time.Now()
+	}
+	m.present[c.rank] = true
 	m.arrived++
 	if m.arrived == m.cfg.Procs {
 		// A combine failure (e.g. mismatched vector lengths) must
@@ -392,6 +576,9 @@ func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit
 			}
 		}
 		m.arrived = 0
+		for i := range m.present {
+			m.present[i] = false
+		}
 		m.gen++
 		m.cond.Broadcast()
 	} else {

@@ -19,4 +19,7 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== fuzz smoke (FuzzOpen, 10s)"
+go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
+
 echo "check: ok"
