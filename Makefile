@@ -1,4 +1,4 @@
-.PHONY: build test check faults
+.PHONY: build test check faults bench
 
 build:
 	go build ./...
@@ -17,3 +17,8 @@ check:
 faults:
 	go test -race -run 'Fault|Corrupt|Stall|EndToEnd|Exit|Retry|BitFlip|Abort|Atomic|Truncation' \
 		./internal/faults ./internal/sp2 ./internal/diskio ./internal/mafia ./cmd/pmafia
+
+# Tracked benchmark suite: refreshes BENCH_pr3.json with records/sec
+# per phase (histogram, populate, full run) at p in {1,2,4,8}.
+bench:
+	sh scripts/bench.sh

@@ -1,0 +1,64 @@
+// Command bench runs the tracked benchmark suite (internal/bench) and
+// writes the report as JSON. The committed snapshot lives at
+// BENCH_pr3.json in the repository root:
+//
+//	go run ./cmd/bench -out BENCH_pr3.json
+//	go run ./cmd/bench -smoke -out /dev/null   # CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pmafia/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_pr3.json", "report output path")
+		smoke   = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
+		records = flag.Int("records", 0, "override record count")
+		chunk   = flag.Int("chunk", 0, "override chunk size (records per read)")
+		workers = flag.Int("workers", 0, "override intra-rank pool size")
+		repeats = flag.Int("repeats", 0, "override measurement repeats")
+	)
+	flag.Parse()
+
+	o := bench.Options{Log: os.Stderr}
+	o.Defaults()
+	if *smoke {
+		o.Smoke()
+	}
+	if *records > 0 {
+		o.Records = *records
+	}
+	if *chunk > 0 {
+		o.ChunkRecords = *chunk
+	}
+	if *workers > 0 {
+		o.Workers = *workers
+	}
+	if *repeats > 0 {
+		o.Repeats = *repeats
+	}
+
+	rep, err := bench.Run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: histogram single-rank speedup %.2fx, populate %.2fx -> %s\n",
+		rep.HistogramSingleRankSpeedup, rep.PopulateSingleRankSpeedup, *out)
+}

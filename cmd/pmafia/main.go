@@ -51,6 +51,8 @@ type options struct {
 	procs       int
 	mode        string
 	chunk       int
+	workers     int
+	prefetch    bool
 	useClique   bool
 	bins        int
 	tau         float64
@@ -70,6 +72,8 @@ func main() {
 	flag.IntVar(&o.procs, "procs", 1, "processors of the simulated machine")
 	flag.StringVar(&o.mode, "mode", "sim", "machine mode: sim (virtual time) or real (concurrent)")
 	flag.IntVar(&o.chunk, "chunk", 8192, "records per out-of-core read (B)")
+	flag.IntVar(&o.workers, "workers", 1, "intra-rank worker goroutines sharding each chunk's records")
+	flag.BoolVar(&o.prefetch, "prefetch", false, "overlap disk reads with compute via a double-buffered prefetcher (.pmaf inputs)")
 	flag.BoolVar(&o.useClique, "clique", false, "run the CLIQUE baseline instead of pMAFIA")
 	flag.IntVar(&o.bins, "bins", 10, "bins per dimension ξ (CLIQUE)")
 	flag.Float64Var(&o.tau, "tau", 0.01, "global density threshold τ as a fraction of N (CLIQUE)")
@@ -136,17 +140,19 @@ func run(ctx context.Context, path string, o options) error {
 	if f, ok := src.(*diskio.File); ok {
 		f.SetRecorder(rec)
 		f.SetFaults(plan)
+		f.SetPrefetch(o.prefetch)
 	}
 	shards := shardSource(src, o.procs)
 
 	var res *mafia.Result
 	if o.useClique {
-		ccfg := clique.Config{Bins: o.bins, Tau: o.tau, ChunkRecords: o.chunk, Recorder: rec}
+		ccfg := clique.Config{Bins: o.bins, Tau: o.tau, ChunkRecords: o.chunk, Workers: o.workers, Recorder: rec}
 		res, err = clique.RunParallel(shards, domains, ccfg, mcfg)
 	} else {
 		cfg := mafia.Config{
 			Adaptive:     grid.AdaptiveParams{Alpha: o.alpha, BetaPercent: o.beta},
 			ChunkRecords: o.chunk,
+			Workers:      o.workers,
 			Recorder:     rec,
 		}
 		res, err = mafia.RunParallel(shards, domains, cfg, mcfg)

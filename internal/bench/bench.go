@@ -1,0 +1,412 @@
+// Package bench is the tracked benchmark suite of the out-of-core
+// pipeline: it measures records/sec for the engine's data-parallel
+// phases — histogram build, CDU population, and the full clustering
+// run — at several rank counts, for the baseline per-record/serial-scan
+// implementations and the pipelined ones (flat kernels, double-buffered
+// prefetch, intra-rank worker pool). The cmd/bench CLI writes the
+// report as JSON (BENCH_pr3.json at the repository root is the
+// committed snapshot); scripts/bench.sh and `make bench` drive it.
+//
+// Ranks run in Real mode: p goroutines scanning disjoint ScanRange
+// shares of one on-disk .pmaf file concurrently, which is the
+// throughput shape the paper's shared-disk SP2 runs have.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
+	"pmafia/internal/mafia"
+	"pmafia/internal/sp2"
+	"pmafia/internal/unit"
+)
+
+// Options sizes a suite run.
+type Options struct {
+	// Records and Dims size the synthetic on-disk data set.
+	Records int
+	Dims    int
+	// ChunkRecords is B, the records per out-of-core read.
+	ChunkRecords int
+	// Procs are the rank counts to measure.
+	Procs []int
+	// Workers is the intra-rank pool size of the pooled variants.
+	Workers int
+	// Repeats is the measurement count per cell; the best (max
+	// records/sec) is reported, the standard way to strip scheduler
+	// noise from throughput numbers.
+	Repeats int
+	// Dir is where the data file is staged (a temp dir when empty).
+	Dir string
+	// Log, when non-nil, receives one line per measurement.
+	Log io.Writer
+}
+
+// Defaults fills zero fields with the tracked-suite configuration.
+func (o *Options) Defaults() {
+	if o.Records == 0 {
+		o.Records = 500000
+	}
+	if o.Dims == 0 {
+		o.Dims = 10
+	}
+	if o.ChunkRecords == 0 {
+		o.ChunkRecords = 8192
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 2, 4, 8}
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+}
+
+// Smoke shrinks the options to a seconds-long configuration for CI.
+func (o *Options) Smoke() {
+	o.Records = 20000
+	o.Procs = []int{1, 2}
+	o.Repeats = 1
+}
+
+// Measurement is one (phase, variant, p) throughput cell.
+type Measurement struct {
+	// Phase is "histogram", "populate", or "full".
+	Phase string `json:"phase"`
+	// Variant identifies the implementation measured: "baseline" is
+	// the pre-pipelining path, the others name what they enable.
+	Variant string `json:"variant"`
+	// P is the concurrent rank count.
+	P int `json:"p"`
+	// Records is the total records processed per run (all ranks).
+	Records int64 `json:"records"`
+	// Seconds is the best wall-clock time over Repeats runs.
+	Seconds float64 `json:"seconds"`
+	// RecordsPerSec is Records / Seconds.
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// Report is the suite outcome, serialized to BENCH_pr3.json.
+type Report struct {
+	Timestamp    string        `json:"timestamp"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Records      int           `json:"records"`
+	Dims         int           `json:"dims"`
+	ChunkRecords int           `json:"chunk_records"`
+	Workers      int           `json:"workers"`
+	Measurements []Measurement `json:"measurements"`
+	// HistogramSingleRankSpeedup is the p=1 histogram-build
+	// records/sec ratio of the flat chunk kernel (the path AddSource
+	// now takes) over the per-record baseline. The prefetched variants
+	// are in Measurements too; on a page-cached file their win is
+	// bounded by the hand-off overhead, so the kernel ratio is the
+	// honest single-rank compute number.
+	HistogramSingleRankSpeedup float64 `json:"histogram_single_rank_speedup"`
+	// PopulateSingleRankSpeedup is the same ratio for the population
+	// kernel (flat/bitset over hash map).
+	PopulateSingleRankSpeedup float64 `json:"populate_single_rank_speedup"`
+}
+
+// rangeShard adapts a contiguous record range of a file to Source.
+type rangeShard struct {
+	f      *diskio.File
+	lo, hi int
+}
+
+func (s *rangeShard) Dims() int       { return s.f.Dims() }
+func (s *rangeShard) NumRecords() int { return s.hi - s.lo }
+func (s *rangeShard) Scan(chunk int) dataset.Scanner {
+	return s.f.ScanRange(s.lo, s.hi, chunk)
+}
+
+func shards(f *diskio.File, p int) []dataset.Source {
+	out := make([]dataset.Source, p)
+	for r := 0; r < p; r++ {
+		lo, hi := diskio.ShareBounds(f.NumRecords(), r, p)
+		out[r] = &rangeShard{f: f, lo: lo, hi: hi}
+	}
+	return out
+}
+
+// Run executes the suite and returns the report.
+func Run(o Options) (*Report, error) {
+	o.Defaults()
+	dir := o.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "pmafia-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	data, _, err := datagen.Generate(datagen.Spec{
+		Dims: o.Dims, Records: o.Records, Seed: 4242,
+		Clusters: []datagen.Cluster{
+			datagen.UniformBox([]int{1, 4}, []dataset.Range{{Lo: 20, Hi: 40}, {Lo: 55, Hi: 80}}, 0),
+			datagen.UniformBox([]int{0, 3, 6}, []dataset.Range{{Lo: 10, Hi: 30}, {Lo: 40, Hi: 70}, {Lo: 60, Hi: 90}}, 0),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "bench.pmaf")
+	if err := diskio.WriteSource(path, data); err != nil {
+		return nil, err
+	}
+	// Two handles onto the same bytes: one serial, one prefetching.
+	serialF, err := diskio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prefetchF, err := diskio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prefetchF.SetPrefetch(true)
+
+	rep := &Report{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Records:      o.Records,
+		Dims:         o.Dims,
+		ChunkRecords: o.ChunkRecords,
+		Workers:      o.Workers,
+	}
+
+	if err := benchHistogram(o, rep, serialF, prefetchF); err != nil {
+		return nil, err
+	}
+	if err := benchPopulate(o, rep, serialF, prefetchF); err != nil {
+		return nil, err
+	}
+	if err := benchFull(o, rep, serialF, prefetchF); err != nil {
+		return nil, err
+	}
+
+	rep.HistogramSingleRankSpeedup = speedup(rep.Measurements, "histogram", "flat", "baseline")
+	rep.PopulateSingleRankSpeedup = speedup(rep.Measurements, "populate", "flat", "baseline")
+	return rep, nil
+}
+
+// speedup returns the p=1 records/sec ratio of two variants of a phase.
+func speedup(ms []Measurement, phase, fast, slow string) float64 {
+	var f, s float64
+	for _, m := range ms {
+		if m.Phase == phase && m.P == 1 {
+			switch m.Variant {
+			case fast:
+				f = m.RecordsPerSec
+			case slow:
+				s = m.RecordsPerSec
+			}
+		}
+	}
+	if s == 0 {
+		return 0
+	}
+	return f / s
+}
+
+// measure runs fn Repeats times and records the best wall time.
+func measure(o Options, rep *Report, phase, variant string, p int, records int64, fn func() error) error {
+	best := 0.0
+	for i := 0; i < o.Repeats; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("bench %s/%s p=%d: %w", phase, variant, p, err)
+		}
+		el := time.Since(start).Seconds()
+		if i == 0 || el < best {
+			best = el
+		}
+	}
+	m := Measurement{
+		Phase: phase, Variant: variant, P: p,
+		Records: records, Seconds: best,
+		RecordsPerSec: float64(records) / best,
+	}
+	rep.Measurements = append(rep.Measurements, m)
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, "%-10s %-10s p=%d  %8.3fs  %12.0f rec/s\n",
+			m.Phase, m.Variant, m.P, m.Seconds, m.RecordsPerSec)
+	}
+	return nil
+}
+
+// onRanks runs fn(rank) on p concurrent goroutines and returns the
+// first error.
+func onRanks(p int, fn func(r int) error) error {
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchHistogram measures the histogram-build phase: the per-record
+// reference kernel on serial scans (baseline), the flat chunk kernel on
+// serial scans (flat), the flat kernel on prefetched scans (pipelined),
+// and pipelined plus the intra-rank worker pool (pooled).
+func benchHistogram(o Options, rep *Report, serialF, prefetchF *diskio.File) error {
+	const units = 1000
+	domains := serialF.Domains()
+	total := int64(serialF.NumRecords())
+	d := serialF.Dims()
+	for _, p := range o.Procs {
+		ss, ps := shards(serialF, p), shards(prefetchF, p)
+		variants := []struct {
+			name string
+			run  func(r int) error
+		}{
+			{"baseline", func(r int) error {
+				h := histogram.New(domains, units)
+				sc := ss[r].Scan(o.ChunkRecords)
+				defer sc.Close()
+				for {
+					chunk, n := sc.Next()
+					if n == 0 {
+						break
+					}
+					for i := 0; i < n; i++ {
+						h.AddRecord(chunk[i*d : (i+1)*d])
+					}
+				}
+				return sc.Err()
+			}},
+			{"flat", func(r int) error {
+				h := histogram.New(domains, units)
+				return h.AddSource(ss[r], o.ChunkRecords)
+			}},
+			{"pipelined", func(r int) error {
+				h := histogram.New(domains, units)
+				return h.AddSource(ps[r], o.ChunkRecords)
+			}},
+			{"pooled", func(r int) error {
+				h := histogram.New(domains, units)
+				_, err := h.AddSourceParallel(ps[r], o.ChunkRecords, o.Workers)
+				return err
+			}},
+		}
+		for _, v := range variants {
+			if err := measure(o, rep, "histogram", v.name, p, total, func() error {
+				return onRanks(p, v.run)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// benchPopulate measures the CDU population phase over every
+// 2-dimensional candidate of a 10-bin uniform grid: the hash-map
+// grouped kernel (baseline), the flat/bitset kernel (flat), and the
+// flat kernel on prefetched scans with the worker pool (pipelined).
+func benchPopulate(o Options, rep *Report, serialF, prefetchF *diskio.File) error {
+	const bins = 10
+	domains := serialF.Domains()
+	h := histogram.New(domains, 1000)
+	if err := h.AddSource(serialF, o.ChunkRecords); err != nil {
+		return err
+	}
+	g, err := grid.BuildUniform(h, bins, 0.01)
+	if err != nil {
+		return err
+	}
+	d := serialF.Dims()
+	cdus := unit.New(2, d*(d-1)/2*bins*bins)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			for bi := 0; bi < bins; bi++ {
+				for bj := 0; bj < bins; bj++ {
+					cdus.AppendRaw([]uint8{uint8(i), uint8(j)}, []uint8{uint8(bi), uint8(bj)})
+				}
+			}
+		}
+	}
+	total := int64(serialF.NumRecords())
+	for _, p := range o.Procs {
+		ss, ps := shards(serialF, p), shards(prefetchF, p)
+		variants := []struct {
+			name     string
+			src      []dataset.Source
+			workers  int
+			strategy mafia.CountStrategy
+		}{
+			{"baseline", ss, 1, mafia.CountGroupedMap},
+			{"flat", ss, 1, mafia.CountGrouped},
+			{"pipelined", ps, o.Workers, mafia.CountGrouped},
+		}
+		for _, v := range variants {
+			if err := measure(o, rep, "populate", v.name, p, total, func() error {
+				return onRanks(p, func(r int) error {
+					_, err := mafia.PopulateCounts(g, cdus, v.src[r], o.ChunkRecords, v.workers, v.strategy)
+					return err
+				})
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// benchFull measures the whole clustering run (adaptive grid, level
+// loop, cluster assembly) on the Real-mode machine: serial scans and
+// map counting (baseline) against prefetch + flat kernels + pool
+// (pipelined).
+func benchFull(o Options, rep *Report, serialF, prefetchF *diskio.File) error {
+	total := int64(serialF.NumRecords())
+	for _, p := range o.Procs {
+		variants := []struct {
+			name    string
+			f       *diskio.File
+			workers int
+			count   mafia.CountStrategy
+		}{
+			{"baseline", serialF, 0, mafia.CountGroupedMap},
+			{"pipelined", prefetchF, o.Workers, mafia.CountGrouped},
+		}
+		for _, v := range variants {
+			cfg := mafia.Config{
+				ChunkRecords: o.ChunkRecords,
+				Workers:      v.workers,
+				Count:        v.count,
+			}
+			if err := measure(o, rep, "full", v.name, p, total, func() error {
+				_, err := mafia.RunParallel(shards(v.f, p), nil, cfg, sp2.Config{Procs: p, Mode: sp2.Real})
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -48,6 +48,9 @@ type Config struct {
 	ChunkRecords int
 	// TaskTau is the minimum item count for task-parallel division.
 	TaskTau int
+	// Workers is the intra-rank worker-pool size for the histogram and
+	// population passes (0 or 1: inline), as in mafia.Config.
+	Workers int
 	// MaxLevels caps the level loop.
 	MaxLevels int
 	// Recorder, when non-nil, receives phase spans and engine counters
@@ -64,6 +67,7 @@ func (c *Config) toMafia(dims int) mafia.Config {
 		FineUnits:    lcmFineUnits(c, dims),
 		ChunkRecords: c.ChunkRecords,
 		Tau:          c.TaskTau,
+		Workers:      c.Workers,
 		Join:         join,
 		MaxLevels:    c.MaxLevels,
 		UniformTau:   c.Tau,
@@ -215,18 +219,75 @@ func bestMDLCut(subs []subspaceCoverage) int {
 	return best
 }
 
+// maxCoverCells caps the bin-space size handled by GreedyCover's flat
+// bitset (8 MB of membership bits); wider spaces fall back to the
+// hash-map lookup.
+const maxCoverCells = 1 << 26
+
 // GreedyCover reproduces CLIQUE's greedy growth cluster description:
 // starting from each not-yet-covered dense unit, a rectangle is grown
 // greedily in every dimension while all cells it would span are dense,
 // yielding a set of (possibly overlapping) maximal rectangles that
 // cover the cluster — the approximate description §3.2 of the pMAFIA
 // paper contrasts with its exact minimal DNF.
+//
+// Dense-cell membership — the inner query of the slab scans — is a
+// flat bitset over the occupied bin space (strides per dimension
+// position, one Get per cell) whenever that space fits maxCoverCells,
+// and the per-cell string hash otherwise.
 func GreedyCover(units *unit.Array) []Rect {
 	k := units.K
-	present := make(map[string]bool, units.Len())
+	// Extent per dimension position: max observed bin + 1.
+	ext := make([]int64, k)
+	for x := range ext {
+		ext[x] = 1
+	}
 	for i := 0; i < units.Len(); i++ {
 		_, b := units.Unit(i)
-		present[string(b)] = true
+		for x := 0; x < k; x++ {
+			if int64(b[x])+1 > ext[x] {
+				ext[x] = int64(b[x]) + 1
+			}
+		}
+	}
+	cells := int64(1)
+	stride := make([]int64, k)
+	for x := k - 1; x >= 0; x-- {
+		stride[x] = cells
+		if cells > maxCoverCells/ext[x]+1 { // overflow guard
+			cells = maxCoverCells + 1
+			break
+		}
+		cells *= ext[x]
+	}
+	var present func(b []uint8) bool
+	if k > 0 && cells <= maxCoverCells {
+		bs := unit.NewBitset(int(cells))
+		for i := 0; i < units.Len(); i++ {
+			_, b := units.Unit(i)
+			cell := int64(0)
+			for x := 0; x < k; x++ {
+				cell += stride[x] * int64(b[x])
+			}
+			bs.Set(int(cell))
+		}
+		present = func(b []uint8) bool {
+			cell := int64(0)
+			for x := range b {
+				if int64(b[x]) >= ext[x] { // beyond any occupied bin
+					return false
+				}
+				cell += stride[x] * int64(b[x])
+			}
+			return bs.Get(int(cell))
+		}
+	} else {
+		byKey := make(map[string]bool, units.Len())
+		for i := 0; i < units.Len(); i++ {
+			_, b := units.Unit(i)
+			byKey[string(b)] = true
+		}
+		present = func(b []uint8) bool { return byKey[string(b)] }
 	}
 	covered := make([]bool, units.Len())
 	var rects []Rect
@@ -275,7 +336,7 @@ type Rect struct {
 
 // slabPresent reports whether every cell of the rectangle's slab at
 // coordinate v along dimension x exists in the dense set.
-func slabPresent(present map[string]bool, lo, hi []uint8, x int, v uint8) bool {
+func slabPresent(present func([]uint8) bool, lo, hi []uint8, x int, v uint8) bool {
 	k := len(lo)
 	cell := make([]uint8, k)
 	copy(cell, lo)
@@ -283,7 +344,7 @@ func slabPresent(present map[string]bool, lo, hi []uint8, x int, v uint8) bool {
 	var rec func(d int) bool
 	rec = func(d int) bool {
 		if d == k {
-			return present[string(cell)]
+			return present(cell)
 		}
 		if d == x {
 			return rec(d + 1)

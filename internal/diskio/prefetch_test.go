@@ -1,0 +1,285 @@
+package diskio
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pmafia/internal/faults"
+)
+
+// drain reads a scanner to exhaustion and returns the concatenated
+// values.
+func drain(t *testing.T, sc interface {
+	Next() ([]float64, int)
+	Err() error
+	Close() error
+}, d int) []float64 {
+	t.Helper()
+	var got []float64
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		got = append(got, chunk[:n*d]...)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestPrefetchMatchesSerial checks the pipelined scanner is
+// behaviorally identical to the serial one: same values, same order,
+// across chunk sizes that do and do not divide the record count and
+// ranges that start mid-frame.
+func TestPrefetchMatchesSerial(t *testing.T) {
+	path := tmpPath(t, "pf.pmaf")
+	const n, d = 257, 3
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	ranges := [][2]int{{0, n}, {13, 200}, {0, 1}, {n - 1, n}, {100, 100}}
+	for _, chunk := range []int{1, 7, 64, 300} {
+		for _, r := range ranges {
+			serial, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(t, serial.ScanRange(r[0], r[1], chunk), d)
+
+			pre, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre.SetPrefetch(true)
+			got := drain(t, pre.ScanRange(r[0], r[1], chunk), d)
+
+			if len(got) != len(want) {
+				t.Fatalf("chunk=%d range=%v: %d values, want %d", chunk, r, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("chunk=%d range=%v: value[%d] = %v, want %v", chunk, r, i, got[i], want[i])
+				}
+			}
+			st := pre.StatsSnapshot()
+			if want := st.Prefetched; want > 0 && st.PrefetchStalls > want {
+				t.Errorf("chunk=%d range=%v: %d stalls for %d prefetched chunks", chunk, r, st.PrefetchStalls, want)
+			}
+		}
+	}
+}
+
+// TestPrefetchTransientFaultRetried injects a transient read error
+// mid-stream with the reader already ahead of the consumer: the
+// background fill must retry exactly like the serial path and the
+// stream must complete unharmed.
+func TestPrefetchTransientFaultRetried(t *testing.T) {
+	path := tmpPath(t, "pf-retry.pmaf")
+	const n, d = 200, 2
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetPrefetch(true)
+	f.SetRetryPolicy(3, time.Millisecond)
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 2, Times: 2}))
+	got := drain(t, f.Scan(32), d)
+	if len(got) != n*d {
+		t.Fatalf("got %d values, want %d", len(got), n*d)
+	}
+	if st := f.StatsSnapshot(); st.Retries == 0 {
+		t.Error("injected transient fault did not bump Retries")
+	}
+}
+
+// TestPrefetchExhaustedRetriesTypedError defeats the retry budget: the
+// prefetched stream must surface a *ChunkError wrapping the injected
+// cause on the Next call that would have consumed the failed chunk.
+func TestPrefetchExhaustedRetriesTypedError(t *testing.T) {
+	path := tmpPath(t, "pf-fail.pmaf")
+	const n, d = 200, 2
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetPrefetch(true)
+	f.SetRetryPolicy(2, time.Millisecond)
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 3, Times: 10}))
+	sc := f.Scan(16)
+	defer sc.Close()
+	seen := 0
+	for {
+		_, cn := sc.Next()
+		if cn == 0 {
+			break
+		}
+		seen += cn
+	}
+	err = sc.Err()
+	if err == nil {
+		t.Fatal("exhausted retries surfaced no error")
+	}
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (%T), want *ChunkError", err, err)
+	}
+	if ce.Chunk != 3 {
+		t.Errorf("failed chunk %d, want 3", ce.Chunk)
+	}
+	if !errors.Is(err, faults.ErrRead) {
+		t.Errorf("error %v does not wrap the injected cause", err)
+	}
+	if seen != 3*16 {
+		t.Errorf("consumed %d records before the failure, want %d", seen, 3*16)
+	}
+}
+
+// TestPrefetchCorruptionDetected flips one bit behind the reader: the
+// prefetched stream must report the same *CorruptionError the serial
+// path does.
+func TestPrefetchCorruptionDetected(t *testing.T) {
+	path := tmpPath(t, "pf-flip.pmaf")
+	const n, d = 300, 2
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetPrefetch(true)
+	f.SetFaults(faults.New(7, faults.Fault{Kind: faults.BitFlip, Index: 1}))
+	sc := f.Scan(64)
+	defer sc.Close()
+	for {
+		_, cn := sc.Next()
+		if cn == 0 {
+			break
+		}
+	}
+	var corr *CorruptionError
+	if !errors.As(sc.Err(), &corr) {
+		t.Fatalf("error %v (%T), want *CorruptionError", sc.Err(), sc.Err())
+	}
+}
+
+// TestPrefetchEarlyCloseNoLeak stops consuming after one chunk and
+// closes: the background reader must exit (no goroutine leak) and the
+// descriptor must be released. Close mid-retry-backoff must return
+// promptly instead of sleeping out the schedule.
+func TestPrefetchEarlyCloseNoLeak(t *testing.T) {
+	path := tmpPath(t, "pf-close.pmaf")
+	const n, d = 1000, 4
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		f, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetPrefetch(true)
+		sc := f.Scan(8)
+		if _, cn := sc.Next(); cn == 0 {
+			t.Fatal("no first chunk")
+		}
+		if err := sc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Close(); err != nil { // idempotent
+			t.Fatal(err)
+		}
+		if _, cn := sc.Next(); cn != 0 {
+			t.Fatal("Next after Close returned records")
+		}
+	}
+	// The reader goroutines must all have exited by the time Close
+	// returned; allow slack for unrelated runtime goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after Close", before, g)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Close during retry backoff: a permanent fault with a long backoff
+	// would block a non-cancellable reader for ~seconds.
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetPrefetch(true)
+	f.SetRetryPolicy(8, 500*time.Millisecond)
+	f.SetFaults(faults.New(0, faults.Fault{Kind: faults.ReadError, Index: 0, Times: 100}))
+	sc := f.Scan(8)
+	time.Sleep(20 * time.Millisecond) // let the reader enter its backoff
+	start := time.Now()
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("Close took %v during retry backoff; the sleep is not cancellable", el)
+	}
+}
+
+// TestPrefetchConcurrentRangeScans runs one prefetching scanner per
+// simulated rank over disjoint shares concurrently — the Real-mode
+// shape — and checks every record is seen exactly once.
+func TestPrefetchConcurrentRangeScans(t *testing.T) {
+	path := tmpPath(t, "pf-ranks.pmaf")
+	const n, d, p = 503, 2, 4
+	if err := WriteSource(path, makeMatrix(n, d)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetPrefetch(true)
+	counts := make([]int, p)
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			lo, hi := ShareBounds(n, r, p)
+			sc := f.ScanRange(lo, hi, 37)
+			defer sc.Close()
+			for {
+				_, cn := sc.Next()
+				if cn == 0 {
+					break
+				}
+				counts[r] += cn
+			}
+			errs <- sc.Err()
+		}(r)
+	}
+	total := 0
+	for r := 0; r < p; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("ranks saw %d records, want %d", total, n)
+	}
+}

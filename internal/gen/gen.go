@@ -174,6 +174,51 @@ func CompactUnique(cdus *unit.Array, repeats []bool) *unit.Array {
 	return out
 }
 
+// MarkRepeatsBitset sets, for CDUs with index in [lo, hi), the bits of
+// repeats whose CDU duplicates an identical CDU at a smaller index. It
+// is MarkRepeats in the bitset form the parallel dedup OR-reduces:
+// ranks mark disjoint index blocks of a shared full-length set, OR the
+// words, and compact identically. repeats must span the whole array.
+func MarkRepeatsBitset(cdus *unit.Array, lo, hi int, repeats *unit.Bitset) {
+	n := cdus.Len()
+	if repeats.Len() != n {
+		panic(fmt.Sprintf("gen: %d-bit mark set for %d CDUs", repeats.Len(), n))
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	first := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		key := cdus.Key(i)
+		if _, ok := first[key]; !ok {
+			first[key] = i
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if first[cdus.Key(i)] < i {
+			repeats.Set(i)
+		}
+	}
+}
+
+// CompactUniqueBitset is CompactUnique over a bitset of repeat marks.
+func CompactUniqueBitset(cdus *unit.Array, repeats *unit.Bitset) *unit.Array {
+	if repeats.Len() != cdus.Len() {
+		panic(fmt.Sprintf("gen: %d-bit mark set for %d CDUs", repeats.Len(), cdus.Len()))
+	}
+	out := unit.New(cdus.K, cdus.Len()-repeats.Count())
+	for i := 0; i < cdus.Len(); i++ {
+		if !repeats.Get(i) {
+			d, b := cdus.Unit(i)
+			out.AppendRaw(d, b)
+		}
+	}
+	return out
+}
+
 // PairWork returns the number of pairwise comparisons performed for
 // unit index i out of n units: it is compared with every unit after it.
 func PairWork(n, i int) int64 { return int64(n - 1 - i) }

@@ -8,18 +8,30 @@ package histogram
 
 import (
 	"fmt"
+	"time"
 
 	"pmafia/internal/dataset"
+	"pmafia/internal/pool"
 )
 
 // Hist is a set of per-dimension fine-unit histograms over a common
 // unit count. Counts are int64 so histograms from many ranks can be
 // summed without overflow.
+//
+// The counts of all dimensions live in one flat backing array (Counts
+// holds dim-major views into it), and the domain lows/widths are
+// mirrored into flat arrays, so the per-chunk tally kernel runs over
+// contiguous memory with no per-record allocation or 2-level slice
+// chasing.
 type Hist struct {
 	Units   int             // fine units per dimension
 	Domains []dataset.Range // per-dimension domains
-	Counts  [][]int64       // [dim][unit]
+	Counts  [][]int64       // [dim][unit], views into flat
 	N       int64           // records accumulated
+
+	flat  []int64   // dim-major backing array, len = dims*Units
+	lo    []float64 // per-dimension domain low
+	width []float64 // per-dimension domain width
 }
 
 // New allocates a histogram with units fine units for each of the given
@@ -28,9 +40,19 @@ func New(domains []dataset.Range, units int) *Hist {
 	if units <= 0 {
 		panic(fmt.Sprintf("histogram: invalid unit count %d", units))
 	}
-	h := &Hist{Units: units, Domains: domains, Counts: make([][]int64, len(domains))}
+	d := len(domains)
+	h := &Hist{
+		Units:   units,
+		Domains: domains,
+		Counts:  make([][]int64, d),
+		flat:    make([]int64, d*units),
+		lo:      make([]float64, d),
+		width:   make([]float64, d),
+	}
 	for i := range h.Counts {
-		h.Counts[i] = make([]int64, units)
+		h.Counts[i] = h.flat[i*units : (i+1)*units : (i+1)*units]
+		h.lo[i] = domains[i].Lo
+		h.width[i] = domains[i].Width()
 	}
 	return h
 }
@@ -49,7 +71,9 @@ func (h *Hist) UnitOf(dim int, v float64) int {
 	return int(f)
 }
 
-// AddRecord counts one d-dimensional record.
+// AddRecord counts one d-dimensional record through UnitOf. It is the
+// reference per-record path the flat AddChunk kernel is property-tested
+// against; the engines call AddChunk.
 func (h *Hist) AddRecord(rec []float64) {
 	for dim, v := range rec {
 		h.Counts[dim][h.UnitOf(dim, v)]++
@@ -57,12 +81,34 @@ func (h *Hist) AddRecord(rec []float64) {
 	h.N++
 }
 
-// AddChunk counts n row-major records.
+// AddChunk counts n row-major records with the allocation-free flat
+// kernel: unit indices are computed from the mirrored lo/width arrays
+// (the exact UnitOf expression, so both paths bin identically) and
+// bumped directly in the flat backing array.
 func (h *Hist) AddChunk(chunk []float64, n int) {
 	d := len(h.Domains)
+	units := h.Units
+	uf := float64(units)
+	flat := h.flat
 	for r := 0; r < n; r++ {
-		h.AddRecord(chunk[r*d : (r+1)*d])
+		rec := chunk[r*d : (r+1)*d]
+		base := 0
+		for dim, v := range rec {
+			f := uf * (v - h.lo[dim]) / h.width[dim]
+			var u int
+			switch {
+			case !(f > 0): // also catches NaN
+				u = 0
+			case f >= uf:
+				u = units - 1
+			default:
+				u = int(f)
+			}
+			flat[base+u]++
+			base += units
+		}
 	}
+	h.N += int64(n)
 }
 
 // AddSource counts every record of src, reading in chunks of
@@ -78,6 +124,36 @@ func (h *Hist) AddSource(src dataset.Source, chunkRecords int) error {
 		h.AddChunk(chunk, n)
 	}
 	return sc.Err()
+}
+
+// AddSourceParallel counts every record of src with an intra-rank
+// worker pool: each chunk's records are sharded across workers, every
+// worker tallies into a private flat array, and the partials are summed
+// into h once the scan ends. Tallies are exactly AddSource's (int64
+// sums commute), so the pool is invisible to everything downstream.
+// Returns the wall-clock time of the final merge.
+func (h *Hist) AddSourceParallel(src dataset.Source, chunkRecords, workers int) (mergeSeconds float64, err error) {
+	if workers <= 1 {
+		return 0, h.AddSource(src, chunkRecords)
+	}
+	parts := make([]*Hist, workers)
+	for w := range parts {
+		parts[w] = New(h.Domains, h.Units)
+	}
+	n, err := pool.Scan(src, chunkRecords, workers, func(w int, chunk []float64, lo, hi int) {
+		parts[w].AddChunk(chunk[lo*len(h.Domains):hi*len(h.Domains)], hi-lo)
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for _, p := range parts {
+		for i, v := range p.flat {
+			h.flat[i] += v
+		}
+	}
+	h.N += n
+	return time.Since(start).Seconds(), nil
 }
 
 // Flatten serializes all counts (dim-major) plus the record count into

@@ -42,9 +42,17 @@ const (
 	// CountAuto picks per level: the direct scan for small candidate
 	// sets, the grouped hash beyond autoCountThreshold CDUs (default).
 	CountAuto CountStrategy = iota
-	// CountGrouped hashes each record's bin tuple per distinct
-	// subspace — O(d + Σ|subspace|) per record.
+	// CountGrouped folds each record's bin tuple into a linear cell
+	// index per distinct subspace and answers membership with a bitset
+	// plus popcount rank — O(d + Σ|subspace|) per record with no
+	// hashing or allocation. Subspaces whose cell space is too large
+	// for the bitset fall back to the hash map per subspace.
 	CountGrouped
+	// CountGroupedMap is CountGrouped with the bitset disabled: every
+	// subspace uses the hash-map lookup. This is the pre-pipelining
+	// implementation, kept as the reference oracle for the kernel
+	// property tests and as an always-available fallback.
+	CountGroupedMap
 	// CountDirect compares every record against every CDU —
 	// O(Ncdu·k) per record.
 	CountDirect
@@ -82,6 +90,11 @@ type Config struct {
 	Join gen.Join
 	// Count selects the population-pass strategy.
 	Count CountStrategy
+	// Workers is the intra-rank worker-pool size for the histogram and
+	// population passes: each chunk's records are sharded across this
+	// many goroutines with worker-private tallies merged at scan end.
+	// 0 or 1 runs the passes inline.
+	Workers int
 	// MaxLevels caps the level loop (0 = up to the data dimensionality).
 	MaxLevels int
 	// Prune, when non-nil, is called after dense-unit identification at
@@ -114,6 +127,9 @@ func (c *Config) Validate(dims int) error {
 	}
 	if c.Tau == 0 {
 		c.Tau = 64
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("mafia: Workers %d < 0", c.Workers)
 	}
 	if c.Tau < 1 {
 		return fmt.Errorf("mafia: Tau %d < 1", c.Tau)

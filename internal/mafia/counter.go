@@ -2,16 +2,46 @@ package mafia
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"pmafia/internal/dataset"
 	"pmafia/internal/grid"
 	"pmafia/internal/obs"
+	"pmafia/internal/pool"
 	"pmafia/internal/unit"
 )
 
+// maxFlatCells caps the cell count of a subspace handled by the
+// flat/bitset kernel: membership costs 1 bit per cell plus a 4-byte
+// rank entry per 64 cells, so the cap bounds the tables at ~9 MB per
+// subspace. Sparser-than-that subspaces (high k over many bins) fall
+// back to the hash-map kernel.
+const maxFlatCells = 1 << 26
+
+// subspace is the per-subspace lookup structure of the grouped
+// population kernel. In flat mode a record's bin tuple is folded into a
+// linear cell index via precomputed strides; a bitset answers "is this
+// cell a CDU" and a popcount rank maps hits to CDU indices — no hashing
+// and no allocation anywhere on the per-record path. In map mode (the
+// pre-pipelining implementation, kept as the fallback and as the
+// reference oracle for the property tests) the bin tuple is hashed.
+type subspace struct {
+	dims   []uint8
+	stride []int64 // per dim position: Π bins of later positions
+
+	// flat/bitset mode (member != nil):
+	member  *unit.Bitset // dense-cell membership over the cell space
+	rankPfx []int32      // popcount prefix per member word
+	remap   []int32      // membership rank -> index into counts
+
+	// map mode:
+	byKey map[string]int
+}
+
 // counter populates candidate dense units from a stream of records.
-// The grouped strategy organizes CDUs by their subspace: one bin-tuple
-// hash lookup per (record, subspace) replaces one comparison per
+// The grouped strategies organize CDUs by their subspace: one cell (or
+// hash) lookup per (record, subspace) replaces one comparison per
 // (record, CDU), which is the difference between O(d + Σ_s k_s) and
 // O(Ncdu·k) per record.
 type counter struct {
@@ -20,12 +50,19 @@ type counter struct {
 	counts   []int64
 	records  int64 // records scanned by this counter
 	strategy CountStrategy
+	subs     []subspace
 
-	// grouped strategy state
-	subDims [][]uint8        // distinct subspaces
-	subIdx  []map[string]int // bins-key -> CDU index, per subspace
-	binRow  []uint8          // scratch: bin index per data dimension
-	keyBuf  []uint8          // scratch: bins of one subspace
+	// serial-path scratch
+	scratch countScratch
+}
+
+// countScratch is the per-worker mutable state of the population
+// kernel; every pool worker owns one so chunks can be sharded across
+// cores with no sharing.
+type countScratch struct {
+	counts []int64
+	binRow []uint8 // bin index per data dimension
+	keyBuf []uint8 // bins of one subspace (map mode)
 }
 
 func newCounter(g *grid.Grid, cdus *unit.Array, strategy CountStrategy) *counter {
@@ -41,64 +78,151 @@ func newCounter(g *grid.Grid, cdus *unit.Array, strategy CountStrategy) *counter
 		cdus:     cdus,
 		counts:   make([]int64, cdus.Len()),
 		strategy: strategy,
-		binRow:   make([]uint8, len(g.Dims)),
-		keyBuf:   make([]uint8, cdus.K),
 	}
-	if strategy == CountGrouped {
-		bySub := map[string]int{} // subspace key -> index in subDims
-		for i := 0; i < cdus.Len(); i++ {
-			d, b := cdus.Unit(i)
-			sk := string(d)
-			si, ok := bySub[sk]
-			if !ok {
-				si = len(c.subDims)
-				bySub[sk] = si
-				c.subDims = append(c.subDims, append([]uint8(nil), d...))
-				c.subIdx = append(c.subIdx, map[string]int{})
-			}
-			c.subIdx[si][string(b)] = i
-		}
+	c.scratch = countScratch{
+		counts: c.counts,
+		binRow: make([]uint8, len(g.Dims)),
+		keyBuf: make([]uint8, cdus.K),
+	}
+	if strategy == CountGrouped || strategy == CountGroupedMap {
+		c.buildSubspaces(strategy == CountGroupedMap)
 	}
 	return c
 }
 
-// addChunk counts n row-major records.
-func (c *counter) addChunk(chunk []float64, n int) {
-	c.records += int64(n)
+// buildSubspaces groups the CDUs by subspace and constructs each
+// subspace's lookup structure: flat/bitset when the cell space is small
+// enough (and not forced to map mode), the hash map otherwise.
+func (c *counter) buildSubspaces(forceMap bool) {
+	bySub := map[string]int{} // subspace key -> index in c.subs
+	members := [][]int{}      // CDU indices per subspace
+	for i := 0; i < c.cdus.Len(); i++ {
+		d, _ := c.cdus.Unit(i)
+		sk := string(d)
+		si, ok := bySub[sk]
+		if !ok {
+			si = len(c.subs)
+			bySub[sk] = si
+			c.subs = append(c.subs, subspace{dims: append([]uint8(nil), d...)})
+			members = append(members, nil)
+		}
+		members[si] = append(members[si], i)
+	}
+	for si := range c.subs {
+		s := &c.subs[si]
+		cells := int64(1)
+		s.stride = make([]int64, len(s.dims))
+		for x := len(s.dims) - 1; x >= 0; x-- {
+			s.stride[x] = cells
+			nb := int64(c.g.Dims[s.dims[x]].NumBins())
+			if cells > maxFlatCells/nb+1 {
+				cells = maxFlatCells + 1 // overflow guard: force map mode
+				break
+			}
+			cells *= nb
+		}
+		if forceMap || cells > maxFlatCells {
+			s.byKey = make(map[string]int, len(members[si]))
+			for _, i := range members[si] {
+				_, b := c.cdus.Unit(i)
+				s.byKey[string(b)] = i
+			}
+			s.stride = nil
+			continue
+		}
+		s.member = unit.NewBitset(int(cells))
+		type cellIdx struct {
+			cell int64
+			idx  int
+		}
+		order := make([]cellIdx, 0, len(members[si]))
+		for _, i := range members[si] {
+			_, b := c.cdus.Unit(i)
+			cell := int64(0)
+			for x := range s.dims {
+				cell += s.stride[x] * int64(b[x])
+			}
+			s.member.Set(int(cell))
+			order = append(order, cellIdx{cell, i})
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].cell != order[b].cell {
+				return order[a].cell < order[b].cell
+			}
+			return order[a].idx < order[b].idx
+		})
+		s.rankPfx = s.member.RankTable()
+		// One remap entry per distinct cell (= per set bit). Duplicate
+		// CDUs share a cell; keep the largest index, matching the map
+		// path's insertion-order overwrite, so both grouped kernels
+		// attribute identically. (The engine dedups before populating,
+		// so duplicates only reach here through direct kernel use.)
+		s.remap = make([]int32, 0, len(order))
+		for x, ci := range order {
+			if x+1 < len(order) && order[x+1].cell == ci.cell {
+				continue
+			}
+			s.remap = append(s.remap, int32(ci.idx))
+		}
+	}
+}
+
+// addChunkInto counts n row-major records into the scratch's tallies.
+// It is the per-record hot loop of the population phase and performs no
+// allocation; workers call it concurrently with disjoint scratches.
+func (c *counter) addChunkInto(sc *countScratch, chunk []float64, n int) {
 	d := len(c.g.Dims)
 	switch c.strategy {
-	case CountGrouped:
+	case CountGrouped, CountGroupedMap:
 		for r := 0; r < n; r++ {
-			c.g.BinRow(chunk[r*d:(r+1)*d], c.binRow)
-			for si, dims := range c.subDims {
-				key := c.keyBuf[:len(dims)]
-				for x, dim := range dims {
-					key[x] = c.binRow[dim]
-				}
-				if idx, ok := c.subIdx[si][string(key)]; ok {
-					c.counts[idx]++
+			c.g.BinRow(chunk[r*d:(r+1)*d], sc.binRow)
+			for si := range c.subs {
+				s := &c.subs[si]
+				if s.member != nil {
+					cell := int64(0)
+					for x, dim := range s.dims {
+						cell += s.stride[x] * int64(sc.binRow[dim])
+					}
+					if s.member.Get(int(cell)) {
+						rk := s.member.Rank(s.rankPfx, int(cell))
+						sc.counts[s.remap[rk]]++
+					}
+				} else {
+					key := sc.keyBuf[:len(s.dims)]
+					for x, dim := range s.dims {
+						key[x] = sc.binRow[dim]
+					}
+					if idx, ok := s.byKey[string(key)]; ok {
+						sc.counts[idx]++
+					}
 				}
 			}
 		}
 	default: // CountDirect
 		k := c.cdus.K
 		for r := 0; r < n; r++ {
-			c.g.BinRow(chunk[r*d:(r+1)*d], c.binRow)
+			c.g.BinRow(chunk[r*d:(r+1)*d], sc.binRow)
 			for i := 0; i < c.cdus.Len(); i++ {
 				ud, ub := c.cdus.Unit(i)
 				hit := true
 				for x := 0; x < k; x++ {
-					if c.binRow[ud[x]] != ub[x] {
+					if sc.binRow[ud[x]] != ub[x] {
 						hit = false
 						break
 					}
 				}
 				if hit {
-					c.counts[i]++
+					sc.counts[i]++
 				}
 			}
 		}
 	}
+}
+
+// addChunk counts n row-major records on the serial path.
+func (c *counter) addChunk(chunk []float64, n int) {
+	c.records += int64(n)
+	c.addChunkInto(&c.scratch, chunk, n)
 }
 
 // addSource counts every record of src in chunks of chunkRecords.
@@ -115,6 +239,52 @@ func (c *counter) addSource(src dataset.Source, chunkRecords int) error {
 	return sc.Err()
 }
 
+// addSourceParallel counts every record of src with an intra-rank
+// worker pool: chunks are sharded across workers tallying into private
+// count arrays, merged into c.counts once the scan ends. The merged
+// tallies equal addSource's exactly (int64 sums commute). Returns the
+// wall-clock time of the merge.
+func (c *counter) addSourceParallel(src dataset.Source, chunkRecords, workers int) (mergeSeconds float64, err error) {
+	if workers <= 1 {
+		return 0, c.addSource(src, chunkRecords)
+	}
+	d := len(c.g.Dims)
+	scratches := make([]countScratch, workers)
+	for w := range scratches {
+		scratches[w] = countScratch{
+			counts: make([]int64, c.cdus.Len()),
+			binRow: make([]uint8, d),
+			keyBuf: make([]uint8, c.cdus.K),
+		}
+	}
+	n, err := pool.Scan(src, chunkRecords, workers, func(w int, chunk []float64, lo, hi int) {
+		c.addChunkInto(&scratches[w], chunk[lo*d:hi*d], hi-lo)
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for w := range scratches {
+		for i, v := range scratches[w].counts {
+			c.counts[i] += v
+		}
+	}
+	c.records += n
+	return time.Since(start).Seconds(), nil
+}
+
+// PopulateCounts counts each CDU's population over src — the
+// population kernel with a chosen strategy and worker count, exposed
+// for benchmarks and differential tests. It returns the per-CDU counts
+// aligned with cdus.
+func PopulateCounts(g *grid.Grid, cdus *unit.Array, src dataset.Source, chunkRecords, workers int, strategy CountStrategy) ([]int64, error) {
+	cnt := newCounter(g, cdus, strategy)
+	if _, err := cnt.addSourceParallel(src, chunkRecords, workers); err != nil {
+		return nil, err
+	}
+	return cnt.counts, nil
+}
+
 // levelTally is the single per-level bookkeeping record of the engine:
 // the phase code fills it in as the level runs, and both the reported
 // LevelStats and the recorder's counters are derived from it — one
@@ -127,6 +297,7 @@ type levelTally struct {
 	records    int64   // records scanned by the population pass
 	seconds    float64 // wall-clock time of the whole level
 	popSeconds float64 // wall-clock time of the population pass
+	mergeSec   float64 // wall-clock time of the pool's tally merge
 }
 
 // stats converts the tally into the LevelStats row Result reports.
@@ -148,6 +319,7 @@ func (t *levelTally) emit(rec *obs.Recorder, rank int) {
 	rec.Add(rank, "cdus.populated", int64(t.unique))
 	rec.Add(rank, "dense.units", int64(t.dense))
 	rec.Add(rank, "populate.records", t.records)
+	rec.Add(rank, "pool.merge.ns", int64(t.mergeSec*1e9))
 	rec.Add(rank, fmt.Sprintf("level.%02d.dense", t.k), int64(t.dense))
 }
 

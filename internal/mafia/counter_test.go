@@ -1,0 +1,186 @@
+package mafia
+
+import (
+	"sort"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/gen"
+	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
+	"pmafia/internal/rng"
+	"pmafia/internal/unit"
+)
+
+// testGrid builds a uniform grid with xi bins over d dimensions plus a
+// matrix of n random records in [0, 1) per dimension.
+func testGrid(t *testing.T, r *rng.Source, n, d, xi int) (*grid.Grid, *dataset.Matrix) {
+	t.Helper()
+	domains := make([]dataset.Range, d)
+	for i := range domains {
+		domains[i] = dataset.Range{Lo: 0, Hi: 1}
+	}
+	m := dataset.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+	}
+	h := histogram.New(domains, 10*xi)
+	if err := h.AddSource(m, 128); err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.BuildUniform(h, xi, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+// randCDUs builds count random k-dimensional CDUs over the grid:
+// sorted random dimension sets with random in-range bins. The result is
+// repeat-free, matching the engine's invariant (dedup runs before every
+// population pass) — with duplicates present the kernels legitimately
+// differ on which copy the population is attributed to.
+func randCDUs(r *rng.Source, g *grid.Grid, k, count int) *unit.Array {
+	d := len(g.Dims)
+	cdus := unit.New(k, count)
+	dims := make([]uint8, k)
+	bins := make([]uint8, k)
+	for i := 0; i < count; i++ {
+		perm := r.Perm(d)[:k]
+		sort.Ints(perm)
+		for x := 0; x < k; x++ {
+			dims[x] = uint8(perm[x])
+			bins[x] = uint8(r.Intn(g.Dims[perm[x]].NumBins()))
+		}
+		cdus.AppendRaw(dims, bins)
+	}
+	return gen.CompactUnique(cdus, gen.MarkRepeats(cdus, 0, cdus.Len()))
+}
+
+// TestCountKernelsAgree is the population-kernel property test: for
+// random grids, CDU sets, worker counts, and chunk sizes, the
+// flat/bitset grouped kernel, the hash-map grouped kernel (the
+// pre-pipelining reference), and the direct scan must produce identical
+// counts.
+func TestCountKernelsAgree(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		n := 100 + r.Intn(900)
+		d := 3 + r.Intn(5)
+		k := 2 + r.Intn(d-1)
+		if k > 4 {
+			k = 4
+		}
+		g, m := testGrid(t, r.Split(), n, d, 4+r.Intn(12))
+		cdus := randCDUs(r.Split(), g, k, 1+r.Intn(120))
+		chunk := 1 + r.Intn(300)
+
+		want, err := PopulateCounts(g, cdus, m, chunk, 1, CountGroupedMap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strategy := range []CountStrategy{CountGrouped, CountDirect} {
+			for _, workers := range []int{1, 3} {
+				got, err := PopulateCounts(g, cdus, m, chunk, workers, strategy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d strategy=%v workers=%d: counts[%d] = %d, oracle %d",
+							trial, strategy, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountGroupedUsesBitset checks the flat path actually engages for
+// small cell spaces (otherwise the property test would be comparing the
+// map path with itself).
+func TestCountGroupedUsesBitset(t *testing.T) {
+	r := rng.New(5)
+	g, _ := testGrid(t, r, 200, 5, 8)
+	cdus := randCDUs(r, g, 3, 40)
+	c := newCounter(g, cdus, CountGrouped)
+	flat := 0
+	for si := range c.subs {
+		if c.subs[si].member != nil {
+			flat++
+		}
+	}
+	if flat == 0 {
+		t.Fatal("no subspace took the flat/bitset path")
+	}
+	cm := newCounter(g, cdus, CountGroupedMap)
+	for si := range cm.subs {
+		if cm.subs[si].member != nil {
+			t.Fatal("CountGroupedMap built a bitset subspace")
+		}
+	}
+}
+
+// TestCountGroupedCellCapFallback gives CountGrouped a subspace whose
+// cell space exceeds maxFlatCells (20^7 ≈ 1.3e9 cells): it must fall
+// back to the map lookup per subspace and still match the oracle.
+func TestCountGroupedCellCapFallback(t *testing.T) {
+	r := rng.New(13)
+	const d, k, xi = 8, 7, 20
+	g, m := testGrid(t, r, 400, d, xi)
+	cdus := randCDUs(r, g, k, 30)
+
+	c := newCounter(g, cdus, CountGrouped)
+	for si := range c.subs {
+		if c.subs[si].member != nil {
+			t.Fatalf("subspace %d took the flat path over %d^%d cells", si, xi, k)
+		}
+	}
+
+	want, err := PopulateCounts(g, cdus, m, 64, 1, CountGroupedMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PopulateCounts(g, cdus, m, 64, 2, CountGrouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts[%d] = %d, oracle %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCountGroupedDuplicateAttribution pins the duplicate-CDU contract
+// of the two grouped kernels: the engine dedups before populating, but
+// if duplicates do reach a grouped kernel, the whole population is
+// attributed to the last copy (the map path's insertion-order
+// overwrite) — and the flat path must mirror that exactly.
+func TestCountGroupedDuplicateAttribution(t *testing.T) {
+	r := rng.New(17)
+	g, m := testGrid(t, r, 300, 4, 6)
+	cdus := unit.New(2, 3)
+	cdus.AppendRaw([]uint8{0, 2}, []uint8{1, 3})
+	cdus.AppendRaw([]uint8{1, 3}, []uint8{0, 5})
+	cdus.AppendRaw([]uint8{0, 2}, []uint8{1, 3}) // duplicate of CDU 0
+	want, err := PopulateCounts(g, cdus, m, 50, 1, CountGroupedMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0] != 0 {
+		t.Fatalf("map path attributed %d records to the first duplicate", want[0])
+	}
+	got, err := PopulateCounts(g, cdus, m, 50, 1, CountGrouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts[%d]: flat=%d oracle=%d", i, got[i], want[i])
+		}
+	}
+}

@@ -141,14 +141,16 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	// Phase 0: per-rank fine histograms, reduced to the global one.
 	sp := rec.Start(rank, "histogram")
 	h := histogram.New(domains, e.fineUnits())
-	if err := h.AddSource(e.shard, cfg.ChunkRecords); err != nil {
+	mergeSec, err := h.AddSourceParallel(e.shard, cfg.ChunkRecords, cfg.Workers)
+	if err != nil {
 		sp.End()
 		return nil, err
 	}
 	rec.Add(rank, "histogram.records", int64(e.shard.NumRecords()))
+	rec.Add(rank, "pool.merge.ns", int64(mergeSec*1e9))
 	flat := h.Flatten()
 	e.c.AllreduceSumI64(flat)
-	err := h.SetFlattened(flat)
+	err = h.SetFlattened(flat)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -215,7 +217,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		if cdus.Len() > 0 {
 			psp := rec.Start(rank, "populate").SetLevel(k)
 			popStart := time.Now()
-			counts, records, err := e.populate(cdus)
+			counts, records, popMerge, err := e.populate(cdus)
 			psp.End()
 			if err != nil {
 				lsp.End()
@@ -223,6 +225,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 			}
 			tally.popSeconds = time.Since(popStart).Seconds()
 			tally.records = records
+			tally.mergeSec = popMerge
 			isp = rec.Start(rank, "identify").SetLevel(k)
 			duNext, err = e.identifyDense(cdus, counts)
 			isp.End()
@@ -373,25 +376,26 @@ func (e *engine) dedup(cdus *unit.Array) *unit.Array {
 	p := e.c.Size()
 	if p > 1 && n > e.cfg.Tau {
 		lo, hi := gen.RangeShare(n, e.c.Rank(), p)
-		marks := make([]bool, n)
-		copy(marks[lo:hi], gen.MarkRepeats(cdus, lo, hi))
-		e.c.AllreduceOrBool(marks)
-		return gen.CompactUnique(cdus, marks)
+		marks := unit.NewBitset(n)
+		gen.MarkRepeatsBitset(cdus, lo, hi, marks)
+		e.c.AllreduceOrU64(marks.Words()) // 1 bit per CDU on the wire
+		return gen.CompactUniqueBitset(cdus, marks)
 	}
 	return gen.CompactUnique(cdus, gen.MarkRepeats(cdus, 0, n))
 }
 
 // populate counts each CDU's population over this rank's shard (read
 // in chunks of B records) and sum-reduces to the global counts — the
-// data-parallel heart of the algorithm. The second result is the
-// number of records this rank scanned.
-func (e *engine) populate(cdus *unit.Array) ([]int64, int64, error) {
+// data-parallel heart of the algorithm. It also returns the number of
+// records this rank scanned and the worker-pool merge time.
+func (e *engine) populate(cdus *unit.Array) ([]int64, int64, float64, error) {
 	cnt := newCounter(e.g, cdus, e.cfg.Count)
-	if err := cnt.addSource(e.shard, e.cfg.ChunkRecords); err != nil {
-		return nil, 0, err
+	mergeSec, err := cnt.addSourceParallel(e.shard, e.cfg.ChunkRecords, e.cfg.Workers)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	e.c.AllreduceSumI64(cnt.counts)
-	return cnt.counts, cnt.records, nil
+	return cnt.counts, cnt.records, mergeSec, nil
 }
 
 // identifyDense compares each CDU's population against the thresholds

@@ -1,0 +1,98 @@
+package mafia
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/obs"
+	"pmafia/internal/sp2"
+)
+
+// rangeShard adapts a contiguous record range of a file to Source.
+type rangeShard struct {
+	f      *diskio.File
+	lo, hi int
+}
+
+func (s *rangeShard) Dims() int       { return s.f.Dims() }
+func (s *rangeShard) NumRecords() int { return s.hi - s.lo }
+func (s *rangeShard) Scan(chunk int) dataset.Scanner {
+	return s.f.ScanRange(s.lo, s.hi, chunk)
+}
+
+// TestPipelinedRunSimAccounting runs the full engine out of core on the
+// simulated machine with the prefetcher and worker pool on, and checks
+// the pipeline's observability contract: every chunk of every pass went
+// through the prefetcher, stalls never exceed prefetched chunks (a
+// stall is a wait *for* a prefetched chunk), and the clustering output
+// is identical to the serial-scan run. In Sim mode only stall time can
+// reach the virtual clock — fully hidden reads are free — so these
+// counters are the accounting surface of the compute/I-O overlap.
+func TestPipelinedRunSimAccounting(t *testing.T) {
+	m, _ := genData(t, 5, 4000, 33, box(15, 45, 0, 2))
+	path := filepath.Join(t.TempDir(), "pipe.pmaf")
+	if err := diskio.WriteSource(path, m); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(prefetch bool, workers, p int, rec *obs.Recorder) *Result {
+		t.Helper()
+		f, err := diskio.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetPrefetch(prefetch)
+		f.SetRecorder(rec)
+		shards := make([]dataset.Source, p)
+		for r := 0; r < p; r++ {
+			lo, hi := diskio.ShareBounds(f.NumRecords(), r, p)
+			shards[r] = &rangeShard{f: f, lo: lo, hi: hi}
+		}
+		res, err := RunParallel(shards, nil, Config{
+			ChunkRecords: 256, Workers: workers, Recorder: rec,
+		}, sp2.Config{Procs: p, Mode: sp2.Sim, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := run(false, 0, 2, nil)
+
+	rec := obs.New()
+	piped := run(true, 2, 2, rec)
+
+	if len(piped.Clusters) != len(serial.Clusters) {
+		t.Fatalf("pipelined run found %d clusters, serial %d", len(piped.Clusters), len(serial.Clusters))
+	}
+	for i := range piped.Levels {
+		ps, ss := piped.Levels[i], serial.Levels[i]
+		if ps.K != ss.K || ps.Ncdu != ss.Ncdu || ps.Ndu != ss.Ndu {
+			t.Errorf("level %d diverged: %+v vs %+v", i, ps, ss)
+		}
+	}
+
+	chunks := rec.Counter("diskio.chunks")
+	prefetched := rec.Counter("diskio.prefetch.chunks")
+	stalls := rec.Counter("diskio.prefetch.stalls")
+	if chunks == 0 {
+		t.Fatal("no chunks read")
+	}
+	if prefetched != chunks {
+		t.Errorf("prefetched %d of %d chunks; every read should go through the prefetcher", prefetched, chunks)
+	}
+	if stalls > prefetched {
+		t.Errorf("%d stalls for %d prefetched chunks", stalls, prefetched)
+	}
+	if rec.Counter("populate.records") == 0 {
+		t.Error("populate.records counter not emitted")
+	}
+
+	// The modeled parallel time must stay positive and finite — the
+	// overlap accounting cannot make a rank's virtual clock vanish.
+	if !(piped.Seconds > 0) {
+		t.Errorf("pipelined Sim run reported %v seconds", piped.Seconds)
+	}
+}

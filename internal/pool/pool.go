@@ -1,0 +1,77 @@
+// Package pool implements the intra-rank worker pool of the
+// out-of-core pipeline: each chunk a scanner yields is sharded across a
+// fixed set of worker goroutines, every worker folds its record range
+// into worker-private tallies, and the caller merges the partials once
+// the scan ends. Combined with a prefetching scanner this keeps all
+// cores of a rank busy while the next chunk streams in from disk.
+package pool
+
+import (
+	"sync"
+
+	"pmafia/internal/dataset"
+)
+
+// Scan reads src in chunks of chunkRecords and shards each chunk's
+// records across workers goroutines: fn(w, chunk, lo, hi) processes
+// records [lo, hi) of the chunk on worker w and must touch only state
+// private to that worker. Chunk boundaries are barriers — calls for
+// chunk k+1 begin only after every worker finished chunk k, because
+// scanners may reuse the chunk buffer. With workers <= 1 the scan runs
+// inline with no goroutines. Returns the number of records scanned.
+func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []float64, lo, hi int)) (int64, error) {
+	sc := src.Scan(chunkRecords)
+	defer sc.Close()
+	if workers <= 1 {
+		var total int64
+		for {
+			chunk, n := sc.Next()
+			if n == 0 {
+				break
+			}
+			fn(0, chunk, 0, n)
+			total += int64(n)
+		}
+		return total, sc.Err()
+	}
+
+	type job struct {
+		chunk  []float64
+		lo, hi int
+	}
+	jobs := make([]chan job, workers)
+	var chunkWG sync.WaitGroup // per-chunk barrier
+	var exitWG sync.WaitGroup  // worker shutdown
+	for w := 0; w < workers; w++ {
+		ch := make(chan job, 1)
+		jobs[w] = ch
+		exitWG.Add(1)
+		go func(w int, ch chan job) {
+			defer exitWG.Done()
+			for j := range ch {
+				if j.hi > j.lo {
+					fn(w, j.chunk, j.lo, j.hi)
+				}
+				chunkWG.Done()
+			}
+		}(w, ch)
+	}
+	var total int64
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		total += int64(n)
+		chunkWG.Add(workers)
+		for w := 0; w < workers; w++ {
+			jobs[w] <- job{chunk: chunk, lo: w * n / workers, hi: (w + 1) * n / workers}
+		}
+		chunkWG.Wait()
+	}
+	for _, ch := range jobs {
+		close(ch)
+	}
+	exitWG.Wait()
+	return total, sc.Err()
+}

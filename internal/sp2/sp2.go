@@ -180,10 +180,12 @@ type machine struct {
 	slotsI64  [][]int64
 	slotsF64  [][]float64
 	slotsBol  [][]bool
+	slotsU64  [][]uint64
 	outB      []byte
 	outI64    []int64
 	outF64    []float64
 	outBol    []bool
+	outU64    []uint64
 
 	vclocks  []float64
 	resumeAt []time.Time
@@ -244,6 +246,7 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 		slotsI64: make([][]int64, p),
 		slotsF64: make([][]float64, p),
 		slotsBol: make([][]bool, p),
+		slotsU64: make([][]uint64, p),
 		vclocks:  make([]float64, p),
 		resumeAt: make([]time.Time, p),
 		present:  make([]bool, p),
@@ -644,6 +647,29 @@ func (c *Comm) AllreduceOrBool(x []bool) {
 	copy(x, c.m.outBol)
 }
 
+// AllreduceOrU64 replaces x with the element-wise bitwise OR across
+// ranks — the bitset form of AllreduceOrBool. Packing marks 64 to the
+// word cuts the collective payload 8x against the []bool encoding,
+// which matters because the repeat-elimination masks scale with the
+// raw CDU count.
+func (c *Comm) AllreduceOrU64(x []uint64) {
+	c.collective(KindReduce, 8*len(x), stages(c.Size()),
+		func(m *machine) { m.slotsU64[c.rank] = x },
+		func(m *machine) {
+			out := make([]uint64, len(x))
+			for _, s := range m.slotsU64 {
+				if len(s) != len(out) {
+					panic(abort{fmt.Errorf("sp2: AllreduceOrU64 length mismatch: %d vs %d", len(s), len(out))})
+				}
+				for i, v := range s {
+					out[i] |= v
+				}
+			}
+			m.outU64 = out
+		})
+	copy(x, c.m.outU64)
+}
+
 // GatherConcatBcast gathers every rank's byte payload on the parent,
 // concatenates them in rank order, and broadcasts the result — the
 // paper's pattern for assembling the global CDU dimension and bin
@@ -684,6 +710,16 @@ func (c *Comm) BcastBytes(root int, data []byte) []byte {
 
 // ChargeIO adds modeled I/O time to this rank's virtual clock in Sim
 // mode (e.g. to model slower disks); it is a no-op in Real mode.
+//
+// Pipelined (prefetched) I/O needs no explicit charge: a diskio
+// prefetch scanner reads in a background goroutine that runs freely
+// while the rank computes (holding the baton) or waits in a
+// collective, so only the time the rank spends *stalled* in
+// Scanner.Next — the non-overlapped remainder of the I/O — accrues to
+// its virtual clock. Fully hidden reads therefore cost the rank
+// nothing, exactly the overlap model the paper's compute-bound
+// scalability argument assumes; use ChargeIO only for I/O the machine
+// should account as unoverlapped and explicitly modeled.
 func (c *Comm) ChargeIO(seconds float64) {
 	if c.m.cfg.Mode != Sim || seconds <= 0 {
 		return

@@ -1,0 +1,68 @@
+package unit
+
+import "math/bits"
+
+// Bitset is a fixed-size bit vector used for membership tests in the
+// hot per-record kernels and for the repeat/combined marks the ranks
+// OR-reduce: one bit per item instead of one bool byte shrinks both the
+// working set and the collective payload by 8x, and the word form can
+// be OR-merged wholesale.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an all-zero bitset of n bits.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the bit count the set was created with.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports bit i.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set turns bit i on.
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Words exposes the backing 64-bit words — the payload shape the sp2
+// OR-reduction moves. Mutating a word mutates the set.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// RankTable returns prefix[i] = number of set bits in words before word
+// i. Together with OnesCount of a masked word it answers "how many set
+// bits precede bit j" in O(1) — the lookup the flat population kernel
+// uses to map a grid cell to its CDU index without a hash table.
+func (b *Bitset) RankTable() []int32 {
+	prefix := make([]int32, len(b.words))
+	var c int32
+	for i, w := range b.words {
+		prefix[i] = c
+		c += int32(bits.OnesCount64(w))
+	}
+	return prefix
+}
+
+// Rank returns the number of set bits strictly before bit i, given the
+// prefix table from RankTable.
+func (b *Bitset) Rank(prefix []int32, i int) int32 {
+	w := i >> 6
+	return prefix[w] + int32(bits.OnesCount64(b.words[w]&(1<<uint(i&63)-1)))
+}

@@ -1,0 +1,87 @@
+package unit
+
+import (
+	"testing"
+
+	"pmafia/internal/rng"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 || len(b.Words()) != 3 {
+		t.Fatalf("Len=%d words=%d", b.Len(), len(b.Words()))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count=%d, want 4", b.Count())
+	}
+	if NewBitset(-3).Len() != 0 {
+		t.Fatal("negative size must clamp to 0")
+	}
+}
+
+// TestBitsetRank property-checks Rank against a linear recount: for a
+// random set, the rank of every set bit must equal the number of set
+// bits strictly before it — the invariant the flat population kernel
+// relies on to map cells to dense-rank indices.
+func TestBitsetRank(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(1000)
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		prefix := b.RankTable()
+		want := int32(0)
+		for i := 0; i < n; i++ {
+			if got := b.Rank(prefix, i); got != want {
+				t.Fatalf("trial %d: Rank(%d) = %d, want %d", trial, i, got, want)
+			}
+			if b.Get(i) {
+				want++
+			}
+		}
+		if int(want) != b.Count() {
+			t.Fatalf("trial %d: Count=%d, recount %d", trial, b.Count(), want)
+		}
+	}
+}
+
+// TestBitsetWordsOrMerge checks the OR-merge-by-words path the sp2
+// reduction uses is equivalent to per-bit OR.
+func TestBitsetWordsOrMerge(t *testing.T) {
+	r := rng.New(9)
+	const n = 300
+	a, b := NewBitset(n), NewBitset(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			a.Set(i)
+		}
+		if r.Intn(2) == 0 {
+			b.Set(i)
+		}
+	}
+	want := make([]bool, n)
+	for i := 0; i < n; i++ {
+		want[i] = a.Get(i) || b.Get(i)
+	}
+	for w, v := range b.Words() {
+		a.Words()[w] |= v
+	}
+	for i := 0; i < n; i++ {
+		if a.Get(i) != want[i] {
+			t.Fatalf("bit %d after word-merge: %v, want %v", i, a.Get(i), want[i])
+		}
+	}
+}

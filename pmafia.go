@@ -121,6 +121,11 @@ type Config struct {
 	// TaskThreshold is τ: minimum item count before a task-parallel
 	// step is divided among processors (default 64).
 	TaskThreshold int
+	// Workers is the intra-rank worker-pool size for the histogram and
+	// population passes (0 or 1: run inline). Each chunk's records are
+	// sharded across this many goroutines with worker-private tallies;
+	// results are bit-identical to the serial passes.
+	Workers int
 	// MaxLevels caps the subspace dimensionality explored (0 = all).
 	MaxLevels int
 	// Recorder, when non-nil, records per-rank phase spans and engine
@@ -140,6 +145,7 @@ func (c Config) toInternal() mafia.Config {
 		FineUnits:    c.FineUnits,
 		ChunkRecords: c.ChunkRecords,
 		Tau:          c.TaskThreshold,
+		Workers:      c.Workers,
 		MaxLevels:    c.MaxLevels,
 		Recorder:     c.Recorder,
 	}

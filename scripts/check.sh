@@ -22,4 +22,7 @@ go test -race ./...
 echo "== fuzz smoke (FuzzOpen, 10s)"
 go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
 
+echo "== bench smoke (cmd/bench -smoke)"
+go run ./cmd/bench -smoke -out "${TMPDIR:-/tmp}/pmafia-bench-smoke.json" 2>/dev/null
+
 echo "check: ok"
