@@ -1,4 +1,4 @@
-.PHONY: build test check faults bench
+.PHONY: build test check faults bench bench-compare
 
 build:
 	go build ./...
@@ -6,10 +6,11 @@ build:
 test:
 	go test ./...
 
-# Extended tier-1 gate: vet + gofmt + full suite under -race + a short
-# fuzz smoke on the diskio header parser.
+# Extended tier-1 gate: vet + gofmt + full suite under -race + fuzz
+# smoke on the diskio header parser + bench smoke and its regression
+# gate against the committed baseline.
 check:
-	sh scripts/check.sh
+	sh scripts/check.sh -smoke
 
 # Fault matrix: every injected failure (crash, stall, read errors,
 # corruption) must terminate with a typed error under the race
@@ -22,3 +23,10 @@ faults:
 # per phase (histogram, populate, full run) at p in {1,2,4,8}.
 bench:
 	sh scripts/bench.sh
+
+# Bench-regression gate on its own: run the smoke suite and diff it
+# against the committed baseline. The tolerance is generous because
+# the matched cells (p<=2) were measured on a quiet machine.
+bench-compare:
+	go run ./cmd/bench -smoke -out "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
+	go run ./cmd/bench -compare BENCH_pr3.json "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json" -tolerance 0.9

@@ -4,6 +4,12 @@
 //
 //	go run ./cmd/bench -out BENCH_pr3.json
 //	go run ./cmd/bench -smoke -out /dev/null   # CI smoke
+//
+// With -compare it diffs two report files instead of measuring, and
+// exits non-zero when any matched (phase, variant, p) cell regressed
+// past the tolerance — the bench gate of scripts/check.sh:
+//
+//	go run ./cmd/bench -compare old.json new.json -tolerance 0.15
 package main
 
 import (
@@ -11,20 +17,83 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"pmafia/internal/bench"
 )
 
+// runCompare is the -compare mode: diff two report files and gate.
+// args are the remaining command-line words after the flags; Go's
+// flag package stops at the first positional argument, so the ISSUE's
+// canonical "-compare old.json new.json -tolerance 0.15" spelling
+// leaves "-tolerance 0.15" in args — scan it by hand.
+func runCompare(args []string, tolerance float64) int {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-tolerance", "--tolerance":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "bench: -tolerance needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: bad tolerance %q: %v\n", args[i+1], err)
+				return 2
+			}
+			tolerance = v
+			i++
+		default:
+			paths = append(paths, args[i])
+		}
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench -compare old.json new.json [-tolerance 0.15]")
+		return 2
+	}
+	oldRep, err := bench.LoadReport(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	newRep, err := bench.LoadReport(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	c := bench.Compare(oldRep, newRep, tolerance)
+	c.Table().Render(os.Stdout)
+	for _, miss := range c.MissingInNew {
+		fmt.Printf("note: %s only in %s (not gated)\n", miss, paths[0])
+	}
+	for _, miss := range c.MissingInOld {
+		fmt.Printf("note: %s only in %s (not gated)\n", miss, paths[1])
+	}
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d cell(s) regressed past %.0f%% tolerance\n",
+			len(regs), 100*tolerance)
+		return 1
+	}
+	fmt.Printf("bench: no regressions across %d matched cell(s)\n", len(c.Rows))
+	return 0
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr3.json", "report output path")
-		smoke   = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
-		records = flag.Int("records", 0, "override record count")
-		chunk   = flag.Int("chunk", 0, "override chunk size (records per read)")
-		workers = flag.Int("workers", 0, "override intra-rank pool size")
-		repeats = flag.Int("repeats", 0, "override measurement repeats")
+		out       = flag.String("out", "BENCH_pr3.json", "report output path")
+		smoke     = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
+		records   = flag.Int("records", 0, "override record count")
+		chunk     = flag.Int("chunk", 0, "override chunk size (records per read)")
+		workers   = flag.Int("workers", 0, "override intra-rank pool size")
+		repeats   = flag.Int("repeats", 0, "override measurement repeats")
+		compare   = flag.Bool("compare", false, "compare two report files instead of measuring")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop in -compare mode")
 	)
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
 
 	o := bench.Options{Log: os.Stderr}
 	o.Defaults()

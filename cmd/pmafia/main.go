@@ -16,9 +16,13 @@
 //
 // With -trace the run writes a Chrome trace_event file (open it in
 // chrome://tracing or Perfetto: one track per rank, one span per engine
-// phase); -metrics writes the flat counters and per-phase aggregates as
-// JSON; -pprof serves net/http/pprof on the given address for the
-// duration of the run.
+// phase, flow arrows for the modeled collective messages); -metrics
+// writes the flat counters and per-phase aggregates as JSON; -pprof
+// serves net/http/pprof on the given address for the duration of the
+// run; -critical-path prints the per-phase/per-rank "why not faster"
+// attribution after the run (exact in Sim mode); -telemetry serves
+// live /metrics (Prometheus text), /phase (JSON), and /healthz on the
+// given address while the run executes.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"pmafia/internal/grid"
 	"pmafia/internal/mafia"
 	"pmafia/internal/obs"
+	"pmafia/internal/obs/serve"
 	"pmafia/internal/sp2"
 	"pmafia/internal/tabular"
 )
@@ -63,6 +68,8 @@ type options struct {
 	pprofAddr   string
 	faultSpec   string
 	collTimeout time.Duration
+	critPath    bool
+	telemetry   string
 }
 
 func main() {
@@ -82,6 +89,8 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON file (one track per rank)")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write flat metrics JSON (counters + per-phase aggregates)")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.BoolVar(&o.critPath, "critical-path", false, "print the critical-path attribution (\"why not faster\") after the run")
+	flag.StringVar(&o.telemetry, "telemetry", "", "serve live telemetry on this address (/metrics, /phase, /healthz) for the duration of the run")
 	flag.StringVar(&o.faultSpec, "faults", "", `inject deterministic faults, e.g. "crash:rank=1,coll=3;readerr:chunk=2,times=5" (see internal/faults)`)
 	flag.DurationVar(&o.collTimeout, "coll-timeout", 0, "declare a rank failed after it misses a collective for this long (0: no detection; defaults to 30s when -faults is set)")
 	flag.Parse()
@@ -134,8 +143,16 @@ func run(ctx context.Context, path string, o options) error {
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 	var rec *obs.Recorder
-	if o.tracePath != "" || o.metricsPath != "" {
+	if o.tracePath != "" || o.metricsPath != "" || o.critPath || o.telemetry != "" {
 		rec = obs.New()
+	}
+	if o.telemetry != "" {
+		srv, err := serve.Start(o.telemetry, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pmafia: telemetry on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
 	}
 	if f, ok := src.(*diskio.File); ok {
 		f.SetRecorder(rec)
@@ -189,6 +206,18 @@ func run(ctx context.Context, path string, o options) error {
 	if rec != nil {
 		if err := rec.PhaseTable().Render(os.Stdout); err != nil {
 			return err
+		}
+		if o.critPath {
+			cp := rec.CriticalPath(res.Report.RankSeconds)
+			if err := cp.Table().Render(os.Stdout); err != nil {
+				return err
+			}
+			if err := cp.RankTable().Render(os.Stdout); err != nil {
+				return err
+			}
+			if o.mode == "real" {
+				fmt.Println("note: Real-mode critical path uses wall-clock arrivals with modeled comm costs; Sim mode (-mode sim) is exact")
+			}
 		}
 		if o.tracePath != "" {
 			if err := writeTo(o.tracePath, rec.WriteChromeTrace); err != nil {

@@ -121,6 +121,32 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunWithCriticalPathAndTelemetry exercises the -critical-path and
+// -telemetry flags: the run must attach a recorder (even with no trace
+// or metrics output requested), serve telemetry for its duration, and
+// complete cleanly in both machine modes.
+func TestRunWithCriticalPathAndTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, _ := writeSample(t, dir)
+	for _, mode := range []string{"sim", "real"} {
+		o := options{
+			alpha: 1.5, beta: 50, procs: 2, mode: mode, chunk: 512,
+			bins: 10, tau: 0.01,
+			critPath:  true,
+			telemetry: "127.0.0.1:0",
+		}
+		if err := run(context.Background(), pmaf, o); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	// A bad telemetry address must fail the run, not be ignored.
+	o := options{alpha: 1.5, beta: 50, procs: 1, mode: "sim", chunk: 512,
+		bins: 10, tau: 0.01, telemetry: "256.0.0.1:bogus"}
+	if err := run(context.Background(), pmaf, o); err == nil {
+		t.Error("bogus telemetry address: want error")
+	}
+}
+
 // TestRunWithTraceAndMetrics exercises the observability flags in both
 // machine modes: the trace must be valid Chrome trace_event JSON with
 // one track per rank and a span for every engine phase.

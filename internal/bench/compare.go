@@ -1,0 +1,138 @@
+// Bench-report comparison: the regression gate. Two suite reports are
+// matched cell by cell on (phase, variant, p) and the throughput
+// ratio new/old decides pass or fail against a tolerance. Cells
+// present in only one report are listed but never fatal — the smoke
+// configuration measures a subset of the committed full suite's rank
+// counts, and gating on the intersection is what makes one committed
+// baseline serve both.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"pmafia/internal/tabular"
+)
+
+// CompareRow is one matched (phase, variant, p) cell of a comparison.
+type CompareRow struct {
+	Phase   string  `json:"phase"`
+	Variant string  `json:"variant"`
+	P       int     `json:"p"`
+	OldRate float64 `json:"old_records_per_sec"`
+	NewRate float64 `json:"new_records_per_sec"`
+	// Ratio is NewRate/OldRate: 1.0 is parity, below 1-tolerance is a
+	// regression.
+	Ratio     float64 `json:"ratio"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	// Tolerance is the allowed fractional throughput drop: 0.15 passes
+	// anything down to 85% of the old rate.
+	Tolerance float64      `json:"tolerance"`
+	Rows      []CompareRow `json:"rows"`
+	// MissingInNew and MissingInOld name cells present in only one
+	// report. Informational: the smoke suite legitimately measures a
+	// subset of the committed baseline.
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	MissingInOld []string `json:"missing_in_old,omitempty"`
+}
+
+type cellKey struct {
+	phase, variant string
+	p              int
+}
+
+func (k cellKey) String() string {
+	return fmt.Sprintf("%s/%s p=%d", k.phase, k.variant, k.p)
+}
+
+// Compare matches the two reports' measurements on (phase, variant, p)
+// and flags every matched cell whose throughput dropped below
+// (1-tolerance)× the old rate.
+func Compare(oldRep, newRep *Report, tolerance float64) *Comparison {
+	c := &Comparison{Tolerance: tolerance}
+	oldCells := map[cellKey]Measurement{}
+	var order []cellKey
+	for _, m := range oldRep.Measurements {
+		k := cellKey{m.Phase, m.Variant, m.P}
+		if _, dup := oldCells[k]; !dup {
+			order = append(order, k)
+		}
+		oldCells[k] = m
+	}
+	newCells := map[cellKey]Measurement{}
+	for _, m := range newRep.Measurements {
+		k := cellKey{m.Phase, m.Variant, m.P}
+		if _, ok := oldCells[k]; !ok {
+			c.MissingInOld = append(c.MissingInOld, k.String())
+			continue
+		}
+		newCells[k] = m
+	}
+	for _, k := range order {
+		nm, ok := newCells[k]
+		if !ok {
+			c.MissingInNew = append(c.MissingInNew, k.String())
+			continue
+		}
+		om := oldCells[k]
+		row := CompareRow{
+			Phase: k.phase, Variant: k.variant, P: k.p,
+			OldRate: om.RecordsPerSec, NewRate: nm.RecordsPerSec,
+		}
+		if om.RecordsPerSec > 0 {
+			row.Ratio = nm.RecordsPerSec / om.RecordsPerSec
+			row.Regressed = row.Ratio < 1-tolerance
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	sort.Strings(c.MissingInNew)
+	sort.Strings(c.MissingInOld)
+	return c
+}
+
+// Regressions returns the matched cells that failed the gate.
+func (c *Comparison) Regressions() []CompareRow {
+	var out []CompareRow
+	for _, r := range c.Rows {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Table renders the comparison, regressions marked FAIL.
+func (c *Comparison) Table() *tabular.Table {
+	t := tabular.New(
+		fmt.Sprintf("Bench comparison (tolerance %.0f%% drop)", 100*c.Tolerance),
+		"phase", "variant", "p", "old rec/s", "new rec/s", "ratio", "gate")
+	for _, r := range c.Rows {
+		gate := "ok"
+		if r.Regressed {
+			gate = "FAIL"
+		}
+		t.AddRow(r.Phase, r.Variant, tabular.I(r.P),
+			fmt.Sprintf("%.0f", r.OldRate), fmt.Sprintf("%.0f", r.NewRate),
+			fmt.Sprintf("%.2f", r.Ratio), gate)
+	}
+	return t
+}
+
+// LoadReport reads a suite report JSON file (as written by cmd/bench).
+func LoadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func report(cells ...Measurement) *Report {
+	return &Report{Measurements: cells}
+}
+
+func cell(phase, variant string, p int, rate float64) Measurement {
+	return Measurement{Phase: phase, Variant: variant, P: p, RecordsPerSec: rate}
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	rep := report(
+		cell("histogram", "flat", 1, 1e6),
+		cell("populate", "pipelined", 2, 2e6),
+	)
+	c := Compare(rep, rep, 0.15)
+	if len(c.Rows) != 2 || len(c.Regressions()) != 0 {
+		t.Errorf("self-compare: %d rows, %d regressions", len(c.Rows), len(c.Regressions()))
+	}
+	for _, r := range c.Rows {
+		if r.Ratio != 1.0 {
+			t.Errorf("%s/%s p=%d ratio %v, want 1.0", r.Phase, r.Variant, r.P, r.Ratio)
+		}
+	}
+	if len(c.MissingInNew) != 0 || len(c.MissingInOld) != 0 {
+		t.Errorf("self-compare reported missing cells: %v / %v", c.MissingInNew, c.MissingInOld)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldRep := report(cell("histogram", "flat", 1, 1e6), cell("full", "pipelined", 2, 5e5))
+	newRep := report(cell("histogram", "flat", 1, 8e5), cell("full", "pipelined", 2, 4.9e5))
+	c := Compare(oldRep, newRep, 0.15)
+	regs := c.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("%d regressions, want 1 (histogram dropped 20%%): %+v", len(regs), c.Rows)
+	}
+	if regs[0].Phase != "histogram" || regs[0].Ratio != 0.8 {
+		t.Errorf("regression = %+v, want histogram at ratio 0.8", regs[0])
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	oldRep := report(cell("populate", "flat", 1, 1000))
+	// Exactly at 1-tolerance passes; below it fails.
+	c := Compare(oldRep, report(cell("populate", "flat", 1, 850)), 0.15)
+	if len(c.Regressions()) != 0 {
+		t.Errorf("ratio exactly 1-tolerance flagged as regression")
+	}
+	c = Compare(oldRep, report(cell("populate", "flat", 1, 849)), 0.15)
+	if len(c.Regressions()) != 1 {
+		t.Errorf("ratio below 1-tolerance not flagged")
+	}
+}
+
+func TestCompareMissingCellsAreNonFatal(t *testing.T) {
+	// The committed baseline has p up to 8; the smoke run measures only
+	// p<=2. Missing cells must be reported but never gate.
+	oldRep := report(
+		cell("histogram", "flat", 1, 1e6), cell("histogram", "flat", 2, 1.8e6),
+		cell("histogram", "flat", 4, 3e6), cell("histogram", "flat", 8, 4e6),
+	)
+	newRep := report(
+		cell("histogram", "flat", 1, 1e6), cell("histogram", "flat", 2, 1.8e6),
+		cell("histogram", "experimental", 1, 5e5),
+	)
+	c := Compare(oldRep, newRep, 0.15)
+	if len(c.Rows) != 2 || len(c.Regressions()) != 0 {
+		t.Errorf("%d rows, %d regressions, want 2/0", len(c.Rows), len(c.Regressions()))
+	}
+	if len(c.MissingInNew) != 2 {
+		t.Errorf("MissingInNew = %v, want the p=4 and p=8 cells", c.MissingInNew)
+	}
+	if len(c.MissingInOld) != 1 {
+		t.Errorf("MissingInOld = %v, want the experimental cell", c.MissingInOld)
+	}
+}
+
+func TestCompareZeroOldRateDoesNotDivide(t *testing.T) {
+	c := Compare(report(cell("full", "baseline", 1, 0)), report(cell("full", "baseline", 1, 100)), 0.15)
+	if len(c.Rows) != 1 || c.Rows[0].Ratio != 0 || c.Rows[0].Regressed {
+		t.Errorf("zero old rate: %+v", c.Rows)
+	}
+}
+
+func TestCompareTableRendersGate(t *testing.T) {
+	c := Compare(report(cell("histogram", "flat", 1, 1000)), report(cell("histogram", "flat", 1, 500)), 0.15)
+	var buf bytes.Buffer
+	if err := c.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("FAIL")) {
+		t.Errorf("table does not mark the regression:\n%s", buf.String())
+	}
+}

@@ -651,14 +651,14 @@ func (s *fileScanner) fill(raw []byte, vals []float64) (int, error) {
 	atomic.AddInt64(&s.f.stats.BytesRead, int64(nb))
 	atomic.AddInt64(&s.f.stats.Reads, 1)
 	if s.f.rec != nil {
-		s.f.rec.AddGlobal("diskio.chunks", 1)
-		s.f.rec.AddGlobal("diskio.bytes", int64(nb))
+		s.f.rec.AddGlobal(obs.CtrDiskChunks, 1)
+		s.f.rec.AddGlobal(obs.CtrDiskBytes, int64(nb))
 	}
 	if s.f.version == version2 {
 		if err := s.checkFrames(raw[:nb], s.next, n); err != nil {
 			atomic.AddInt64(&s.f.stats.Corruptions, 1)
 			if s.f.rec != nil {
-				s.f.rec.AddGlobal("diskio.corruptions", 1)
+				s.f.rec.AddGlobal(obs.CtrDiskCorruptions, 1)
 			}
 			return 0, err
 		}
@@ -697,7 +697,7 @@ func (s *fileScanner) readChunk(raw []byte, off int64, nb int) error {
 		if attempt > 0 {
 			atomic.AddInt64(&s.f.stats.Retries, 1)
 			if s.f.rec != nil {
-				s.f.rec.AddGlobal("diskio.retries", 1)
+				s.f.rec.AddGlobal(obs.CtrDiskRetries, 1)
 			}
 			if !s.sleepBackoff(s.f.backoff << (attempt - 1)) {
 				break // scanner closed mid-retry; stop with lastErr

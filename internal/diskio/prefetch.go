@@ -11,6 +11,8 @@ package diskio
 import (
 	"sync"
 	"sync/atomic"
+
+	"pmafia/internal/obs"
 )
 
 // prefetchBuffers is the pipeline depth: two buffers rotate between the
@@ -86,7 +88,7 @@ func (s *prefetchScanner) reader() {
 		if buf.n > 0 && buf.err == nil {
 			atomic.AddInt64(&f.stats.Prefetched, 1)
 			if f.rec != nil {
-				f.rec.AddGlobal("diskio.prefetch.chunks", 1)
+				f.rec.AddGlobal(obs.CtrPrefetchChunks, 1)
 			}
 		}
 		select {
@@ -122,7 +124,7 @@ func (s *prefetchScanner) Next() ([]float64, int) {
 		f := s.inner.f
 		atomic.AddInt64(&f.stats.PrefetchStalls, 1)
 		if f.rec != nil {
-			f.rec.AddGlobal("diskio.prefetch.stalls", 1)
+			f.rec.AddGlobal(obs.CtrPrefetchStalls, 1)
 		}
 		buf = <-s.ready
 	}

@@ -153,6 +153,7 @@ func All() []Experiment {
 		{"ablation-tau", "Ablation: task-parallel threshold tau (divide vs replicate task work)", runAblationTau},
 		{"model-fit", "Analysis (§4.5): Amdahl fit of the measured processor sweep", runModelFit},
 		{"phases", "§5.3: per-level time breakdown — population passes dominate", runPhases},
+		{"critical-path", "Analysis: critical-path attribution of the simulated makespan (compute by phase, comm by kind)", runCriticalPath},
 	}
 }
 

@@ -1,7 +1,6 @@
 package mafia
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -314,13 +313,13 @@ func (t *levelTally) emit(rec *obs.Recorder, rank int) {
 	if rec == nil {
 		return
 	}
-	rec.Add(rank, "cdus.generated", int64(t.raw))
-	rec.Add(rank, "cdus.deduped", int64(t.raw-t.unique))
-	rec.Add(rank, "cdus.populated", int64(t.unique))
-	rec.Add(rank, "dense.units", int64(t.dense))
-	rec.Add(rank, "populate.records", t.records)
-	rec.Add(rank, "pool.merge.ns", int64(t.mergeSec*1e9))
-	rec.Add(rank, fmt.Sprintf("level.%02d.dense", t.k), int64(t.dense))
+	rec.Add(rank, obs.CtrCDUsGenerated, int64(t.raw))
+	rec.Add(rank, obs.CtrCDUsDeduped, int64(t.raw-t.unique))
+	rec.Add(rank, obs.CtrCDUsPopulated, int64(t.unique))
+	rec.Add(rank, obs.CtrDenseUnits, int64(t.dense))
+	rec.Add(rank, obs.CtrPopulateRecords, t.records)
+	rec.Add(rank, obs.CtrPoolMergeNS, int64(t.mergeSec*1e9))
+	rec.Add(rank, obs.LevelDenseCounter(t.k), int64(t.dense))
 }
 
 // maxThreshold returns the density threshold of CDU i: its population

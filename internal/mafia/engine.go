@@ -11,6 +11,7 @@ import (
 	"pmafia/internal/gen"
 	"pmafia/internal/grid"
 	"pmafia/internal/histogram"
+	"pmafia/internal/obs"
 	"pmafia/internal/sp2"
 	"pmafia/internal/unit"
 )
@@ -146,8 +147,8 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		sp.End()
 		return nil, err
 	}
-	rec.Add(rank, "histogram.records", int64(e.shard.NumRecords()))
-	rec.Add(rank, "pool.merge.ns", int64(mergeSec*1e9))
+	rec.Add(rank, obs.CtrHistogramRecords, int64(e.shard.NumRecords()))
+	rec.Add(rank, obs.CtrPoolMergeNS, int64(mergeSec*1e9))
 	flat := h.Flatten()
 	e.c.AllreduceSumI64(flat)
 	err = h.SetFlattened(flat)

@@ -1,0 +1,283 @@
+// Critical-path analysis: why a run is as slow as it is.
+//
+// A Sim-mode run is an event DAG: per-rank compute spans chained by
+// collective rendezvous, whose modeled cost the sp2 machine charges on
+// the synchronized virtual clock. Because every collective synchronizes
+// *all* ranks (the machine's collectives are all-to-all rendezvous),
+// the longest weighted path through that DAG has a closed form: between
+// consecutive collectives only the slowest rank's compute segment is on
+// the path, then the collective's communication cost, and so on until
+// the last rank finishes. CriticalPath walks the recorded collective
+// events, attributes each on-path compute segment to the phase spans of
+// the rank that was last to arrive, and totals the modeled
+// communication per collective kind — the per-phase/per-rank
+// attribution that explains the paper's speedup figures from one run:
+// time on the path is either compute on some rank (shrinks with p until
+// imbalance dominates) or communication (grows with log p).
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"pmafia/internal/tabular"
+)
+
+// PhaseCost is the critical-path time attributed to one (phase, level).
+type PhaseCost struct {
+	Phase string `json:"phase"`
+	// Level is the bottom-up level, 0 when not level-scoped.
+	Level int `json:"level,omitempty"`
+	// Seconds is compute time on the critical path inside this phase.
+	Seconds float64 `json:"seconds"`
+	// Segments counts the on-path compute segments that touched it.
+	Segments int `json:"segments"`
+}
+
+// CommCost is the critical-path communication of one collective kind.
+type CommCost struct {
+	Kind string `json:"kind"`
+	// Count is the number of collectives of this kind on the path (all
+	// of them: every collective synchronizes every rank).
+	Count int `json:"count"`
+	// Bytes is the payload moved, summed over collective stages.
+	Bytes int64 `json:"bytes"`
+	// Seconds is the modeled communication time.
+	Seconds float64 `json:"seconds"`
+}
+
+// RankCost is one rank's share of the critical path's compute time.
+type RankCost struct {
+	Rank int `json:"rank"`
+	// Seconds is compute time this rank contributed to the path — the
+	// time the whole machine waited on it.
+	Seconds float64 `json:"seconds"`
+	// Segments counts the inter-collective segments it was slowest in.
+	Segments int `json:"segments"`
+}
+
+// CriticalPath is the longest weighted path of a run's event DAG,
+// attributed per phase, per collective kind, and per rank.
+type CriticalPath struct {
+	// Total is the path's length — the run's makespan. ComputeSeconds +
+	// CommSeconds == Total (ResidualSeconds, compute time not covered
+	// by any span, is included in ComputeSeconds and broken out so
+	// instrumentation gaps are visible rather than silently attributed).
+	Total           float64 `json:"total_seconds"`
+	ComputeSeconds  float64 `json:"compute_seconds"`
+	CommSeconds     float64 `json:"comm_seconds"`
+	ResidualSeconds float64 `json:"residual_seconds"`
+	// Collectives is the number of collective events walked.
+	Collectives int         `json:"collectives"`
+	Phases      []PhaseCost `json:"phases"`
+	Comm        []CommCost  `json:"comm"`
+	Ranks       []RankCost  `json:"ranks"`
+}
+
+// CriticalPath computes the run's critical path from the recorded
+// collective events and phase spans. rankSeconds, when non-nil, is the
+// machine report's final per-rank clock (sp2.Report.RankSeconds): it
+// pins the path's tail segment and makes Total equal the Sim virtual
+// makespan exactly. When nil (e.g. Real mode, where the report carries
+// no per-rank clocks), the tail falls back to the latest span end.
+func (r *Recorder) CriticalPath(rankSeconds []float64) *CriticalPath {
+	if r == nil {
+		return &CriticalPath{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	cp := &CriticalPath{Collectives: len(r.colls)}
+	phases := map[[2]any]*PhaseCost{}
+	var phaseOrder [][2]any
+	comm := map[string]*CommCost{}
+	var commOrder []string
+	ranks := map[int]*RankCost{}
+
+	attribute := func(rank int, a, b float64) {
+		if b <= a {
+			return
+		}
+		seg := b - a
+		cp.ComputeSeconds += seg
+		rc := ranks[rank]
+		if rc == nil {
+			rc = &RankCost{Rank: rank}
+			ranks[rank] = rc
+		}
+		rc.Seconds += seg
+		rc.Segments++
+		covered := r.attributeSpansLocked(rank, a, b, func(phase string, level int, sec float64) {
+			k := [2]any{phase, level}
+			pc := phases[k]
+			if pc == nil {
+				pc = &PhaseCost{Phase: phase, Level: level}
+				phases[k] = pc
+				phaseOrder = append(phaseOrder, k)
+			}
+			pc.Seconds += sec
+			pc.Segments++
+		})
+		if res := seg - covered; res > 0 {
+			cp.ResidualSeconds += res
+		}
+	}
+
+	prev := 0.0
+	for _, ce := range r.colls {
+		// The slowest arrival pins the path through this rendezvous.
+		last, lastAt := 0, 0.0
+		for rank, at := range ce.Arrive {
+			if rank == 0 || at > lastAt {
+				last, lastAt = rank, at
+			}
+		}
+		attribute(last, prev, lastAt)
+		cc := comm[ce.Kind]
+		if cc == nil {
+			cc = &CommCost{Kind: ce.Kind}
+			comm[ce.Kind] = cc
+			commOrder = append(commOrder, ce.Kind)
+		}
+		cc.Count++
+		cc.Bytes += ce.Bytes
+		cc.Seconds += ce.Seconds
+		cp.CommSeconds += ce.Seconds
+		prev = ce.Depart
+	}
+
+	// Tail: after the last collective the path follows whichever rank
+	// finishes last.
+	final, finalRank := prev, -1
+	if len(rankSeconds) > 0 {
+		for rank, v := range rankSeconds {
+			if v > final {
+				final, finalRank = v, rank
+			}
+		}
+	} else {
+		for rank, rs := range r.ranks {
+			for _, s := range rs.spans {
+				if !s.open && s.Stop > final {
+					final, finalRank = s.Stop, rank
+				}
+			}
+		}
+	}
+	if finalRank >= 0 {
+		attribute(finalRank, prev, final)
+	}
+	cp.Total = cp.ComputeSeconds + cp.CommSeconds
+
+	for _, k := range phaseOrder {
+		cp.Phases = append(cp.Phases, *phases[k])
+	}
+	sort.SliceStable(cp.Phases, func(i, j int) bool { return cp.Phases[i].Seconds > cp.Phases[j].Seconds })
+	for _, k := range commOrder {
+		cp.Comm = append(cp.Comm, *comm[k])
+	}
+	sort.SliceStable(cp.Comm, func(i, j int) bool { return cp.Comm[i].Seconds > cp.Comm[j].Seconds })
+	for _, rc := range ranks {
+		cp.Ranks = append(cp.Ranks, *rc)
+	}
+	sort.Slice(cp.Ranks, func(i, j int) bool { return cp.Ranks[i].Rank < cp.Ranks[j].Rank })
+	return cp
+}
+
+// attributeSpansLocked splits interval [a, b] of rank's timeline over
+// the innermost spans covering it, calling add once per span with the
+// covered self-time (the span's overlap minus its children's). Returns
+// the total attributed. Caller holds r.mu.
+func (r *Recorder) attributeSpansLocked(rank int, a, b float64, add func(phase string, level int, sec float64)) float64 {
+	if rank < 0 || rank >= len(r.ranks) {
+		return 0
+	}
+	spans := r.ranks[rank].spans
+	overlap := func(s *Span) float64 {
+		if s.open {
+			return 0
+		}
+		lo, hi := s.Start, s.Stop
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+	// Children of span i are the following spans at depth+1 until the
+	// depth drops back to i's (spans are recorded in start order).
+	covered := 0.0
+	for i, s := range spans {
+		ov := overlap(s)
+		if ov == 0 {
+			continue
+		}
+		self := ov
+		for j := i + 1; j < len(spans) && spans[j].Depth > s.Depth; j++ {
+			if spans[j].Depth == s.Depth+1 {
+				self -= overlap(spans[j])
+			}
+		}
+		if self <= 0 {
+			continue
+		}
+		add(s.Name, s.Level, self)
+		if s.Depth == 0 {
+			covered += ov
+		}
+	}
+	return covered
+}
+
+// pct formats v as a share of total.
+func pct(v, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v/total)
+}
+
+// Table renders the per-phase "why not faster" attribution: every row
+// is critical-path time — compute rows name the engine phase it was
+// spent in (on the slowest rank at that point), comm rows name the
+// collective kind. The shares sum to 100% of the makespan.
+func (cp *CriticalPath) Table() *tabular.Table {
+	t := tabular.New(
+		fmt.Sprintf("Critical path — why not faster (makespan %ss: compute %ss, comm %ss)",
+			tabular.F(cp.Total), tabular.F(cp.ComputeSeconds), tabular.F(cp.CommSeconds)),
+		"kind", "phase", "level", "seconds", "share", "collectives", "bytes")
+	for _, p := range cp.Phases {
+		lvl := "-"
+		if p.Level > 0 {
+			lvl = tabular.I(p.Level)
+		}
+		t.AddRow("compute", p.Phase, lvl, tabular.F(p.Seconds), pct(p.Seconds, cp.Total), "-", "-")
+	}
+	for _, c := range cp.Comm {
+		t.AddRow("comm", c.Kind, "-", tabular.F(c.Seconds), pct(c.Seconds, cp.Total),
+			tabular.I(c.Count), tabular.I(int(c.Bytes)))
+	}
+	if cp.ResidualSeconds > 0 {
+		t.AddRow("compute", "(outside spans)", "-", tabular.F(cp.ResidualSeconds),
+			pct(cp.ResidualSeconds, cp.Total), "-", "-")
+	}
+	return t
+}
+
+// RankTable renders each rank's share of the critical path's compute
+// time — the load-imbalance view: a rank with an outsized share is the
+// straggler the whole machine waits on.
+func (cp *CriticalPath) RankTable() *tabular.Table {
+	t := tabular.New("Critical-path compute per rank",
+		"rank", "seconds", "share", "segments")
+	for _, rc := range cp.Ranks {
+		t.AddRow(tabular.I(rc.Rank), tabular.F(rc.Seconds),
+			pct(rc.Seconds, cp.ComputeSeconds), tabular.I(rc.Segments))
+	}
+	return t
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilRecorderEventMethods(t *testing.T) {
+	var r *Recorder
+	r.Collective(CollRecord{Kind: KindReduce, Steps: 2})
+	if r.Collectives() != nil || r.Messages() != nil || r.CurrentPhases() != nil {
+		t.Error("nil recorder leaked events")
+	}
+	cp := r.CriticalPath(nil)
+	if cp == nil || cp.Total != 0 || len(cp.Phases) != 0 {
+		t.Errorf("nil recorder critical path: %+v", cp)
+	}
+}
+
+// TestCriticalPathManual hand-builds a two-rank run on the manual
+// clock and checks the exact attribution: rank 1 is slowest before the
+// collective, rank 0 after it, and the totals tile the makespan.
+func TestCriticalPathManual(t *testing.T) {
+	r := New()
+	clk := bindManual(r, 2)
+
+	// Rank 0 computes "a" for 1s, rank 1 for 2s.
+	a0 := r.Start(0, "a")
+	a1 := r.Start(1, "a")
+	clk.advance(0, 1)
+	clk.advance(1, 2)
+	a0.End()
+	a1.End()
+	// Collective: last arrival at 2.0 (rank 1), cost 0.5.
+	r.Collective(CollRecord{
+		Kind: KindReduce, Steps: 1, PayloadBytes: 64, Bytes: 64, Seconds: 0.5,
+		Arrive: []float64{1, 2}, Start: 2, Depart: 2.5,
+	})
+	clk.now[0], clk.now[1] = 2.5, 2.5
+	// After it, rank 0 computes "b" for 2s, rank 1 for 0.5s.
+	b0 := r.Start(0, "b")
+	b1 := r.Start(1, "b")
+	clk.advance(0, 2)
+	clk.advance(1, 0.5)
+	b0.End()
+	b1.End()
+
+	cp := r.CriticalPath([]float64{4.5, 3})
+	if math.Abs(cp.Total-4.5) > 1e-12 {
+		t.Errorf("Total = %v, want 4.5", cp.Total)
+	}
+	if math.Abs(cp.ComputeSeconds-4) > 1e-12 || math.Abs(cp.CommSeconds-0.5) > 1e-12 {
+		t.Errorf("compute %v / comm %v, want 4/0.5", cp.ComputeSeconds, cp.CommSeconds)
+	}
+	if cp.ResidualSeconds != 0 {
+		t.Errorf("residual %v, want 0 (segments fully covered by spans)", cp.ResidualSeconds)
+	}
+	if cp.Collectives != 1 {
+		t.Errorf("collectives %d, want 1", cp.Collectives)
+	}
+	wantPhase := map[string]float64{"a": 2, "b": 2}
+	for _, pc := range cp.Phases {
+		if math.Abs(pc.Seconds-wantPhase[pc.Phase]) > 1e-12 {
+			t.Errorf("phase %q seconds %v, want %v", pc.Phase, pc.Seconds, wantPhase[pc.Phase])
+		}
+		delete(wantPhase, pc.Phase)
+	}
+	if len(wantPhase) != 0 {
+		t.Errorf("phases missing from attribution: %v", wantPhase)
+	}
+	if len(cp.Comm) != 1 || cp.Comm[0].Kind != KindReduce || cp.Comm[0].Count != 1 || cp.Comm[0].Bytes != 64 {
+		t.Errorf("comm attribution: %+v", cp.Comm)
+	}
+	// Rank 1 owned the pre-collective segment (2s), rank 0 the tail (2s).
+	if len(cp.Ranks) != 2 || cp.Ranks[0].Seconds != 2 || cp.Ranks[1].Seconds != 2 ||
+		cp.Ranks[0].Segments != 1 || cp.Ranks[1].Segments != 1 {
+		t.Errorf("rank attribution: %+v", cp.Ranks)
+	}
+}
+
+// TestCriticalPathNestedSpansSelfTime: an on-path segment covered by
+// an outer span with a nested inner span must split into the inner
+// span's time and the outer's self time, not double-count.
+func TestCriticalPathNestedSpansSelfTime(t *testing.T) {
+	r := New()
+	clk := bindManual(r, 1)
+	outer := r.Start(0, "outer")
+	clk.advance(0, 1)
+	inner := r.Start(0, "inner")
+	clk.advance(0, 2)
+	inner.End()
+	clk.advance(0, 1)
+	outer.End()
+
+	cp := r.CriticalPath([]float64{4})
+	if math.Abs(cp.Total-4) > 1e-12 || cp.ResidualSeconds != 0 {
+		t.Fatalf("total %v residual %v, want 4/0", cp.Total, cp.ResidualSeconds)
+	}
+	got := map[string]float64{}
+	for _, pc := range cp.Phases {
+		got[pc.Phase] = pc.Seconds
+	}
+	if math.Abs(got["outer"]-2) > 1e-12 || math.Abs(got["inner"]-2) > 1e-12 {
+		t.Errorf("self-time split = %v, want outer 2 / inner 2", got)
+	}
+}
+
+// TestCriticalPathResidual: path time not covered by any span must
+// surface as residual, not vanish or mis-attribute.
+func TestCriticalPathResidual(t *testing.T) {
+	r := New()
+	clk := bindManual(r, 1)
+	s := r.Start(0, "covered")
+	clk.advance(0, 1)
+	s.End()
+	clk.advance(0, 3) // 3s with no open span
+
+	cp := r.CriticalPath([]float64{4})
+	if math.Abs(cp.Total-4) > 1e-12 {
+		t.Errorf("Total = %v, want 4", cp.Total)
+	}
+	if math.Abs(cp.ResidualSeconds-3) > 1e-12 {
+		t.Errorf("residual %v, want 3", cp.ResidualSeconds)
+	}
+}
+
+// TestCriticalPathNoRankSecondsFallsBackToSpans: without the machine
+// report's clocks the tail comes from the latest recorded span end.
+func TestCriticalPathNoRankSecondsFallsBackToSpans(t *testing.T) {
+	r := New()
+	clk := bindManual(r, 2)
+	s0 := r.Start(0, "w")
+	s1 := r.Start(1, "w")
+	clk.advance(0, 1)
+	clk.advance(1, 2.5)
+	s0.End()
+	s1.End()
+
+	cp := r.CriticalPath(nil)
+	if math.Abs(cp.Total-2.5) > 1e-12 {
+		t.Errorf("Total = %v, want 2.5 (latest span end)", cp.Total)
+	}
+}

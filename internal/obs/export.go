@@ -11,11 +11,15 @@ import (
 
 // traceEvent is one entry of the Chrome trace_event format ("JSON
 // object format"): complete events carry ph "X" with microsecond ts
-// and dur; metadata events carry ph "M" and name the tracks.
+// and dur; metadata events carry ph "M" and name the tracks; flow
+// events carry ph "s"/"f" with a shared id and draw the send→recv
+// arrows; counter events carry ph "C" with the sampled value in args.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
+	ID   int64          `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Ts   float64        `json:"ts"`
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
@@ -30,8 +34,13 @@ type traceDoc struct {
 
 // WriteChromeTrace writes every recorded span as a Chrome trace_event
 // JSON document: one process, one thread (track) per rank, complete
-// ("X") events in microseconds. The output opens directly in
-// chrome://tracing or https://ui.perfetto.dev.
+// ("X") events in microseconds, flow ("s"/"f") event pairs for every
+// modeled collective message (the arrows connecting rank tracks:
+// start on the sender's track, end with bp "e" on the receiver's so
+// the viewer binds the arrowhead to the enclosing phase slice), and
+// counter ("C") events replaying the sampled counters' running
+// totals. The output opens directly in chrome://tracing or
+// https://ui.perfetto.dev.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("obs: nil recorder")
@@ -66,6 +75,28 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			}
 			doc.TraceEvents = append(doc.TraceEvents, ev)
 		}
+	}
+	for _, msg := range r.msgs {
+		args := map[string]any{
+			"bytes": msg.Bytes, "step": msg.Step, "coll": msg.Coll,
+			"src": msg.Src, "dst": msg.Dst,
+		}
+		doc.TraceEvents = append(doc.TraceEvents,
+			traceEvent{
+				Name: msg.Kind, Cat: "msg", Ph: "s", ID: msg.ID,
+				Ts: msg.Start * 1e6, Pid: 0, Tid: msg.Src, Args: args,
+			},
+			traceEvent{
+				Name: msg.Kind, Cat: "msg", Ph: "f", ID: msg.ID, Bp: "e",
+				Ts: msg.End * 1e6, Pid: 0, Tid: msg.Dst, Args: args,
+			})
+	}
+	for _, smp := range r.samples {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: smp.name, Cat: "counter", Ph: "C",
+			Ts: smp.ts * 1e6, Pid: 0, Tid: 0,
+			Args: map[string]any{"value": smp.val},
+		})
 	}
 	r.mu.Unlock()
 	enc := json.NewEncoder(w)

@@ -31,14 +31,24 @@ func deterministicRecorder() *Recorder {
 		l.End()
 		run.End()
 	}
-	r.AddGlobal("diskio.chunks", 4)
+	// One collective rendezvous: with 2 ranks the reduce tree has one
+	// pairwise-exchange stage, i.e. two messages (0→1 and 1→0), which
+	// the trace export draws as two flow arrows.
+	r.Collective(CollRecord{
+		Kind: KindReduce, Steps: 1, PayloadBytes: 8000, Bytes: 8000,
+		Seconds: 0.125, Arrive: []float64{0.5, 0.5}, Start: 0.5, Depart: 0.625,
+	})
+	// A sampled counter via the rank-clocked path (AddGlobal samples on
+	// the wall clock, which would break byte-stability).
+	r.Add(0, CtrDiskChunks, 4)
 	return r
 }
 
 // TestChromeTraceGolden locks the Chrome trace_event export format:
 // the output must match the checked-in golden file byte for byte and
 // parse as valid trace_event JSON (complete "X" events with
-// microsecond ts/dur, metadata "M" events naming the rank tracks).
+// microsecond ts/dur, metadata "M" events naming the rank tracks,
+// paired "s"/"f" flow events per message, and "C" counter samples).
 func TestChromeTraceGolden(t *testing.T) {
 	r := deterministicRecorder()
 	var buf bytes.Buffer
@@ -67,6 +77,8 @@ func TestChromeTraceGolden(t *testing.T) {
 		TraceEvents []struct {
 			Name string         `json:"name"`
 			Ph   string         `json:"ph"`
+			ID   int64          `json:"id"`
+			Bp   string         `json:"bp"`
 			Ts   float64        `json:"ts"`
 			Dur  float64        `json:"dur"`
 			Pid  int            `json:"pid"`
@@ -77,7 +89,9 @@ func TestChromeTraceGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("export is not valid JSON: %v", err)
 	}
-	var complete, meta int
+	var complete, meta, counter int
+	flowStart := map[int64]int{} // flow id -> src tid
+	flowEnd := map[int64]int{}   // flow id -> dst tid
 	for _, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "X":
@@ -87,6 +101,21 @@ func TestChromeTraceGolden(t *testing.T) {
 			}
 		case "M":
 			meta++
+		case "s":
+			if ev.ID == 0 {
+				t.Errorf("flow start %q has no id", ev.Name)
+			}
+			flowStart[ev.ID] = ev.Tid
+		case "f":
+			if ev.Bp != "e" {
+				t.Errorf("flow end %q: bp %q, want %q", ev.Name, ev.Bp, "e")
+			}
+			flowEnd[ev.ID] = ev.Tid
+		case "C":
+			counter++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter event %q has no value", ev.Name)
+			}
 		default:
 			t.Errorf("unexpected event phase %q", ev.Ph)
 		}
@@ -96,6 +125,22 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 	if meta != 3 { // process_name + 2 thread_names
 		t.Errorf("%d metadata events, want 3", meta)
+	}
+	// One 2-rank reduce stage = 2 messages, each a paired s/f arrow
+	// between the two rank tracks.
+	if len(flowStart) != 2 || len(flowEnd) != 2 {
+		t.Errorf("%d flow starts / %d flow ends, want 2/2", len(flowStart), len(flowEnd))
+	}
+	for id, src := range flowStart {
+		dst, ok := flowEnd[id]
+		if !ok {
+			t.Errorf("flow %d has a start but no end", id)
+		} else if src == dst {
+			t.Errorf("flow %d does not cross tracks (src=dst=%d)", id, src)
+		}
+	}
+	if counter != 1 { // one sampled diskio.chunks observation
+		t.Errorf("%d counter events, want 1", counter)
 	}
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"regexp"
+	"sort"
+)
+
+// Counter names. Every counter the engine, the disk layer, the worker
+// pool, or the machine emits is declared here — one registry instead of
+// string literals scattered across packages, so exporters, the
+// telemetry server, and tests agree on the exact spelling. Counters
+// built from a pattern (per-collective-kind, per-level) have helper
+// constructors below; IsRegistered recognizes both forms.
+const (
+	// diskio: serial chunk scans and the hardened read path.
+	CtrDiskChunks      = "diskio.chunks"
+	CtrDiskBytes       = "diskio.bytes"
+	CtrDiskRetries     = "diskio.retries"
+	CtrDiskCorruptions = "diskio.corruptions"
+	// diskio: double-buffered prefetch pipeline.
+	CtrPrefetchChunks = "diskio.prefetch.chunks"
+	CtrPrefetchStalls = "diskio.prefetch.stalls"
+	// pool: intra-rank worker pool.
+	CtrPoolMergeNS = "pool.merge.ns"
+	// mafia/clique engine phases.
+	CtrHistogramRecords = "histogram.records"
+	CtrCDUsGenerated    = "cdus.generated"
+	CtrCDUsDeduped      = "cdus.deduped"
+	CtrCDUsPopulated    = "cdus.populated"
+	CtrDenseUnits       = "dense.units"
+	CtrPopulateRecords  = "populate.records"
+)
+
+// CommCountCounter names the per-kind collective-operation counter the
+// recorder bumps in Comm (kind is one of sp2's collective kinds).
+func CommCountCounter(kind string) string { return "comm." + kind + ".count" }
+
+// CommBytesCounter names the per-kind collective payload-bytes counter.
+func CommBytesCounter(kind string) string { return "comm." + kind + ".bytes" }
+
+// LevelDenseCounter names the per-level dense-unit counter for
+// bottom-up level k.
+func LevelDenseCounter(k int) string {
+	// Two digits keep lexicographic and numeric order aligned for the
+	// levels a run can realistically reach.
+	d1, d0 := byte('0'+k/10%10), byte('0'+k%10)
+	return "level." + string([]byte{d1, d0}) + ".dense"
+}
+
+// registered is the exact-name half of the registry.
+var registered = map[string]bool{
+	CtrDiskChunks:       true,
+	CtrDiskBytes:        true,
+	CtrDiskRetries:      true,
+	CtrDiskCorruptions:  true,
+	CtrPrefetchChunks:   true,
+	CtrPrefetchStalls:   true,
+	CtrPoolMergeNS:      true,
+	CtrHistogramRecords: true,
+	CtrCDUsGenerated:    true,
+	CtrCDUsDeduped:      true,
+	CtrCDUsPopulated:    true,
+	CtrDenseUnits:       true,
+	CtrPopulateRecords:  true,
+}
+
+// patterned matches the constructed counter families:
+// comm.<kind>.count/bytes and level.NN.dense.
+var patterned = regexp.MustCompile(`^(comm\.[a-z]+\.(count|bytes)|level\.[0-9]{2}\.dense)$`)
+
+// IsRegistered reports whether name is a declared counter, either an
+// exact registry entry or an instance of a registered pattern. Tests
+// use it to catch counter-name drift: a counter emitted under a
+// misspelled or undeclared name fails the registry test instead of
+// silently forking the metric space.
+func IsRegistered(name string) bool {
+	return registered[name] || patterned.MatchString(name)
+}
+
+// Registered returns the exact-name registry entries, sorted. Pattern
+// families (comm.*, level.*) are not enumerated.
+func Registered() []string {
+	out := make([]string, 0, len(registered))
+	for name := range registered {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sampled marks the counters whose increments are also recorded as
+// time-stamped samples for the Chrome trace export ("C" counter
+// events), so pipelining behavior — prefetch progress, stalls, pool
+// merge cost — is visible in the trace viewer over time rather than
+// only as end-of-run totals. Keep this set small: every increment of a
+// sampled counter appends one sample.
+var sampled = map[string]bool{
+	CtrPrefetchChunks: true,
+	CtrPrefetchStalls: true,
+	CtrPoolMergeNS:    true,
+	CtrDiskChunks:     true,
+}

@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+func TestCounterRegistry(t *testing.T) {
+	for _, name := range []string{
+		CtrDiskChunks, CtrDiskBytes, CtrDiskRetries, CtrDiskCorruptions,
+		CtrPrefetchChunks, CtrPrefetchStalls, CtrPoolMergeNS,
+		CtrHistogramRecords, CtrCDUsGenerated, CtrCDUsDeduped,
+		CtrCDUsPopulated, CtrDenseUnits, CtrPopulateRecords,
+	} {
+		if !IsRegistered(name) {
+			t.Errorf("constant %q not registered", name)
+		}
+	}
+	for _, kind := range []string{KindReduce, KindBcast, KindGather, KindBarrier} {
+		if !IsRegistered(CommCountCounter(kind)) || !IsRegistered(CommBytesCounter(kind)) {
+			t.Errorf("comm counters for %q not registered", kind)
+		}
+	}
+	for _, k := range []int{1, 7, 42} {
+		if !IsRegistered(LevelDenseCounter(k)) {
+			t.Errorf("%q not registered", LevelDenseCounter(k))
+		}
+	}
+	if got := LevelDenseCounter(7); got != "level.07.dense" {
+		t.Errorf("LevelDenseCounter(7) = %q", got)
+	}
+	for _, bogus := range []string{"", "bogus", "comm.reduce", "level.7.dense", "diskio.chunks2"} {
+		if IsRegistered(bogus) {
+			t.Errorf("%q should not be registered", bogus)
+		}
+	}
+	if len(Registered()) == 0 {
+		t.Error("Registered() is empty")
+	}
+}

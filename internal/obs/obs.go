@@ -65,15 +65,83 @@ type rankState struct {
 	ctrs  map[string]int64
 }
 
+// MsgEvent is one modeled point-to-point message of a collective: a
+// step of the collective's communication tree, carrying the payload
+// from Src to Dst. Send and receive share the event (and its ID), which
+// is the send↔recv correlation the Chrome flow-event export draws as an
+// arrow between the two rank tracks.
+type MsgEvent struct {
+	// ID is the machine-wide correlation id, unique per message.
+	ID int64 `json:"id"`
+	// Coll is the ordinal of the collective this message belongs to.
+	Coll int `json:"coll"`
+	// Kind is the collective kind (sp2.KindReduce, ...).
+	Kind string `json:"kind"`
+	// Step is the tree stage within the collective (0-based).
+	Step int `json:"step"`
+	// Src and Dst are the sending and receiving ranks.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Bytes is the message payload.
+	Bytes int64 `json:"bytes"`
+	// Start is the send time on Src's clock, End the receive time on
+	// Dst's clock. After a collective both clocks agree (the rendezvous
+	// synchronizes them), so the pair is consistent by construction.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// CollRecord describes one completed collective rendezvous to the
+// recorder. sp2's combiner fills it in while every rank is parked
+// inside the collective.
+type CollRecord struct {
+	// Kind is the collective kind (sp2.KindReduce, ...).
+	Kind string
+	// Steps is the number of tree stages the cost model charged
+	// (ceil(log2 p) for reduce/bcast/barrier, twice that for gather).
+	Steps int
+	// PayloadBytes is the payload carried per stage message.
+	PayloadBytes int64
+	// Bytes is the total payload moved, summed over stages — the same
+	// figure the machine report and comm counters use.
+	Bytes int64
+	// Seconds is the modeled communication cost charged.
+	Seconds float64
+	// Arrive is each rank's clock when it entered the collective. The
+	// recorder keeps the slice; pass an owned copy.
+	Arrive []float64
+	// Start is when communication begins (the last arrival's clock) and
+	// Depart the synchronized clock every rank resumes at.
+	Start, Depart float64
+}
+
+// CollEvent is a recorded collective: the CollRecord plus its ordinal.
+type CollEvent struct {
+	Seq int
+	CollRecord
+}
+
+// ctrSample is one time-stamped observation of a sampled counter's
+// running total (see names.go: sampled).
+type ctrSample struct {
+	ts   float64
+	name string
+	val  int64
+}
+
 // Recorder collects spans and counters for a run. A single mutex
 // serializes all mutation: instrumentation points are phase- and
 // chunk-granular, far too coarse for the lock to matter, and it keeps
 // concurrent Real-mode ranks race-free by construction.
 type Recorder struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	ranks  []*rankState
-	global map[string]int64
+	mu      sync.Mutex
+	epoch   time.Time
+	ranks   []*rankState
+	global  map[string]int64
+	colls   []*CollEvent
+	msgs    []MsgEvent
+	samples []ctrSample
+	nextMsg int64
 }
 
 // New creates an empty recorder.
@@ -171,25 +239,47 @@ func (s *Span) End() {
 	s.open = false
 }
 
-// Add bumps rank-local counter name by delta.
+// Add bumps rank-local counter name by delta. Counters in the sampled
+// set (names.go) also record a time-stamped sample of the running total
+// on the rank's clock for the trace export.
 func (r *Recorder) Add(rank int, name string, delta int64) {
 	if r == nil || delta == 0 {
 		return
 	}
 	r.mu.Lock()
-	r.rank(rank).ctrs[name] += delta
+	rs := r.rank(rank)
+	rs.ctrs[name] += delta
+	if sampled[name] {
+		r.sampleLocked(rs.clock(), name)
+	}
 	r.mu.Unlock()
 }
 
 // AddGlobal bumps a machine-global counter (used by code that has no
-// rank identity, such as shared file scanners).
+// rank identity, such as shared file scanners). Sampled counters record
+// their sample on the recorder's wall clock: global emitters (e.g. the
+// prefetch reader goroutine) have no rank clock, so in Sim mode these
+// samples are wall-anchored, not virtual — see the package README.
 func (r *Recorder) AddGlobal(name string, delta int64) {
 	if r == nil || delta == 0 {
 		return
 	}
 	r.mu.Lock()
 	r.global[name] += delta
+	if sampled[name] {
+		r.sampleLocked(time.Since(r.epoch).Seconds(), name)
+	}
 	r.mu.Unlock()
+}
+
+// sampleLocked appends a sample of name's current machine-wide total.
+// Caller holds r.mu.
+func (r *Recorder) sampleLocked(ts float64, name string) {
+	v := r.global[name]
+	for _, rs := range r.ranks {
+		v += rs.ctrs[name]
+	}
+	r.samples = append(r.samples, ctrSample{ts: ts, name: name, val: v})
 }
 
 // Comm attributes one completed collective to rank: its modeled cost
@@ -210,8 +300,77 @@ func (r *Recorder) Comm(rank int, kind string, bytes int64, seconds float64) {
 		sp.CommSeconds += seconds
 		sp.CommBytes += bytes
 	}
-	rs.ctrs["comm."+kind+".count"]++
-	rs.ctrs["comm."+kind+".bytes"] += bytes
+	rs.ctrs[CommCountCounter(kind)]++
+	rs.ctrs[CommBytesCounter(kind)] += bytes
+}
+
+// Collective records one completed collective rendezvous and
+// synthesizes the per-stage point-to-point messages of its modeled
+// communication tree (see tree.go). sp2's combiner calls this once per
+// collective while all ranks are parked inside it.
+func (r *Recorder) Collective(ev CollRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ce := &CollEvent{Seq: len(r.colls), CollRecord: ev}
+	r.colls = append(r.colls, ce)
+	r.msgs = append(r.msgs, r.treeMessagesLocked(ce)...)
+}
+
+// Collectives returns the recorded collective events in machine order.
+// The slice is a snapshot; read it after the run completes.
+func (r *Recorder) Collectives() []*CollEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*CollEvent(nil), r.colls...)
+}
+
+// Messages returns every recorded message event in emission order.
+func (r *Recorder) Messages() []MsgEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]MsgEvent(nil), r.msgs...)
+}
+
+// PhaseStatus is one rank's live position in the run: the innermost
+// open span (if any) and when it started on the rank's clock.
+type PhaseStatus struct {
+	Rank  int     `json:"rank"`
+	Phase string  `json:"phase"`
+	Level int     `json:"level,omitempty"`
+	Since float64 `json:"since"`
+	Depth int     `json:"depth"`
+}
+
+// CurrentPhases snapshots the innermost open span of every rank — the
+// live "where is the machine right now" view the telemetry server
+// serves. Ranks with no open span report an empty Phase.
+func (r *Recorder) CurrentPhases() []PhaseStatus {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PhaseStatus, len(r.ranks))
+	for rank, rs := range r.ranks {
+		out[rank] = PhaseStatus{Rank: rank}
+		if n := len(rs.stack); n > 0 {
+			sp := rs.stack[n-1]
+			out[rank].Phase = sp.Name
+			out[rank].Level = sp.Level
+			out[rank].Since = sp.Start
+			out[rank].Depth = sp.Depth
+		}
+	}
+	return out
 }
 
 // CurrentPhase returns the name of rank's innermost open span, or ""

@@ -107,6 +107,24 @@ func TestNilRecorderIsFree(t *testing.T) {
 	}
 }
 
+// TestNilRecorderZeroAllocs pins the pay-for-use contract the hot
+// paths rely on: with observability off (nil recorder) every
+// instrumentation point is a pointer test, never an allocation.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		s := r.Start(0, "x")
+		r.Add(0, CtrDiskChunks, 1)
+		r.AddGlobal(CtrPrefetchChunks, 1)
+		r.Comm(0, KindReduce, 8, 0.1)
+		r.Collective(CollRecord{Kind: KindReduce})
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocates %.1f times per instrumentation round", allocs)
+	}
+}
+
 func TestCommAttribution(t *testing.T) {
 	r := New()
 	clk := bindManual(r, 2)

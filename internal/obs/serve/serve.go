@@ -1,0 +1,138 @@
+// Package serve exposes a running recorder over HTTP — the live
+// telemetry of a Real-mode run. Three endpoints:
+//
+//	/metrics  Prometheus text exposition: every counter (summed over
+//	          ranks and the global space) plus per-phase time gauges.
+//	/phase    JSON snapshot of each rank's innermost open span — the
+//	          "where is the machine right now" view.
+//	/healthz  liveness probe, always "ok".
+//
+// The server is read-only over the recorder's own mutex-guarded
+// snapshot methods, so scraping a running machine is safe (and
+// race-detector clean). It costs nothing when not started: the
+// instrumented code path never references this package, preserving
+// obs's pay-for-use contract.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// Server is a running telemetry endpoint. Start it before the run,
+// Close it after; Close blocks until the listener goroutine exits.
+type Server struct {
+	rec  *obs.Recorder
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and
+// serves telemetry for rec in a background goroutine. rec may be nil,
+// in which case every endpoint reports an empty machine.
+func Start(addr string, rec *obs.Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{rec: rec, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/phase", s.phase)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down gracefully: in-flight scrapes finish,
+// the listener closes, and the serve goroutine exits before Close
+// returns.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// promName mangles a counter name into a Prometheus metric name:
+// "diskio.prefetch.chunks" -> "pmafia_diskio_prefetch_chunks".
+func promName(name string) string {
+	mangled := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return "pmafia_" + mangled
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.rec.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# TYPE pmafia_ranks gauge\npmafia_ranks %d\n", m.Ranks)
+
+	names := make([]string, 0, len(m.Counters))
+	for name := range m.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Counters[name])
+	}
+
+	if len(m.Phases) > 0 {
+		fmt.Fprintf(w, "# TYPE pmafia_phase_seconds gauge\n")
+		for _, p := range m.Phases {
+			fmt.Fprintf(w, "pmafia_phase_seconds{phase=%q,level=\"%d\"} %g\n",
+				p.Name, p.Level, p.Seconds)
+		}
+	}
+
+	if phases := s.rec.CurrentPhases(); len(phases) > 0 {
+		fmt.Fprintf(w, "# TYPE pmafia_rank_phase_since_seconds gauge\n")
+		for _, ps := range phases {
+			if ps.Phase == "" {
+				continue
+			}
+			fmt.Fprintf(w, "pmafia_rank_phase_since_seconds{rank=\"%d\",phase=%q} %g\n",
+				ps.Rank, ps.Phase, ps.Since)
+		}
+	}
+}
+
+func (s *Server) phase(w http.ResponseWriter, _ *http.Request) {
+	phases := s.rec.CurrentPhases()
+	if phases == nil {
+		phases = []obs.PhaseStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(phases)
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	rec := obs.New()
+	rec.Add(0, obs.CtrHistogramRecords, 1000)
+	rec.AddGlobal(obs.CtrDiskBytes, 4096)
+	span := rec.Start(0, "populate").SetLevel(3)
+
+	s, err := Start("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"pmafia_histogram_records 1000",
+		"pmafia_diskio_bytes 4096",
+		"pmafia_ranks 1",
+		`pmafia_rank_phase_since_seconds{rank="0",phase="populate"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// /phase reports the open span while the run is live…
+	code, body = get(t, base+"/phase")
+	if code != 200 {
+		t.Fatalf("/phase: status %d", code)
+	}
+	var phases []obs.PhaseStatus
+	if err := json.Unmarshal([]byte(body), &phases); err != nil {
+		t.Fatalf("/phase is not JSON: %v\n%s", err, body)
+	}
+	if len(phases) != 1 || phases[0].Phase != "populate" || phases[0].Level != 3 {
+		t.Errorf("/phase = %+v, want one rank in populate/level 3", phases)
+	}
+
+	// …and an empty phase once the span ends ("run finished").
+	span.End()
+	_, body = get(t, base+"/phase")
+	if err := json.Unmarshal([]byte(body), &phases); err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || phases[0].Phase != "" {
+		t.Errorf("after End: /phase = %+v, want empty phase", phases)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	s, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Errorf("/healthz: %d", code)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "pmafia_ranks 0") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body := get(t, base+"/phase"); code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Errorf("/phase: %d %q", code, body)
+	}
+}
+
+// TestCloseStopsServing locks the shutdown contract: after Close the
+// port no longer accepts connections and no server goroutines remain.
+func TestCloseStopsServing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := Start("127.0.0.1:0", obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != 200 {
+		t.Fatal("server not serving before Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	// The serve goroutine exits before Close returns; idle HTTP
+	// keep-alive goroutines from our own client can linger briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+1 {
+		t.Errorf("goroutines: %d before, %d after Close", before, now)
+	}
+}
+
+// TestScrapeWhileRunning hammers /metrics and /phase while rank
+// goroutines mutate the recorder — with -race this proves live
+// scraping of a running machine is data-race-free.
+func TestScrapeWhileRunning(t *testing.T) {
+	rec := obs.New()
+	s, err := Start("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := rec.Start(rank, "populate").SetLevel(i%4 + 1)
+				rec.Add(rank, obs.CtrPopulateRecords, 64)
+				rec.Comm(rank, obs.KindReduce, 128, 0.001)
+				sp.End()
+				// Pace the mutators: every Start appends a span, and an
+				// unthrottled loop makes each scrape's snapshot scan
+				// millions of spans.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}(rank)
+	}
+	for i := 0; i < 20; i++ {
+		if code, _ := get(t, base+"/metrics"); code != 200 {
+			t.Errorf("/metrics scrape %d: status %d", i, code)
+		}
+		if code, _ := get(t, base+"/phase"); code != 200 {
+			t.Errorf("/phase scrape %d: status %d", i, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package obs
+
+// Collective kinds, shared with the sp2 machine (sp2 re-exports these
+// so both packages spell per-kind counters and events identically).
+const (
+	KindReduce  = "reduce"  // the Allreduce* family
+	KindBcast   = "bcast"   // broadcast
+	KindGather  = "gather"  // gather-concatenate-broadcast
+	KindBarrier = "barrier" // barrier
+)
+
+// treeMessagesLocked synthesizes the point-to-point messages of one
+// collective's modeled communication tree. The sp2 cost model charges
+// Steps tree stages of (latency + payload/bandwidth); this expands
+// those stages into the individual src→dst messages a real MPI
+// implementation would send:
+//
+//   - reduce/barrier: recursive doubling — at stage s every rank
+//     exchanges with its partner rank^2^s (both directions).
+//   - bcast: binomial tree from rank 0 — at stage s ranks < 2^s each
+//     forward to rank+2^s.
+//   - gather: the first Steps/2 stages combine toward rank 0 along a
+//     binomial tree (nearest pairs first), the rest broadcast the
+//     concatenation back out.
+//
+// Each message occupies one stage's slice of the collective's
+// [Start, Depart] window on the synchronized clock. Caller holds r.mu.
+func (r *Recorder) treeMessagesLocked(ce *CollEvent) []MsgEvent {
+	p := len(ce.Arrive)
+	if p <= 1 || ce.Steps <= 0 {
+		return nil
+	}
+	perStep := (ce.Depart - ce.Start) / float64(ce.Steps)
+	var out []MsgEvent
+	emit := func(step, src, dst int) {
+		r.nextMsg++
+		out = append(out, MsgEvent{
+			ID: r.nextMsg, Coll: ce.Seq, Kind: ce.Kind, Step: step,
+			Src: src, Dst: dst, Bytes: ce.PayloadBytes,
+			Start: ce.Start + float64(step)*perStep,
+			End:   ce.Start + float64(step+1)*perStep,
+		})
+	}
+	switch ce.Kind {
+	case KindGather:
+		half := ce.Steps / 2
+		for s := 0; s < half; s++ {
+			dist := 1 << s
+			for dst := 0; dst+dist < p; dst += 2 * dist {
+				emit(s, dst+dist, dst)
+			}
+		}
+		for s := half; s < ce.Steps; s++ {
+			dist := 1 << (s - half)
+			for src := 0; src < dist && src+dist < p; src++ {
+				emit(s, src, src+dist)
+			}
+		}
+	case KindBcast:
+		for s := 0; s < ce.Steps; s++ {
+			dist := 1 << s
+			for src := 0; src < dist && src+dist < p; src++ {
+				emit(s, src, src+dist)
+			}
+		}
+	default: // reduce, barrier: pairwise exchange
+		for s := 0; s < ce.Steps; s++ {
+			dist := 1 << s
+			for a := 0; a < p; a++ {
+				if b := a ^ dist; b < p && a < b {
+					emit(s, a, b)
+					emit(s, b, a)
+				}
+			}
+		}
+	}
+	return out
+}

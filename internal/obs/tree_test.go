@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// coll records one collective and returns the messages synthesized
+// for it (the recorder appends to its message log; slice off the new
+// tail).
+func coll(r *Recorder, kind string, p, steps int) []MsgEvent {
+	before := len(r.Messages())
+	arrive := make([]float64, p)
+	r.Collective(CollRecord{
+		Kind: kind, Steps: steps, PayloadBytes: 100, Bytes: int64(100 * steps),
+		Seconds: float64(steps), Arrive: arrive, Start: 10, Depart: 10 + float64(steps),
+	})
+	return r.Messages()[before:]
+}
+
+func validate(t *testing.T, msgs []MsgEvent, p int) {
+	t.Helper()
+	seen := map[int64]bool{}
+	for _, m := range msgs {
+		if m.Src < 0 || m.Src >= p || m.Dst < 0 || m.Dst >= p || m.Src == m.Dst {
+			t.Errorf("message %d: src %d dst %d out of range for p=%d", m.ID, m.Src, m.Dst, p)
+		}
+		if seen[m.ID] {
+			t.Errorf("duplicate message id %d", m.ID)
+		}
+		seen[m.ID] = true
+		if m.End <= m.Start {
+			t.Errorf("message %d: end %v <= start %v", m.ID, m.End, m.Start)
+		}
+	}
+}
+
+func TestTreeShapes(t *testing.T) {
+	r := New()
+
+	// p=4 reduce, 2 stages of pairwise exchange: 4 ranks × 2 dirs / 2
+	// pairs... each stage has 2 pairs × 2 directions = 4 messages.
+	msgs := coll(r, KindReduce, 4, 2)
+	if len(msgs) != 8 {
+		t.Errorf("p=4 reduce: %d messages, want 8", len(msgs))
+	}
+	validate(t, msgs, 4)
+	// Stage 0 partners differ by 1, stage 1 by 2.
+	for _, m := range msgs {
+		want := 1 << m.Step
+		if m.Src^m.Dst != want {
+			t.Errorf("reduce step %d: %d->%d, want partner distance %d", m.Step, m.Src, m.Dst, want)
+		}
+	}
+
+	// p=4 bcast, binomial from rank 0: stage 0 sends 0->1, stage 1
+	// sends 0->2 and 1->3.
+	msgs = coll(r, KindBcast, 4, 2)
+	if len(msgs) != 3 {
+		t.Errorf("p=4 bcast: %d messages, want 3", len(msgs))
+	}
+	validate(t, msgs, 4)
+	reach := map[int]bool{0: true}
+	for _, m := range msgs {
+		if !reach[m.Src] {
+			t.Errorf("bcast: rank %d forwards before receiving", m.Src)
+		}
+		reach[m.Dst] = true
+	}
+	if len(reach) != 4 {
+		t.Errorf("bcast reaches %d of 4 ranks", len(reach))
+	}
+
+	// p=4 gather (Steps=4 = 2×stages): 2 combine stages toward rank 0
+	// (3 messages) then 2 broadcast stages back out (3 messages).
+	msgs = coll(r, KindGather, 4, 4)
+	if len(msgs) != 6 {
+		t.Errorf("p=4 gather: %d messages, want 6", len(msgs))
+	}
+	validate(t, msgs, 4)
+	var toward, outward int
+	for _, m := range msgs {
+		if m.Step < 2 {
+			toward++
+			if m.Dst > m.Src {
+				t.Errorf("gather combine step %d: %d->%d moves away from rank 0", m.Step, m.Src, m.Dst)
+			}
+		} else {
+			outward++
+			if m.Dst < m.Src {
+				t.Errorf("gather bcast step %d: %d->%d moves toward rank 0", m.Step, m.Src, m.Dst)
+			}
+		}
+	}
+	if toward != 3 || outward != 3 {
+		t.Errorf("gather: %d combine + %d bcast messages, want 3+3", toward, outward)
+	}
+
+	// Non-power-of-two p=5 barrier, 3 stages: partners beyond the rank
+	// space are skipped, never emitted.
+	msgs = coll(r, KindBarrier, 5, 3)
+	validate(t, msgs, 5)
+	if len(msgs) != 10 {
+		t.Errorf("p=5 barrier: %d messages, want 10", len(msgs))
+	}
+}
+
+func TestTreeMessageTiming(t *testing.T) {
+	r := New()
+	msgs := coll(r, KindReduce, 4, 2) // window [10, 12], 2 steps of 1s
+	for _, m := range msgs {
+		wantStart := 10 + float64(m.Step)
+		if math.Abs(m.Start-wantStart) > 1e-12 || math.Abs(m.End-(wantStart+1)) > 1e-12 {
+			t.Errorf("step %d message occupies [%v, %v], want [%v, %v]",
+				m.Step, m.Start, m.End, wantStart, wantStart+1)
+		}
+	}
+}
+
+func TestTreeDegenerate(t *testing.T) {
+	r := New()
+	if msgs := coll(r, KindReduce, 1, 0); len(msgs) != 0 {
+		t.Errorf("p=1: %d messages, want 0", len(msgs))
+	}
+	if msgs := coll(r, KindBarrier, 4, 0); len(msgs) != 0 {
+		t.Errorf("steps=0: %d messages, want 0", len(msgs))
+	}
+}

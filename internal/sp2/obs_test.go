@@ -84,6 +84,164 @@ func TestSimSpansMatchVirtualClocks(t *testing.T) {
 	}
 }
 
+// TestCollectiveEventsRecorded checks the machine's event stream: one
+// CollEvent per collective in machine order, arrival clocks for every
+// rank, and synthesized messages whose src/dst/window are consistent
+// with the collective they belong to.
+func TestCollectiveEventsRecorded(t *testing.T) {
+	const p = 4
+	rec := obs.New()
+	rep, err := Run(Config{Procs: p, Mode: Sim, Recorder: rec}, func(c *Comm) error {
+		c.AllreduceSumI64([]int64{int64(c.Rank())})
+		c.BcastBytes(0, []byte{1, 2, 3, 4})
+		c.GatherConcatBcast([]byte{byte(c.Rank())})
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colls := rec.Collectives()
+	wantKinds := []string{KindReduce, KindBcast, KindGather, KindBarrier}
+	if len(colls) != len(wantKinds) {
+		t.Fatalf("%d collective events, want %d", len(colls), len(wantKinds))
+	}
+	var secs float64
+	var bytes int64
+	for i, ce := range colls {
+		if ce.Seq != i || ce.Kind != wantKinds[i] {
+			t.Errorf("event %d: seq %d kind %q, want %d/%q", i, ce.Seq, ce.Kind, i, wantKinds[i])
+		}
+		if len(ce.Arrive) != p {
+			t.Errorf("event %d: %d arrival clocks, want %d", i, len(ce.Arrive), p)
+		}
+		wantSteps := int(stages(p))
+		if ce.Kind == KindGather {
+			wantSteps *= 2
+		}
+		if ce.Steps != wantSteps {
+			t.Errorf("event %d (%s): %d steps, want %d", i, ce.Kind, ce.Steps, wantSteps)
+		}
+		// The communication window sits on the synchronized clock: it
+		// opens at the last arrival and spans the modeled cost.
+		maxArrive := 0.0
+		for _, at := range ce.Arrive {
+			if at > maxArrive {
+				maxArrive = at
+			}
+		}
+		if math.Abs(ce.Start-maxArrive) > 1e-9 {
+			t.Errorf("event %d: start %v, last arrival %v", i, ce.Start, maxArrive)
+		}
+		if math.Abs((ce.Depart-ce.Start)-ce.Seconds) > 1e-9 {
+			t.Errorf("event %d: window %v, modeled cost %v", i, ce.Depart-ce.Start, ce.Seconds)
+		}
+		secs += ce.Seconds
+		bytes += ce.Bytes
+	}
+	if math.Abs(secs-rep.CommSeconds) > 1e-9 {
+		t.Errorf("event seconds sum to %v, report CommSeconds %v", secs, rep.CommSeconds)
+	}
+	if bytes != rep.BytesMoved {
+		t.Errorf("event bytes sum to %d, report BytesMoved %d", bytes, rep.BytesMoved)
+	}
+
+	// reduce 8 + bcast 3 + gather 6 + barrier 8 messages at p=4.
+	msgs := rec.Messages()
+	if len(msgs) != 25 {
+		t.Errorf("%d messages, want 25", len(msgs))
+	}
+	ids := map[int64]bool{}
+	for _, m := range msgs {
+		if m.Src < 0 || m.Src >= p || m.Dst < 0 || m.Dst >= p || m.Src == m.Dst {
+			t.Errorf("message %d: src %d dst %d", m.ID, m.Src, m.Dst)
+		}
+		if ids[m.ID] {
+			t.Errorf("correlation id %d reused", m.ID)
+		}
+		ids[m.ID] = true
+		ce := colls[m.Coll]
+		if m.Kind != ce.Kind || m.Start < ce.Start-1e-9 || m.End > ce.Depart+1e-9 {
+			t.Errorf("message %d escapes its collective: [%v,%v] vs [%v,%v] kind %s/%s",
+				m.ID, m.Start, m.End, ce.Start, ce.Depart, m.Kind, ce.Kind)
+		}
+	}
+}
+
+// TestCriticalPathEqualsSimMakespan is the exactness acceptance check:
+// the critical-path total reconstructed from the event DAG must equal
+// the Sim report's virtual makespan.
+func TestCriticalPathEqualsSimMakespan(t *testing.T) {
+	const p = 4
+	rec := obs.New()
+	rep, err := Run(Config{Procs: p, Mode: Sim, Recorder: rec}, func(c *Comm) error {
+		sp := rec.Start(c.Rank(), "work")
+		// Unequal compute per rank so arrival imbalance is real.
+		sum := 0.0
+		for i := 0; i < (c.Rank()+1)*20000; i++ {
+			sum += float64(i)
+		}
+		_ = sum
+		c.AllreduceSumI64([]int64{1})
+		c.Barrier()
+		sp.End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := rec.CriticalPath(rep.RankSeconds)
+	if math.Abs(cp.Total-rep.ParallelSeconds) > 1e-9 {
+		t.Errorf("critical-path total %v, Sim makespan %v", cp.Total, rep.ParallelSeconds)
+	}
+	if math.Abs(cp.Total-(cp.ComputeSeconds+cp.CommSeconds)) > 1e-12 {
+		t.Errorf("total %v != compute %v + comm %v", cp.Total, cp.ComputeSeconds, cp.CommSeconds)
+	}
+	if math.Abs(cp.CommSeconds-rep.CommSeconds) > 1e-9 {
+		t.Errorf("critical-path comm %v, report comm %v", cp.CommSeconds, rep.CommSeconds)
+	}
+	if cp.Collectives != int(rep.Collectives) {
+		t.Errorf("critical path walked %d collectives, report has %d", cp.Collectives, rep.Collectives)
+	}
+}
+
+// TestRealModeCollectiveEvents: in Real mode arrival clocks are wall
+// times; the invariants are weaker (monotonicity, not exactness) but
+// the event stream must still be complete and well-formed.
+func TestRealModeCollectiveEvents(t *testing.T) {
+	const p = 4
+	rec := obs.New()
+	_, err := Run(Config{Procs: p, Mode: Real, Recorder: rec}, func(c *Comm) error {
+		c.AllreduceSumI64([]int64{1})
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colls := rec.Collectives()
+	if len(colls) != 2 {
+		t.Fatalf("%d collective events, want 2", len(colls))
+	}
+	for i, ce := range colls {
+		if len(ce.Arrive) != p {
+			t.Errorf("event %d: %d arrivals, want %d", i, len(ce.Arrive), p)
+		}
+		for rank, at := range ce.Arrive {
+			if at < 0 {
+				t.Errorf("event %d: rank %d arrival %v < 0", i, rank, at)
+			}
+			if at > ce.Depart {
+				t.Errorf("event %d: rank %d arrives at %v after depart %v", i, rank, at, ce.Depart)
+			}
+		}
+		if ce.Depart < ce.Start {
+			t.Errorf("event %d: depart %v before start %v", i, ce.Depart, ce.Start)
+		}
+	}
+}
+
 // TestRealModeRecorder drives the recorder from concurrently executing
 // ranks (run under -race this proves the Real-mode path is safe) and
 // checks wall-clock spans still nest and collect comm counters.

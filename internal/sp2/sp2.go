@@ -105,12 +105,14 @@ type CollectiveStats struct {
 	Seconds float64
 }
 
-// Collective kinds reported in Report.ByKind.
+// Collective kinds reported in Report.ByKind. The values are shared
+// with the observability layer (obs spells per-kind counters and
+// message events with the same strings).
 const (
-	KindReduce  = "reduce"  // the Allreduce* family
-	KindBcast   = "bcast"   // BcastBytes
-	KindGather  = "gather"  // GatherConcatBcast
-	KindBarrier = "barrier" // Barrier
+	KindReduce  = obs.KindReduce  // the Allreduce* family
+	KindBcast   = obs.KindBcast   // BcastBytes
+	KindGather  = obs.KindGather  // GatherConcatBcast
+	KindBarrier = obs.KindBarrier // Barrier
 )
 
 // Report summarizes a finished run.
@@ -187,13 +189,18 @@ type machine struct {
 	outBol    []bool
 	outU64    []uint64
 
-	vclocks  []float64
-	resumeAt []time.Time
-	commSec  float64
-	bytes    int64
-	colls    int64
-	byKind   map[string]*CollectiveStats
-	start    time.Time
+	vclocks []float64
+	// arriveClk[r] is rank r's clock reading when it entered the
+	// current collective (Sim: virtual clock; Real: wall seconds since
+	// start). Maintained only when a Recorder is attached; the combiner
+	// snapshots it into the recorder's collective event.
+	arriveClk []float64
+	resumeAt  []time.Time
+	commSec   float64
+	bytes     int64
+	colls     int64
+	byKind    map[string]*CollectiveStats
+	start     time.Time
 
 	// seq[r] counts the collectives rank r has entered; written with
 	// atomics by the owning rank, read by the watchdog and recovery.
@@ -241,20 +248,21 @@ func Run(cfg Config, body func(*Comm) error) (*Report, error) {
 	}
 	p := cfg.Procs
 	m := &machine{
-		cfg:      cfg,
-		slotsB:   make([][]byte, p),
-		slotsI64: make([][]int64, p),
-		slotsF64: make([][]float64, p),
-		slotsBol: make([][]bool, p),
-		slotsU64: make([][]uint64, p),
-		vclocks:  make([]float64, p),
-		resumeAt: make([]time.Time, p),
-		present:  make([]bool, p),
-		seq:      make([]int64, p),
-		byKind:   map[string]*CollectiveStats{},
-		failCh:   make(chan struct{}),
-		finCh:    make(chan struct{}),
-		baton:    make(chan struct{}, 1),
+		cfg:       cfg,
+		slotsB:    make([][]byte, p),
+		slotsI64:  make([][]int64, p),
+		slotsF64:  make([][]float64, p),
+		slotsBol:  make([][]bool, p),
+		slotsU64:  make([][]uint64, p),
+		vclocks:   make([]float64, p),
+		arriveClk: make([]float64, p),
+		resumeAt:  make([]time.Time, p),
+		present:   make([]bool, p),
+		seq:       make([]int64, p),
+		byKind:    map[string]*CollectiveStats{},
+		failCh:    make(chan struct{}),
+		finCh:     make(chan struct{}),
+		baton:     make(chan struct{}, 1),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.baton <- struct{}{}
@@ -517,6 +525,16 @@ func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit
 		panic(abort{m.failed})
 	}
 	deposit(m)
+	if m.cfg.Recorder != nil {
+		// Arrival clock for the message/critical-path event stream: the
+		// rank's virtual clock (already advanced by endCompute above) in
+		// Sim mode, wall time in Real mode.
+		if m.cfg.Mode == Sim {
+			m.arriveClk[c.rank] = m.vclocks[c.rank]
+		} else {
+			m.arriveClk[c.rank] = time.Since(m.start).Seconds()
+		}
+	}
 	myGen := m.gen
 	if m.arrived == 0 {
 		m.arrivedAt = time.Now()
@@ -577,6 +595,34 @@ func (c *Comm) collective(kind string, msgBytes int, costStages float64, deposit
 			for r := 0; r < m.cfg.Procs; r++ {
 				rec.Comm(r, kind, stageBytes, cost)
 			}
+			// One collective event with per-rank arrival clocks; the
+			// recorder expands it into the per-stage tree messages the
+			// Chrome trace draws as send→recv flow arrows. Start is the
+			// last arrival (communication cannot begin earlier); Depart
+			// is the synchronized clock every rank resumes at.
+			start, depart := maxV, maxV+cost
+			if m.cfg.Mode != Sim {
+				// Real-mode collectives are plain barriers: the window
+				// is the wall instant of the rendezvous, the cost a
+				// model annotation.
+				start = 0
+				for _, at := range m.arriveClk {
+					if at > start {
+						start = at
+					}
+				}
+				depart = time.Since(m.start).Seconds()
+				if depart < start {
+					depart = start
+				}
+			}
+			rec.Collective(obs.CollRecord{
+				Kind: kind, Steps: int(costStages),
+				PayloadBytes: int64(msgBytes), Bytes: stageBytes,
+				Seconds: cost,
+				Arrive:  append([]float64(nil), m.arriveClk...),
+				Start:   start, Depart: depart,
+			})
 		}
 		m.arrived = 0
 		for i := range m.present {

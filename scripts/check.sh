@@ -1,9 +1,21 @@
 #!/bin/sh
 # Extended tier-1 gate: vet, formatting, and the full test suite under
-# the race detector. Run from the repository root (or via `make check`).
+# the race detector. With -smoke it additionally runs the fuzz smoke,
+# the benchmark smoke, and the bench-regression gate against the
+# committed BENCH_pr3.json baseline (generous tolerance: the committed
+# numbers come from a quiet machine, CI runners are not). Run from the
+# repository root (or via `make check`, which passes -smoke).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        -smoke) smoke=1 ;;
+        *) echo "usage: check.sh [-smoke]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== go vet ./..."
 go vet ./...
@@ -19,10 +31,16 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== fuzz smoke (FuzzOpen, 10s)"
-go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
+if [ "$smoke" = 1 ]; then
+    echo "== fuzz smoke (FuzzOpen, 10s)"
+    go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
 
-echo "== bench smoke (cmd/bench -smoke)"
-go run ./cmd/bench -smoke -out "${TMPDIR:-/tmp}/pmafia-bench-smoke.json" 2>/dev/null
+    smokejson="${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
+    echo "== bench smoke (cmd/bench -smoke)"
+    go run ./cmd/bench -smoke -out "$smokejson" 2>/dev/null
+
+    echo "== bench gate (cmd/bench -compare vs BENCH_pr3.json)"
+    go run ./cmd/bench -compare BENCH_pr3.json "$smokejson" -tolerance 0.9
+fi
 
 echo "check: ok"
