@@ -1,8 +1,8 @@
 // Command bench runs the tracked benchmark suite (internal/bench) and
 // writes the report as JSON. The committed snapshot lives at
-// BENCH_pr3.json in the repository root:
+// BENCH_pr5.json in the repository root:
 //
-//	go run ./cmd/bench -out BENCH_pr3.json
+//	go run ./cmd/bench -out BENCH_pr5.json
 //	go run ./cmd/bench -smoke -out /dev/null   # CI smoke
 //
 // With -compare it diffs two report files instead of measuring, and
@@ -80,7 +80,7 @@ func runCompare(args []string, tolerance float64) int {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr3.json", "report output path")
+		out       = flag.String("out", "BENCH_pr5.json", "report output path")
 		smoke     = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
 		records   = flag.Int("records", 0, "override record count")
 		chunk     = flag.Int("chunk", 0, "override chunk size (records per read)")

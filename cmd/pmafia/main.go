@@ -44,6 +44,7 @@ import (
 	"pmafia/internal/faults"
 	"pmafia/internal/grid"
 	"pmafia/internal/mafia"
+	"pmafia/internal/modelio"
 	"pmafia/internal/obs"
 	"pmafia/internal/obs/serve"
 	"pmafia/internal/sp2"
@@ -70,6 +71,7 @@ type options struct {
 	collTimeout time.Duration
 	critPath    bool
 	telemetry   string
+	saveModel   string
 }
 
 func main() {
@@ -91,6 +93,7 @@ func main() {
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.BoolVar(&o.critPath, "critical-path", false, "print the critical-path attribution (\"why not faster\") after the run")
 	flag.StringVar(&o.telemetry, "telemetry", "", "serve live telemetry on this address (/metrics, /phase, /healthz) for the duration of the run")
+	flag.StringVar(&o.saveModel, "save-model", "", "persist the fitted model (grid, clusters, level stats) to this path for serving with pmafiad")
 	flag.StringVar(&o.faultSpec, "faults", "", `inject deterministic faults, e.g. "crash:rank=1,coll=3;readerr:chunk=2,times=5" (see internal/faults)`)
 	flag.DurationVar(&o.collTimeout, "coll-timeout", 0, "declare a rank failed after it misses a collective for this long (0: no detection; defaults to 30s when -faults is set)")
 	flag.Parse()
@@ -187,6 +190,12 @@ func run(ctx context.Context, path string, o options) error {
 		if err := collectiveTable(res.Report).Render(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if o.saveModel != "" {
+		if err := modelio.Save(o.saveModel, res); err != nil {
+			return fmt.Errorf("saving model: %w", err)
+		}
+		fmt.Printf("model written to %s\n", o.saveModel)
 	}
 	fmt.Printf("%d cluster(s) discovered:\n", len(res.Clusters))
 	for i, c := range res.Clusters {

@@ -1,0 +1,75 @@
+// Command pmafiad serves saved clustering models for batch record
+// assignment. Models are the files cmd/pmafia writes with -save-model;
+// the daemon keeps an LRU-capped set of them compiled into assignment
+// indexes and labels request bodies against them.
+//
+// Usage:
+//
+//	pmafiad -models ./models [-addr :8080] [flags]
+//
+// Endpoints:
+//
+//	POST /assign?model=<name>.pmfm
+//	     Body: CSV records (default; numeric columns, optional
+//	     header), answered with JSON labels — or, with Content-Type
+//	     application/octet-stream, row-major little-endian float64s,
+//	     answered with little-endian int32 labels. A label is the
+//	     cluster index in the model's cluster list, -1 for outliers.
+//	GET  /models    JSON listing of the model directory with
+//	                residency info.
+//	GET  /metrics   Prometheus text exposition (the shared obs
+//	                handler): assign.records, assign.batches,
+//	                assign.cache.hit/miss.
+//	GET  /healthz   liveness probe.
+//
+// The daemon bounds concurrent assignment work (-max-inflight), times
+// out slow requests (-timeout), caps request bodies (-max-body), and
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.modelDir, "models", "", "directory holding .pmfm model files (required)")
+	flag.IntVar(&cfg.cacheCap, "cache", 4, "max models resident at once (LRU eviction)")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request read/write timeout")
+	flag.IntVar(&cfg.inflight, "max-inflight", 8, "max concurrent /assign requests")
+	flag.IntVar(&cfg.chunk, "chunk", 8192, "records per assignment batch")
+	flag.IntVar(&cfg.workers, "workers", 1, "goroutines fanning out each assignment request")
+	flag.Int64Var(&cfg.maxBody, "max-body", 1<<30, "request body cap in bytes")
+	flag.Parse()
+	if cfg.modelDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: pmafiad -models <dir> [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmafiad:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pmafiad: serving models from %s on http://%s\n", cfg.modelDir, d.addr())
+	d.serveHTTP()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "pmafiad: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pmafiad:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pmafia/internal/assign"
+	"pmafia/internal/dataset"
+	"pmafia/internal/modelio"
+	"pmafia/internal/obs"
+	"pmafia/internal/obs/serve"
+)
+
+// config parameterizes the daemon.
+type config struct {
+	addr     string        // listen address
+	modelDir string        // directory the served models live in
+	cacheCap int           // max models resident at once
+	timeout  time.Duration // per-request read/write timeout
+	inflight int           // max concurrent /assign requests
+	chunk    int           // records per assignment batch
+	workers  int           // fan-out goroutines per assignment
+	maxBody  int64         // request body cap in bytes
+}
+
+func (c *config) fill() {
+	if c.cacheCap < 1 {
+		c.cacheCap = 4
+	}
+	if c.timeout <= 0 {
+		c.timeout = 30 * time.Second
+	}
+	if c.inflight < 1 {
+		c.inflight = 8
+	}
+	if c.chunk < 1 {
+		c.chunk = 8192
+	}
+	if c.workers < 1 {
+		c.workers = 1
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 1 << 30
+	}
+}
+
+// model is one cache entry: loaded at most once, shared by every
+// request that names it. The index is immutable and safe to share;
+// each request brings its own scratch.
+type model struct {
+	once sync.Once
+	ix   *assign.Index
+	n    int // records the model was fitted on
+	err  error
+}
+
+// daemon serves saved models for batch assignment.
+type daemon struct {
+	cfg config
+	rec *obs.Recorder
+	sem chan struct{} // bounds in-flight /assign work
+
+	mu    sync.Mutex
+	cache map[string]*list.Element // resolved path -> entry
+	lru   *list.List               // front = most recent; values are *cacheSlot
+
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+type cacheSlot struct {
+	path string
+	m    *model
+}
+
+// newDaemon builds a daemon and binds its listener (addr ":0" picks a
+// free port); call serveHTTP to start handling requests.
+func newDaemon(cfg config) (*daemon, error) {
+	cfg.fill()
+	if cfg.modelDir == "" {
+		return nil, errors.New("pmafiad: a model directory is required")
+	}
+	st, err := os.Stat(cfg.modelDir)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("pmafiad: %s is not a directory", cfg.modelDir)
+	}
+	d := &daemon{
+		cfg:   cfg,
+		rec:   obs.New(),
+		sem:   make(chan struct{}, cfg.inflight),
+		cache: make(map[string]*list.Element),
+		lru:   list.New(),
+		done:  make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.healthz)
+	mux.HandleFunc("/models", d.models)
+	mux.HandleFunc("/assign", d.assign)
+	// The telemetry exposition is the shared obs handler; the daemon's
+	// assignment counters surface there alongside any engine counters.
+	mux.Handle("/metrics", serve.Handler(d.rec))
+	d.srv = &http.Server{
+		Handler:           mux,
+		ReadTimeout:       cfg.timeout,
+		WriteTimeout:      cfg.timeout,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	d.ln, err = net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// addr returns the bound listen address.
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// serveHTTP runs the server in a background goroutine.
+func (d *daemon) serveHTTP() {
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(d.ln) // http.ErrServerClosed on shutdown
+	}()
+}
+
+// shutdown drains in-flight requests and stops the serve goroutine.
+func (d *daemon) shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	<-d.done
+	return err
+}
+
+// resolve maps a request's model name to a path inside the model
+// directory, rejecting traversal outside it.
+func (d *daemon) resolve(name string) (string, error) {
+	if name == "" {
+		return "", errors.New("missing ?model=")
+	}
+	if strings.Contains(name, "..") || strings.ContainsAny(name, `/\`) {
+		return "", fmt.Errorf("model name %q escapes the model directory", name)
+	}
+	return filepath.Join(d.cfg.modelDir, name), nil
+}
+
+// get returns the cached (or freshly loaded) model for path, updating
+// the LRU order and the hit/miss counters.
+func (d *daemon) get(path string) (*model, error) {
+	d.mu.Lock()
+	if el, ok := d.cache[path]; ok {
+		d.lru.MoveToFront(el)
+		d.mu.Unlock()
+		d.rec.Add(0, obs.CtrAssignCacheHit, 1)
+		m := el.Value.(*cacheSlot).m
+		m.once.Do(func() {}) // wait for a concurrent first load
+		return m, m.err
+	}
+	m := &model{}
+	el := d.lru.PushFront(&cacheSlot{path: path, m: m})
+	d.cache[path] = el
+	for d.lru.Len() > d.cfg.cacheCap {
+		old := d.lru.Back()
+		d.lru.Remove(old)
+		delete(d.cache, old.Value.(*cacheSlot).path)
+	}
+	d.mu.Unlock()
+	d.rec.Add(0, obs.CtrAssignCacheMiss, 1)
+
+	m.once.Do(func() {
+		res, err := modelio.Load(path)
+		if err != nil {
+			m.err = err
+			return
+		}
+		m.ix, m.err = assign.New(res.Grid, res.Clusters)
+		m.n = res.N
+	})
+	if m.err != nil {
+		// Do not pin a failed load in the cache: the file may be
+		// replaced (atomically, by modelio.Save) and should reload.
+		d.mu.Lock()
+		if el2, ok := d.cache[path]; ok && el2 == el {
+			d.lru.Remove(el)
+			delete(d.cache, path)
+		}
+		d.mu.Unlock()
+	}
+	return m, m.err
+}
+
+func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// modelInfo is one row of the /models listing.
+type modelInfo struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	Loaded bool   `json:"loaded"`
+	// Filled only when the model is resident.
+	Dims     int `json:"dims,omitempty"`
+	Clusters int `json:"clusters,omitempty"`
+	Records  int `json:"records,omitempty"`
+}
+
+func (d *daemon) models(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ents, err := os.ReadDir(d.cfg.modelDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resident := map[string]*model{}
+	d.mu.Lock()
+	for path, el := range d.cache {
+		resident[path] = el.Value.(*cacheSlot).m
+	}
+	d.mu.Unlock()
+	out := []modelInfo{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pmfm") {
+			continue
+		}
+		info := modelInfo{Name: e.Name()}
+		if fi, err := e.Info(); err == nil {
+			info.Bytes = fi.Size()
+		}
+		if m, ok := resident[filepath.Join(d.cfg.modelDir, e.Name())]; ok {
+			m.once.Do(func() {}) // synchronize with an in-flight load
+			if m.err == nil && m.ix != nil {
+				info.Loaded = true
+				info.Dims = m.ix.Dims()
+				info.Clusters = m.ix.Clusters()
+				info.Records = m.n
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// assignResponse is the JSON reply for CSV requests.
+type assignResponse struct {
+	Model    string  `json:"model"`
+	Records  int     `json:"records"`
+	Outliers int     `json:"outliers"`
+	Labels   []int32 `json:"labels"`
+}
+
+// assign labels the records in the request body against the named
+// model. A text/csv body (the default) yields a JSON response; an
+// application/octet-stream body of little-endian float64s (row-major,
+// the model's dimensionality) yields a stream of little-endian int32
+// labels.
+func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case d.sem <- struct{}{}:
+		defer func() { <-d.sem }()
+	case <-r.Context().Done():
+		http.Error(w, "server busy", http.StatusServiceUnavailable)
+		return
+	}
+	path, err := d.resolve(r.URL.Query().Get("model"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := d.get(path)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, os.ErrNotExist) {
+			code = http.StatusNotFound
+		} else if errors.Is(err, modelio.ErrCorrupt) {
+			code = http.StatusUnprocessableEntity
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, d.cfg.maxBody)
+	binaryIn := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+	var src dataset.Source
+	if binaryIn {
+		src, err = binaryMatrix(body, m.ix.Dims())
+	} else {
+		src, _, err = dataset.ReadCSV(body)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	labels, err := m.ix.AssignSource(src, d.cfg.chunk, d.cfg.workers)
+	if err != nil {
+		// The only AssignSource failure on an in-memory source is a
+		// dimensionality mismatch — a client error.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.rec.Add(0, obs.CtrAssignRecords, int64(len(labels)))
+	d.rec.Add(0, obs.CtrAssignBatches, 1)
+
+	if binaryIn {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		buf := make([]byte, 4*len(labels))
+		for i, l := range labels {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(l))
+		}
+		w.Write(buf)
+		return
+	}
+	resp := assignResponse{
+		Model:   filepath.Base(path),
+		Records: len(labels),
+		Labels:  labels,
+	}
+	for _, l := range labels {
+		if l < 0 {
+			resp.Outliers++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// binaryMatrix decodes a row-major little-endian float64 body into an
+// in-memory matrix of d-dimensional records.
+func binaryMatrix(r io.Reader, d int) (*dataset.Matrix, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("binary body of %d bytes is not a whole number of float64s", len(raw))
+	}
+	vals := make([]float64, len(raw)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	if len(vals)%d != 0 {
+		return nil, fmt.Errorf("%d values do not divide into %d-dim records", len(vals), d)
+	}
+	return &dataset.Matrix{D: d, Values: vals}, nil
+}

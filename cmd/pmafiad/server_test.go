@@ -1,0 +1,359 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+	"pmafia/internal/modelio"
+)
+
+// fitModel fits a small data set and saves it under dir, returning the
+// model name, the fitted result, and the training data.
+func fitModel(t *testing.T, dir, name string, seed uint64) (*mafia.Result, *dataset.Matrix) {
+	t.Helper()
+	ext := []dataset.Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims:     5,
+		Records:  2000,
+		Clusters: []datagen.Cluster{datagen.UniformBox([]int{0, 2, 4}, ext, 0)},
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mafia.Run(m, mafia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := modelio.Save(filepath.Join(dir, name), res); err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+// startDaemon binds a daemon on a free port and returns its base URL
+// plus a shutdown func.
+func startDaemon(t *testing.T, cfg config) (*daemon, string) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.serveHTTP()
+	return d, "http://" + d.addr()
+}
+
+func csvBody(m *dataset.Matrix) []byte {
+	var b bytes.Buffer
+	for i := 0; i < m.NumRecords(); i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func postAssign(t *testing.T, base, model, contentType string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/assign?model="+model, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestAssignMatchesOracle(t *testing.T) {
+	dir := t.TempDir()
+	res, m := fitModel(t, dir, "a.pmfm", 1)
+	d, base := startDaemon(t, config{modelDir: dir})
+	defer d.shutdown(context.Background())
+
+	want, err := res.Assign(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CSV in, JSON out.
+	resp, raw := postAssign(t, base, "a.pmfm", "text/csv", csvBody(m))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var ar assignResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Records != len(want) {
+		t.Fatalf("%d records labeled, want %d", ar.Records, len(want))
+	}
+	for i := range want {
+		if ar.Labels[i] != want[i] {
+			t.Fatalf("record %d: daemon %d, oracle %d", i, ar.Labels[i], want[i])
+		}
+	}
+
+	// Binary in, binary out.
+	bin := make([]byte, 8*len(m.Values))
+	for i, v := range m.Values {
+		binary.LittleEndian.PutUint64(bin[8*i:], math.Float64bits(v))
+	}
+	resp, raw = postAssign(t, base, "a.pmfm", "application/octet-stream", bin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary status %d: %s", resp.StatusCode, raw)
+	}
+	if len(raw) != 4*len(want) {
+		t.Fatalf("binary reply of %d bytes for %d labels", len(raw), len(want))
+	}
+	for i := range want {
+		if got := int32(binary.LittleEndian.Uint32(raw[4*i:])); got != want[i] {
+			t.Fatalf("binary record %d: daemon %d, oracle %d", i, got, want[i])
+		}
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 2)
+	if err := os.WriteFile(filepath.Join(dir, "bad.pmfm"), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, base := startDaemon(t, config{modelDir: dir})
+	defer d.shutdown(context.Background())
+
+	resp, _ := postAssign(t, base, "missing.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing model: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postAssign(t, base, "..%2Fescape.pmfm", "text/csv", []byte("1\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("traversal: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postAssign(t, base, "bad.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt model: status %d, want 422", resp.StatusCode)
+	}
+	// Wrong dimensionality is a client error.
+	resp, raw := postAssign(t, base, "a.pmfm", "text/csv", []byte("1,2\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("dims mismatch: status %d (%s), want 400", resp.StatusCode, raw)
+	}
+	// GET on /assign is rejected.
+	getResp, err := http.Get(base + "/assign?model=a.pmfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /assign: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestModelsAndCacheLRU(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 3)
+	fitModel(t, dir, "b.pmfm", 4)
+	fitModel(t, dir, "c.pmfm", 5)
+	d, base := startDaemon(t, config{modelDir: dir, cacheCap: 2})
+	defer d.shutdown(context.Background())
+
+	row := []byte("1,2,3,4,5\n")
+	for _, name := range []string{"a.pmfm", "b.pmfm", "c.pmfm", "a.pmfm"} {
+		if resp, raw := postAssign(t, base, name, "text/csv", row); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, raw)
+		}
+	}
+	// Cap 2: a evicted by c, so the fourth request misses again.
+	hits, misses := counterPair(t, base)
+	if misses != 4 || hits != 0 {
+		t.Errorf("hit/miss = %d/%d after a,b,c,a with cap 2; want 0/4", hits, misses)
+	}
+	if resp, _ := postAssign(t, base, "a.pmfm", "text/csv", row); resp.StatusCode != http.StatusOK {
+		t.Fatal("re-assign against a failed")
+	}
+	if hits, _ := counterPair(t, base); hits != 1 {
+		t.Errorf("hits = %d after repeat, want 1", hits)
+	}
+
+	resp, err := http.Get(base + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []modelInfo
+	err = json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("/models lists %d entries, want 3", len(infos))
+	}
+	loaded := 0
+	for _, in := range infos {
+		if in.Loaded {
+			loaded++
+			if in.Dims != 5 {
+				t.Errorf("%s: dims %d, want 5", in.Name, in.Dims)
+			}
+		}
+	}
+	if loaded != 2 {
+		t.Errorf("%d models resident, cache cap is 2", loaded)
+	}
+}
+
+// counterPair scrapes /metrics for the assign cache counters.
+func counterPair(t *testing.T, base string) (hits, misses int64) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, "pmafia_assign_cache_hit %d", &v); err == nil {
+			hits = v
+		}
+		if _, err := fmt.Sscanf(line, "pmafia_assign_cache_miss %d", &v); err == nil {
+			misses = v
+		}
+	}
+	return hits, misses
+}
+
+// TestConcurrentAssignAndScrape hammers /assign, /metrics, and
+// /models from concurrent clients (run under -race in make check) and
+// then verifies shutdown leaks no goroutines.
+func TestConcurrentAssignAndScrape(t *testing.T) {
+	dir := t.TempDir()
+	res, m := fitModel(t, dir, "a.pmfm", 6)
+	fitModel(t, dir, "b.pmfm", 7)
+	before := runtime.NumGoroutine()
+	d, base := startDaemon(t, config{modelDir: dir, cacheCap: 1, inflight: 4, workers: 2})
+
+	want, err := res.Assign(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := csvBody(m)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	const iters = 15
+	for c := 0; c < 3; c++ {
+		wg.Add(3)
+		go func(c int) { // assign clients, alternating models to churn the LRU
+			defer wg.Done()
+			name := "a.pmfm"
+			if c%2 == 1 {
+				name = "b.pmfm"
+			}
+			for i := 0; i < iters; i++ {
+				resp, err := http.Post(base+"/assign?model="+name, "text/csv", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("assign %s: status %d: %s", name, resp.StatusCode, raw)
+					return
+				}
+				if name == "a.pmfm" {
+					var ar assignResponse
+					if err := json.Unmarshal(raw, &ar); err != nil {
+						errs <- err
+						return
+					}
+					for j := range want {
+						if ar.Labels[j] != want[j] {
+							errs <- fmt.Errorf("iter %d record %d: %d vs %d", i, j, ar.Labels[j], want[j])
+							return
+						}
+					}
+				}
+			}
+		}(c)
+		go func() { // metrics scrapers
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		go func() { // model listers
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(base + "/models")
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	// Goroutines wind down asynchronously after Shutdown returns; poll
+	// briefly before declaring a leak.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before || time.Now().After(deadline) {
+			if g > before+2 {
+				buf := make([]byte, 1<<16)
+				t.Fatalf("goroutine leak: %d before, %d after shutdown\n%s", before, g, buf[:runtime.Stack(buf, true)])
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,264 @@
+// Package assign compiles a fitted clustering result (the grid plus
+// the clusters' DNF box covers) into a flat lookup index for batch
+// record labeling.
+//
+// The linear oracle (mafia.Result.AssignRecord) tests every cluster's
+// every cover box against the record — O(clusters·boxes·k) bin
+// lookups per record. The index instead enumerates all cover boxes
+// once, in cluster order, and stores for every (dimension, bin) the
+// bitset of boxes a record falling in that bin can still satisfy
+// (all-ones for dimensions a box does not constrain). Labeling a
+// record is then d bin lookups — BinOf's exact arithmetic followed by
+// a direct fine-unit→bin table read — and a
+// d-way bitset AND; because boxes are enumerated in cluster order,
+// the first set bit of the intersection names the first matching
+// cluster, reproducing the oracle's label bit for bit.
+package assign
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pmafia/internal/cluster"
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/pool"
+)
+
+// dimTable is one dimension's compiled lookup state.
+type dimTable struct {
+	lo        float64 // domain low bound
+	width     float64 // domain width
+	fineUnits int
+	nbins     int
+	unitBin   []int32  // fine unit -> owning bin, fineUnits entries
+	bits      []uint64 // nbins×words; bin b's candidate boxes at [b*words,(b+1)*words)
+}
+
+// Index labels records against a fixed set of clusters over a fixed
+// grid. It is immutable after New and safe for concurrent use as long
+// as each goroutine brings its own Scratch buffer.
+type Index struct {
+	dims       []dimTable
+	words      int     // bitset words per bin: ceil(boxes/64)
+	boxCluster []int32 // box index (bit position) -> cluster index
+	clusters   int
+}
+
+// New compiles a grid and its clusters into an Index. The clusters
+// must be consistent with the grid: subspace dims strictly ascending
+// and in range, box bin runs within each dimension's bin count.
+func New(g *grid.Grid, clusters []cluster.Cluster) (*Index, error) {
+	if len(g.Dims) == 0 {
+		return nil, fmt.Errorf("assign: grid has no dimensions")
+	}
+	nboxes := 0
+	for _, c := range clusters {
+		nboxes += len(c.Boxes)
+	}
+	words := (nboxes + 63) / 64
+	ix := &Index{
+		dims:       make([]dimTable, len(g.Dims)),
+		words:      words,
+		boxCluster: make([]int32, 0, nboxes),
+		clusters:   len(clusters),
+	}
+	for di := range g.Dims {
+		d := &g.Dims[di]
+		nb := d.NumBins()
+		if nb == 0 {
+			return nil, fmt.Errorf("assign: dim %d has no bins", di)
+		}
+		t := dimTable{
+			lo:        d.Domain.Lo,
+			width:     d.Domain.Width(),
+			fineUnits: d.FineUnits(),
+			nbins:     nb,
+			unitBin:   make([]int32, d.FineUnits()),
+			bits:      make([]uint64, nb*words),
+		}
+		next := 0
+		for bi, b := range d.Bins {
+			if b.UnitLo != next || b.UnitHi <= b.UnitLo || b.UnitHi > t.fineUnits {
+				return nil, fmt.Errorf("assign: dim %d: bin %d covers fine units [%d,%d), want a tiling from %d", di, bi, b.UnitLo, b.UnitHi, next)
+			}
+			for u := b.UnitLo; u < b.UnitHi; u++ {
+				t.unitBin[u] = int32(bi)
+			}
+			next = b.UnitHi
+		}
+		if next != t.fineUnits {
+			return nil, fmt.Errorf("assign: dim %d: bins cover %d fine units, grid has %d", di, next, t.fineUnits)
+		}
+		ix.dims[di] = t
+	}
+
+	// Enumerate cover boxes in cluster order and fill the per-bin
+	// candidate bitsets.
+	box := 0
+	for ci := range clusters {
+		c := &clusters[ci]
+		for x, d := range c.Dims {
+			if int(d) >= len(g.Dims) {
+				return nil, fmt.Errorf("assign: cluster %d constrains dim %d, grid has %d dims", ci, d, len(g.Dims))
+			}
+			if x > 0 && c.Dims[x-1] >= d {
+				return nil, fmt.Errorf("assign: cluster %d: subspace dims not strictly ascending", ci)
+			}
+		}
+		for bi := range c.Boxes {
+			b := &c.Boxes[bi]
+			if len(b.BinLo) != len(c.Dims) || len(b.BinHi) != len(c.Dims) {
+				return nil, fmt.Errorf("assign: cluster %d box %d spans %d dims, cluster subspace has %d", ci, bi, len(b.BinLo), len(c.Dims))
+			}
+			for x, d := range c.Dims {
+				t := &ix.dims[d]
+				lo, hi := int(b.BinLo[x]), int(b.BinHi[x])
+				if lo > hi || hi >= t.nbins {
+					return nil, fmt.Errorf("assign: cluster %d box %d: bin run [%d,%d] out of dim %d's %d bins", ci, bi, lo, hi, d, t.nbins)
+				}
+				for bin := lo; bin <= hi; bin++ {
+					t.bits[bin*words+box/64] |= 1 << (box % 64)
+				}
+			}
+			// Dimensions outside the cluster's subspace accept any bin.
+			x := 0
+			for di := range g.Dims {
+				if x < len(c.Dims) && int(c.Dims[x]) == di {
+					x++
+					continue
+				}
+				t := &ix.dims[di]
+				for bin := 0; bin < t.nbins; bin++ {
+					t.bits[bin*words+box/64] |= 1 << (box % 64)
+				}
+			}
+			ix.boxCluster = append(ix.boxCluster, int32(ci))
+			box++
+		}
+	}
+	return ix, nil
+}
+
+// Dims returns the record dimensionality the index labels.
+func (ix *Index) Dims() int { return len(ix.dims) }
+
+// Clusters returns the number of clusters the index labels against.
+func (ix *Index) Clusters() int { return ix.clusters }
+
+// Boxes returns the total number of cover boxes compiled into the
+// index (the bitset width).
+func (ix *Index) Boxes() int { return len(ix.boxCluster) }
+
+// Scratch allocates a working buffer for AssignRecord/AssignChunk;
+// concurrent callers need one buffer each.
+func (ix *Index) Scratch() []uint64 { return make([]uint64, ix.words) }
+
+// bin maps a value to its bin index with BinOf's exact arithmetic —
+// the fine unit f with the same clamping (NaN and below-domain values
+// to the first unit, at-or-above-domain to the last) — then reads the
+// bin owning that unit from the fine-unit→bin table.
+func (t *dimTable) bin(v float64) int {
+	f := float64(t.fineUnits) * (v - t.lo) / t.width
+	u := 0
+	switch {
+	case !(f > 0): // below domain, or NaN
+	case f >= float64(t.fineUnits):
+		u = t.fineUnits - 1
+	default:
+		u = int(f)
+	}
+	return int(t.unitBin[u])
+}
+
+// assign labels one record; and must have ix.words entries.
+func (ix *Index) assign(rec []float64, and []uint64) int32 {
+	if ix.words == 0 {
+		return -1
+	}
+	t := &ix.dims[0]
+	b := t.bin(rec[0])
+	copy(and, t.bits[b*ix.words:(b+1)*ix.words])
+	for di := 1; di < len(ix.dims); di++ {
+		t := &ix.dims[di]
+		b := t.bin(rec[di])
+		row := t.bits[b*ix.words : (b+1)*ix.words]
+		nz := uint64(0)
+		for w := range and {
+			and[w] &= row[w]
+			nz |= and[w]
+		}
+		if nz == 0 {
+			return -1
+		}
+	}
+	for w, word := range and {
+		if word != 0 {
+			return ix.boxCluster[w*64+bits.TrailingZeros64(word)]
+		}
+	}
+	return -1
+}
+
+// AssignRecord labels one record: the index of the first cluster
+// containing it, or -1 for an outlier. scratch comes from Scratch.
+func (ix *Index) AssignRecord(rec []float64, scratch []uint64) (int32, error) {
+	if len(rec) != len(ix.dims) {
+		return 0, fmt.Errorf("assign: %d-dim record, index labels %d dims", len(rec), len(ix.dims))
+	}
+	if len(scratch) < ix.words {
+		return 0, fmt.Errorf("assign: scratch has %d words, index needs %d", len(scratch), ix.words)
+	}
+	return ix.assign(rec, scratch[:ix.words]), nil
+}
+
+// AssignChunk labels len(labels) records stored row-major in chunk
+// (len(chunk) must be len(labels)*Dims()) without allocating; scratch
+// comes from Scratch.
+func (ix *Index) AssignChunk(chunk []float64, labels []int32, scratch []uint64) error {
+	d := len(ix.dims)
+	if len(chunk) != len(labels)*d {
+		return fmt.Errorf("assign: chunk of %d values for %d %d-dim labels", len(chunk), len(labels), d)
+	}
+	if len(scratch) < ix.words {
+		return fmt.Errorf("assign: scratch has %d words, index needs %d", len(scratch), ix.words)
+	}
+	and := scratch[:ix.words]
+	for i := range labels {
+		labels[i] = ix.assign(chunk[i*d:(i+1)*d], and)
+	}
+	return nil
+}
+
+// AssignSource labels every record of src in scan order, reading in
+// chunks of chunkRecords and fanning each chunk across workers
+// goroutines (workers <= 1 runs inline).
+func (ix *Index) AssignSource(src dataset.Source, chunkRecords, workers int) ([]int32, error) {
+	d := len(ix.dims)
+	if src.Dims() != d {
+		return nil, fmt.Errorf("assign: %d-dim source, index labels %d dims", src.Dims(), d)
+	}
+	if chunkRecords <= 0 {
+		chunkRecords = 8192
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	labels := make([]int32, src.NumRecords())
+	scratch := make([][]uint64, workers)
+	for w := range scratch {
+		scratch[w] = ix.Scratch()
+	}
+	n, err := pool.ScanOffset(src, chunkRecords, workers, func(w int, chunk []float64, base int64, lo, hi int) {
+		and := scratch[w]
+		out := labels[base+int64(lo) : base+int64(hi)]
+		rows := chunk[lo*d : hi*d]
+		for i := range out {
+			out[i] = ix.assign(rows[i*d:(i+1)*d], and)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels[:n], nil
+}

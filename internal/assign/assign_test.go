@@ -1,0 +1,382 @@
+package assign_test
+
+import (
+	"math"
+	"testing"
+
+	"pmafia/internal/assign"
+	"pmafia/internal/cluster"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
+	"pmafia/internal/mafia"
+	"pmafia/internal/rng"
+)
+
+// uniformGrid builds a xi-bin uniform grid over d dims with the given
+// domains (thresholds are irrelevant to assignment).
+func uniformGrid(t *testing.T, domains []dataset.Range, xi int) *grid.Grid {
+	t.Helper()
+	h := histogram.New(domains, 1000)
+	rec := make([]float64, len(domains))
+	for i, dom := range domains {
+		rec[i] = dom.Lo
+	}
+	h.AddRecord(rec)
+	g, err := grid.BuildUniform(h, xi, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func unitDomains(d int) []dataset.Range {
+	out := make([]dataset.Range, d)
+	for i := range out {
+		out[i] = dataset.Range{Lo: 0, Hi: 1}
+	}
+	return out
+}
+
+// clusterOver builds a synthetic cluster constraining dims to the
+// inclusive bin runs [lo[i], hi[i]].
+func clusterOver(dims []uint8, lo, hi []uint8) cluster.Cluster {
+	return cluster.Cluster{
+		Dims:  dims,
+		Boxes: []cluster.Box{{BinLo: lo, BinHi: hi}},
+	}
+}
+
+// oracle labels rec with the linear scan the engine ships.
+func oracle(g *grid.Grid, cs []cluster.Cluster, rec []float64) int32 {
+	r := mafia.Result{Grid: g, Clusters: cs}
+	return int32(r.AssignRecord(rec))
+}
+
+func mustIndex(t *testing.T, g *grid.Grid, cs []cluster.Cluster) *assign.Index {
+	t.Helper()
+	ix, err := assign.New(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func label(t *testing.T, ix *assign.Index, rec []float64) int32 {
+	t.Helper()
+	got, err := ix.AssignRecord(rec, ix.Scratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestOutliersLabelMinusOne(t *testing.T) {
+	g := uniformGrid(t, unitDomains(3), 10)
+	cs := []cluster.Cluster{
+		clusterOver([]uint8{0, 2}, []uint8{2, 2}, []uint8{4, 4}),
+	}
+	ix := mustIndex(t, g, cs)
+	outliers := [][]float64{
+		{0.95, 0.5, 0.3}, // dim 0 outside the run
+		{0.3, 0.5, 0.95}, // dim 2 outside the run
+		{0.0, 0.0, 0.0},
+		{math.NaN(), 0.5, 0.3}, // NaN clamps to bin 0, outside [2,4]
+	}
+	for _, rec := range outliers {
+		if got := label(t, ix, rec); got != -1 {
+			t.Errorf("record %v: got cluster %d, want -1", rec, got)
+		}
+		if want := oracle(g, cs, rec); want != -1 {
+			t.Fatalf("oracle disagrees the record %v is an outlier (%d)", rec, want)
+		}
+	}
+	if got := label(t, ix, []float64{0.3, 0.99, 0.3}); got != 0 {
+		t.Errorf("in-cluster record: got %d, want 0 (dim 1 is unconstrained)", got)
+	}
+}
+
+func TestNoClusters(t *testing.T) {
+	g := uniformGrid(t, unitDomains(2), 5)
+	ix := mustIndex(t, g, nil)
+	if got := label(t, ix, []float64{0.5, 0.5}); got != -1 {
+		t.Errorf("empty index labeled %d, want -1", got)
+	}
+}
+
+// TestExactBinBoundaries labels records sitting exactly on every bin
+// bound (and the domain ends) and requires bit-identical agreement
+// with the oracle — the failure mode a value-space boundary table
+// would have.
+func TestExactBinBoundaries(t *testing.T) {
+	domains := []dataset.Range{{Lo: -3, Hi: 7}, {Lo: 0.1, Hi: 0.9}}
+	g := uniformGrid(t, domains, 7)
+	cs := []cluster.Cluster{
+		clusterOver([]uint8{0}, []uint8{2}, []uint8{4}),
+		clusterOver([]uint8{1}, []uint8{0}, []uint8{3}),
+	}
+	ix := mustIndex(t, g, cs)
+	scratch := ix.Scratch()
+	for di := range g.Dims {
+		for _, b := range g.Dims[di].Bins {
+			for _, v := range []float64{b.Bounds.Lo, b.Bounds.Hi, math.Nextafter(b.Bounds.Lo, math.Inf(-1)), math.Nextafter(b.Bounds.Hi, math.Inf(1))} {
+				rec := []float64{0.0, 0.5}
+				rec[di] = v
+				got, err := ix.AssignRecord(rec, scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := oracle(g, cs, rec); got != want {
+					t.Errorf("dim %d boundary value %v: index %d, oracle %d", di, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTieGoesToFirstCluster pins the oracle's first-match rule: when
+// two clusters of equal dimensionality both contain a record, the one
+// earlier in the cluster list wins.
+func TestTieGoesToFirstCluster(t *testing.T) {
+	g := uniformGrid(t, unitDomains(2), 10)
+	cs := []cluster.Cluster{
+		clusterOver([]uint8{0}, []uint8{2}, []uint8{6}),
+		clusterOver([]uint8{0}, []uint8{4}, []uint8{8}), // overlaps bins 4-6
+	}
+	ix := mustIndex(t, g, cs)
+	rec := []float64{0.55, 0.5} // bin 5: inside both
+	if got := label(t, ix, rec); got != 0 {
+		t.Errorf("tied record labeled %d, want first cluster 0", got)
+	}
+	if want := oracle(g, cs, rec); want != 0 {
+		t.Fatalf("oracle tie-break changed: %d", want)
+	}
+	rec = []float64{0.75, 0.5} // bin 7: only the second cluster
+	if got := label(t, ix, rec); got != 1 {
+		t.Errorf("record in second cluster labeled %d, want 1", got)
+	}
+}
+
+func TestDimsMismatchErrors(t *testing.T) {
+	g := uniformGrid(t, unitDomains(3), 10)
+	ix := mustIndex(t, g, []cluster.Cluster{clusterOver([]uint8{0}, []uint8{1}, []uint8{2})})
+	if _, err := ix.AssignRecord([]float64{0.5, 0.5}, ix.Scratch()); err == nil {
+		t.Error("AssignRecord accepted a 2-dim record on a 3-dim index")
+	}
+	if err := ix.AssignChunk(make([]float64, 7), make([]int32, 2), ix.Scratch()); err == nil {
+		t.Error("AssignChunk accepted a chunk not divisible into records")
+	}
+	if err := ix.AssignChunk(make([]float64, 6), make([]int32, 2), nil); err == nil {
+		t.Error("AssignChunk accepted a nil scratch")
+	}
+	m, err := dataset.FromRows([][]float64{{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.AssignSource(m, 0, 1); err == nil {
+		t.Error("AssignSource accepted a 2-dim source on a 3-dim index")
+	}
+}
+
+func TestIndexRejectsInconsistentClusters(t *testing.T) {
+	g := uniformGrid(t, unitDomains(2), 5)
+	bad := []cluster.Cluster{
+		clusterOver([]uint8{3}, []uint8{0}, []uint8{1}),                                        // dim out of range
+		clusterOver([]uint8{0}, []uint8{0}, []uint8{9}),                                        // bin out of range
+		clusterOver([]uint8{1, 0}, []uint8{0, 0}, []uint8{1, 1}),                               // dims not ascending
+		{Dims: []uint8{0}, Boxes: []cluster.Box{{BinLo: []uint8{0, 0}, BinHi: []uint8{1, 1}}}}, // box arity
+	}
+	for i, c := range bad {
+		if _, err := assign.New(g, []cluster.Cluster{c}); err == nil {
+			t.Errorf("case %d: New accepted an inconsistent cluster", i)
+		}
+	}
+}
+
+// TestPropertyMatchesOracle fuzzes randomized grids, clusters, and
+// records (in-domain, boundary, out-of-domain, and NaN) and requires
+// the index to reproduce the linear-scan label exactly.
+func TestPropertyMatchesOracle(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + r.Intn(6)
+		domains := make([]dataset.Range, d)
+		for i := range domains {
+			lo := r.In(-100, 100)
+			domains[i] = dataset.Range{Lo: lo, Hi: lo + r.In(0.1, 200)}
+		}
+		xi := 2 + r.Intn(30)
+		g := uniformGrid(t, domains, xi)
+
+		ncl := r.Intn(8)
+		cs := make([]cluster.Cluster, 0, ncl)
+		for ci := 0; ci < ncl; ci++ {
+			k := 1 + r.Intn(d)
+			dims := make([]uint8, 0, k)
+			for _, di := range r.Perm(d)[:k] {
+				dims = append(dims, uint8(di))
+			}
+			for i := 1; i < len(dims); i++ { // insertion sort ascending
+				for j := i; j > 0 && dims[j-1] > dims[j]; j-- {
+					dims[j-1], dims[j] = dims[j], dims[j-1]
+				}
+			}
+			nb := 1 + r.Intn(3)
+			boxes := make([]cluster.Box, 0, nb)
+			for bi := 0; bi < nb; bi++ {
+				lo := make([]uint8, k)
+				hi := make([]uint8, k)
+				for x := range lo {
+					a, b := r.Intn(xi), r.Intn(xi)
+					if a > b {
+						a, b = b, a
+					}
+					lo[x], hi[x] = uint8(a), uint8(b)
+				}
+				boxes = append(boxes, cluster.Box{BinLo: lo, BinHi: hi})
+			}
+			cs = append(cs, cluster.Cluster{Dims: dims, Boxes: boxes})
+		}
+
+		ix := mustIndex(t, g, cs)
+		scratch := ix.Scratch()
+		rec := make([]float64, d)
+		for probe := 0; probe < 300; probe++ {
+			for i, dom := range domains {
+				switch r.Intn(10) {
+				case 0: // exact bin bound
+					bins := g.Dims[i].Bins
+					b := bins[r.Intn(len(bins))]
+					if r.Intn(2) == 0 {
+						rec[i] = b.Bounds.Lo
+					} else {
+						rec[i] = b.Bounds.Hi
+					}
+				case 1: // out of domain
+					rec[i] = dom.Lo - r.In(0, 10)
+				case 2:
+					rec[i] = dom.Hi + r.In(0, 10)
+				case 3:
+					rec[i] = math.NaN()
+				default:
+					rec[i] = r.In(dom.Lo, dom.Hi)
+				}
+			}
+			got, err := ix.AssignRecord(rec, scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := oracle(g, cs, rec); got != want {
+				t.Fatalf("trial %d probe %d: record %v labeled %d, oracle says %d", trial, probe, rec, got, want)
+			}
+		}
+	}
+}
+
+// TestChunkAndSourceMatchRecord checks the batched paths agree with
+// the one-record path, including the multi-worker fan-out.
+func TestChunkAndSourceMatchRecord(t *testing.T) {
+	r := rng.New(7)
+	d := 4
+	g := uniformGrid(t, unitDomains(d), 12)
+	cs := []cluster.Cluster{
+		clusterOver([]uint8{0, 1}, []uint8{1, 1}, []uint8{5, 5}),
+		clusterOver([]uint8{2, 3}, []uint8{6, 6}, []uint8{10, 10}),
+		clusterOver([]uint8{1}, []uint8{8}, []uint8{11}),
+	}
+	ix := mustIndex(t, g, cs)
+	const n = 1000
+	rows := make([][]float64, n)
+	flat := make([]float64, 0, n*d)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64()
+		}
+		flat = append(flat, rows[i]...)
+	}
+	want := make([]int32, n)
+	scratch := ix.Scratch()
+	for i, rec := range rows {
+		want[i] = label(t, ix, rec)
+	}
+	got := make([]int32, n)
+	if err := ix.AssignChunk(flat, got, scratch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AssignChunk record %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	m, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		labels, err := ix.AssignSource(m, 128, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) != n {
+			t.Fatalf("workers=%d: %d labels for %d records", workers, len(labels), n)
+		}
+		for i := range want {
+			if labels[i] != want[i] {
+				t.Fatalf("workers=%d record %d: %d vs %d", workers, i, labels[i], want[i])
+			}
+		}
+	}
+}
+
+// genClustered builds a data set with an embedded 3-dim box cluster.
+func genClustered(t *testing.T, d, records int, seed uint64) *dataset.Matrix {
+	t.Helper()
+	ext := []dataset.Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims:     d,
+		Records:  records,
+		Clusters: []datagen.Cluster{datagen.UniformBox([]int{1, 3, 4}, ext, 0)},
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFittedModelMatchesEngineAssign runs the real engine on generated
+// data and checks the compiled index reproduces Result.Assign exactly
+// — adaptive grids included.
+func TestFittedModelMatchesEngineAssign(t *testing.T) {
+	m := genClustered(t, 6, 3000, 3)
+	res, err := mafia.Run(m, mafia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("engine found no clusters; the differential test needs at least one")
+	}
+	ix := mustIndex(t, res.Grid, res.Clusters)
+	want, err := res.Assign(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.AssignSource(m, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d labels vs oracle's %d", len(got), len(want))
+	}
+	mismatch := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatch++
+		}
+	}
+	if mismatch > 0 {
+		t.Errorf("%d/%d labels differ from the linear oracle", mismatch, len(want))
+	}
+}

@@ -1,10 +1,11 @@
 // Package bench is the tracked benchmark suite of the out-of-core
 // pipeline: it measures records/sec for the engine's data-parallel
-// phases — histogram build, CDU population, and the full clustering
-// run — at several rank counts, for the baseline per-record/serial-scan
-// implementations and the pipelined ones (flat kernels, double-buffered
-// prefetch, intra-rank worker pool). The cmd/bench CLI writes the
-// report as JSON (BENCH_pr3.json at the repository root is the
+// phases — histogram build, CDU population, the full clustering run,
+// and batch record assignment — at several rank counts, for the
+// baseline per-record/serial-scan implementations and the pipelined
+// ones (flat kernels, double-buffered prefetch, intra-rank worker
+// pool, compiled assignment index). The cmd/bench CLI writes the
+// report as JSON (BENCH_pr5.json at the repository root is the
 // committed snapshot); scripts/bench.sh and `make bench` drive it.
 //
 // Ranks run in Real mode: p goroutines scanning disjoint ScanRange
@@ -21,6 +22,8 @@ import (
 	"sync"
 	"time"
 
+	"pmafia/internal/assign"
+	"pmafia/internal/cluster"
 	"pmafia/internal/datagen"
 	"pmafia/internal/dataset"
 	"pmafia/internal/diskio"
@@ -83,7 +86,7 @@ func (o *Options) Smoke() {
 
 // Measurement is one (phase, variant, p) throughput cell.
 type Measurement struct {
-	// Phase is "histogram", "populate", or "full".
+	// Phase is "histogram", "populate", "full", or "assign".
 	Phase string `json:"phase"`
 	// Variant identifies the implementation measured: "baseline" is
 	// the pre-pipelining path, the others name what they enable.
@@ -98,7 +101,7 @@ type Measurement struct {
 	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
-// Report is the suite outcome, serialized to BENCH_pr3.json.
+// Report is the suite outcome, serialized to BENCH_pr5.json.
 type Report struct {
 	Timestamp    string        `json:"timestamp"`
 	GoVersion    string        `json:"go_version"`
@@ -118,6 +121,11 @@ type Report struct {
 	// PopulateSingleRankSpeedup is the same ratio for the population
 	// kernel (flat/bitset over hash map).
 	PopulateSingleRankSpeedup float64 `json:"populate_single_rank_speedup"`
+	// AssignSingleRankSpeedup is the p=1 assignment records/sec ratio
+	// of the compiled index (assign.AssignChunk) over the linear-scan
+	// oracle (Result.AssignRecord), on a 48-cluster model. Labels are
+	// verified bit-identical before timing.
+	AssignSingleRankSpeedup float64 `json:"assign_single_rank_speedup"`
 }
 
 // rangeShard adapts a contiguous record range of a file to Source.
@@ -198,9 +206,13 @@ func Run(o Options) (*Report, error) {
 	if err := benchFull(o, rep, serialF, prefetchF); err != nil {
 		return nil, err
 	}
+	if err := benchAssign(o, rep, serialF, data); err != nil {
+		return nil, err
+	}
 
 	rep.HistogramSingleRankSpeedup = speedup(rep.Measurements, "histogram", "flat", "baseline")
 	rep.PopulateSingleRankSpeedup = speedup(rep.Measurements, "populate", "flat", "baseline")
+	rep.AssignSingleRankSpeedup = speedup(rep.Measurements, "assign", "indexed", "oracle")
 	return rep, nil
 }
 
@@ -370,6 +382,111 @@ func benchPopulate(o Options, rep *Report, serialF, prefetchF *diskio.File) erro
 					_, err := mafia.PopulateCounts(g, cdus, v.src[r], o.ChunkRecords, v.workers, v.strategy)
 					return err
 				})
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syntheticClusters builds a 48-cluster model over 3-dimensional
+// subspaces of a d-dim, bins-per-dim uniform grid, two boxes per
+// cluster — the cluster count and dimensionality the assignment index
+// is sized against. Boxes overlap across clusters on purpose:
+// first-match tie-breaking is part of what the bit-identity gate
+// checks.
+func syntheticClusters(d, bins int) []cluster.Cluster {
+	const n = 48
+	cs := make([]cluster.Cluster, 0, n)
+	for c := 0; c < n; c++ {
+		i := c % (d - 2)
+		lo := uint8((c * 2) % (bins - 2))
+		hi := uint8((c*3 + 4) % (bins - 1))
+		cs = append(cs, cluster.Cluster{
+			Dims: []uint8{uint8(i), uint8(i + 1), uint8(i + 2)},
+			Boxes: []cluster.Box{
+				{BinLo: []uint8{lo, lo, lo}, BinHi: []uint8{lo + 2, lo + 2, lo + 2}},
+				{BinLo: []uint8{hi, hi, hi}, BinHi: []uint8{hi + 1, hi + 1, hi + 1}},
+			},
+		})
+	}
+	return cs
+}
+
+// benchAssign measures batch record assignment against a synthetic
+// 48-cluster model on a 10-bin uniform grid: the linear-scan oracle
+// (Result.AssignRecord per record, O(clusters·boxes·k) each) against
+// the compiled index — AssignChunk over the same records (indexed)
+// and AssignSource with the worker pool (pipelined). Assignment runs
+// over the in-memory matrix, not disk scans: the serving daemon
+// labels request bodies that are already resident, and benching from
+// disk would cap every variant at scan throughput instead of
+// separating the kernels. Labels are verified bit-identical across
+// the whole data set before any timing.
+func benchAssign(o Options, rep *Report, serialF *diskio.File, data *dataset.Matrix) error {
+	const bins = 10
+	h := histogram.New(serialF.Domains(), 1000)
+	if err := h.AddSource(serialF, o.ChunkRecords); err != nil {
+		return err
+	}
+	g, err := grid.BuildUniform(h, bins, 0.01)
+	if err != nil {
+		return err
+	}
+	d := data.Dims()
+	clusters := syntheticClusters(d, bins)
+	ix, err := assign.New(g, clusters)
+	if err != nil {
+		return err
+	}
+	res := &mafia.Result{Grid: g, Clusters: clusters}
+
+	// Bit-identity gate: every record must get the same label from the
+	// index as from the oracle before the numbers mean anything.
+	n := data.NumRecords()
+	labels := make([]int32, n)
+	if err := ix.AssignChunk(data.Values, labels, ix.Scratch()); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if want := res.AssignRecord(data.Row(i)); int(labels[i]) != want {
+			return fmt.Errorf("bench assign: record %d labeled %d by the index, %d by the oracle",
+				i, labels[i], want)
+		}
+	}
+
+	total := int64(n)
+	for _, p := range o.Procs {
+		ms := make([]*dataset.Matrix, 0, p)
+		for r := 0; r < p; r++ {
+			lo, hi := diskio.ShareBounds(n, r, p)
+			ms = append(ms, data.Slice(lo, hi))
+		}
+		variants := []struct {
+			name string
+			run  func(r int) error
+		}{
+			{"oracle", func(r int) error {
+				m := ms[r]
+				for i := 0; i < m.NumRecords(); i++ {
+					res.AssignRecord(m.Row(i))
+				}
+				return nil
+			}},
+			{"indexed", func(r int) error {
+				m := ms[r]
+				out := make([]int32, m.NumRecords())
+				return ix.AssignChunk(m.Values, out, ix.Scratch())
+			}},
+			{"pipelined", func(r int) error {
+				_, err := ix.AssignSource(ms[r], o.ChunkRecords, o.Workers)
+				return err
+			}},
+		}
+		for _, v := range variants {
+			if err := measure(o, rep, "assign", v.name, p, total, func() error {
+				return onRanks(p, v.run)
 			}); err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Range is a half-open interval [Lo, Hi) describing a dimension's domain
@@ -200,8 +201,24 @@ func widen(r Range) Range {
 	if r.Hi <= r.Lo {
 		return Range{Lo: r.Lo, Hi: r.Lo + 1}
 	}
-	w := r.Hi - r.Lo
-	return Range{Lo: r.Lo, Hi: r.Hi + w*1e-9 + 1e-300}
+	return Range{Lo: r.Lo, Hi: WidenHi(r.Lo, r.Hi)}
+}
+
+// WidenHi returns a value strictly above hi to serve as the top of a
+// half-open domain [lo, hi'), so the observed maximum hi itself tests
+// inside. The nominal widening is a relative 1e-9 of the width, but
+// when hi's magnitude dwarfs the width that sum rounds back to hi
+// (e.g. lo=1e18, hi=1e18+1024: the ULP at 1e18 is 128, far above the
+// ~1e-6 nominal step), so the result falls back to the next
+// representable float64 above hi. Every widening site — engine domain
+// reduction, file headers, in-memory domain scans — must use this one
+// function or maxima silently land outside their domain.
+func WidenHi(lo, hi float64) float64 {
+	widened := hi + (hi-lo)*1e-9
+	if widened > hi && !math.IsInf(widened, 1) {
+		return widened
+	}
+	return math.Nextafter(hi, math.Inf(1))
 }
 
 const (

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -234,5 +235,57 @@ func TestWriteCSVNameMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, m, []string{"only-one"}); err == nil {
 		t.Error("name count mismatch: want error")
+	}
+}
+
+func TestWidenHiLargeMagnitude(t *testing.T) {
+	// The regression case: a width tiny relative to the magnitude of hi.
+	// hi + w*1e-9 rounds back to hi (the ULP at 1e18 is 128), so the
+	// widening must step to the next representable float64 instead.
+	lo, hi := 1e18, 1e18+1024
+	got := WidenHi(lo, hi)
+	if !(got > hi) {
+		t.Fatalf("WidenHi(%g, %g) = %g, not above hi", lo, hi, got)
+	}
+	if !(Range{Lo: lo, Hi: got}).Contains(hi) {
+		t.Errorf("max value %g outside widened domain [%g, %g)", hi, lo, got)
+	}
+}
+
+func TestWidenHiCases(t *testing.T) {
+	cases := []struct{ lo, hi float64 }{
+		{0, 1},                // ordinary range: nominal relative widening
+		{0, 1e-305},           // subnormal width: w*1e-9 underflows
+		{-5e17, 5e17},         // large symmetric range
+		{1e18, 1e18 + 128},    // width of exactly one ULP of hi
+		{-1e18 - 1024, -1e18}, // large negative magnitude
+		{0, math.MaxFloat64},  // widening must not round to +Inf and stall
+	}
+	for _, c := range cases {
+		got := WidenHi(c.lo, c.hi)
+		if !(got > c.hi) {
+			t.Errorf("WidenHi(%g, %g) = %g, not strictly above hi", c.lo, c.hi, got)
+		}
+	}
+}
+
+func TestDomainsContainMaximaAtLargeMagnitude(t *testing.T) {
+	m, err := FromRows([][]float64{
+		{1e18, 3},
+		{1e18 + 512, 7},
+		{1e18 + 1024, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains, err := Domains(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !domains[0].Contains(1e18 + 1024) {
+		t.Errorf("max record outside domain %v", domains[0])
+	}
+	if !domains[1].Contains(7) {
+		t.Errorf("max record outside domain %v", domains[1])
 	}
 }

@@ -551,7 +551,7 @@ func (f *File) Domains() []dataset.Range {
 		if r.Hi <= r.Lo {
 			out[i] = dataset.Range{Lo: r.Lo, Hi: r.Lo + 1}
 		} else {
-			out[i] = dataset.Range{Lo: r.Lo, Hi: r.Hi + (r.Hi-r.Lo)*1e-9}
+			out[i] = dataset.Range{Lo: r.Lo, Hi: dataset.WidenHi(r.Lo, r.Hi)}
 		}
 	}
 	return out

@@ -1,0 +1,80 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/histogram"
+)
+
+// asBinCountError asserts err is (or wraps) a *BinCountError and
+// returns it.
+func asBinCountError(t *testing.T, err error) *BinCountError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("want a *BinCountError, got nil")
+	}
+	var bce *BinCountError
+	if !errors.As(err, &bce) {
+		t.Fatalf("want a *BinCountError, got %T: %v", err, err)
+	}
+	return bce
+}
+
+func TestUniformRejectsOverwideBinCount(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 1}}, 1000)
+	h.AddRecord([]float64{0.5})
+	_, err := BuildUniform(h, 300, 0.01)
+	bce := asBinCountError(t, err)
+	if bce.Bins != 300 {
+		t.Errorf("error reports %d bins, want 300", bce.Bins)
+	}
+	if _, err := BuildUniform(h, MaxBins, 0.01); err != nil {
+		t.Errorf("BuildUniform at the cap (%d bins): %v", MaxBins, err)
+	}
+}
+
+func TestUniformVariableRejectsOverwideBinCount(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}, 1000)
+	h.AddRecord([]float64{0.5, 0.5})
+	_, err := BuildUniformVariable(h, []int{10, 300}, 0.01)
+	bce := asBinCountError(t, err)
+	if bce.Dim != 1 || bce.Bins != 300 {
+		t.Errorf("error = %+v, want dim 1 / 300 bins", bce)
+	}
+	if _, err := BuildUniformVariable(h, []int{10, MaxBins}, 0.01); err != nil {
+		t.Errorf("BuildUniformVariable at the cap: %v", err)
+	}
+}
+
+func TestAdaptiveRejectsOverwideEquiSplit(t *testing.T) {
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 1}}, 1000)
+	h.AddRecord([]float64{0.5})
+	_, err := BuildAdaptive(h, AdaptiveParams{EquiSplit: 300})
+	asBinCountError(t, err)
+}
+
+// TestAdaptiveStaysWithinMaxBins drives the merge loop with a β of 0
+// (nothing merges, so the raw window count far exceeds MaxBins before
+// the retry loop widens β) over a jagged histogram and asserts the
+// built grid never exceeds the one-byte bin encoding.
+func TestAdaptiveStaysWithinMaxBins(t *testing.T) {
+	const units = 2000
+	h := histogram.New([]dataset.Range{{Lo: 0, Hi: 1}}, units)
+	for u := 0; u < units; u++ {
+		// Strongly alternating counts so no two adjacent windows are
+		// within any small β of each other.
+		n := 1 + (u%7)*40
+		for i := 0; i < n; i++ {
+			h.AddRecord([]float64{(float64(u) + 0.5) / units})
+		}
+	}
+	g, err := BuildAdaptive(h, AdaptiveParams{WindowUnits: 1, BetaPercent: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := g.Dims[0].NumBins(); nb > MaxBins {
+		t.Errorf("adaptive grid built %d bins, cap is %d", nb, MaxBins)
+	}
+}

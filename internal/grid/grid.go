@@ -19,6 +19,35 @@ import (
 // encoding of units (bin indices must fit a uint8).
 const MaxBins = 255
 
+// BinCountError reports a requested or computed per-dimension bin count
+// that does not fit the one-byte bin encoding. Unit arrays, dedup keys,
+// and the population kernels all index bins with uint8, so a grid built
+// past MaxBins would silently truncate indices and corrupt keys; every
+// grid builder rejects the count up front with this error instead.
+type BinCountError struct {
+	// Dim is the offending dimension index (-1 when the count applies to
+	// every dimension, as with the uniform ξ).
+	Dim int
+	// Bins is the rejected bin count.
+	Bins int
+}
+
+func (e *BinCountError) Error() string {
+	if e.Dim < 0 {
+		return fmt.Sprintf("grid: %d bins per dimension out of [1,%d] (bin indices are one byte)", e.Bins, MaxBins)
+	}
+	return fmt.Sprintf("grid: dim %d: %d bins out of [1,%d] (bin indices are one byte)", e.Dim, e.Bins, MaxBins)
+}
+
+// checkBinCount validates a per-dimension bin count against the byte
+// encoding; dim -1 marks a count that applies to all dimensions.
+func checkBinCount(dim, bins int) error {
+	if bins < 1 || bins > MaxBins {
+		return &BinCountError{Dim: dim, Bins: bins}
+	}
+	return nil
+}
+
 // Bin is one interval of a dimension's partitioning.
 type Bin struct {
 	Bounds    dataset.Range // value-space interval [Lo, Hi)
@@ -40,6 +69,12 @@ type Dim struct {
 
 // NumBins returns the number of bins in the dimension.
 func (d *Dim) NumBins() int { return len(d.Bins) }
+
+// FineUnits returns the fine-histogram resolution the dimension was
+// built against; BinOf scales values by it, so any code reproducing
+// BinOf's arithmetic (the assignment index, grid serialization) must
+// use this exact value.
+func (d *Dim) FineUnits() int { return d.fineUnits }
 
 // BinOf maps a value to its bin index, clamping out-of-domain values.
 func (d *Dim) BinOf(v float64) uint8 {
@@ -130,8 +165,8 @@ func (p *AdaptiveParams) Validate() error {
 	if p.Alpha <= 0 {
 		return fmt.Errorf("grid: non-positive Alpha %v", p.Alpha)
 	}
-	if p.EquiSplit < 1 || p.EquiSplit > MaxBins {
-		return fmt.Errorf("grid: EquiSplit %d out of [1,%d]", p.EquiSplit, MaxBins)
+	if err := checkBinCount(-1, p.EquiSplit); err != nil {
+		return fmt.Errorf("EquiSplit: %w", err)
 	}
 	if p.UniformBoost < 1 {
 		return fmt.Errorf("grid: UniformBoost %v < 1", p.UniformBoost)
@@ -148,6 +183,13 @@ func BuildAdaptive(h *histogram.Hist, p AdaptiveParams) (*Grid, error) {
 	g := &Grid{Dims: make([]Dim, len(h.Domains)), N: h.N}
 	for dim := range h.Domains {
 		g.Dims[dim] = buildAdaptiveDim(h, dim, p)
+		// The merge loop and EquiSplit validation keep the count within
+		// MaxBins by construction; re-check the invariant here so any
+		// future drift in the merge logic surfaces as a typed error
+		// instead of truncated uint8 keys.
+		if err := checkBinCount(dim, g.Dims[dim].NumBins()); err != nil {
+			return nil, err
+		}
 	}
 	return g, nil
 }
@@ -305,8 +347,8 @@ func unitLookup(units int, boundaries []int) []uint8 {
 // each with the same global threshold tau·N (tau is CLIQUE's density
 // fraction input).
 func BuildUniform(h *histogram.Hist, xi int, tau float64) (*Grid, error) {
-	if xi < 1 || xi > MaxBins {
-		return nil, fmt.Errorf("grid: bins per dimension %d out of [1,%d]", xi, MaxBins)
+	if err := checkBinCount(-1, xi); err != nil {
+		return nil, err
 	}
 	if tau <= 0 || tau >= 1 {
 		return nil, fmt.Errorf("grid: density threshold %v out of (0,1)", tau)
@@ -336,8 +378,11 @@ func BuildUniformVariable(h *histogram.Hist, xis []int, tau float64) (*Grid, err
 	}
 	g := &Grid{Dims: make([]Dim, len(h.Domains)), N: h.N}
 	for dim, xi := range xis {
-		if xi < 1 || xi > MaxBins || xi > h.Units {
-			return nil, fmt.Errorf("grid: dim %d bin count %d invalid", dim, xi)
+		if err := checkBinCount(dim, xi); err != nil {
+			return nil, err
+		}
+		if xi > h.Units {
+			return nil, fmt.Errorf("grid: dim %d: %d bins need at least as many fine units (%d)", dim, xi, h.Units)
 		}
 		boundaries := equalUnitSplit(h.Units, xi)
 		d := Dim{Index: dim, Domain: h.Domains[dim], fineUnits: h.Units}

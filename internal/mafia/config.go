@@ -159,7 +159,7 @@ func (c *Config) Validate(dims int) error {
 			c.UniformTau = 0.01
 		}
 		if c.UniformBins < 1 || c.UniformBins > grid.MaxBins {
-			return fmt.Errorf("mafia: UniformBins %d out of [1,%d]", c.UniformBins, grid.MaxBins)
+			return &grid.BinCountError{Dim: -1, Bins: c.UniformBins}
 		}
 		if c.UniformTau <= 0 || c.UniformTau >= 1 {
 			return fmt.Errorf("mafia: UniformTau %v out of (0,1)", c.UniformTau)
@@ -167,6 +167,14 @@ func (c *Config) Validate(dims int) error {
 	case UniformVariableGrid:
 		if len(c.UniformBinsPerDim) != dims {
 			return fmt.Errorf("mafia: UniformBinsPerDim has %d entries for %d dims", len(c.UniformBinsPerDim), dims)
+		}
+		// Bin indices are one byte; a per-dimension count past
+		// grid.MaxBins would truncate unit keys, so reject it here
+		// rather than mid-run in the grid build.
+		for dim, xi := range c.UniformBinsPerDim {
+			if xi < 1 || xi > grid.MaxBins {
+				return &grid.BinCountError{Dim: dim, Bins: xi}
+			}
 		}
 		if c.UniformTau == 0 {
 			c.UniformTau = 0.01

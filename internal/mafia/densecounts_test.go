@@ -1,0 +1,58 @@
+package mafia
+
+import (
+	"sync"
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/sp2"
+	"pmafia/internal/unit"
+)
+
+// TestDenseCountsAlignedParallel forces the task-parallel identify path
+// (p=2, Tau=1 so every level has more CDUs than Tau) and checks that
+// the counts handed to Prune line up entry for entry with the dense
+// units: recounting each pruned unit's population over the whole data
+// set must reproduce exactly the count identifyDense gathered.
+func TestDenseCountsAlignedParallel(t *testing.T) {
+	m, _ := genData(t, 8, 6000, 11, box(40, 52, 0, 2, 5))
+
+	type capture struct {
+		du     *unit.Array
+		counts []int64
+	}
+	var mu sync.Mutex
+	var captured []capture
+	prune := func(du *unit.Array, counts []int64) *unit.Array {
+		mu.Lock()
+		captured = append(captured, capture{du: du, counts: append([]int64(nil), counts...)})
+		mu.Unlock()
+		return du
+	}
+
+	shards := []dataset.Source{m.Slice(0, m.NumRecords()/2), m.Slice(m.NumRecords()/2, m.NumRecords())}
+	res, err := RunParallel(shards, nil, Config{Tau: 1, Prune: prune}, sp2.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) == 0 {
+		t.Fatal("Prune was never called; the run found no dense units past level 1")
+	}
+
+	for _, c := range captured {
+		if c.du.Len() != len(c.counts) {
+			t.Fatalf("level %d: %d dense units but %d counts", c.du.K, c.du.Len(), len(c.counts))
+		}
+		want, err := PopulateCounts(res.Grid, c.du, m, 0, 0, CountAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if c.counts[i] != want[i] {
+				d, b := c.du.Unit(i)
+				t.Errorf("level %d unit %d (dims %v bins %v): gathered count %d, recount %d",
+					c.du.K, i, d, b, c.counts[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package mafia
+
+import (
+	"testing"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/sp2"
+)
+
+// TestGlobalDomainsContainMaximaAtLargeMagnitude is the regression test
+// for the domain-widening bug: globalDomains used to widen the top end
+// with hi + w*1e-9, which rounds back to hi when the width is small
+// relative to hi's magnitude (here the ULP at 1e18 is 128, far above
+// the ~1e-6 nominal step), leaving the maximum record outside the
+// half-open domain. The fix steps by ULPs via dataset.WidenHi.
+func TestGlobalDomainsContainMaximaAtLargeMagnitude(t *testing.T) {
+	rows := [][]float64{
+		{1e18, 0},
+		{1e18 + 256, 5},
+		{1e18 + 512, 3},
+		{1e18 + 1024, 9},
+	}
+	m, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom := res.Grid.Dims[0].Domain; !dom.Contains(1e18 + 1024) {
+		t.Errorf("max record 1e18+1024 outside computed domain %v", dom)
+	}
+	if dom := res.Grid.Dims[1].Domain; !dom.Contains(9) {
+		t.Errorf("max record 9 outside computed domain %v", dom)
+	}
+}
+
+// The parallel domain reduction must widen identically: the min/max
+// allreduce hands every rank the same extremes, so the widened domains
+// are replicated. Exercise the p>1 path at the same magnitude.
+func TestGlobalDomainsParallelLargeMagnitude(t *testing.T) {
+	a, _ := dataset.FromRows([][]float64{{1e18, 1}, {1e18 + 512, 2}})
+	b, _ := dataset.FromRows([][]float64{{1e18 + 1024, 3}, {1e18 + 128, 4}})
+	res, err := RunParallel([]dataset.Source{a, b}, nil, Config{}, sp2.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom := res.Grid.Dims[0].Domain; !dom.Contains(1e18 + 1024) {
+		t.Errorf("global max 1e18+1024 outside computed domain %v", dom)
+	}
+}

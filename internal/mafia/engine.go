@@ -1,6 +1,7 @@
 package mafia
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -184,7 +185,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	lvlStart := time.Now()
 	cdus1, counts1 := levelOneCandidates(e.g)
 	isp := rec.Start(rank, "identify").SetLevel(1)
-	du, err := e.identifyDense(cdus1, counts1)
+	du, _, err := e.identifyDense(cdus1, counts1)
 	isp.End()
 	if err != nil {
 		lsp.End()
@@ -228,13 +229,12 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 			tally.records = records
 			tally.mergeSec = popMerge
 			isp = rec.Start(rank, "identify").SetLevel(k)
-			duNext, err = e.identifyDense(cdus, counts)
+			duNext, duCounts, err = e.identifyDense(cdus, counts)
 			isp.End()
 			if err != nil {
 				lsp.End()
 				return nil, err
 			}
-			duCounts = denseCounts(e.g, cdus, counts)
 		} else {
 			duNext = unit.New(k, 0)
 		}
@@ -324,8 +324,7 @@ func (e *engine) globalDomains() ([]dataset.Range, error) {
 		case hi[i] <= lo[i]:
 			domains[i] = dataset.Range{Lo: lo[i], Hi: lo[i] + 1}
 		default:
-			w := hi[i] - lo[i]
-			domains[i] = dataset.Range{Lo: lo[i], Hi: hi[i] + w*1e-9}
+			domains[i] = dataset.Range{Lo: lo[i], Hi: dataset.WidenHi(lo[i], hi[i])}
 		}
 	}
 	return domains, nil
@@ -401,45 +400,70 @@ func (e *engine) populate(cdus *unit.Array) ([]int64, int64, float64, error) {
 
 // identifyDense compares each CDU's population against the thresholds
 // of the bins forming it (Algorithm 5) and builds the dense-unit arrays
-// (Algorithm 6). With more than Tau CDUs each rank processes its block
-// and the per-rank arrays are gathered and broadcast.
-func (e *engine) identifyDense(cdus *unit.Array, counts []int64) (*unit.Array, error) {
+// (Algorithm 6) together with the dense units' populations, aligned
+// entry for entry with the returned array. With more than Tau CDUs each
+// rank processes its block and the per-rank arrays (units and counts)
+// are gathered and broadcast; rank-order concatenation keeps the two
+// payloads aligned.
+func (e *engine) identifyDense(cdus *unit.Array, counts []int64) (*unit.Array, []int64, error) {
 	n := cdus.Len()
 	p := e.c.Size()
 	if p > 1 && n > e.cfg.Tau {
 		lo, hi := gen.RangeShare(n, e.c.Rank(), p)
-		local := e.denseInRange(cdus, counts, lo, hi)
+		local, localCounts := e.denseInRange(cdus, counts, lo, hi)
 		payload := e.c.GatherConcatBcast(local.Encode())
 		all, err := unit.Decode(cdus.K, payload)
 		if err != nil {
-			return nil, fmt.Errorf("mafia: corrupt gathered dense units at level %d: %w", cdus.K, err)
+			return nil, nil, fmt.Errorf("mafia: corrupt gathered dense units at level %d: %w", cdus.K, err)
 		}
-		return all, nil
+		countPayload := e.c.GatherConcatBcast(encodeCounts(localCounts))
+		allCounts, err := decodeCounts(countPayload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mafia: corrupt gathered dense counts at level %d: %w", cdus.K, err)
+		}
+		if len(allCounts) != all.Len() {
+			return nil, nil, fmt.Errorf("mafia: %d gathered dense counts for %d dense units at level %d", len(allCounts), all.Len(), cdus.K)
+		}
+		return all, allCounts, nil
 	}
-	return e.denseInRange(cdus, counts, 0, n), nil
+	du, duCounts := e.denseInRange(cdus, counts, 0, n)
+	return du, duCounts, nil
 }
 
-func (e *engine) denseInRange(cdus *unit.Array, counts []int64, lo, hi int) *unit.Array {
+// denseInRange applies the density test to cdus[lo:hi) and returns the
+// dense units with their populations, aligned entry for entry.
+func (e *engine) denseInRange(cdus *unit.Array, counts []int64, lo, hi int) (*unit.Array, []int64) {
 	out := unit.New(cdus.K, hi-lo)
+	outCounts := make([]int64, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		if float64(counts[i]) > maxThreshold(e.g, cdus, i) {
 			d, b := cdus.Unit(i)
 			out.AppendRaw(d, b)
+			outCounts = append(outCounts, counts[i])
 		}
 	}
-	return out
+	return out, outCounts
 }
 
-// denseCounts returns the populations of the dense CDUs in scan order,
-// aligned with the dense-unit array identifyDense builds.
-func denseCounts(g *grid.Grid, cdus *unit.Array, counts []int64) []int64 {
-	var out []int64
-	for i := 0; i < cdus.Len(); i++ {
-		if float64(counts[i]) > maxThreshold(g, cdus, i) {
-			out = append(out, counts[i])
-		}
+// encodeCounts serializes counts as little-endian int64s for the
+// gather collective.
+func encodeCounts(counts []int64) []byte {
+	buf := make([]byte, 8*len(counts))
+	for i, c := range counts {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(c))
 	}
-	return out
+	return buf
+}
+
+func decodeCounts(buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("count payload of %d bytes is not a whole number of int64s", len(buf))
+	}
+	counts := make([]int64, len(buf)/8)
+	for i := range counts {
+		counts[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return counts, nil
 }
 
 // uncovered returns the dense units of level k that are not a face of

@@ -29,6 +29,11 @@ const (
 	CtrCDUsPopulated    = "cdus.populated"
 	CtrDenseUnits       = "dense.units"
 	CtrPopulateRecords  = "populate.records"
+	// pmafiad: the model-serving daemon's assignment path.
+	CtrAssignRecords   = "assign.records"
+	CtrAssignBatches   = "assign.batches"
+	CtrAssignCacheHit  = "assign.cache.hit"
+	CtrAssignCacheMiss = "assign.cache.miss"
 )
 
 // CommCountCounter names the per-kind collective-operation counter the
@@ -62,6 +67,10 @@ var registered = map[string]bool{
 	CtrCDUsPopulated:    true,
 	CtrDenseUnits:       true,
 	CtrPopulateRecords:  true,
+	CtrAssignRecords:    true,
+	CtrAssignBatches:    true,
+	CtrAssignCacheHit:   true,
+	CtrAssignCacheMiss:  true,
 }
 
 // patterned matches the constructed counter families:

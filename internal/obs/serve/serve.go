@@ -30,10 +30,28 @@ import (
 // Server is a running telemetry endpoint. Start it before the run,
 // Close it after; Close blocks until the listener goroutine exits.
 type Server struct {
-	rec  *obs.Recorder
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
+}
+
+// handler holds the endpoint implementations over one recorder.
+type handler struct {
+	rec *obs.Recorder
+}
+
+// Handler returns the telemetry endpoints for rec as an http.Handler
+// (a mux with /healthz, /metrics, and /phase), for embedding in
+// another server — the serving daemon mounts /metrics this way
+// instead of duplicating the exposition code. rec may be nil, in
+// which case every endpoint reports an empty machine.
+func Handler(rec *obs.Recorder) http.Handler {
+	h := &handler{rec: rec}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/phase", h.phase)
+	return mux
 }
 
 // Start listens on addr (host:port; ":0" picks a free port) and
@@ -44,12 +62,8 @@ func Start(addr string, rec *obs.Recorder) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	s := &Server{rec: rec, ln: ln, done: make(chan struct{})}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.healthz)
-	mux.HandleFunc("/metrics", s.metrics)
-	mux.HandleFunc("/phase", s.phase)
-	s.srv = &http.Server{Handler: mux}
+	s := &Server{ln: ln, done: make(chan struct{})}
+	s.srv = &http.Server{Handler: Handler(rec)}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
@@ -71,7 +85,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+func (s *handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -90,7 +104,7 @@ func promName(name string) string {
 	return "pmafia_" + mangled
 }
 
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.rec.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -126,7 +140,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) phase(w http.ResponseWriter, _ *http.Request) {
+func (s *handler) phase(w http.ResponseWriter, _ *http.Request) {
 	phases := s.rec.CurrentPhases()
 	if phases == nil {
 		phases = []obs.PhaseStatus{}

@@ -20,6 +20,17 @@ import (
 // scanners may reuse the chunk buffer. With workers <= 1 the scan runs
 // inline with no goroutines. Returns the number of records scanned.
 func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []float64, lo, hi int)) (int64, error) {
+	return ScanOffset(src, chunkRecords, workers, func(w int, chunk []float64, _ int64, lo, hi int) {
+		fn(w, chunk, lo, hi)
+	})
+}
+
+// ScanOffset is Scan with the chunk's global record offset (the number
+// of records scanned before the chunk) passed to fn, for callers that
+// write per-record results into a shared output: the global ranges
+// [base+lo, base+hi) handed to the workers are disjoint, so such
+// writes are race-free.
+func ScanOffset(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []float64, base int64, lo, hi int)) (int64, error) {
 	sc := src.Scan(chunkRecords)
 	defer sc.Close()
 	if workers <= 1 {
@@ -29,7 +40,7 @@ func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []
 			if n == 0 {
 				break
 			}
-			fn(0, chunk, 0, n)
+			fn(0, chunk, total, 0, n)
 			total += int64(n)
 		}
 		return total, sc.Err()
@@ -37,6 +48,7 @@ func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []
 
 	type job struct {
 		chunk  []float64
+		base   int64
 		lo, hi int
 	}
 	jobs := make([]chan job, workers)
@@ -50,7 +62,7 @@ func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []
 			defer exitWG.Done()
 			for j := range ch {
 				if j.hi > j.lo {
-					fn(w, j.chunk, j.lo, j.hi)
+					fn(w, j.chunk, j.base, j.lo, j.hi)
 				}
 				chunkWG.Done()
 			}
@@ -62,12 +74,12 @@ func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []
 		if n == 0 {
 			break
 		}
-		total += int64(n)
 		chunkWG.Add(workers)
 		for w := 0; w < workers; w++ {
-			jobs[w] <- job{chunk: chunk, lo: w * n / workers, hi: (w + 1) * n / workers}
+			jobs[w] <- job{chunk: chunk, base: total, lo: w * n / workers, hi: (w + 1) * n / workers}
 		}
 		chunkWG.Wait()
+		total += int64(n)
 	}
 	for _, ch := range jobs {
 		close(ch)

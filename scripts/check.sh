@@ -2,7 +2,7 @@
 # Extended tier-1 gate: vet, formatting, and the full test suite under
 # the race detector. With -smoke it additionally runs the fuzz smoke,
 # the benchmark smoke, and the bench-regression gate against the
-# committed BENCH_pr3.json baseline (generous tolerance: the committed
+# committed BENCH_pr5.json baseline (generous tolerance: the committed
 # numbers come from a quiet machine, CI runners are not). Run from the
 # repository root (or via `make check`, which passes -smoke).
 set -eu
@@ -31,6 +31,14 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+# The serving path has its own named gates: the daemon must survive
+# concurrent assignment + scraping with a leak-free shutdown, and the
+# compiled assignment index must agree bit-for-bit with the engine's
+# linear-scan oracle.
+echo "== serving gate (pmafiad concurrency/leak + assign differential)"
+go test -race -count=1 -run 'TestConcurrentAssignAndScrape' ./cmd/pmafiad
+go test -race -count=1 -run 'TestPropertyMatchesOracle|TestFittedModelMatchesEngineAssign' ./internal/assign
+
 if [ "$smoke" = 1 ]; then
     echo "== fuzz smoke (FuzzOpen, 10s)"
     go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
@@ -39,8 +47,8 @@ if [ "$smoke" = 1 ]; then
     echo "== bench smoke (cmd/bench -smoke)"
     go run ./cmd/bench -smoke -out "$smokejson" 2>/dev/null
 
-    echo "== bench gate (cmd/bench -compare vs BENCH_pr3.json)"
-    go run ./cmd/bench -compare BENCH_pr3.json "$smokejson" -tolerance 0.9
+    echo "== bench gate (cmd/bench -compare vs BENCH_pr5.json)"
+    go run ./cmd/bench -compare BENCH_pr5.json "$smokejson" -tolerance 0.9
 fi
 
 echo "check: ok"
