@@ -25,6 +25,10 @@ import (
 	"pmafia/internal/obs/serve"
 )
 
+// queueWait bounds how long an /assign request may wait for an
+// in-flight slot before the daemon sheds it with a 503.
+const queueWait = 100 * time.Millisecond
+
 // config parameterizes the daemon.
 type config struct {
 	addr     string        // listen address
@@ -62,10 +66,49 @@ func (c *config) fill() {
 // request that names it. The index is immutable and safe to share;
 // each request brings its own scratch.
 type model struct {
+	path string
 	once sync.Once
+	done chan struct{} // closed when load has run
 	ix   *assign.Index
 	n    int // records the model was fitted on
 	err  error
+}
+
+func newModel(path string) *model {
+	return &model{path: path, done: make(chan struct{})}
+}
+
+// load reads the model file and compiles the assignment index. It is
+// only ever invoked through m.once.
+func (m *model) load() {
+	defer close(m.done)
+	res, err := modelio.Load(m.path)
+	if err != nil {
+		m.err = err
+		return
+	}
+	m.ix, m.err = assign.New(res.Grid, res.Clusters)
+	m.n = res.N
+}
+
+// ensure runs the load exactly once — whichever caller gets here first
+// does the work; the rest block until it finishes. Every path goes
+// through the same closure, so a cache hit can never consume the Once
+// with a no-op and leave the entry unloaded.
+func (m *model) ensure() error {
+	m.once.Do(m.load)
+	return m.err
+}
+
+// loaded reports, without blocking or triggering a load, whether the
+// model finished loading successfully.
+func (m *model) loaded() bool {
+	select {
+	case <-m.done:
+		return m.err == nil && m.ix != nil
+	default:
+		return false
+	}
 }
 
 // daemon serves saved models for batch assignment.
@@ -169,10 +212,13 @@ func (d *daemon) get(path string) (*model, error) {
 		d.mu.Unlock()
 		d.rec.Add(0, obs.CtrAssignCacheHit, 1)
 		m := el.Value.(*cacheSlot).m
-		m.once.Do(func() {}) // wait for a concurrent first load
-		return m, m.err
+		if err := m.ensure(); err != nil {
+			d.evict(path, el)
+			return m, err
+		}
+		return m, nil
 	}
-	m := &model{}
+	m := newModel(path)
 	el := d.lru.PushFront(&cacheSlot{path: path, m: m})
 	d.cache[path] = el
 	for d.lru.Len() > d.cfg.cacheCap {
@@ -183,26 +229,24 @@ func (d *daemon) get(path string) (*model, error) {
 	d.mu.Unlock()
 	d.rec.Add(0, obs.CtrAssignCacheMiss, 1)
 
-	m.once.Do(func() {
-		res, err := modelio.Load(path)
-		if err != nil {
-			m.err = err
-			return
-		}
-		m.ix, m.err = assign.New(res.Grid, res.Clusters)
-		m.n = res.N
-	})
-	if m.err != nil {
-		// Do not pin a failed load in the cache: the file may be
-		// replaced (atomically, by modelio.Save) and should reload.
-		d.mu.Lock()
-		if el2, ok := d.cache[path]; ok && el2 == el {
-			d.lru.Remove(el)
-			delete(d.cache, path)
-		}
-		d.mu.Unlock()
+	if err := m.ensure(); err != nil {
+		d.evict(path, el)
+		return m, err
 	}
-	return m, m.err
+	return m, nil
+}
+
+// evict drops a failed load from the cache so the entry is not pinned:
+// the file may be replaced (atomically, by modelio.Save) and should
+// reload. The identity check keeps a racing re-insert for the same
+// path alive.
+func (d *daemon) evict(path string, el *list.Element) {
+	d.mu.Lock()
+	if el2, ok := d.cache[path]; ok && el2 == el {
+		d.lru.Remove(el)
+		delete(d.cache, path)
+	}
+	d.mu.Unlock()
 }
 
 func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -246,14 +290,11 @@ func (d *daemon) models(w http.ResponseWriter, r *http.Request) {
 		if fi, err := e.Info(); err == nil {
 			info.Bytes = fi.Size()
 		}
-		if m, ok := resident[filepath.Join(d.cfg.modelDir, e.Name())]; ok {
-			m.once.Do(func() {}) // synchronize with an in-flight load
-			if m.err == nil && m.ix != nil {
-				info.Loaded = true
-				info.Dims = m.ix.Dims()
-				info.Clusters = m.ix.Clusters()
-				info.Records = m.n
-			}
+		if m, ok := resident[filepath.Join(d.cfg.modelDir, e.Name())]; ok && m.loaded() {
+			info.Loaded = true
+			info.Dims = m.ix.Dims()
+			info.Clusters = m.ix.Clusters()
+			info.Records = m.n
 		}
 		out = append(out, info)
 	}
@@ -280,11 +321,18 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Shed load while the client is still listening: a brief queue wait
+	// absorbs bursts, then 503 instead of stalling until ReadTimeout.
+	queue := time.NewTimer(queueWait)
+	defer queue.Stop()
 	select {
 	case d.sem <- struct{}{}:
 		defer func() { <-d.sem }()
-	case <-r.Context().Done():
+	case <-queue.C:
 		http.Error(w, "server busy", http.StatusServiceUnavailable)
+		return
+	case <-r.Context().Done():
+		// Client gave up while queued; nothing useful to write.
 		return
 	}
 	path, err := d.resolve(r.URL.Query().Get("model"))
@@ -313,7 +361,11 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 		src, _, err = dataset.ReadCSV(body)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		code := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	labels, err := m.ix.AssignSource(src, d.cfg.chunk, d.cfg.workers)

@@ -227,6 +227,78 @@ func TestModelsAndCacheLRU(t *testing.T) {
 	}
 }
 
+// TestCacheHitDuringPendingLoad reproduces the publish-before-load
+// window: a cache entry is visible before its loader has run. A hit in
+// that window must run the load itself (or block on it), never return
+// an unloaded model — the pre-fix code consumed the sync.Once with a
+// no-op and came back with a nil index and a nil error.
+func TestCacheHitDuringPendingLoad(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 8)
+	d, _ := startDaemon(t, config{modelDir: dir})
+	defer d.shutdown(context.Background())
+
+	path := filepath.Join(dir, "a.pmfm")
+	m := newModel(path)
+	d.mu.Lock()
+	d.cache[path] = d.lru.PushFront(&cacheSlot{path: path, m: m})
+	d.mu.Unlock()
+
+	got, err := d.get(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ix == nil {
+		t.Fatal("cache hit returned a model that was never loaded")
+	}
+	// A pending entry must not be reported as loaded, and must not be
+	// pinned unloadable: after the hit it serves /models info.
+	if !got.loaded() {
+		t.Error("model not marked loaded after a hit-driven load")
+	}
+}
+
+// TestAssignShedsLoad verifies an overloaded daemon returns 503 while
+// the client is still connected instead of queueing until a timeout.
+func TestAssignShedsLoad(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 9)
+	d, base := startDaemon(t, config{modelDir: dir, inflight: 1})
+	defer d.shutdown(context.Background())
+
+	d.sem <- struct{}{} // occupy the only in-flight slot
+	defer func() { <-d.sem }()
+	start := time.Now()
+	resp, raw := postAssign(t, base, "a.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if wait := time.Since(start); wait > 10*queueWait {
+		t.Errorf("503 took %v; load shedding should answer in about %v", wait, queueWait)
+	}
+}
+
+// TestAssignBodyTooLarge verifies an oversized body maps to 413, not a
+// generic 400.
+func TestAssignBodyTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 10)
+	d, base := startDaemon(t, config{modelDir: dir, maxBody: 64})
+	defer d.shutdown(context.Background())
+
+	// Keep the oversize modest so the request fits in socket buffers
+	// and the client always reads the reply cleanly.
+	big := bytes.Repeat([]byte("1,2,3,4,5\n"), 20)
+	resp, raw := postAssign(t, base, "a.pmfm", "text/csv", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("csv: status %d (%s), want 413", resp.StatusCode, raw)
+	}
+	resp, raw = postAssign(t, base, "a.pmfm", "application/octet-stream", make([]byte, 200))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("binary: status %d (%s), want 413", resp.StatusCode, raw)
+	}
+}
+
 // counterPair scrapes /metrics for the assign cache counters.
 func counterPair(t *testing.T, base string) (hits, misses int64) {
 	t.Helper()

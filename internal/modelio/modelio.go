@@ -313,7 +313,9 @@ func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
 // fit in the remaining payload at minBytes bytes per element.
 func (d *dec) count(minBytes int) int {
 	n := int(d.u32())
-	if d.err == nil && n*minBytes > len(d.buf)-d.off {
+	// int64 math: on 32-bit platforms a hostile count times minBytes
+	// can wrap negative in int and slip past the guard.
+	if d.err == nil && int64(n)*int64(minBytes) > int64(len(d.buf)-d.off) {
 		d.err = corruptf("element count %d at byte %d exceeds the remaining payload", n, d.off-4)
 	}
 	return n
