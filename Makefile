@@ -19,9 +19,9 @@ faults:
 	go test -race -run 'Fault|Corrupt|Stall|EndToEnd|Exit|Retry|BitFlip|Abort|Atomic|Truncation' \
 		./internal/faults ./internal/sp2 ./internal/diskio ./internal/mafia ./cmd/pmafia
 
-# Tracked benchmark suite: refreshes BENCH_pr5.json with records/sec
+# Tracked benchmark suite: refreshes BENCH_pr6.json with records/sec
 # per phase (histogram, populate, full run, assignment) at p in
-# {1,2,4,8}.
+# {1,2,4,8}, plus the serving load run (QPS + latency percentiles).
 bench:
 	sh scripts/bench.sh
 
@@ -30,4 +30,4 @@ bench:
 # the matched cells (p<=2) were measured on a quiet machine.
 bench-compare:
 	go run ./cmd/bench -smoke -out "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
-	go run ./cmd/bench -compare BENCH_pr5.json "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json" -tolerance 0.9
+	go run ./cmd/bench -compare BENCH_pr6.json "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json" -tolerance 0.9

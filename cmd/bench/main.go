@@ -1,13 +1,17 @@
-// Command bench runs the tracked benchmark suite (internal/bench) and
-// writes the report as JSON. The committed snapshot lives at
-// BENCH_pr5.json in the repository root:
+// Command bench runs the tracked benchmark suite (internal/bench) —
+// the engine throughput cells plus a sustained-QPS serving load run
+// against an in-process pmafiad daemon — and writes the report as
+// JSON. The committed snapshot lives at BENCH_pr6.json in the
+// repository root:
 //
-//	go run ./cmd/bench -out BENCH_pr5.json
+//	go run ./cmd/bench -out BENCH_pr6.json
 //	go run ./cmd/bench -smoke -out /dev/null   # CI smoke
 //
 // With -compare it diffs two report files instead of measuring, and
-// exits non-zero when any matched (phase, variant, p) cell regressed
-// past the tolerance — the bench gate of scripts/check.sh:
+// exits non-zero when any matched cell regressed past the tolerance —
+// throughput cells on records/sec, the load run on QPS and on the
+// p50/p90/p99 latency percentiles (with one histogram bucket of
+// grace) — the bench gate of scripts/check.sh:
 //
 //	go run ./cmd/bench -compare old.json new.json -tolerance 0.15
 package main
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"pmafia/internal/bench"
 )
@@ -51,12 +56,12 @@ func runCompare(args []string, tolerance float64) int {
 		fmt.Fprintln(os.Stderr, "usage: bench -compare old.json new.json [-tolerance 0.15]")
 		return 2
 	}
-	oldRep, err := bench.LoadReport(paths[0])
+	oldRep, err := bench.ReadReport(paths[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
 	}
-	newRep, err := bench.LoadReport(paths[1])
+	newRep, err := bench.ReadReport(paths[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
@@ -80,14 +85,16 @@ func runCompare(args []string, tolerance float64) int {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr5.json", "report output path")
-		smoke     = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
-		records   = flag.Int("records", 0, "override record count")
-		chunk     = flag.Int("chunk", 0, "override chunk size (records per read)")
-		workers   = flag.Int("workers", 0, "override intra-rank pool size")
-		repeats   = flag.Int("repeats", 0, "override measurement repeats")
-		compare   = flag.Bool("compare", false, "compare two report files instead of measuring")
-		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop in -compare mode")
+		out         = flag.String("out", "BENCH_pr6.json", "report output path")
+		smoke       = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
+		records     = flag.Int("records", 0, "override record count")
+		chunk       = flag.Int("chunk", 0, "override chunk size (records per read)")
+		workers     = flag.Int("workers", 0, "override intra-rank pool size")
+		repeats     = flag.Int("repeats", 0, "override measurement repeats")
+		loadFor     = flag.Duration("load", 5*time.Second, "serving load-run duration (0 skips the load run)")
+		loadClients = flag.Int("load-clients", 0, "override concurrent load clients")
+		compare     = flag.Bool("compare", false, "compare two report files instead of measuring")
+		tolerance   = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop in -compare mode")
 	)
 	flag.Parse()
 
@@ -117,6 +124,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+
+	if *loadFor > 0 {
+		lo := bench.LoadOptions{Duration: *loadFor, Log: os.Stderr}
+		lo.Defaults()
+		if *smoke {
+			lo.Smoke()
+			lo.Duration = *loadFor
+			if *loadFor > time.Second {
+				lo.Duration = time.Second
+			}
+		}
+		if *loadClients > 0 {
+			lo.Clients = *loadClients
+		}
+		rep.Load, err = bench.RunLoad(lo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

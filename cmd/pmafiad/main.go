@@ -1,66 +1,79 @@
 // Command pmafiad serves saved clustering models for batch record
 // assignment. Models are the files cmd/pmafia writes with -save-model;
 // the daemon keeps an LRU-capped set of them compiled into assignment
-// indexes and labels request bodies against them.
+// indexes and labels request bodies against them. The endpoint set,
+// instrumentation, and shutdown semantics live in internal/daemon —
+// this command is the flag surface around it.
 //
 // Usage:
 //
 //	pmafiad -models ./models [-addr :8080] [flags]
 //
-// Endpoints:
-//
-//	POST /assign?model=<name>.pmfm
-//	     Body: CSV records (default; numeric columns, optional
-//	     header), answered with JSON labels — or, with Content-Type
-//	     application/octet-stream, row-major little-endian float64s,
-//	     answered with little-endian int32 labels. A label is the
-//	     cluster index in the model's cluster list, -1 for outliers.
-//	GET  /models    JSON listing of the model directory with
-//	                residency info.
-//	GET  /metrics   Prometheus text exposition (the shared obs
-//	                handler): assign.records, assign.batches,
-//	                assign.cache.hit/miss.
-//	GET  /healthz   liveness probe.
-//
-// The daemon bounds concurrent assignment work (-max-inflight), times
-// out slow requests (-timeout), caps request bodies (-max-body), and
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests first.
+// Every request carries an X-Request-ID, lands in the per-route and
+// per-model latency histograms exposed at /metrics, and emits one
+// structured JSON access-log line (-access-log, default stderr). The
+// slowest requests are inspectable at /debug/slow; -pprof mounts
+// net/http/pprof under /debug/pprof/. The daemon bounds concurrent
+// assignment work (-max-inflight), times out slow requests (-timeout),
+// caps request bodies (-max-body), and shuts down gracefully on
+// SIGINT/SIGTERM: /readyz flips to 503, in-flight requests drain, and
+// the access log is flushed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"pmafia/internal/daemon"
 )
 
 func main() {
-	var cfg config
-	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&cfg.modelDir, "models", "", "directory holding .pmfm model files (required)")
-	flag.IntVar(&cfg.cacheCap, "cache", 4, "max models resident at once (LRU eviction)")
-	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request read/write timeout")
-	flag.IntVar(&cfg.inflight, "max-inflight", 8, "max concurrent /assign requests")
-	flag.IntVar(&cfg.chunk, "chunk", 8192, "records per assignment batch")
-	flag.IntVar(&cfg.workers, "workers", 1, "goroutines fanning out each assignment request")
-	flag.Int64Var(&cfg.maxBody, "max-body", 1<<30, "request body cap in bytes")
+	var cfg daemon.Config
+	var accessLog string
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.ModelDir, "models", "", "directory holding .pmfm model files (required)")
+	flag.IntVar(&cfg.CacheCap, "cache", 4, "max models resident at once (LRU eviction)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request read/write timeout")
+	flag.IntVar(&cfg.Inflight, "max-inflight", 8, "max concurrent /assign requests")
+	flag.IntVar(&cfg.Chunk, "chunk", 8192, "records per assignment batch")
+	flag.IntVar(&cfg.Workers, "workers", 1, "goroutines fanning out each assignment request")
+	flag.Int64Var(&cfg.MaxBody, "max-body", 1<<30, "request body cap in bytes")
+	flag.StringVar(&accessLog, "access-log", "-", `access-log destination: "-" for stderr, "" to disable, or a file path (appended)`)
+	flag.IntVar(&cfg.SlowN, "slow", 16, "slowest requests kept for /debug/slow")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
-	if cfg.modelDir == "" {
+	if cfg.ModelDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: pmafiad -models <dir> [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	d, err := newDaemon(cfg)
+	var logFile io.Closer
+	switch accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmafiad:", err)
+			os.Exit(1)
+		}
+		cfg.AccessLog = f
+		logFile = f
+	}
+	d, err := daemon.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmafiad:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pmafiad: serving models from %s on http://%s\n", cfg.modelDir, d.addr())
-	d.serveHTTP()
+	fmt.Fprintf(os.Stderr, "pmafiad: serving models from %s on http://%s\n", cfg.ModelDir, d.Addr())
+	d.Serve()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -68,7 +81,13 @@ func main() {
 	fmt.Fprintln(os.Stderr, "pmafiad: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := d.shutdown(sctx); err != nil {
+	err = d.Shutdown(sctx)
+	if logFile != nil {
+		if cerr := logFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmafiad:", err)
 		os.Exit(1)
 	}

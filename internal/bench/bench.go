@@ -4,9 +4,12 @@
 // and batch record assignment — at several rank counts, for the
 // baseline per-record/serial-scan implementations and the pipelined
 // ones (flat kernels, double-buffered prefetch, intra-rank worker
-// pool, compiled assignment index). The cmd/bench CLI writes the
-// report as JSON (BENCH_pr5.json at the repository root is the
-// committed snapshot); scripts/bench.sh and `make bench` drive it.
+// pool, compiled assignment index) — plus a serving load run
+// (load.go): sustained concurrent /assign traffic against an
+// in-process daemon, reported as QPS and latency percentiles from the
+// server's own histograms. The cmd/bench CLI writes the report as
+// JSON (BENCH_pr6.json at the repository root is the committed
+// snapshot); scripts/bench.sh and `make bench` drive it.
 //
 // Ranks run in Real mode: p goroutines scanning disjoint ScanRange
 // shares of one on-disk .pmaf file concurrently, which is the
@@ -101,7 +104,7 @@ type Measurement struct {
 	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
-// Report is the suite outcome, serialized to BENCH_pr5.json.
+// Report is the suite outcome, serialized to BENCH_pr6.json.
 type Report struct {
 	Timestamp    string        `json:"timestamp"`
 	GoVersion    string        `json:"go_version"`
@@ -126,6 +129,10 @@ type Report struct {
 	// oracle (Result.AssignRecord), on a 48-cluster model. Labels are
 	// verified bit-identical before timing.
 	AssignSingleRankSpeedup float64 `json:"assign_single_rank_speedup"`
+	// Load is the serving load-harness outcome (RunLoad): sustained
+	// /assign QPS and latency percentiles against an in-process
+	// daemon. nil when the load run was skipped.
+	Load *LoadReport `json:"load,omitempty"`
 }
 
 // rangeShard adapts a contiguous record range of a file to Source.

@@ -4,7 +4,10 @@
 // present in only one report are listed but never fatal — the smoke
 // configuration measures a subset of the committed full suite's rank
 // counts, and gating on the intersection is what makes one committed
-// baseline serve both.
+// baseline serve both. When both reports carry a serving load run,
+// its sustained QPS and latency percentiles are gated too; latency
+// gets one histogram bucket of grace on top of the tolerance because
+// the percentiles are bucket-quantized.
 package bench
 
 import (
@@ -13,20 +16,27 @@ import (
 	"os"
 	"sort"
 
+	"pmafia/internal/obs"
 	"pmafia/internal/tabular"
 )
 
-// CompareRow is one matched (phase, variant, p) cell of a comparison.
+// CompareRow is one matched cell of a comparison: a (phase, variant,
+// p) throughput cell, or — when both reports carry a serving load run
+// — a QPS or latency-percentile cell of the load harness.
 type CompareRow struct {
 	Phase   string  `json:"phase"`
 	Variant string  `json:"variant"`
 	P       int     `json:"p"`
 	OldRate float64 `json:"old_records_per_sec"`
 	NewRate float64 `json:"new_records_per_sec"`
-	// Ratio is NewRate/OldRate: 1.0 is parity, below 1-tolerance is a
-	// regression.
+	// Ratio is better/worse-normalized so 1.0 is parity and smaller is
+	// worse: new/old for throughput and QPS cells (higher is better),
+	// old/new for latency cells (lower is better).
 	Ratio     float64 `json:"ratio"`
 	Regressed bool    `json:"regressed"`
+	// Unit names the cell's measure: "rec/s" (default when empty),
+	// "qps", or "seconds".
+	Unit string `json:"unit,omitempty"`
 }
 
 // Comparison is the outcome of diffing two reports.
@@ -91,9 +101,66 @@ func Compare(oldRep, newRep *Report, tolerance float64) *Comparison {
 		}
 		c.Rows = append(c.Rows, row)
 	}
+	switch {
+	case oldRep.Load != nil && newRep.Load != nil:
+		compareLoad(c, oldRep.Load, newRep.Load, tolerance)
+	case oldRep.Load != nil:
+		c.MissingInNew = append(c.MissingInNew, "serve/load")
+	case newRep.Load != nil:
+		c.MissingInOld = append(c.MissingInOld, "serve/load")
+	}
 	sort.Strings(c.MissingInNew)
 	sort.Strings(c.MissingInOld)
 	return c
+}
+
+// nextLatencyBound returns the smallest histogram boundary strictly
+// above v, or v itself when v is already past the ladder. One bucket
+// of grace: load-harness percentiles are bucket upper bounds, so the
+// same true latency can legitimately report as either of two adjacent
+// boundaries run to run.
+func nextLatencyBound(v float64) float64 {
+	for _, b := range obs.DefaultLatencyBounds {
+		if b > v {
+			return b
+		}
+	}
+	return v
+}
+
+// compareLoad appends the serving-load cells: a QPS row gated like a
+// throughput cell, and latency-percentile rows gated with one bucket
+// of grace — a percentile regressed only if it is both past the
+// tolerance AND past the next bucket boundary, so bucket-quantization
+// jitter between adjacent boundaries never fails the gate on its own.
+func compareLoad(c *Comparison, oldL, newL *LoadReport, tolerance float64) {
+	qps := CompareRow{
+		Phase: "serve", Variant: "qps", P: oldL.Clients, Unit: "qps",
+		OldRate: oldL.QPS, NewRate: newL.QPS,
+	}
+	if oldL.QPS > 0 {
+		qps.Ratio = newL.QPS / oldL.QPS
+		qps.Regressed = qps.Ratio < 1-tolerance
+	}
+	c.Rows = append(c.Rows, qps)
+	for _, pct := range []struct {
+		name     string
+		old, new float64
+	}{
+		{"p50", oldL.P50, newL.P50},
+		{"p90", oldL.P90, newL.P90},
+		{"p99", oldL.P99, newL.P99},
+	} {
+		row := CompareRow{
+			Phase: "serve", Variant: pct.name, P: oldL.Clients, Unit: "seconds",
+			OldRate: pct.old, NewRate: pct.new,
+		}
+		if pct.new > 0 {
+			row.Ratio = pct.old / pct.new
+			row.Regressed = pct.new > (1+tolerance)*pct.old && pct.new > nextLatencyBound(pct.old)
+		}
+		c.Rows = append(c.Rows, row)
+	}
 }
 
 // Regressions returns the matched cells that failed the gate.
@@ -111,21 +178,28 @@ func (c *Comparison) Regressions() []CompareRow {
 func (c *Comparison) Table() *tabular.Table {
 	t := tabular.New(
 		fmt.Sprintf("Bench comparison (tolerance %.0f%% drop)", 100*c.Tolerance),
-		"phase", "variant", "p", "old rec/s", "new rec/s", "ratio", "gate")
+		"phase", "variant", "p", "old", "new", "unit", "ratio", "gate")
 	for _, r := range c.Rows {
 		gate := "ok"
 		if r.Regressed {
 			gate = "FAIL"
 		}
+		unit, format := r.Unit, "%.0f"
+		if unit == "" {
+			unit = "rec/s"
+		}
+		if unit == "seconds" {
+			format = "%.4g"
+		}
 		t.AddRow(r.Phase, r.Variant, tabular.I(r.P),
-			fmt.Sprintf("%.0f", r.OldRate), fmt.Sprintf("%.0f", r.NewRate),
-			fmt.Sprintf("%.2f", r.Ratio), gate)
+			fmt.Sprintf(format, r.OldRate), fmt.Sprintf(format, r.NewRate),
+			unit, fmt.Sprintf("%.2f", r.Ratio), gate)
 	}
 	return t
 }
 
-// LoadReport reads a suite report JSON file (as written by cmd/bench).
-func LoadReport(path string) (*Report, error) {
+// ReadReport reads a suite report JSON file (as written by cmd/bench).
+func ReadReport(path string) (*Report, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

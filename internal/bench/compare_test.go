@@ -98,3 +98,81 @@ func TestCompareTableRendersGate(t *testing.T) {
 		t.Errorf("table does not mark the regression:\n%s", buf.String())
 	}
 }
+
+func load(qps, p50, p90, p99 float64) *LoadReport {
+	return &LoadReport{Clients: 8, QPS: qps, P50: p50, P90: p90, P99: p99}
+}
+
+func TestCompareLoadSelfIsClean(t *testing.T) {
+	rep := report(cell("assign", "indexed", 1, 1e6))
+	rep.Load = load(1000, 0.005, 0.01, 0.025)
+	c := Compare(rep, rep, 0.15)
+	if len(c.Rows) != 5 {
+		t.Fatalf("%d rows, want 1 throughput + qps + 3 percentiles", len(c.Rows))
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Errorf("self-compare regressed: %+v", regs)
+	}
+	for _, r := range c.Rows {
+		if r.Phase == "serve" && r.Ratio != 1.0 {
+			t.Errorf("serve/%s ratio %v, want 1.0", r.Variant, r.Ratio)
+		}
+	}
+}
+
+// TestCompareLoadQPSRegression: sustained QPS is gated exactly like a
+// throughput cell.
+func TestCompareLoadQPSRegression(t *testing.T) {
+	oldRep, newRep := report(), report()
+	oldRep.Load = load(1000, 0.005, 0.01, 0.025)
+	newRep.Load = load(800, 0.005, 0.01, 0.025)
+	c := Compare(oldRep, newRep, 0.15)
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Variant != "qps" || regs[0].Ratio != 0.8 {
+		t.Fatalf("regressions = %+v, want serve/qps at ratio 0.8", regs)
+	}
+}
+
+// TestCompareLoadPercentileGrace locks the one-bucket grace: a
+// percentile that moves to the adjacent histogram boundary passes even
+// when the ratio is far past tolerance (bucket quantization can double
+// a reported percentile between runs), but two buckets — or a real
+// slide further up the ladder — fails.
+func TestCompareLoadPercentileGrace(t *testing.T) {
+	base := load(1000, 0.005, 0.01, 0.025)
+	next := load(1000, 0.005, 0.01, 0.05) // p99 one bucket up: 2x ratio, still ok
+	two := load(1000, 0.005, 0.01, 0.1)   // p99 two buckets up: regression
+
+	if regs := Compare(&Report{Load: base}, &Report{Load: next}, 0.15).Regressions(); len(regs) != 0 {
+		t.Errorf("one-bucket percentile move regressed: %+v", regs)
+	}
+	regs := Compare(&Report{Load: base}, &Report{Load: two}, 0.15).Regressions()
+	if len(regs) != 1 || regs[0].Variant != "p99" {
+		t.Fatalf("regressions = %+v, want serve/p99 only", regs)
+	}
+	// Within tolerance never regresses, bucket boundary or not.
+	slight := load(1000, 0.005, 0.0105, 0.025)
+	if regs := Compare(&Report{Load: base}, &Report{Load: slight}, 0.15).Regressions(); len(regs) != 0 {
+		t.Errorf("within-tolerance percentile move regressed: %+v", regs)
+	}
+}
+
+// TestCompareLoadMissing: a load run present in only one report is
+// informational, like any unmatched cell.
+func TestCompareLoadMissing(t *testing.T) {
+	withLoad := report(cell("assign", "indexed", 1, 1e6))
+	withLoad.Load = load(1000, 0.005, 0.01, 0.025)
+	c := Compare(withLoad, report(cell("assign", "indexed", 1, 1e6)), 0.15)
+	if len(c.Regressions()) != 0 {
+		t.Errorf("missing load run regressed the gate")
+	}
+	found := false
+	for _, miss := range c.MissingInNew {
+		if miss == "serve/load" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing load run not reported: %v", c.MissingInNew)
+	}
+}

@@ -1,0 +1,246 @@
+// The serving load harness: sustained concurrent /assign traffic
+// against an in-process daemon (internal/daemon), reported as QPS and
+// latency percentiles. The percentiles come from the server's own
+// per-route histogram — the same numbers a production scrape of
+// /metrics would show — with the harness's client-side measurement
+// alongside as a cross-check.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmafia/internal/daemon"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+	"pmafia/internal/modelio"
+	"pmafia/internal/obs"
+)
+
+// LoadOptions sizes a serving load run.
+type LoadOptions struct {
+	// ModelRecords and Dims size the training data the served model is
+	// fitted on.
+	ModelRecords int
+	Dims         int
+	// BatchRecords is the records per /assign request body.
+	BatchRecords int
+	// Clients is the number of concurrent request loops.
+	Clients int
+	// Duration is how long traffic is sustained.
+	Duration time.Duration
+	// Chunk and Workers configure the daemon's assignment path.
+	Chunk   int
+	Workers int
+	// Log, when non-nil, receives a summary line.
+	Log io.Writer
+}
+
+// Defaults fills zero fields with the tracked-suite configuration.
+func (o *LoadOptions) Defaults() {
+	if o.ModelRecords == 0 {
+		o.ModelRecords = 2000
+	}
+	if o.Dims == 0 {
+		o.Dims = 5
+	}
+	if o.BatchRecords == 0 {
+		o.BatchRecords = 256
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Chunk == 0 {
+		o.Chunk = 8192
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+}
+
+// Smoke shrinks the load run to about a second for CI.
+func (o *LoadOptions) Smoke() {
+	o.Clients = 4
+	o.Duration = time.Second
+}
+
+// LoadReport is the serving-load outcome: sustained QPS plus latency
+// percentiles, primarily from the server's own /assign histogram
+// (P50..Max), with the client-side measurement alongside. Server and
+// client quantiles are bucket upper bounds of the same boundary
+// ladder, so they agree to within one bucket unless something is off.
+type LoadReport struct {
+	Clients      int     `json:"clients"`
+	BatchRecords int     `json:"batch_records"`
+	Seconds      float64 `json:"seconds"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	QPS          float64 `json:"qps"`
+	// Server-side latency quantiles (seconds), from the daemon's
+	// per-route histogram. Max is exact.
+	P50 float64 `json:"p50_seconds"`
+	P90 float64 `json:"p90_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	Max float64 `json:"max_seconds"`
+	// Client-observed quantiles (seconds), measured around the whole
+	// round trip.
+	ClientP50 float64 `json:"client_p50_seconds"`
+	ClientP90 float64 `json:"client_p90_seconds"`
+	ClientP99 float64 `json:"client_p99_seconds"`
+}
+
+// RunLoad fits a small model, starts an in-process daemon, and drives
+// sustained concurrent /assign traffic at it for the configured
+// duration.
+func RunLoad(o LoadOptions) (*LoadReport, error) {
+	o.Defaults()
+	dir, err := os.MkdirTemp("", "pmafia-load-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	data, _, err := datagen.Generate(datagen.Spec{
+		Dims: o.Dims, Records: o.ModelRecords, Seed: 777,
+		Clusters: []datagen.Cluster{datagen.UniformBox(
+			[]int{0, 2, 4},
+			[]dataset.Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}, 0)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := mafia.Run(data, mafia.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := modelio.Save(filepath.Join(dir, "load.pmfm"), res); err != nil {
+		return nil, err
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Addr:     "127.0.0.1:0",
+		ModelDir: dir,
+		// Admit every client: the harness measures latency under
+		// saturation, not the shedder.
+		Inflight: o.Clients + 2,
+		Chunk:    o.Chunk,
+		Workers:  o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+
+	var body bytes.Buffer
+	n := o.BatchRecords
+	if n > data.NumRecords() {
+		n = data.NumRecords()
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range data.Row(i) {
+			if j > 0 {
+				body.WriteByte(',')
+			}
+			fmt.Fprintf(&body, "%g", v)
+		}
+		body.WriteByte('\n')
+	}
+	payload := body.Bytes()
+	url := "http://" + d.Addr() + "/assign?model=load.pmfm"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Clients * 2,
+		MaxIdleConnsPerHost: o.Clients * 2,
+	}}
+
+	// One warm-up request loads the model so the cache miss is not in
+	// the measured window.
+	if resp, err := client.Post(url, "text/csv", bytes.NewReader(payload)); err != nil {
+		return nil, err
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("load warm-up: status %d", resp.StatusCode)
+		}
+	}
+
+	var requests, errors atomic.Int64
+	clientHists := make([]*obs.Histogram, o.Clients)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := obs.NewHistogram(obs.DefaultLatencyBounds)
+			clientHists[c] = h
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/csv", bytes.NewReader(payload))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				h.Observe(time.Since(t0).Seconds())
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	clientH := obs.NewHistogram(obs.DefaultLatencyBounds)
+	for _, h := range clientHists {
+		if err := clientH.Merge(h); err != nil {
+			return nil, err
+		}
+	}
+	serverH := d.Recorder().Histogram(obs.HistRouteSeconds("assign"))
+	if serverH == nil {
+		return nil, fmt.Errorf("load: daemon recorded no assign histogram")
+	}
+
+	rep := &LoadReport{
+		Clients:      o.Clients,
+		BatchRecords: n,
+		Seconds:      elapsed,
+		Requests:     requests.Load(),
+		Errors:       errors.Load(),
+		QPS:          float64(requests.Load()) / elapsed,
+		P50:          serverH.Quantile(0.50),
+		P90:          serverH.Quantile(0.90),
+		P99:          serverH.Quantile(0.99),
+		Max:          serverH.Max(),
+		ClientP50:    clientH.Quantile(0.50),
+		ClientP90:    clientH.Quantile(0.90),
+		ClientP99:    clientH.Quantile(0.99),
+	}
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, "serve      load       c=%d %8.0f qps  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  (%d reqs, %d errs)\n",
+			rep.Clients, rep.QPS, rep.P50, rep.P90, rep.P99, rep.Max, rep.Requests, rep.Errors)
+	}
+	return rep, nil
+}

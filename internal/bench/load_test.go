@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// TestLoadSmoke runs a sub-second serving load burst against an
+// in-process daemon and checks the report's shape: sustained traffic,
+// no errors, and server-side percentiles that agree with the
+// client-side measurement to within one histogram bucket (both are
+// bucket upper bounds of the same boundary ladder; the client's round
+// trip adds loopback overhead that may push it one bucket up).
+func TestLoadSmoke(t *testing.T) {
+	o := LoadOptions{ModelRecords: 1000, BatchRecords: 64, Duration: 500 * time.Millisecond}
+	o.Smoke()
+	o.Duration = 500 * time.Millisecond
+	o.Clients = 2
+	rep, err := RunLoad(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.QPS <= 0 {
+		t.Fatalf("no sustained traffic: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d request errors under load", rep.Errors)
+	}
+	if rep.P50 <= 0 || rep.P90 < rep.P50 || rep.P99 < rep.P90 || rep.Max <= 0 {
+		t.Errorf("percentiles not monotone: %+v", rep)
+	}
+	for _, pair := range []struct {
+		name           string
+		server, client float64
+	}{
+		{"p50", rep.P50, rep.ClientP50},
+		{"p90", rep.P90, rep.ClientP90},
+		{"p99", rep.P99, rep.ClientP99},
+	} {
+		si := obs.BucketIndex(obs.DefaultLatencyBounds, pair.server)
+		ci := obs.BucketIndex(obs.DefaultLatencyBounds, pair.client)
+		if diff := ci - si; diff < -1 || diff > 1 {
+			t.Errorf("%s: server %v and client %v are %d buckets apart, want at most 1",
+				pair.name, pair.server, pair.client, diff)
+		}
+	}
+}

@@ -1,4 +1,42 @@
-package main
+// Package daemon is the model-serving daemon behind cmd/pmafiad: it
+// serves saved clustering models (the .pmfm files cmd/pmafia writes
+// with -save-model) for batch record assignment over HTTP, keeping an
+// LRU-capped set of them compiled into assignment indexes.
+//
+// Endpoints:
+//
+//	POST /assign?model=<name>.pmfm
+//	     Body: CSV records (default; numeric columns, optional
+//	     header), answered with JSON labels — or, with Content-Type
+//	     application/octet-stream, row-major little-endian float64s,
+//	     answered with little-endian int32 labels. A label is the
+//	     cluster index in the model's cluster list, -1 for outliers.
+//	GET  /models      JSON listing of the model directory with
+//	                  residency info.
+//	GET  /metrics     Prometheus text exposition (the shared obs
+//	                  handler): request counters per route and status,
+//	                  latency histograms per route and per model,
+//	                  batch-size histograms, queue-wait histogram, and
+//	                  the assign.* counters.
+//	GET  /healthz     liveness probe.
+//	GET  /readyz      readiness probe: 200 with model-cache state
+//	                  while serving, 503 once draining so a fronting
+//	                  load balancer rotates the node out.
+//	GET  /debug/slow  the N slowest requests seen so far, with their
+//	                  per-request timing breakdowns.
+//	GET  /debug/pprof/* (only with Config.Pprof) net/http/pprof.
+//
+// Every request is instrumented (see obs.go): it carries an
+// X-Request-ID (propagated from the client or generated), lands in
+// the per-route and per-model latency histograms and status-code
+// counters, emits exactly one structured JSON access-log line, and
+// competes for a slot in the slow-request ring.
+//
+// The daemon bounds concurrent assignment work (Inflight), times out
+// slow requests (Timeout), caps request bodies (MaxBody), and shuts
+// down gracefully: Shutdown flips /readyz to 503, drains in-flight
+// requests, and flushes the access log before returning.
+package daemon
 
 import (
 	"container/list"
@@ -11,11 +49,13 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmafia/internal/assign"
@@ -29,36 +69,49 @@ import (
 // in-flight slot before the daemon sheds it with a 503.
 const queueWait = 100 * time.Millisecond
 
-// config parameterizes the daemon.
-type config struct {
-	addr     string        // listen address
-	modelDir string        // directory the served models live in
-	cacheCap int           // max models resident at once
-	timeout  time.Duration // per-request read/write timeout
-	inflight int           // max concurrent /assign requests
-	chunk    int           // records per assignment batch
-	workers  int           // fan-out goroutines per assignment
-	maxBody  int64         // request body cap in bytes
+// Config parameterizes the daemon.
+type Config struct {
+	Addr     string        // listen address (":0" picks a free port)
+	ModelDir string        // directory the served models live in
+	CacheCap int           // max models resident at once
+	Timeout  time.Duration // per-request read/write timeout
+	Inflight int           // max concurrent /assign requests
+	Chunk    int           // records per assignment batch
+	Workers  int           // fan-out goroutines per assignment
+	MaxBody  int64         // request body cap in bytes
+	// AccessLog receives one structured JSON line per request. nil
+	// disables access logging. The daemon serializes writes and flushes
+	// its buffer on Shutdown; closing the underlying file (if any) is
+	// the caller's job.
+	AccessLog io.Writer
+	// SlowN is the capacity of the slow-request ring served at
+	// /debug/slow.
+	SlowN int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
 }
 
-func (c *config) fill() {
-	if c.cacheCap < 1 {
-		c.cacheCap = 4
+func (c *Config) fill() {
+	if c.CacheCap < 1 {
+		c.CacheCap = 4
 	}
-	if c.timeout <= 0 {
-		c.timeout = 30 * time.Second
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
 	}
-	if c.inflight < 1 {
-		c.inflight = 8
+	if c.Inflight < 1 {
+		c.Inflight = 8
 	}
-	if c.chunk < 1 {
-		c.chunk = 8192
+	if c.Chunk < 1 {
+		c.Chunk = 8192
 	}
-	if c.workers < 1 {
-		c.workers = 1
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
-	if c.maxBody <= 0 {
-		c.maxBody = 1 << 30
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 30
+	}
+	if c.SlowN < 1 {
+		c.SlowN = 16
 	}
 }
 
@@ -111,11 +164,17 @@ func (m *model) loaded() bool {
 	}
 }
 
-// daemon serves saved models for batch assignment.
-type daemon struct {
-	cfg config
+// Daemon serves saved models for batch assignment.
+type Daemon struct {
+	cfg Config
 	rec *obs.Recorder
 	sem chan struct{} // bounds in-flight /assign work
+
+	alog     *accessLog
+	slow     *slowRing
+	idSeq    atomic.Int64
+	idPrefix string
+	draining atomic.Bool
 
 	mu    sync.Mutex
 	cache map[string]*list.Element // resolved path -> entry
@@ -131,81 +190,105 @@ type cacheSlot struct {
 	m    *model
 }
 
-// newDaemon builds a daemon and binds its listener (addr ":0" picks a
-// free port); call serveHTTP to start handling requests.
-func newDaemon(cfg config) (*daemon, error) {
+// New builds a daemon and binds its listener; call Serve to start
+// handling requests.
+func New(cfg Config) (*Daemon, error) {
 	cfg.fill()
-	if cfg.modelDir == "" {
+	if cfg.ModelDir == "" {
 		return nil, errors.New("pmafiad: a model directory is required")
 	}
-	st, err := os.Stat(cfg.modelDir)
+	st, err := os.Stat(cfg.ModelDir)
 	if err != nil {
 		return nil, err
 	}
 	if !st.IsDir() {
-		return nil, fmt.Errorf("pmafiad: %s is not a directory", cfg.modelDir)
+		return nil, fmt.Errorf("pmafiad: %s is not a directory", cfg.ModelDir)
 	}
-	d := &daemon{
-		cfg:   cfg,
-		rec:   obs.New(),
-		sem:   make(chan struct{}, cfg.inflight),
-		cache: make(map[string]*list.Element),
-		lru:   list.New(),
-		done:  make(chan struct{}),
+	d := &Daemon{
+		cfg:      cfg,
+		rec:      obs.New(),
+		sem:      make(chan struct{}, cfg.Inflight),
+		alog:     newAccessLog(cfg.AccessLog),
+		slow:     newSlowRing(cfg.SlowN),
+		idPrefix: idPrefix(),
+		cache:    make(map[string]*list.Element),
+		lru:      list.New(),
+		done:     make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", d.healthz)
-	mux.HandleFunc("/models", d.models)
-	mux.HandleFunc("/assign", d.assign)
+	mux.HandleFunc("/healthz", d.instrument("healthz", d.healthz))
+	mux.HandleFunc("/readyz", d.instrument("readyz", d.readyz))
+	mux.HandleFunc("/models", d.instrument("models", d.models))
+	mux.HandleFunc("/assign", d.instrument("assign", d.assign))
+	mux.HandleFunc("/debug/slow", d.instrument("debug_slow", d.debugSlow))
 	// The telemetry exposition is the shared obs handler; the daemon's
-	// assignment counters surface there alongside any engine counters.
-	mux.Handle("/metrics", serve.Handler(d.rec))
+	// request histograms and counters surface there alongside any
+	// engine counters.
+	mux.Handle("/metrics", d.instrument("metrics", serve.Handler(d.rec).ServeHTTP))
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	d.srv = &http.Server{
 		Handler:           mux,
-		ReadTimeout:       cfg.timeout,
-		WriteTimeout:      cfg.timeout,
+		ReadTimeout:       cfg.Timeout,
+		WriteTimeout:      cfg.Timeout,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	d.ln, err = net.Listen("tcp", cfg.addr)
+	d.ln, err = net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// addr returns the bound listen address.
-func (d *daemon) addr() string { return d.ln.Addr().String() }
+// Addr returns the bound listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
 
-// serveHTTP runs the server in a background goroutine.
-func (d *daemon) serveHTTP() {
+// Recorder exposes the daemon's observer — the load harness reads the
+// serving histograms from it directly instead of re-parsing /metrics.
+func (d *Daemon) Recorder() *obs.Recorder { return d.rec }
+
+// Serve runs the server in a background goroutine.
+func (d *Daemon) Serve() {
 	go func() {
 		defer close(d.done)
 		d.srv.Serve(d.ln) // http.ErrServerClosed on shutdown
 	}()
 }
 
-// shutdown drains in-flight requests and stops the serve goroutine.
-func (d *daemon) shutdown(ctx context.Context) error {
+// Shutdown drains the daemon gracefully: /readyz flips to 503 first
+// (a fronting load balancer sees the node as gone while in-flight
+// requests finish), then the listener closes, in-flight requests
+// drain, the serve goroutine exits, and the access log is flushed.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.draining.Store(true)
 	err := d.srv.Shutdown(ctx)
 	<-d.done
+	if ferr := d.alog.flush(); err == nil {
+		err = ferr
+	}
 	return err
 }
 
 // resolve maps a request's model name to a path inside the model
 // directory, rejecting traversal outside it.
-func (d *daemon) resolve(name string) (string, error) {
+func (d *Daemon) resolve(name string) (string, error) {
 	if name == "" {
 		return "", errors.New("missing ?model=")
 	}
 	if strings.Contains(name, "..") || strings.ContainsAny(name, `/\`) {
 		return "", fmt.Errorf("model name %q escapes the model directory", name)
 	}
-	return filepath.Join(d.cfg.modelDir, name), nil
+	return filepath.Join(d.cfg.ModelDir, name), nil
 }
 
 // get returns the cached (or freshly loaded) model for path, updating
 // the LRU order and the hit/miss counters.
-func (d *daemon) get(path string) (*model, error) {
+func (d *Daemon) get(path string) (*model, error) {
 	d.mu.Lock()
 	if el, ok := d.cache[path]; ok {
 		d.lru.MoveToFront(el)
@@ -221,7 +304,7 @@ func (d *daemon) get(path string) (*model, error) {
 	m := newModel(path)
 	el := d.lru.PushFront(&cacheSlot{path: path, m: m})
 	d.cache[path] = el
-	for d.lru.Len() > d.cfg.cacheCap {
+	for d.lru.Len() > d.cfg.CacheCap {
 		old := d.lru.Back()
 		d.lru.Remove(old)
 		delete(d.cache, old.Value.(*cacheSlot).path)
@@ -240,7 +323,7 @@ func (d *daemon) get(path string) (*model, error) {
 // the file may be replaced (atomically, by modelio.Save) and should
 // reload. The identity check keeps a racing re-insert for the same
 // path alive.
-func (d *daemon) evict(path string, el *list.Element) {
+func (d *Daemon) evict(path string, el *list.Element) {
 	d.mu.Lock()
 	if el2, ok := d.cache[path]; ok && el2 == el {
 		d.lru.Remove(el)
@@ -249,9 +332,46 @@ func (d *daemon) evict(path string, el *list.Element) {
 	d.mu.Unlock()
 }
 
-func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
+// residentModels counts cache entries whose load completed
+// successfully — the model-cache state /readyz reports.
+func (d *Daemon) residentModels() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, el := range d.cache {
+		if el.Value.(*cacheSlot).m.loaded() {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// readyState is the /readyz body.
+type readyState struct {
+	Ready          bool `json:"ready"`
+	Draining       bool `json:"draining"`
+	ModelsResident int  `json:"models_resident"`
+}
+
+// readyz is the readiness probe: 200 while the daemon accepts work,
+// 503 once draining. The body reflects the model cache, so a fleet
+// scheduler can prefer warm nodes.
+func (d *Daemon) readyz(w http.ResponseWriter, _ *http.Request) {
+	st := readyState{
+		Draining:       d.draining.Load(),
+		ModelsResident: d.residentModels(),
+	}
+	st.Ready = !st.Draining
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
 }
 
 // modelInfo is one row of the /models listing.
@@ -265,12 +385,12 @@ type modelInfo struct {
 	Records  int `json:"records,omitempty"`
 }
 
-func (d *daemon) models(w http.ResponseWriter, r *http.Request) {
+func (d *Daemon) models(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	ents, err := os.ReadDir(d.cfg.modelDir)
+	ents, err := os.ReadDir(d.cfg.ModelDir)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -290,7 +410,7 @@ func (d *daemon) models(w http.ResponseWriter, r *http.Request) {
 		if fi, err := e.Info(); err == nil {
 			info.Bytes = fi.Size()
 		}
-		if m, ok := resident[filepath.Join(d.cfg.modelDir, e.Name())]; ok && m.loaded() {
+		if m, ok := resident[filepath.Join(d.cfg.ModelDir, e.Name())]; ok && m.loaded() {
 			info.Loaded = true
 			info.Dims = m.ix.Dims()
 			info.Clusters = m.ix.Clusters()
@@ -316,18 +436,22 @@ type assignResponse struct {
 // application/octet-stream body of little-endian float64s (row-major,
 // the model's dimensionality) yields a stream of little-endian int32
 // labels.
-func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
+func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	st := statsOf(r.Context())
 	// Shed load while the client is still listening: a brief queue wait
 	// absorbs bursts, then 503 instead of stalling until ReadTimeout.
+	enqueued := time.Now()
 	queue := time.NewTimer(queueWait)
 	defer queue.Stop()
 	select {
 	case d.sem <- struct{}{}:
 		defer func() { <-d.sem }()
+		st.queueSeconds = time.Since(enqueued).Seconds()
+		d.rec.Observe(0, obs.HistAssignQueueSeconds, st.queueSeconds)
 	case <-queue.C:
 		http.Error(w, "server busy", http.StatusServiceUnavailable)
 		return
@@ -340,6 +464,7 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	st.model = filepath.Base(path)
 	m, err := d.get(path)
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -352,7 +477,8 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body := http.MaxBytesReader(w, r.Body, d.cfg.maxBody)
+	decodeStart := time.Now()
+	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBody)
 	binaryIn := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
 	var src dataset.Source
 	if binaryIn {
@@ -360,6 +486,7 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 	} else {
 		src, _, err = dataset.ReadCSV(body)
 	}
+	st.decodeSeconds = time.Since(decodeStart).Seconds()
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.As(err, new(*http.MaxBytesError)) {
@@ -368,16 +495,21 @@ func (d *daemon) assign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), code)
 		return
 	}
-	labels, err := m.ix.AssignSource(src, d.cfg.chunk, d.cfg.workers)
+	assignStart := time.Now()
+	labels, err := m.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
+	st.assignSeconds = time.Since(assignStart).Seconds()
 	if err != nil {
 		// The only AssignSource failure on an in-memory source is a
 		// dimensionality mismatch — a client error.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	st.records = len(labels)
 	d.rec.Add(0, obs.CtrAssignRecords, int64(len(labels)))
 	d.rec.Add(0, obs.CtrAssignBatches, 1)
 
+	encodeStart := time.Now()
+	defer func() { st.encodeSeconds = time.Since(encodeStart).Seconds() }()
 	if binaryIn {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		buf := make([]byte, 4*len(labels))

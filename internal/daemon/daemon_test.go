@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -21,6 +21,7 @@ import (
 	"pmafia/internal/dataset"
 	"pmafia/internal/mafia"
 	"pmafia/internal/modelio"
+	"pmafia/internal/obs"
 )
 
 // fitModel fits a small data set and saves it under dir, returning the
@@ -49,15 +50,15 @@ func fitModel(t *testing.T, dir, name string, seed uint64) (*mafia.Result, *data
 
 // startDaemon binds a daemon on a free port and returns its base URL
 // plus a shutdown func.
-func startDaemon(t *testing.T, cfg config) (*daemon, string) {
+func startDaemon(t *testing.T, cfg Config) (*Daemon, string) {
 	t.Helper()
-	cfg.addr = "127.0.0.1:0"
-	d, err := newDaemon(cfg)
+	cfg.Addr = "127.0.0.1:0"
+	d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.serveHTTP()
-	return d, "http://" + d.addr()
+	d.Serve()
+	return d, "http://" + d.Addr()
 }
 
 func csvBody(m *dataset.Matrix) []byte {
@@ -92,8 +93,8 @@ func postAssign(t *testing.T, base, model, contentType string, body []byte) (*ht
 func TestAssignMatchesOracle(t *testing.T) {
 	dir := t.TempDir()
 	res, m := fitModel(t, dir, "a.pmfm", 1)
-	d, base := startDaemon(t, config{modelDir: dir})
-	defer d.shutdown(context.Background())
+	d, base := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
 
 	want, err := res.Assign(m, 0)
 	if err != nil {
@@ -143,8 +144,8 @@ func TestAssignErrors(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "bad.pmfm"), []byte("not a model"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	d, base := startDaemon(t, config{modelDir: dir})
-	defer d.shutdown(context.Background())
+	d, base := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
 
 	resp, _ := postAssign(t, base, "missing.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
 	if resp.StatusCode != http.StatusNotFound {
@@ -179,8 +180,8 @@ func TestModelsAndCacheLRU(t *testing.T) {
 	fitModel(t, dir, "a.pmfm", 3)
 	fitModel(t, dir, "b.pmfm", 4)
 	fitModel(t, dir, "c.pmfm", 5)
-	d, base := startDaemon(t, config{modelDir: dir, cacheCap: 2})
-	defer d.shutdown(context.Background())
+	d, base := startDaemon(t, Config{ModelDir: dir, CacheCap: 2})
+	defer d.Shutdown(context.Background())
 
 	row := []byte("1,2,3,4,5\n")
 	for _, name := range []string{"a.pmfm", "b.pmfm", "c.pmfm", "a.pmfm"} {
@@ -235,8 +236,8 @@ func TestModelsAndCacheLRU(t *testing.T) {
 func TestCacheHitDuringPendingLoad(t *testing.T) {
 	dir := t.TempDir()
 	fitModel(t, dir, "a.pmfm", 8)
-	d, _ := startDaemon(t, config{modelDir: dir})
-	defer d.shutdown(context.Background())
+	d, _ := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
 
 	path := filepath.Join(dir, "a.pmfm")
 	m := newModel(path)
@@ -263,8 +264,8 @@ func TestCacheHitDuringPendingLoad(t *testing.T) {
 func TestAssignShedsLoad(t *testing.T) {
 	dir := t.TempDir()
 	fitModel(t, dir, "a.pmfm", 9)
-	d, base := startDaemon(t, config{modelDir: dir, inflight: 1})
-	defer d.shutdown(context.Background())
+	d, base := startDaemon(t, Config{ModelDir: dir, Inflight: 1})
+	defer d.Shutdown(context.Background())
 
 	d.sem <- struct{}{} // occupy the only in-flight slot
 	defer func() { <-d.sem }()
@@ -283,8 +284,8 @@ func TestAssignShedsLoad(t *testing.T) {
 func TestAssignBodyTooLarge(t *testing.T) {
 	dir := t.TempDir()
 	fitModel(t, dir, "a.pmfm", 10)
-	d, base := startDaemon(t, config{modelDir: dir, maxBody: 64})
-	defer d.shutdown(context.Background())
+	d, base := startDaemon(t, Config{ModelDir: dir, MaxBody: 64})
+	defer d.Shutdown(context.Background())
 
 	// Keep the oversize modest so the request fits in socket buffers
 	// and the client always reads the reply cleanly.
@@ -323,15 +324,284 @@ func counterPair(t *testing.T, base string) (hits, misses int64) {
 	return hits, misses
 }
 
-// TestConcurrentAssignAndScrape hammers /assign, /metrics, and
-// /models from concurrent clients (run under -race in make check) and
-// then verifies shutdown leaks no goroutines.
+// TestRequestIDAndAccessLog locks the per-request contracts: every
+// response carries an X-Request-ID (the client's, if it sent one),
+// and every request emits exactly one JSON access-log line carrying
+// that ID, the route, the model, the record count, and the status.
+func TestRequestIDAndAccessLog(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 11)
+	var logBuf syncBuffer
+	d, base := startDaemon(t, Config{ModelDir: dir, AccessLog: &logBuf})
+
+	// A request with a caller-provided ID propagates it.
+	req, err := http.NewRequest(http.MethodPost, base+"/assign?model=a.pmfm", bytes.NewReader(csvBody(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set("X-Request-ID", "caller-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-chose-this" {
+		t.Errorf("X-Request-ID = %q, want the caller's ID propagated", got)
+	}
+
+	// Requests without an ID get distinct generated ones.
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if id == "" {
+			t.Fatal("response without an X-Request-ID")
+		}
+		if ids[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		ids[id] = true
+	}
+
+	// Shutdown flushes the buffered log; then: one line per request.
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d access-log lines for 4 requests:\n%s", len(lines), logBuf.String())
+	}
+	var recs []accessRecord
+	for _, line := range lines {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access-log line is not JSON: %v\n%s", err, line)
+		}
+		recs = append(recs, rec)
+	}
+	assignRec := recs[0]
+	if assignRec.Route != "assign" || assignRec.ID != "caller-chose-this" ||
+		assignRec.Model != "a.pmfm" || assignRec.Records != m.NumRecords() ||
+		assignRec.Status != 200 || assignRec.DurationSeconds <= 0 {
+		t.Errorf("assign access record = %+v", assignRec)
+	}
+	for _, rec := range recs[1:] {
+		if rec.Route != "healthz" || rec.Status != 200 || !ids[rec.ID] {
+			t.Errorf("healthz access record = %+v", rec)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// access log in tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsHistograms drives traffic and asserts /metrics exposes
+// per-route and per-model Prometheus histograms plus the labeled
+// status-counter family.
+func TestMetricsHistograms(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 12)
+	d, base := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
+
+	body := csvBody(m)
+	for i := 0; i < 3; i++ {
+		if resp, raw := postAssign(t, base, "a.pmfm", "text/csv", body); resp.StatusCode != 200 {
+			t.Fatalf("assign: %d: %s", resp.StatusCode, raw)
+		}
+	}
+	postAssign(t, base, "missing.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE pmafia_http_request_seconds histogram",
+		`pmafia_http_request_seconds_bucket{route="assign",le="+Inf"} 4`,
+		`pmafia_http_request_seconds_count{route="assign"} 4`,
+		"# TYPE pmafia_model_assign_seconds histogram",
+		`pmafia_model_assign_seconds_count{model="a.pmfm"} 3`,
+		"# TYPE pmafia_model_batch_records histogram",
+		`pmafia_model_batch_records_bucket{model="a.pmfm",le="10000"} 3`,
+		"# TYPE pmafia_http_requests_total counter",
+		`pmafia_http_requests_total{route="assign",code="200"} 3`,
+		`pmafia_http_requests_total{route="assign",code="404"} 1`,
+		"# TYPE pmafia_assign_queue_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The merged snapshot the load harness reads agrees with /metrics.
+	h := d.Recorder().Histogram(obs.HistRouteSeconds("assign"))
+	if h == nil || h.Count() != 4 {
+		t.Errorf("Recorder histogram count = %v, want 4", h.Count())
+	}
+	// The missing-model request reached /assign's model label too: the
+	// model histograms only count successful assigns (records > 0).
+	if rh := d.Recorder().Histogram(obs.HistModelRecords("a.pmfm")); rh == nil || rh.Count() != 3 {
+		t.Error("model records histogram should have exactly the 3 successful batches")
+	}
+}
+
+// TestDebugSlow checks the slow-request ring: entries arrive sorted
+// slowest first, carry timing breakdowns, and the ring stays capped.
+func TestDebugSlow(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 13)
+	d, base := startDaemon(t, Config{ModelDir: dir, SlowN: 3})
+	defer d.Shutdown(context.Background())
+
+	body := csvBody(m)
+	for i := 0; i < 5; i++ {
+		postAssign(t, base, "a.pmfm", "text/csv", body)
+	}
+	resp, err := http.Get(base + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var entries []slowEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v\n%s", err, raw)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("/debug/slow has %d entries with SlowN=3 after 5 requests", len(entries))
+	}
+	for i, e := range entries {
+		if i > 0 && e.Seconds > entries[i-1].Seconds {
+			t.Errorf("ring not sorted slowest-first at %d: %v after %v", i, e.Seconds, entries[i-1].Seconds)
+		}
+		if e.Route != "assign" || e.ID == "" || e.Seconds <= 0 {
+			t.Errorf("slow entry %d = %+v", i, e)
+		}
+		// The breakdown is filled in: an assign spends time in decode and
+		// assignment, and the phases sum to no more than the total.
+		if e.DecodeSeconds <= 0 || e.AssignSeconds <= 0 {
+			t.Errorf("entry %d missing timing breakdown: %+v", i, e)
+		}
+		if sum := e.QueueSeconds + e.DecodeSeconds + e.AssignSeconds + e.EncodeSeconds; sum > e.Seconds {
+			t.Errorf("entry %d phase sum %v exceeds total %v", i, sum, e.Seconds)
+		}
+	}
+}
+
+// TestReadyzDrain: /readyz serves 200 with cache state while serving
+// and 503 once draining; Shutdown flushes the access log.
+func TestReadyzDrain(t *testing.T) {
+	dir := t.TempDir()
+	fitModel(t, dir, "a.pmfm", 14)
+	var logBuf syncBuffer
+	d, base := startDaemon(t, Config{ModelDir: dir, AccessLog: &logBuf})
+
+	readyz := func() (int, readyState) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st readyState
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	if code, st := readyz(); code != 200 || !st.Ready || st.ModelsResident != 0 {
+		t.Errorf("fresh readyz = %d %+v, want 200 ready with no resident models", code, st)
+	}
+	postAssign(t, base, "a.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+	if code, st := readyz(); code != 200 || st.ModelsResident != 1 {
+		t.Errorf("warm readyz = %d %+v, want 1 resident model", code, st)
+	}
+
+	// Flip draining directly (Shutdown also closes the listener, which
+	// would make the 503 unobservable over HTTP).
+	d.draining.Store(true)
+	if code, st := readyz(); code != 503 || st.Ready || !st.Draining {
+		t.Errorf("draining readyz = %d %+v, want 503 draining", code, st)
+	}
+
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logBuf.String(), `"route":"readyz"`) {
+		t.Error("Shutdown did not flush the access log")
+	}
+}
+
+// TestAllEmittedMetricsAreRegistered drives every route and asserts
+// each counter and histogram the daemon emits belongs to the closed
+// obs name registry — an unregistered emission is a typo.
+func TestAllEmittedMetricsAreRegistered(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 15)
+	d, base := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
+
+	postAssign(t, base, "a.pmfm", "text/csv", csvBody(m))
+	postAssign(t, base, "missing.pmfm", "text/csv", []byte("1\n"))
+	for _, route := range []string{"/healthz", "/readyz", "/models", "/metrics", "/debug/slow"} {
+		resp, err := http.Get(base + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	met := d.Recorder().Metrics()
+	for name := range met.Counters {
+		if !obs.IsRegistered(name) {
+			t.Errorf("daemon emitted unregistered counter %q", name)
+		}
+	}
+	for name := range d.Recorder().Histograms() {
+		if !obs.IsRegisteredHistogram(name) {
+			t.Errorf("daemon emitted unregistered histogram %q", name)
+		}
+	}
+}
+
+// TestConcurrentAssignAndScrape hammers /assign, /metrics, /models,
+// /readyz, and /debug/slow from concurrent clients (run under -race in
+// make check) and then verifies shutdown leaks no goroutines.
 func TestConcurrentAssignAndScrape(t *testing.T) {
 	dir := t.TempDir()
 	res, m := fitModel(t, dir, "a.pmfm", 6)
 	fitModel(t, dir, "b.pmfm", 7)
 	before := runtime.NumGoroutine()
-	d, base := startDaemon(t, config{modelDir: dir, cacheCap: 1, inflight: 4, workers: 2})
+	var logBuf syncBuffer
+	d, base := startDaemon(t, Config{ModelDir: dir, CacheCap: 1, Inflight: 4, Workers: 2, AccessLog: &logBuf})
 
 	want, err := res.Assign(m, 0)
 	if err != nil {
@@ -343,7 +613,7 @@ func TestConcurrentAssignAndScrape(t *testing.T) {
 	errs := make(chan error, 64)
 	const iters = 15
 	for c := 0; c < 3; c++ {
-		wg.Add(3)
+		wg.Add(4)
 		go func(c int) { // assign clients, alternating models to churn the LRU
 			defer wg.Done()
 			name := "a.pmfm"
@@ -401,6 +671,20 @@ func TestConcurrentAssignAndScrape(t *testing.T) {
 				resp.Body.Close()
 			}
 		}()
+		go func() { // readiness and slow-ring scrapers
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, route := range []string{"/readyz", "/debug/slow"} {
+					resp, err := http.Get(base + route)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	close(errs)
@@ -410,7 +694,7 @@ func TestConcurrentAssignAndScrape(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := d.shutdown(ctx); err != nil {
+	if err := d.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 	http.DefaultClient.CloseIdleConnections()

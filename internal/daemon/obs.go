@@ -1,0 +1,260 @@
+package daemon
+
+// Request-level observability: the instrument middleware wraps every
+// route with an X-Request-ID, per-route and per-model histograms,
+// status-code counters, one structured access-log line, and a bid for
+// the slow-request ring.
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// reqStats is the per-request scratch the handlers fill in and the
+// middleware reads back after the handler returns. It travels via the
+// request context, so handler signatures stay plain http.HandlerFunc.
+type reqStats struct {
+	model         string // model name, /assign only
+	records       int    // records labeled, /assign only
+	queueSeconds  float64
+	decodeSeconds float64
+	assignSeconds float64
+	encodeSeconds float64
+}
+
+type statsKey struct{}
+
+// statsOf returns the request's stats scratch, or a throwaway one if
+// the handler runs outside the middleware (tests calling handlers
+// directly).
+func statsOf(ctx context.Context) *reqStats {
+	if st, ok := ctx.Value(statsKey{}).(*reqStats); ok {
+		return st
+	}
+	return &reqStats{}
+}
+
+// statusWriter captures the status code and body size a handler
+// writes, defaulting to 200 for handlers that never call WriteHeader.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// idPrefix draws a random per-process prefix so request IDs from
+// different daemon instances never collide.
+func idPrefix() string {
+	var b [6]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// requestID returns the client-provided X-Request-ID, or generates
+// one (process prefix + sequence number).
+func (d *Daemon) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", d.idPrefix, d.idSeq.Add(1))
+}
+
+// instrument wraps a handler with the full request-observability
+// stack. Every route goes through here, so "one access-log line per
+// request" and "every response carries an X-Request-ID" hold globally.
+func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := d.requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		st := &reqStats{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(context.WithValue(r.Context(), statsKey{}, st)))
+		dur := time.Since(start).Seconds()
+
+		d.rec.Observe(0, obs.HistRouteSeconds(route), dur)
+		d.rec.Add(0, obs.CtrHTTPStatus(route, sw.status), 1)
+		if st.model != "" {
+			d.rec.Observe(0, obs.HistModelSeconds(st.model), dur)
+			if st.records > 0 {
+				d.rec.Observe(0, obs.HistModelRecords(st.model), float64(st.records))
+			}
+		}
+
+		now := time.Now()
+		d.alog.write(accessRecord{
+			Time:            now.UTC().Format(time.RFC3339Nano),
+			ID:              id,
+			Route:           route,
+			Method:          r.Method,
+			Model:           st.model,
+			Records:         st.records,
+			Status:          sw.status,
+			Bytes:           sw.bytes,
+			QueueSeconds:    st.queueSeconds,
+			DurationSeconds: dur,
+		})
+		d.slow.offer(slowEntry{
+			ID:            id,
+			Time:          now.UTC().Format(time.RFC3339Nano),
+			Route:         route,
+			Method:        r.Method,
+			Model:         st.model,
+			Records:       st.records,
+			Status:        sw.status,
+			Seconds:       dur,
+			QueueSeconds:  st.queueSeconds,
+			DecodeSeconds: st.decodeSeconds,
+			AssignSeconds: st.assignSeconds,
+			EncodeSeconds: st.encodeSeconds,
+		})
+	}
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time            string  `json:"time"`
+	ID              string  `json:"id"`
+	Route           string  `json:"route"`
+	Method          string  `json:"method"`
+	Model           string  `json:"model,omitempty"`
+	Records         int     `json:"records,omitempty"`
+	Status          int     `json:"status"`
+	Bytes           int64   `json:"bytes"`
+	QueueSeconds    float64 `json:"queue_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// accessLog serializes JSON access-log lines onto one writer. Writes
+// are buffered; Shutdown flushes. A nil writer disables logging at
+// zero cost per request beyond the nil check.
+type accessLog struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newAccessLog(w io.Writer) *accessLog {
+	if w == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	return &accessLog{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (a *accessLog) write(rec accessRecord) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.enc.Encode(rec) // Encode appends the newline: one line per request
+	a.mu.Unlock()
+}
+
+func (a *accessLog) flush() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bw.Flush()
+}
+
+// slowEntry is one /debug/slow row: the request identity plus its
+// timing breakdown.
+type slowEntry struct {
+	ID            string  `json:"id"`
+	Time          string  `json:"time"`
+	Route         string  `json:"route"`
+	Method        string  `json:"method"`
+	Model         string  `json:"model,omitempty"`
+	Records       int     `json:"records,omitempty"`
+	Status        int     `json:"status"`
+	Seconds       float64 `json:"seconds"`
+	QueueSeconds  float64 `json:"queue_seconds"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+	AssignSeconds float64 `json:"assign_seconds"`
+	EncodeSeconds float64 `json:"encode_seconds"`
+}
+
+// slowRing keeps the cap slowest requests seen so far, sorted slowest
+// first. It is a ring in spirit (bounded, old fast entries fall out),
+// implemented as a small sorted slice — cap is tiny.
+type slowRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []slowEntry
+}
+
+func newSlowRing(cap int) *slowRing {
+	return &slowRing{cap: cap}
+}
+
+// offer inserts the entry if it ranks among the slowest cap requests.
+func (s *slowRing) offer(e slowEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == s.cap && e.Seconds <= s.entries[s.cap-1].Seconds {
+		return
+	}
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].Seconds < e.Seconds
+	})
+	s.entries = append(s.entries, slowEntry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	if len(s.entries) > s.cap {
+		s.entries = s.entries[:s.cap]
+	}
+}
+
+// snapshot returns the ring's entries, slowest first.
+func (s *slowRing) snapshot() []slowEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]slowEntry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// debugSlow serves the slow-request ring as JSON, slowest first.
+func (d *Daemon) debugSlow(w http.ResponseWriter, _ *http.Request) {
+	entries := d.slow.snapshot()
+	if entries == nil {
+		entries = []slowEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(entries)
+}

@@ -73,6 +73,17 @@ func TestAllEmittedCountersAreRegistered(t *testing.T) {
 			t.Errorf("expected counter %q was not emitted (have %d counters)", want, len(counters))
 		}
 	}
+	// The same seam closes over histogram families: anything Observed
+	// must belong to the histogram registry. (The engine run emits none
+	// today — the serving daemon is the histogram emitter and closes
+	// this seam over live traffic in internal/daemon's
+	// TestAllEmittedMetricsAreRegistered — but a future engine histogram
+	// lands here first.)
+	for name := range rec.Histograms() {
+		if !obs.IsRegisteredHistogram(name) {
+			t.Errorf("histogram %q emitted but not registered in internal/obs/names.go", name)
+		}
+	}
 }
 
 // TestEngineCriticalPathEqualsMakespan: on the full engine the

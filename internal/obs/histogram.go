@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-boundary distribution recorder: one counter per
+// bucket, an exact sum, count, and maximum. Boundaries are bucket
+// upper bounds (le semantics: a value lands in the first bucket whose
+// bound is >= the value; anything above the last bound lands in the
+// overflow bucket). Histograms with identical boundaries merge by
+// plain addition, which is what makes per-rank recording work: each
+// rank observes into its own histogram and a snapshot merges them,
+// exactly like the per-rank counters.
+//
+// The type itself is not synchronized — the Recorder's mutex guards
+// the histograms it owns, and standalone uses synchronize externally.
+// All methods are nil-receiver safe no-ops (zero for the accessors),
+// preserving the obs pay-for-use contract.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; the last cell is the overflow bucket
+	sum    float64
+	max    float64
+	n      int64
+}
+
+// DefaultLatencyBounds are the bucket upper bounds, in seconds, of
+// every ".seconds" histogram family: 100µs to 10s on a 1-2.5-5 decade
+// ladder. Serving latencies of the assignment path fall well inside
+// this range; treat the slice as read-only.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefaultSizeBounds are the bucket upper bounds of every ".records"
+// histogram family (batch sizes): decades from 1 to 10M. Treat the
+// slice as read-only.
+var DefaultSizeBounds = []float64{1, 10, 100, 1000, 1e4, 1e5, 1e6, 1e7}
+
+// NewHistogram builds an empty histogram over the given bucket upper
+// bounds, which must be non-empty and strictly ascending (the bounds
+// slice is copied). Invalid bounds panic: boundary sets are declared
+// constants (see HistogramBounds), never data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// BucketIndex returns the bucket a value falls in for the given upper
+// bounds: the first i with v <= bounds[i], or len(bounds) for the
+// overflow bucket. Exported so gate code and tests can reason about
+// "within one bucket" without reimplementing the le rule.
+func BucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[BucketIndex(h.bounds, v)]++
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds o's observations into h. The two histograms must share
+// identical bounds; merging histograms of different shapes is an
+// error, never a silent re-bucketing. A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil || o.n == 0 {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bound %d: %v vs %v", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.sum += o.sum
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := &Histogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]int64(nil), h.counts...),
+		sum:    h.sum, max: h.max, n: h.n,
+	}
+	return c
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max returns the exact largest observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns a copy of the per-bucket counts; the last cell
+// is the overflow bucket (observations above the final bound).
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.counts...)
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed
+// values: the upper boundary of the bucket holding the ceil(q·n)-th
+// smallest observation. Bucket counts are exact, so the true quantile
+// is within one bucket below the returned boundary; observations in
+// the overflow bucket report the exact observed maximum instead of
+// +Inf. An empty histogram returns 0; q is clamped to (0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) {
+				return h.max
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.max
+}
+
+// Observe records one value into rank's histogram named name,
+// creating it on first use with the boundary set HistogramBounds
+// declares for the name family. A nil recorder is a no-op — the
+// instrumented serving path costs a pointer test when observability
+// is off.
+func (r *Recorder) Observe(rank int, name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rs := r.rank(rank)
+	h := rs.hists[name]
+	if h == nil {
+		h = NewHistogram(HistogramBounds(name))
+		rs.hists[name] = h
+	}
+	h.Observe(v)
+	r.mu.Unlock()
+}
+
+// Histogram returns a snapshot of histogram name merged across all
+// ranks, or nil if the name was never observed. The returned copy is
+// owned by the caller; scraping a live recorder is safe.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out *Histogram
+	for _, rs := range r.ranks {
+		if h := rs.hists[name]; h != nil {
+			if out == nil {
+				out = h.Clone()
+			} else {
+				out.Merge(h) // same name, same declared bounds
+			}
+		}
+	}
+	return out
+}
+
+// Histograms returns every recorded histogram merged across ranks,
+// keyed by name. The copies are owned by the caller.
+func (r *Recorder) Histograms() map[string]*Histogram {
+	out := map[string]*Histogram{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rs := range r.ranks {
+		for name, h := range rs.hists {
+			if agg := out[name]; agg == nil {
+				out[name] = h.Clone()
+			} else {
+				agg.Merge(h)
+			}
+		}
+	}
+	return out
+}

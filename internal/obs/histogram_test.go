@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// closeTo compares two float sums up to the relative error reordered
+// addition can introduce.
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(math.Abs(a)+math.Abs(b)+1)
+}
+
+// TestHistogramMergeMatchesConcat is the merge property: observing two
+// sample sets into two histograms and merging must equal observing the
+// concatenated samples into one histogram — bucket counts, sum, count,
+// max, and every quantile.
+func TestHistogramMergeMatchesConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := rng.Intn(200), rng.Intn(200)
+		a, b := NewHistogram(DefaultLatencyBounds), NewHistogram(DefaultLatencyBounds)
+		all := NewHistogram(DefaultLatencyBounds)
+		sample := func() float64 {
+			// Span the bucket range, including exact boundaries and
+			// overflow values.
+			switch rng.Intn(4) {
+			case 0:
+				return DefaultLatencyBounds[rng.Intn(len(DefaultLatencyBounds))]
+			case 1:
+				return 20 + rng.Float64()*100 // overflow bucket
+			default:
+				return math.Exp(rng.Float64()*12 - 9) // ~1e-4 .. ~20s
+			}
+		}
+		for i := 0; i < na; i++ {
+			v := sample()
+			a.Observe(v)
+			all.Observe(v)
+		}
+		for i := 0; i < nb; i++ {
+			v := sample()
+			b.Observe(v)
+			all.Observe(v)
+		}
+		merged := a.Clone()
+		if err := merged.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		// Sums are compared with a relative epsilon: addition order
+		// differs between the merged and concatenated paths.
+		if merged.Count() != all.Count() || !closeTo(merged.Sum(), all.Sum()) || merged.Max() != all.Max() {
+			t.Fatalf("trial %d: merged count/sum/max %d/%v/%v, concat %d/%v/%v",
+				trial, merged.Count(), merged.Sum(), merged.Max(), all.Count(), all.Sum(), all.Max())
+		}
+		mc, ac := merged.BucketCounts(), all.BucketCounts()
+		for i := range mc {
+			if mc[i] != ac[i] {
+				t.Fatalf("trial %d: bucket %d: merged %d, concat %d", trial, i, mc[i], ac[i])
+			}
+		}
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+			if merged.Quantile(q) != all.Quantile(q) {
+				t.Fatalf("trial %d: Quantile(%v): merged %v, concat %v",
+					trial, q, merged.Quantile(q), all.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileBoundaries pins the quantile edge cases: empty,
+// a single sample, everything in one bucket, and overflow reporting
+// the exact max.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	empty := NewHistogram(DefaultLatencyBounds)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Quantile(0.99) != 0 || nilH.Count() != 0 || nilH.Max() != 0 {
+		t.Error("nil histogram is not a zero no-op")
+	}
+
+	one := NewHistogram(DefaultLatencyBounds)
+	one.Observe(0.003)
+	for _, q := range []float64{0, 0.001, 0.5, 1} {
+		if got := one.Quantile(q); got != 0.005 {
+			t.Errorf("single sample Quantile(%v) = %v, want bucket bound 0.005", q, got)
+		}
+	}
+
+	packed := NewHistogram(DefaultLatencyBounds)
+	for i := 0; i < 1000; i++ {
+		packed.Observe(0.0007) // all in the (0.0005, 0.001] bucket
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := packed.Quantile(q); got != 0.001 {
+			t.Errorf("one-bucket Quantile(%v) = %v, want 0.001", q, got)
+		}
+	}
+
+	over := NewHistogram(DefaultLatencyBounds)
+	over.Observe(0.001)
+	over.Observe(37.5) // overflow bucket
+	if got := over.Quantile(1); got != 37.5 {
+		t.Errorf("overflow Quantile(1) = %v, want the exact max 37.5", got)
+	}
+	if got := over.Max(); got != 37.5 {
+		t.Errorf("Max = %v, want 37.5", got)
+	}
+
+	// A boundary value lands in the bucket it bounds (le semantics).
+	edge := NewHistogram([]float64{1, 2, 4})
+	edge.Observe(2)
+	if got := edge.BucketCounts(); got[1] != 1 {
+		t.Errorf("Observe(2) buckets = %v, want the le=2 bucket", got)
+	}
+}
+
+// TestHistogramMergeShapeMismatch: merging different boundary sets is
+// a loud error, never a silent re-bucketing.
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a := NewHistogram(DefaultLatencyBounds)
+	b := NewHistogram(DefaultSizeBounds)
+	b.Observe(3)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging latency and size bounds succeeded")
+	}
+}
+
+// TestRecorderObserveMergesRanks: per-rank observation through the
+// recorder must snapshot to the same histogram as observing everything
+// into one — the serving daemon's per-rank recording contract.
+func TestRecorderObserveMergesRanks(t *testing.T) {
+	rec := New()
+	want := NewHistogram(DefaultLatencyBounds)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 2
+		rec.Observe(rng.Intn(4), HistRouteSeconds("assign"), v)
+		want.Observe(v)
+	}
+	got := rec.Histogram(HistRouteSeconds("assign"))
+	if got == nil || got.Count() != want.Count() || !closeTo(got.Sum(), want.Sum()) {
+		t.Fatalf("merged snapshot count/sum = %d/%v, want %d/%v",
+			got.Count(), got.Sum(), want.Count(), want.Sum())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+	if rec.Histogram("never.observed.seconds") != nil {
+		t.Error("unobserved name returned a histogram")
+	}
+	if hs := rec.Histograms(); len(hs) != 1 {
+		t.Errorf("Histograms() has %d entries, want 1", len(hs))
+	}
+
+	// The snapshot is a copy: mutating it must not reach the recorder.
+	got.Observe(1)
+	if rec.Histogram(HistRouteSeconds("assign")).Count() != want.Count() {
+		t.Error("snapshot mutation leaked into the recorder")
+	}
+}
+
+// TestConcurrentObserveAndSnapshot hammers Observe from several
+// goroutines while snapshotting — with -race this proves scraping a
+// live serving recorder is data-race-free.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	rec := New()
+	const perRank = 2000
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < perRank; i++ {
+				rec.Observe(rank, HistRouteSeconds("assign"), float64(i)*1e-5)
+				rec.Observe(rank, HistModelRecords("m.pmfm"), float64(i))
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			rec.Histogram(HistRouteSeconds("assign")).Quantile(0.99)
+			rec.Histograms()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := rec.Histogram(HistRouteSeconds("assign")).Count(); got != 4*perRank {
+		t.Errorf("final count %d, want %d", got, 4*perRank)
+	}
+}
+
+// TestNilRecorderObserveZeroAllocs extends the pay-for-use contract to
+// the histogram path: Observe on a nil recorder is a free no-op.
+func TestNilRecorderObserveZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Observe(0, HistAssignQueueSeconds, 0.001)
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder Observe allocates %.1f times per call", allocs)
+	}
+	if r.Histogram(HistAssignQueueSeconds) != nil || len(r.Histograms()) != 0 {
+		t.Error("nil recorder returned histogram state")
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Counter names. Every counter the engine, the disk layer, the worker
@@ -35,6 +37,96 @@ const (
 	CtrAssignCacheHit  = "assign.cache.hit"
 	CtrAssignCacheMiss = "assign.cache.miss"
 )
+
+// CtrHTTPStatus names the per-(route, status-code) request counter the
+// serving daemon bumps once per handled request. route is a fixed
+// lowercase route token (e.g. "assign", "models", "debug_slow"), never
+// a raw URL path, so the counter space stays enumerable.
+func CtrHTTPStatus(route string, code int) string {
+	return "http." + route + ".status." + strconv.Itoa(code)
+}
+
+// ParseHTTPStatusCounter splits a CtrHTTPStatus name back into its
+// route and status code; ok is false for any other counter name. The
+// telemetry exposition uses it to group these counters into one
+// labeled Prometheus family instead of one metric per (route, code).
+func ParseHTTPStatusCounter(name string) (route, code string, ok bool) {
+	rest, found := strings.CutPrefix(name, "http.")
+	if !found {
+		return "", "", false
+	}
+	route, code, found = strings.Cut(rest, ".status.")
+	if !found || route == "" || len(code) != 3 {
+		return "", "", false
+	}
+	return route, code, true
+}
+
+// Histogram name families. Like counters, every histogram the serving
+// daemon observes is declared here; HistogramBounds fixes the bucket
+// boundary set per family so same-named histograms always merge.
+const (
+	// HistAssignQueueSeconds is the time /assign requests spent queued
+	// for an in-flight slot before being admitted (shed requests are
+	// not observed — they never ran).
+	HistAssignQueueSeconds = "assign.queue.seconds"
+)
+
+// HistRouteSeconds names the per-route request-latency histogram
+// (whole-request wall time, including queue wait and response write).
+func HistRouteSeconds(route string) string { return "http." + route + ".seconds" }
+
+// HistModelSeconds names the per-model /assign latency histogram.
+// model is the model file's base name (e.g. "taxi.pmfm").
+func HistModelSeconds(model string) string { return "model." + model + ".seconds" }
+
+// HistModelRecords names the per-model batch-size histogram: records
+// labeled per /assign request against the model.
+func HistModelRecords(model string) string { return "model." + model + ".records" }
+
+// ParseRouteSecondsHistogram splits a HistRouteSeconds name back into
+// its route; ok is false for any other histogram name.
+func ParseRouteSecondsHistogram(name string) (route string, ok bool) {
+	rest, found := strings.CutPrefix(name, "http.")
+	if !found {
+		return "", false
+	}
+	route, found = strings.CutSuffix(rest, ".seconds")
+	if !found || route == "" || strings.Contains(route, ".") {
+		return "", false
+	}
+	return route, true
+}
+
+// ParseModelHistogram splits a HistModelSeconds / HistModelRecords
+// name into the model name and the kind ("seconds" or "records"); ok
+// is false for any other histogram name.
+func ParseModelHistogram(name string) (model, kind string, ok bool) {
+	rest, found := strings.CutPrefix(name, "model.")
+	if !found {
+		return "", "", false
+	}
+	dot := strings.LastIndexByte(rest, '.')
+	if dot <= 0 {
+		return "", "", false
+	}
+	model, kind = rest[:dot], rest[dot+1:]
+	if kind != "seconds" && kind != "records" {
+		return "", "", false
+	}
+	return model, kind, true
+}
+
+// HistogramBounds returns the declared bucket boundary set for a
+// histogram name family: ".records" families use the size decades,
+// everything else the latency ladder. One boundary set per family is
+// what guarantees same-named per-rank histograms merge.
+func HistogramBounds(name string) []float64 {
+	if strings.HasSuffix(name, ".records") {
+		return DefaultSizeBounds
+	}
+	return DefaultLatencyBounds
+}
 
 // CommCountCounter names the per-kind collective-operation counter the
 // recorder bumps in Comm (kind is one of sp2's collective kinds).
@@ -74,8 +166,48 @@ var registered = map[string]bool{
 }
 
 // patterned matches the constructed counter families:
-// comm.<kind>.count/bytes and level.NN.dense.
-var patterned = regexp.MustCompile(`^(comm\.[a-z]+\.(count|bytes)|level\.[0-9]{2}\.dense)$`)
+// comm.<kind>.count/bytes, level.NN.dense, and the serving daemon's
+// http.<route>.status.<code> request counters.
+var patterned = regexp.MustCompile(`^(comm\.[a-z]+\.(count|bytes)|level\.[0-9]{2}\.dense|http\.[a-z_]+\.status\.[0-9]{3})$`)
+
+// histPatterned matches the constructed histogram families:
+// http.<route>.seconds and model.<file>.seconds/.records (model file
+// names contain dots, so the model segment is matched loosely — the
+// family is still closed because only resolved model base names reach
+// the recorder).
+var histPatterned = regexp.MustCompile(`^(http\.[a-z_]+\.seconds|model\..+\.(seconds|records))$`)
+
+// registeredHists is the exact-name half of the histogram registry.
+var registeredHists = map[string]bool{
+	HistAssignQueueSeconds: true,
+}
+
+// IsRegisteredHistogram reports whether name is a declared histogram,
+// either an exact registry entry or an instance of a registered
+// family — the histogram half of IsRegistered, with the same purpose:
+// an Observe under an undeclared name fails the registry tests
+// instead of silently forking the metric space.
+func IsRegisteredHistogram(name string) bool {
+	return registeredHists[name] || histPatterned.MatchString(name)
+}
+
+// PromName mangles an obs counter or histogram name into the
+// Prometheus metric name it is exposed under:
+// "diskio.prefetch.chunks" -> "pmafia_diskio_prefetch_chunks". This is
+// the single name-mangling rule of the exposition — both the counter
+// and the histogram exporters in obs/serve call it, and a test locks
+// the mapping for every registered name.
+func PromName(name string) string {
+	mangled := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return "pmafia_" + mangled
+}
 
 // IsRegistered reports whether name is a declared counter, either an
 // exact registry entry or an instance of a registered pattern. Tests

@@ -63,6 +63,11 @@ type rankState struct {
 	spans []*Span // all spans in start order
 	stack []*Span // currently open spans, innermost last
 	ctrs  map[string]int64
+	hists map[string]*Histogram
+}
+
+func newRankState() *rankState {
+	return &rankState{ctrs: map[string]int64{}, hists: map[string]*Histogram{}}
 }
 
 // MsgEvent is one modeled point-to-point message of a collective: a
@@ -159,7 +164,7 @@ func (r *Recorder) BindRanks(p int, clock func(rank int) float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for len(r.ranks) < p {
-		r.ranks = append(r.ranks, &rankState{ctrs: map[string]int64{}})
+		r.ranks = append(r.ranks, newRankState())
 	}
 	for i := 0; i < p; i++ {
 		rank := i
@@ -174,7 +179,7 @@ func (r *Recorder) rank(rank int) *rankState {
 		rank = 0
 	}
 	for len(r.ranks) <= rank {
-		r.ranks = append(r.ranks, &rankState{ctrs: map[string]int64{}})
+		r.ranks = append(r.ranks, newRankState())
 	}
 	rs := r.ranks[rank]
 	if rs.clock == nil {

@@ -2,7 +2,9 @@
 // telemetry of a Real-mode run. Three endpoints:
 //
 //	/metrics  Prometheus text exposition: every counter (summed over
-//	          ranks and the global space) plus per-phase time gauges.
+//	          ranks and the global space), every latency/size histogram
+//	          (_bucket/_sum/_count, labeled per route and per model),
+//	          and per-phase time gauges — all with # HELP/# TYPE lines.
 //	/phase    JSON snapshot of each rank's innermost open span — the
 //	          "where is the machine right now" view.
 //	/healthz  liveness probe, always "ok".
@@ -18,9 +20,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,37 +95,136 @@ func (s *handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// promName mangles a counter name into a Prometheus metric name:
-// "diskio.prefetch.chunks" -> "pmafia_diskio_prefetch_chunks".
-func promName(name string) string {
-	mangled := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			return r
-		default:
-			return '_'
-		}
-	}, name)
-	return "pmafia_" + mangled
+// le formats a histogram bucket upper bound as a Prometheus le label
+// value.
+func le(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// writeHistogram emits one member of a histogram family in Prometheus
+// text format: cumulative _bucket samples per bound plus +Inf, then
+// _sum and _count. labels is the pre-rendered label prefix (e.g.
+// `route="assign",`), empty for an unlabeled family.
+func writeHistogram(w io.Writer, family, labels string, h *obs.Histogram) {
+	bounds, counts := h.Bounds(), h.BucketCounts()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, labels, le(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labels, h.Count())
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", family, suffix, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count())
+}
+
+// histFamily is one Prometheus histogram family being assembled from
+// the recorder's flat histogram names: a metric name, help text, and
+// the labeled members that share it.
+type histFamily struct {
+	name, help string
+	members    []histMember
+}
+
+type histMember struct {
+	labels string // pre-rendered label prefix, "" for unlabeled
+	h      *obs.Histogram
 }
 
 func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.rec.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
+	fmt.Fprintf(w, "# HELP pmafia_ranks Rank tracks recorded by the observer.\n")
 	fmt.Fprintf(w, "# TYPE pmafia_ranks gauge\npmafia_ranks %d\n", m.Ranks)
 
+	// Counters. The per-(route, status) request counters fold into one
+	// labeled family; everything else is exposed under its mangled name.
 	names := make([]string, 0, len(m.Counters))
 	for name := range m.Counters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	statusEmitted := false
 	for _, name := range names {
-		pn := promName(name)
+		if _, _, ok := obs.ParseHTTPStatusCounter(name); ok {
+			statusEmitted = true
+			continue
+		}
+		pn := obs.PromName(name)
+		fmt.Fprintf(w, "# HELP %s Total of counter %s, summed over ranks.\n", pn, name)
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Counters[name])
+	}
+	if statusEmitted {
+		fmt.Fprintf(w, "# HELP pmafia_http_requests_total HTTP requests served, by route and status code.\n")
+		fmt.Fprintf(w, "# TYPE pmafia_http_requests_total counter\n")
+		for _, name := range names {
+			if route, code, ok := obs.ParseHTTPStatusCounter(name); ok {
+				fmt.Fprintf(w, "pmafia_http_requests_total{route=%q,code=%q} %d\n",
+					route, code, m.Counters[name])
+			}
+		}
+	}
+
+	// Histograms, grouped into labeled families: per-route request
+	// latency, per-model assign latency and batch size, and a fallback
+	// family per remaining name.
+	hists := s.rec.Histograms()
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	var order []string
+	fams := map[string]*histFamily{}
+	add := func(family, help, labels string, h *obs.Histogram) {
+		f := fams[family]
+		if f == nil {
+			f = &histFamily{name: family, help: help}
+			fams[family] = f
+			order = append(order, family)
+		}
+		f.members = append(f.members, histMember{labels: labels, h: h})
+	}
+	for _, name := range hnames {
+		h := hists[name]
+		if route, ok := obs.ParseRouteSecondsHistogram(name); ok {
+			add("pmafia_http_request_seconds",
+				"Request latency in seconds, by route.",
+				fmt.Sprintf("route=%q,", route), h)
+			continue
+		}
+		if model, kind, ok := obs.ParseModelHistogram(name); ok {
+			switch kind {
+			case "seconds":
+				add("pmafia_model_assign_seconds",
+					"/assign request latency in seconds, by model.",
+					fmt.Sprintf("model=%q,", model), h)
+			case "records":
+				add("pmafia_model_batch_records",
+					"Records labeled per /assign request, by model.",
+					fmt.Sprintf("model=%q,", model), h)
+			}
+			continue
+		}
+		add(obs.PromName(name), "Histogram of "+name+", merged over ranks.", "", h)
+	}
+	for _, family := range order {
+		f := fams[family]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+		for _, mem := range f.members {
+			writeHistogram(w, f.name, mem.labels, mem.h)
+		}
 	}
 
 	if len(m.Phases) > 0 {
+		fmt.Fprintf(w, "# HELP pmafia_phase_seconds Seconds spent per (phase, level), summed over ranks.\n")
 		fmt.Fprintf(w, "# TYPE pmafia_phase_seconds gauge\n")
 		for _, p := range m.Phases {
 			fmt.Fprintf(w, "pmafia_phase_seconds{phase=%q,level=\"%d\"} %g\n",
@@ -129,6 +233,7 @@ func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	if phases := s.rec.CurrentPhases(); len(phases) > 0 {
+		fmt.Fprintf(w, "# HELP pmafia_rank_phase_since_seconds Start time (rank clock) of each rank's open phase.\n")
 		fmt.Fprintf(w, "# TYPE pmafia_rank_phase_since_seconds gauge\n")
 		for _, ps := range phases {
 			if ps.Phase == "" {

@@ -31,6 +31,12 @@ func TestEndpoints(t *testing.T) {
 	rec := obs.New()
 	rec.Add(0, obs.CtrHistogramRecords, 1000)
 	rec.AddGlobal(obs.CtrDiskBytes, 4096)
+	rec.Add(0, obs.CtrHTTPStatus("assign", 200), 2)
+	rec.Observe(0, obs.HistRouteSeconds("assign"), 0.003)
+	rec.Observe(0, obs.HistRouteSeconds("assign"), 0.003)
+	rec.Observe(0, obs.HistRouteSeconds("assign"), 0.07)
+	rec.Observe(0, obs.HistModelSeconds("taxi.pmfm"), 0.003)
+	rec.Observe(0, obs.HistModelRecords("taxi.pmfm"), 500)
 	span := rec.Start(0, "populate").SetLevel(3)
 
 	s, err := Start("127.0.0.1:0", rec)
@@ -49,14 +55,39 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("/metrics: status %d", code)
 	}
 	for _, want := range []string{
+		// Counters keep their bare-sample lines and gain HELP/TYPE.
 		"pmafia_histogram_records 1000",
 		"pmafia_diskio_bytes 4096",
+		"# HELP pmafia_histogram_records Total of counter histogram.records, summed over ranks.",
+		"# TYPE pmafia_histogram_records counter",
+		"# HELP pmafia_ranks ",
 		"pmafia_ranks 1",
 		`pmafia_rank_phase_since_seconds{rank="0",phase="populate"}`,
+		"# TYPE pmafia_rank_phase_since_seconds gauge",
+		// Status counters fold into one labeled family.
+		"# TYPE pmafia_http_requests_total counter",
+		`pmafia_http_requests_total{route="assign",code="200"} 2`,
+		// Histograms: per-route and per-model families in Prometheus
+		// histogram text format, cumulative buckets.
+		"# TYPE pmafia_http_request_seconds histogram",
+		`pmafia_http_request_seconds_bucket{route="assign",le="0.005"} 2`,
+		`pmafia_http_request_seconds_bucket{route="assign",le="0.1"} 3`,
+		`pmafia_http_request_seconds_bucket{route="assign",le="+Inf"} 3`,
+		`pmafia_http_request_seconds_sum{route="assign"} 0.076`,
+		`pmafia_http_request_seconds_count{route="assign"} 3`,
+		"# TYPE pmafia_model_assign_seconds histogram",
+		`pmafia_model_assign_seconds_bucket{model="taxi.pmfm",le="+Inf"} 1`,
+		"# TYPE pmafia_model_batch_records histogram",
+		`pmafia_model_batch_records_bucket{model="taxi.pmfm",le="1000"} 1`,
+		`pmafia_model_batch_records_count{model="taxi.pmfm"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)
 		}
+	}
+	// The status counter must not also appear under its mangled name.
+	if strings.Contains(body, "pmafia_http_assign_status_200") {
+		t.Error("/metrics double-exposes the status counter outside its family")
 	}
 
 	// /phase reports the open span while the run is live…

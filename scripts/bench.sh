@@ -1,11 +1,12 @@
 #!/bin/sh
 # Tracked benchmark suite: measures records/sec for the histogram,
 # populate, and full-run phases at p in {1,2,4,8}, baseline vs the
-# pipelined implementations, and refreshes BENCH_pr5.json in the
+# pipelined implementations, plus the serving load run (sustained
+# /assign QPS and latency percentiles), and refreshes BENCH_pr6.json in the
 # repository root. Run from anywhere (or via `make bench`); pass
 # -smoke for the seconds-long CI configuration.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/bench -repeats 5 -out BENCH_pr5.json "$@"
+exec go run ./cmd/bench -repeats 5 -out BENCH_pr6.json "$@"

@@ -2,7 +2,7 @@
 # Extended tier-1 gate: vet, formatting, and the full test suite under
 # the race detector. With -smoke it additionally runs the fuzz smoke,
 # the benchmark smoke, and the bench-regression gate against the
-# committed BENCH_pr5.json baseline (generous tolerance: the committed
+# committed BENCH_pr6.json baseline (generous tolerance: the committed
 # numbers come from a quiet machine, CI runners are not). Run from the
 # repository root (or via `make check`, which passes -smoke).
 set -eu
@@ -35,9 +35,15 @@ go test -race ./...
 # concurrent assignment + scraping with a leak-free shutdown, and the
 # compiled assignment index must agree bit-for-bit with the engine's
 # linear-scan oracle.
-echo "== serving gate (pmafiad concurrency/leak + assign differential)"
-go test -race -count=1 -run 'TestConcurrentAssignAndScrape' ./cmd/pmafiad
+echo "== serving gate (daemon concurrency/leak + assign differential)"
+go test -race -count=1 -run 'TestConcurrentAssignAndScrape' ./internal/daemon
 go test -race -count=1 -run 'TestPropertyMatchesOracle|TestFittedModelMatchesEngineAssign' ./internal/assign
+
+# Load smoke: a sub-second burst of sustained /assign traffic against
+# an in-process daemon, checking QPS, error-free serving, and that the
+# server's histogram percentiles agree with the client's measurement.
+echo "== load smoke (sustained /assign traffic, server vs client percentiles)"
+go test -race -count=1 -run 'TestLoadSmoke' ./internal/bench
 
 if [ "$smoke" = 1 ]; then
     echo "== fuzz smoke (FuzzOpen, 10s)"
@@ -47,8 +53,8 @@ if [ "$smoke" = 1 ]; then
     echo "== bench smoke (cmd/bench -smoke)"
     go run ./cmd/bench -smoke -out "$smokejson" 2>/dev/null
 
-    echo "== bench gate (cmd/bench -compare vs BENCH_pr5.json)"
-    go run ./cmd/bench -compare BENCH_pr5.json "$smokejson" -tolerance 0.9
+    echo "== bench gate (cmd/bench -compare vs BENCH_pr6.json)"
+    go run ./cmd/bench -compare BENCH_pr6.json "$smokejson" -tolerance 0.9
 fi
 
 echo "check: ok"
