@@ -1,4 +1,4 @@
-.PHONY: build test check faults bench bench-compare
+.PHONY: build test check faults recover bench bench-compare
 
 build:
 	go build ./...
@@ -13,11 +13,19 @@ check:
 	sh scripts/check.sh -smoke
 
 # Fault matrix: every injected failure (crash, stall, read errors,
-# corruption) must terminate with a typed error under the race
-# detector — no hangs, no process crashes.
+# corruption, torn checkpoint writes) must terminate with a typed
+# error under the race detector — no hangs, no process crashes.
 faults:
-	go test -race -run 'Fault|Corrupt|Stall|EndToEnd|Exit|Retry|BitFlip|Abort|Atomic|Truncation' \
-		./internal/faults ./internal/sp2 ./internal/diskio ./internal/mafia ./cmd/pmafia
+	go test -race -run 'Fault|Corrupt|Stall|EndToEnd|Exit|Retry|BitFlip|Abort|Atomic|Truncation|Torn' \
+		./internal/faults ./internal/sp2 ./internal/diskio ./internal/mafia \
+		./internal/ckpt ./internal/supervisor ./cmd/pmafia
+
+# Recovery matrix: supervised restart/resume under injected crashes,
+# stalls, and torn checkpoint writes — every recovered run must
+# reproduce the fault-free result bit-identically, race-clean.
+recover:
+	go test -race -count=1 ./internal/supervisor
+	go test -race -count=1 -run 'Manager|Resume|Exit' ./internal/ckpt ./cmd/pmafia
 
 # Tracked benchmark suite: refreshes BENCH_pr6.json with records/sec
 # per phase (histogram, populate, full run, assignment) at p in

@@ -64,6 +64,27 @@ func TestExitCodes(t *testing.T) {
 		{"injected stall detected", []string{
 			"-procs", "2", "-faults", "stall:rank=0,coll=1", "-coll-timeout", "300ms", pmaf,
 		}, 1, "stall"},
+
+		// Checkpoint/restart codes (see the package comment): 2 for
+		// inconsistent recovery flags, 3 for a fit that completed only
+		// by restarting, 4 for a restart budget that ran out, and 1
+		// when a rank failure has no restart budget at all.
+		{"resume without ckpt dir", []string{"-resume", pmaf}, 2, "-resume requires -ckpt-dir"},
+		{"negative max restarts", []string{"-max-restarts", "-1", pmaf}, 2, "-max-restarts"},
+		{"clique with ckpt flags", []string{"-clique", "-ckpt-dir", dir, pmaf}, 2, "-clique"},
+		{"crash recovered by restart", []string{
+			"-procs", "2", "-faults", "crash:rank=1,coll=1",
+			"-ckpt-dir", filepath.Join(dir, "ck-recover"), "-max-restarts", "2", "-restart-backoff", "1ms", pmaf,
+		}, 3, "recovered"},
+		// coll=0 is the histogram allreduce: it crashes before any
+		// checkpoint exists, so every restart re-fails deterministically.
+		{"restart budget exhausted", []string{
+			"-procs", "2", "-faults", "crash:rank=1,coll=0,times=99",
+			"-ckpt-dir", filepath.Join(dir, "ck-exhaust"), "-max-restarts", "2", "-restart-backoff", "1ms", pmaf,
+		}, 4, "still failing after 2 restart(s)"},
+		{"crash without restart budget", []string{
+			"-procs", "2", "-faults", "crash:rank=1,coll=1", "-ckpt-dir", filepath.Join(dir, "ck-nobudget"), pmaf,
+		}, 1, "rank 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,5 +99,33 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not mention %q", stderr, tc.inStderr)
 			}
 		})
+	}
+}
+
+// TestResumeExitCode drives the cross-process resume path: a first
+// process checkpoints a clean fit, a second one started with -resume
+// picks the checkpoint up and must flag the recovery with exit code 3.
+func TestResumeExitCode(t *testing.T) {
+	dir := t.TempDir()
+	pmaf, _ := writeSample(t, dir)
+	ck := filepath.Join(dir, "ck")
+
+	if code, stderr := runCLI(t, "-ckpt-dir", ck, pmaf); code != 0 {
+		t.Fatalf("checkpointing run exited %d: %s", code, stderr)
+	}
+	code, stderr := runCLI(t, "-ckpt-dir", ck, "-resume", pmaf)
+	if code != 3 {
+		t.Fatalf("resumed run exited %d, want 3 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "resuming from checkpoint level") {
+		t.Errorf("stderr %q does not mention the resume", stderr)
+	}
+	// With the checkpoint directory wiped, -resume finds nothing and
+	// the run completes fresh: plain success.
+	if err := os.RemoveAll(ck); err != nil {
+		t.Fatal(err)
+	}
+	if code, stderr := runCLI(t, "-ckpt-dir", ck, "-resume", pmaf); code != 0 {
+		t.Errorf("resume with empty dir exited %d, want 0 (stderr: %s)", code, stderr)
 	}
 }

@@ -23,10 +23,26 @@
 // attribution after the run (exact in Sim mode); -telemetry serves
 // live /metrics (Prometheus text), /phase (JSON), and /healthz on the
 // given address while the run executes.
+//
+// With -ckpt-dir the fit writes a checkpoint after each completed
+// lattice level and recoverable failures (rank crash, panic, detected
+// stall) are retried from the latest good checkpoint up to
+// -max-restarts times with -restart-backoff capped exponential
+// backoff; -resume continues a previous process's fit from its
+// checkpoint directory. Exit codes:
+//
+//	0  the fit completed without any restart or resume
+//	1  unrecoverable failure (bad input, I/O error, cancellation, or a
+//	   rank failure with no restart budget)
+//	2  usage error
+//	3  the fit completed, but only after restarting or resuming from a
+//	   checkpoint (success, flagged so operators notice the recovery)
+//	4  the fit kept failing recoverably until -max-restarts ran out
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,10 +50,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"pmafia/internal/ckpt"
 	"pmafia/internal/clique"
 	"pmafia/internal/dataset"
 	"pmafia/internal/diskio"
@@ -48,6 +66,7 @@ import (
 	"pmafia/internal/obs"
 	"pmafia/internal/obs/serve"
 	"pmafia/internal/sp2"
+	"pmafia/internal/supervisor"
 	"pmafia/internal/tabular"
 )
 
@@ -72,6 +91,11 @@ type options struct {
 	critPath    bool
 	telemetry   string
 	saveModel   string
+
+	ckptDir        string
+	resume         bool
+	maxRestarts    int
+	restartBackoff time.Duration
 }
 
 func main() {
@@ -96,6 +120,10 @@ func main() {
 	flag.StringVar(&o.saveModel, "save-model", "", "persist the fitted model (grid, clusters, level stats) to this path for serving with pmafiad")
 	flag.StringVar(&o.faultSpec, "faults", "", `inject deterministic faults, e.g. "crash:rank=1,coll=3;readerr:chunk=2,times=5" (see internal/faults)`)
 	flag.DurationVar(&o.collTimeout, "coll-timeout", 0, "declare a rank failed after it misses a collective for this long (0: no detection; defaults to 30s when -faults is set)")
+	flag.StringVar(&o.ckptDir, "ckpt-dir", "", "write a checkpoint after each completed level into this directory, and restart failed fits from the latest good one")
+	flag.BoolVar(&o.resume, "resume", false, "resume from the latest valid checkpoint in -ckpt-dir before fitting")
+	flag.IntVar(&o.maxRestarts, "max-restarts", 0, "retry a recoverably-failed fit up to this many times (from the latest checkpoint when -ckpt-dir is set)")
+	flag.DurationVar(&o.restartBackoff, "restart-backoff", 100*time.Millisecond, "delay before the first restart, doubling per restart (capped at 10s)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmafia [flags] <input.csv|input.pmaf>")
@@ -104,6 +132,18 @@ func main() {
 	}
 	if _, err := faults.Parse(o.faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "pmafia: -faults:", err)
+		os.Exit(2)
+	}
+	if o.resume && o.ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "pmafia: -resume requires -ckpt-dir")
+		os.Exit(2)
+	}
+	if o.maxRestarts < 0 {
+		fmt.Fprintln(os.Stderr, "pmafia: -max-restarts must be >= 0")
+		os.Exit(2)
+	}
+	if o.useClique && (o.ckptDir != "" || o.resume || o.maxRestarts > 0) {
+		fmt.Fprintln(os.Stderr, "pmafia: checkpoint/restart flags (-ckpt-dir, -resume, -max-restarts) are not supported with -clique")
 		os.Exit(2)
 	}
 	if o.pprofAddr != "" {
@@ -116,20 +156,28 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, flag.Arg(0), o); err != nil {
+	recovered, err := run(ctx, flag.Arg(0), o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmafia:", err)
+		var ex *supervisor.ExhaustedError
+		if errors.As(err, &ex) {
+			os.Exit(4)
+		}
 		os.Exit(1)
+	}
+	if recovered {
+		os.Exit(3)
 	}
 }
 
-func run(ctx context.Context, path string, o options) error {
+func run(ctx context.Context, path string, o options) (recovered bool, err error) {
 	src, domains, err := open(path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	plan, err := faults.Parse(o.faultSpec)
 	if err != nil {
-		return err
+		return false, err
 	}
 	mcfg := sp2.Config{Procs: o.procs, Ctx: ctx, Faults: plan, CollectiveTimeout: o.collTimeout}
 	if plan != nil && mcfg.CollectiveTimeout == 0 {
@@ -143,7 +191,7 @@ func run(ctx context.Context, path string, o options) error {
 	case "real":
 		mcfg.Mode = sp2.Real
 	default:
-		return fmt.Errorf("unknown mode %q", o.mode)
+		return false, fmt.Errorf("unknown mode %q", o.mode)
 	}
 	var rec *obs.Recorder
 	if o.tracePath != "" || o.metricsPath != "" || o.critPath || o.telemetry != "" {
@@ -152,7 +200,7 @@ func run(ctx context.Context, path string, o options) error {
 	if o.telemetry != "" {
 		srv, err := serve.Start(o.telemetry, rec)
 		if err != nil {
-			return err
+			return false, err
 		}
 		fmt.Fprintf(os.Stderr, "pmafia: telemetry on http://%s/metrics\n", srv.Addr())
 		defer srv.Close()
@@ -175,10 +223,23 @@ func run(ctx context.Context, path string, o options) error {
 			Workers:      o.workers,
 			Recorder:     rec,
 		}
-		res, err = mafia.RunParallel(shards, domains, cfg, mcfg)
+		if o.ckptDir != "" || o.maxRestarts > 0 {
+			var out *supervisor.Outcome
+			out, err = runSupervised(ctx, path, shards, domains, cfg, mcfg, rec, plan, o)
+			if err == nil {
+				res = out.Result
+				recovered = out.Recovered
+				if out.Recovered {
+					fmt.Fprintf(os.Stderr, "pmafia: recovered: %d restart(s), resumed from checkpoint level %d\n",
+						out.Restarts, out.ResumedLevel)
+				}
+			}
+		} else {
+			res, err = mafia.RunParallel(shards, domains, cfg, mcfg)
+		}
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	fmt.Printf("%d records, %d dimensions, %d processors: %.3fs (comm %.4fs)\n",
@@ -188,12 +249,12 @@ func run(ctx context.Context, path string, o options) error {
 			fmt.Printf("  level %d: %d raw CDUs, %d unique, %d dense\n", l.K, l.NcduRaw, l.Ncdu, l.Ndu)
 		}
 		if err := collectiveTable(res.Report).Render(os.Stdout); err != nil {
-			return err
+			return recovered, err
 		}
 	}
 	if o.saveModel != "" {
 		if err := modelio.Save(o.saveModel, res); err != nil {
-			return fmt.Errorf("saving model: %w", err)
+			return recovered, fmt.Errorf("saving model: %w", err)
 		}
 		fmt.Printf("model written to %s\n", o.saveModel)
 	}
@@ -214,15 +275,15 @@ func run(ctx context.Context, path string, o options) error {
 	}
 	if rec != nil {
 		if err := rec.PhaseTable().Render(os.Stdout); err != nil {
-			return err
+			return recovered, err
 		}
 		if o.critPath {
 			cp := rec.CriticalPath(res.Report.RankSeconds)
 			if err := cp.Table().Render(os.Stdout); err != nil {
-				return err
+				return recovered, err
 			}
 			if err := cp.RankTable().Render(os.Stdout); err != nil {
-				return err
+				return recovered, err
 			}
 			if o.mode == "real" {
 				fmt.Println("note: Real-mode critical path uses wall-clock arrivals with modeled comm costs; Sim mode (-mode sim) is exact")
@@ -230,18 +291,55 @@ func run(ctx context.Context, path string, o options) error {
 		}
 		if o.tracePath != "" {
 			if err := writeTo(o.tracePath, rec.WriteChromeTrace); err != nil {
-				return err
+				return recovered, err
 			}
 			fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.tracePath)
 		}
 		if o.metricsPath != "" {
 			if err := writeTo(o.metricsPath, rec.WriteMetricsJSON); err != nil {
-				return err
+				return recovered, err
 			}
 			fmt.Printf("metrics written to %s\n", o.metricsPath)
 		}
 	}
-	return nil
+	return recovered, nil
+}
+
+// runSupervised wraps the fit in the checkpoint/restart supervisor.
+// With -ckpt-dir a manager bound to the run's fingerprint (absolute
+// input path, file size, config hash) persists level-barrier
+// checkpoints; without it restarts re-run from scratch.
+func runSupervised(ctx context.Context, path string, shards []dataset.Source, domains []dataset.Range, cfg mafia.Config, mcfg sp2.Config, rec *obs.Recorder, plan *faults.Plan, o options) (*supervisor.Outcome, error) {
+	var mgr *ckpt.Manager
+	if o.ckptDir != "" {
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		hash, err := ckpt.ConfigHash(cfg, shards[0].Dims())
+		if err != nil {
+			return nil, err
+		}
+		fp := ckpt.Fingerprint{DataPath: abs, DataBytes: st.Size(), ConfigHash: hash}
+		mgr, err = ckpt.NewManager(o.ckptDir, fp, ckpt.Options{Recorder: rec, Faults: plan})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return supervisor.Run(ctx, shards, domains, cfg, mcfg, supervisor.Options{
+		Manager:     mgr,
+		MaxRestarts: o.maxRestarts,
+		Backoff:     o.restartBackoff,
+		Resume:      o.resume,
+		Recorder:    rec,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pmafia: "+format+"\n", args...)
+		},
+	})
 }
 
 // collectiveTable renders the machine report's per-collective-kind

@@ -104,19 +104,19 @@ func TestRunEndToEnd(t *testing.T) {
 
 	o := base
 	o.procs, o.levels, o.verbose = 2, true, true
-	if err := run(context.Background(), pmaf, o); err != nil {
+	if _, err := run(context.Background(), pmaf, o); err != nil {
 		t.Fatal(err)
 	}
 
 	o = base
 	o.procs, o.useClique, o.tau = 1, true, 0.02
-	if err := run(context.Background(), csv, o); err != nil {
+	if _, err := run(context.Background(), csv, o); err != nil {
 		t.Fatal(err)
 	}
 
 	o = base
 	o.procs, o.mode = 1, "bogus"
-	if err := run(context.Background(), pmaf, o); err == nil {
+	if _, err := run(context.Background(), pmaf, o); err == nil {
 		t.Error("bogus mode: want error")
 	}
 }
@@ -135,14 +135,14 @@ func TestRunWithCriticalPathAndTelemetry(t *testing.T) {
 			critPath:  true,
 			telemetry: "127.0.0.1:0",
 		}
-		if err := run(context.Background(), pmaf, o); err != nil {
+		if _, err := run(context.Background(), pmaf, o); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 	}
 	// A bad telemetry address must fail the run, not be ignored.
 	o := options{alpha: 1.5, beta: 50, procs: 1, mode: "sim", chunk: 512,
 		bins: 10, tau: 0.01, telemetry: "256.0.0.1:bogus"}
-	if err := run(context.Background(), pmaf, o); err == nil {
+	if _, err := run(context.Background(), pmaf, o); err == nil {
 		t.Error("bogus telemetry address: want error")
 	}
 }
@@ -160,7 +160,7 @@ func TestRunWithTraceAndMetrics(t *testing.T) {
 			tracePath:   filepath.Join(dir, mode+"-trace.json"),
 			metricsPath: filepath.Join(dir, mode+"-metrics.json"),
 		}
-		if err := run(context.Background(), pmaf, o); err != nil {
+		if _, err := run(context.Background(), pmaf, o); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 

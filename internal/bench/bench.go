@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pmafia/internal/assign"
+	"pmafia/internal/ckpt"
 	"pmafia/internal/cluster"
 	"pmafia/internal/datagen"
 	"pmafia/internal/dataset"
@@ -530,6 +531,34 @@ func benchFull(o Options, rep *Report, serialF, prefetchF *diskio.File) error {
 			}); err != nil {
 				return err
 			}
+		}
+
+		// "ckpt" is the pipelined run with level-barrier checkpointing
+		// on, measuring the robustness tax of persisting a snapshot at
+		// every level (acceptance: within 10% of "pipelined" at p=1).
+		ckdir, err := os.MkdirTemp(o.Dir, "bench-ckpt-*")
+		if err != nil {
+			return err
+		}
+		fp := ckpt.Fingerprint{DataPath: prefetchF.Path(), DataBytes: 1, ConfigHash: 1}
+		mgr, err := ckpt.NewManager(ckdir, fp, ckpt.Options{})
+		if err != nil {
+			os.RemoveAll(ckdir)
+			return err
+		}
+		cfg := mafia.Config{
+			ChunkRecords: o.ChunkRecords,
+			Workers:      o.Workers,
+			Count:        mafia.CountGrouped,
+			OnCheckpoint: mgr.Save,
+		}
+		err = measure(o, rep, "full", "ckpt", p, total, func() error {
+			_, err := mafia.RunParallel(shards(prefetchF, p), nil, cfg, sp2.Config{Procs: p, Mode: sp2.Real})
+			return err
+		})
+		os.RemoveAll(ckdir)
+		if err != nil {
+			return err
 		}
 	}
 	return nil

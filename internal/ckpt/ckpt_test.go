@@ -1,0 +1,274 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"pmafia/internal/ckpt"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
+
+	"pmafia/internal/faults"
+)
+
+// capture fits generated data with the checkpoint hook installed and
+// returns every level-barrier snapshot the engine emitted.
+func capture(t testing.TB, seed uint64) []*mafia.Snapshot {
+	t.Helper()
+	ext := []dataset.Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims:     6,
+		Records:  3000,
+		Clusters: []datagen.Cluster{datagen.UniformBox([]int{1, 3, 4}, ext, 0)},
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*mafia.Snapshot
+	cfg := mafia.Config{OnCheckpoint: func(s *mafia.Snapshot) error {
+		snaps = append(snaps, s)
+		return nil
+	}}
+	if _, err := mafia.Run(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("fit emitted %d snapshots, want at least one per level beyond 3", len(snaps))
+	}
+	return snaps
+}
+
+func testFP() ckpt.Fingerprint {
+	return ckpt.Fingerprint{DataPath: "/data/train.pmaf", DataBytes: 12345, ConfigHash: 42}
+}
+
+func sameSnapshot(t *testing.T, got, want *mafia.Snapshot) {
+	t.Helper()
+	if got.N != want.N || got.Level != want.Level || got.HistUnits != want.HistUnits {
+		t.Errorf("scalars: got N=%d L=%d U=%d, want N=%d L=%d U=%d",
+			got.N, got.Level, got.HistUnits, want.N, want.Level, want.HistUnits)
+	}
+	if !reflect.DeepEqual(got.HistDomains, want.HistDomains) {
+		t.Error("histogram domains differ")
+	}
+	if !reflect.DeepEqual(got.HistFlat, want.HistFlat) {
+		t.Error("flattened histogram differs")
+	}
+	if !reflect.DeepEqual(got.Levels, want.Levels) {
+		t.Errorf("levels: %+v vs %+v", got.Levels, want.Levels)
+	}
+	if !reflect.DeepEqual(got.Grid.Spec(), want.Grid.Spec()) {
+		t.Error("grid spec differs")
+	}
+	if got.DU.K != want.DU.K || !bytes.Equal(got.DU.Encode(), want.DU.Encode()) {
+		t.Error("dense units differ")
+	}
+	if len(got.Registered) != len(want.Registered) {
+		t.Fatalf("registered sets: %d vs %d", len(got.Registered), len(want.Registered))
+	}
+	for i := range want.Registered {
+		if !bytes.Equal(got.Registered[i].Encode(), want.Registered[i].Encode()) {
+			t.Errorf("registered set %d differs", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, snap := range capture(t, 3) {
+		data, err := ckpt.Encode(snap, testFP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, fp, err := ckpt.Decode(data)
+		if err != nil {
+			t.Fatalf("level %d: %v", snap.Level, err)
+		}
+		if fp != testFP() {
+			t.Errorf("fingerprint: %+v vs %+v", fp, testFP())
+		}
+		sameSnapshot(t, got, snap)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	snap := capture(t, 4)[1]
+	data, err := ckpt.Encode(snap, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bit flip anywhere in the body must fail the frame CRC (or the
+	// header checks); sample positions across the whole file.
+	for pos := 0; pos < len(data); pos += 97 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		if _, _, err := ckpt.Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", pos)
+		}
+	}
+	// Every truncation must be rejected with ErrCorrupt.
+	for n := 0; n < len(data); n += 131 {
+		if _, _, err := ckpt.Decode(data[:n]); !errors.Is(err, ckpt.ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, _, err := ckpt.Decode(append(append([]byte(nil), data...), 0xFF)); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("trailing byte: %v", err)
+	}
+	// An unsupported version is a distinct, non-corrupt error.
+	mut := append([]byte(nil), data...)
+	mut[4] = 99
+	if _, _, err := ckpt.Decode(mut); err == nil || errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("future version: %v", err)
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	// An unset config and one spelling out the defaults hash equal.
+	a, err := ckpt.ConfigHash(mafia.Config{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ckpt.ConfigHash(mafia.Config{ChunkRecords: 8192, Tau: 64}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("defaulted and explicit-default configs hash differently")
+	}
+	// Result-determining fields move the hash.
+	c, err := ckpt.ConfigHash(mafia.Config{MaxLevels: 2}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("MaxLevels change did not move the hash")
+	}
+	d, err := ckpt.ConfigHash(mafia.Config{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("dimensionality change did not move the hash")
+	}
+	if _, err := ckpt.ConfigHash(mafia.Config{Tau: -1}, 6); err == nil {
+		t.Error("invalid config hashed cleanly")
+	}
+}
+
+func TestManagerSaveLoadPrune(t *testing.T) {
+	snaps := capture(t, 5)
+	rec := obs.New()
+	m, err := ckpt.NewManager(t.TempDir(), testFP(), ckpt.Options{Keep: 2, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := m.LoadLatest(); err != nil || snap != nil {
+		t.Fatalf("empty dir: snap=%v err=%v", snap, err)
+	}
+	for _, s := range snaps {
+		if err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("no checkpoint loaded")
+	}
+	sameSnapshot(t, got, snaps[len(snaps)-1])
+
+	// Only the newest Keep files survive pruning.
+	last := snaps[len(snaps)-1].Level
+	for _, s := range snaps {
+		_, err := os.Stat(m.Path(s.Level))
+		if want := s.Level > last-2; (err == nil) != want {
+			t.Errorf("level %d file present=%v, want %v", s.Level, err == nil, want)
+		}
+	}
+
+	if rec.Counter(obs.CtrCkptWrites) != int64(len(snaps)) {
+		t.Errorf("ckpt.write = %d, want %d", rec.Counter(obs.CtrCkptWrites), len(snaps))
+	}
+	if rec.Counter(obs.CtrCkptRestores) != 1 {
+		t.Errorf("ckpt.restore = %d, want 1", rec.Counter(obs.CtrCkptRestores))
+	}
+	if rec.Counter(obs.CtrCkptWriteBytes) == 0 {
+		t.Error("ckpt.write.bytes not counted")
+	}
+}
+
+func TestManagerRejectsStaleFingerprint(t *testing.T) {
+	snaps := capture(t, 6)
+	dir := t.TempDir()
+	m, err := ckpt.NewManager(dir, testFP(), ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snaps[len(snaps)-1]); err != nil {
+		t.Fatal(err)
+	}
+	// Same directory, different run identity: nothing to resume.
+	other := testFP()
+	other.ConfigHash++
+	rec := obs.New()
+	m2, err := ckpt.NewManager(dir, other, ckpt.Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m2.LoadLatest()
+	if err != nil || snap != nil {
+		t.Fatalf("stale checkpoint resumed: snap=%v err=%v", snap, err)
+	}
+	if rec.Counter(obs.CtrCkptStale) == 0 {
+		t.Error("ckpt.stale not counted")
+	}
+}
+
+func TestManagerTornWriteFallsBack(t *testing.T) {
+	snaps := capture(t, 7)
+	rec := obs.New()
+	plan, err := faults.Parse("tornckpt:write=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ckpt.NewManager(t.TempDir(), testFP(), ckpt.Options{Recorder: rec, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snaps[1]); err != nil { // torn: a prefix lands at the final path
+		t.Fatal(err)
+	}
+	// The torn file is really a strict prefix at the final path.
+	good, _ := ckpt.Encode(snaps[1], testFP())
+	torn, err := os.ReadFile(m.Path(snaps[1].Level))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) >= len(good) || !bytes.Equal(torn, good[:len(torn)]) {
+		t.Fatalf("torn file is %d bytes of %d, prefix=%v", len(torn), len(good), bytes.Equal(torn, good[:len(torn)]))
+	}
+	// Recovery skips it and falls back to the previous good level.
+	got, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Level != snaps[0].Level {
+		t.Fatalf("fell back to %+v, want level %d", got, snaps[0].Level)
+	}
+	if rec.Counter(obs.CtrCkptCorrupt) == 0 {
+		t.Error("ckpt.corrupt not counted")
+	}
+}

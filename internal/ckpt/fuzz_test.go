@@ -1,0 +1,49 @@
+package ckpt_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pmafia/internal/ckpt"
+)
+
+// FuzzDecode throws arbitrary bytes at the checkpoint decoder: Decode
+// must either return a snapshot that passes Validate or reject the
+// input with a typed error (ErrCorrupt, or the distinct
+// unsupported-version error) — never panic or allocate from
+// unvalidated frame fields.
+func FuzzDecode(f *testing.F) {
+	// Seed with a well-formed checkpoint, its truncations, and a few
+	// deliberate mutations so the fuzzer starts inside the format.
+	snaps := capture(f, 11)
+	for _, snap := range snaps[:2] {
+		data, err := ckpt.Encode(snap, testFP())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:12])
+		mut := append([]byte(nil), data...)
+		mut[len(mut)/3] ^= 0x40
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		snap, _, err := ckpt.Decode(data)
+		if err != nil {
+			if !errors.Is(err, ckpt.ErrCorrupt) &&
+				!strings.Contains(err.Error(), "unsupported checkpoint version") {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if err := snap.Validate(len(snap.Grid.Dims)); err != nil {
+			t.Fatalf("decoded snapshot fails validation: %v", err)
+		}
+	})
+}

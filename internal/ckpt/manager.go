@@ -1,0 +1,209 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pmafia/internal/faults"
+	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
+)
+
+// filePrefix/fileSuffix frame the level-numbered checkpoint file names:
+// ckpt-0003.pmck is the snapshot taken after level 3 completed.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".pmck"
+)
+
+// Options tunes a Manager.
+type Options struct {
+	// Keep is how many good checkpoints to retain (older levels are
+	// pruned after each write). Minimum and default 2, so a torn latest
+	// file always leaves a previous good one to fall back to.
+	Keep int
+	// Recorder receives the ckpt.* counters (global, rank-less). nil
+	// costs nothing.
+	Recorder *obs.Recorder
+	// Faults injects checkpoint-write faults (CkptTorn) for recovery
+	// tests. nil injects nothing.
+	Faults *faults.Plan
+}
+
+// Manager owns a directory of checkpoint files for one fit. Save is
+// called from the engine's checkpoint hook (rank 0, synchronous);
+// LoadLatest walks the directory newest-first and returns the first
+// checkpoint that is both intact and fingerprint-matched.
+type Manager struct {
+	dir  string
+	fp   Fingerprint
+	opts Options
+
+	mu     sync.Mutex
+	writes int64 // write ordinal, feeds the fault plan
+}
+
+// NewManager creates the checkpoint directory (if needed) and returns
+// a manager bound to it and to the run fingerprint.
+func NewManager(dir string, fp Fingerprint, opts Options) (*Manager, error) {
+	if opts.Keep < 2 {
+		opts.Keep = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, fp: fp, opts: opts}, nil
+}
+
+// Dir returns the managed checkpoint directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Path returns the checkpoint file path for a level.
+func (m *Manager) Path(level int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s%04d%s", filePrefix, level, fileSuffix))
+}
+
+// Save writes the snapshot for its level atomically (temp file, sync,
+// rename) and prunes checkpoints older than the newest Keep. Under an
+// injected CkptTorn fault the file is torn instead — a seeded prefix
+// lands at the final path, simulating a write that bypassed the atomic
+// rename (a crash mid-rename on a non-atomic filesystem) — and Save
+// still reports success, exactly the silent failure recovery must
+// survive.
+func (m *Manager) Save(snap *mafia.Snapshot) error {
+	start := time.Now()
+	data, err := Encode(snap, m.fp)
+	if err != nil {
+		return err
+	}
+	path := m.Path(snap.Level)
+
+	m.mu.Lock()
+	ordinal := m.writes
+	m.writes++
+	m.mu.Unlock()
+
+	if kind, ok := m.opts.Faults.CkptFault(ordinal); ok && kind == faults.CkptTorn {
+		cut := m.opts.Faults.CutPos(ordinal, int64(len(data)))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			return err
+		}
+		m.count(obs.CtrCkptWrites, 1)
+		m.count(obs.CtrCkptWriteBytes, cut)
+		m.count(obs.CtrCkptWriteNS, time.Since(start).Nanoseconds())
+		return nil
+	}
+
+	f, err := os.CreateTemp(m.dir, ".ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	m.count(obs.CtrCkptWrites, 1)
+	m.count(obs.CtrCkptWriteBytes, int64(len(data)))
+	m.count(obs.CtrCkptWriteNS, time.Since(start).Nanoseconds())
+	m.prune()
+	return nil
+}
+
+// prune removes checkpoint files beyond the newest Keep levels.
+// Best-effort: a prune failure never fails the write that triggered it.
+func (m *Manager) prune() {
+	levels := m.levels()
+	for _, lvl := range levels[:max(0, len(levels)-m.opts.Keep)] {
+		os.Remove(m.Path(lvl))
+	}
+}
+
+// levels lists the levels with a checkpoint file, ascending.
+func (m *Manager) levels() []int {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil
+	}
+	var levels []int
+	for _, e := range entries {
+		name := e.Name()
+		numStr, found := strings.CutPrefix(name, filePrefix)
+		if !found {
+			continue
+		}
+		numStr, found = strings.CutSuffix(numStr, fileSuffix)
+		if !found {
+			continue
+		}
+		lvl, err := strconv.Atoi(numStr)
+		if err != nil || lvl < 1 {
+			continue
+		}
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+// LoadLatest returns the newest checkpoint that decodes cleanly and
+// matches the manager's fingerprint, falling back level by level past
+// corrupt or stale files. A nil snapshot with a nil error means no
+// usable checkpoint exists (fresh start).
+func (m *Manager) LoadLatest() (*mafia.Snapshot, error) {
+	start := time.Now()
+	levels := m.levels()
+	for i := len(levels) - 1; i >= 0; i-- {
+		path := m.Path(levels[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			m.count(obs.CtrCkptCorrupt, 1)
+			continue
+		}
+		snap, fp, err := Decode(data)
+		if err != nil {
+			m.count(obs.CtrCkptCorrupt, 1)
+			continue
+		}
+		if fp != m.fp {
+			m.count(obs.CtrCkptStale, 1)
+			continue
+		}
+		if snap.Level != levels[i] {
+			// A file renamed across levels is as untrustworthy as a
+			// corrupt one.
+			m.count(obs.CtrCkptCorrupt, 1)
+			continue
+		}
+		m.count(obs.CtrCkptRestores, 1)
+		m.count(obs.CtrCkptRestoreNS, time.Since(start).Nanoseconds())
+		return snap, nil
+	}
+	return nil, nil
+}
+
+func (m *Manager) count(name string, delta int64) {
+	if m.opts.Recorder != nil {
+		m.opts.Recorder.AddGlobal(name, delta)
+	}
+}

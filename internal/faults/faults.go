@@ -17,6 +17,11 @@
 //   - BitFlip: one seeded-pseudorandom bit of the chunk is flipped
 //     after the read — silent corruption that only a checksumming file
 //     format can detect.
+//   - CkptTorn: the Index-th checkpoint write is torn — only a
+//     seeded-pseudorandom prefix of the file reaches disk, bypassing
+//     the atomic rename (ckpt consults CkptFault). The fit continues,
+//     so recovery must detect the corrupt latest checkpoint and fall
+//     back to the previous good one.
 //
 // Every fault fires a bounded number of times (Times, default 1), so a
 // single transient fault exercises the retry path while Times larger
@@ -29,8 +34,9 @@
 //
 //	spec      = clause *( ";" clause )
 //	clause    = "seed" "=" uint | kind ":" kv *( "," kv )
-//	kind      = "crash" | "stall" | "readerr" | "shortread" | "bitflip"
-//	kv        = "rank=" int | "coll=" int | "chunk=" int |
+//	kind      = "crash" | "stall" | "readerr" | "shortread" | "bitflip" |
+//	            "tornckpt"
+//	kv        = "rank=" int | "coll=" int | "chunk=" int | "write=" int |
 //	            "for=" duration | "times=" int
 //
 // Examples:
@@ -38,6 +44,7 @@
 //	crash:rank=1,coll=3
 //	stall:rank=2,coll=0,for=250ms
 //	readerr:chunk=4,times=5;bitflip:chunk=2;seed=42
+//	tornckpt:write=1;crash:rank=0,coll=9
 package faults
 
 import (
@@ -74,6 +81,9 @@ const (
 	ShortRead
 	// BitFlip corrupts one bit of a read chunk (diskio).
 	BitFlip
+	// CkptTorn tears a checkpoint write: only a prefix of the file
+	// reaches its final path (ckpt).
+	CkptTorn
 )
 
 var kindNames = [...]string{
@@ -82,6 +92,7 @@ var kindNames = [...]string{
 	ReadError: "readerr",
 	ShortRead: "shortread",
 	BitFlip:   "bitflip",
+	CkptTorn:  "tornckpt",
 }
 
 func (k Kind) String() string {
@@ -92,8 +103,14 @@ func (k Kind) String() string {
 }
 
 // machineKind reports whether the kind targets the sp2 machine (as
-// opposed to the disk substrate).
+// opposed to the disk or checkpoint substrates).
 func (k Kind) machineKind() bool { return k == RankCrash || k == RankStall }
+
+// diskKind reports whether the kind targets diskio chunk reads.
+func (k Kind) diskKind() bool { return k == ReadError || k == ShortRead || k == BitFlip }
+
+// ckptKind reports whether the kind targets checkpoint writes.
+func (k Kind) ckptKind() bool { return k == CkptTorn }
 
 // Fault is one injection point.
 type Fault struct {
@@ -103,7 +120,8 @@ type Fault struct {
 	Rank int
 	// Index is the 0-based ordinal at which the fault fires: the
 	// rank's collective count for machine faults, the scanner's chunk
-	// count for disk faults.
+	// count for disk faults, the manager's checkpoint-write count for
+	// checkpoint faults.
 	Index int64
 	// Stall is how long a RankStall sleeps. Zero means "until the
 	// machine's failure detector gives up on the rank" (one hour).
@@ -198,12 +216,45 @@ func (p *Plan) ReadFault(chunk int64) (Kind, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, a := range p.faults {
-		if a.left > 0 && !a.Kind.machineKind() && a.Index == chunk {
+		if a.left > 0 && a.Kind.diskKind() && a.Index == chunk {
 			a.left--
 			return a.Kind, true
 		}
 	}
 	return 0, false
+}
+
+// CkptFault reports the checkpoint fault (if any) to apply to the
+// manager's write-th checkpoint write, consuming one firing.
+func (p *Plan) CkptFault(write int64) (Kind, bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range p.faults {
+		if a.left > 0 && a.Kind.ckptKind() && a.Index == write {
+			a.left--
+			return a.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// CutPos returns the deterministic byte offset in [1, nbytes) at which
+// a CkptTorn fault truncates the write-th checkpoint file, so a torn
+// write always leaves a non-empty but incomplete file. It is a pure
+// function of the plan seed and the write ordinal. Returns 0 when
+// nbytes <= 1 (nothing sensible to tear).
+func (p *Plan) CutPos(write, nbytes int64) int64 {
+	if nbytes <= 1 {
+		return 0
+	}
+	var seed uint64
+	if p != nil {
+		seed = p.Seed
+	}
+	return 1 + int64(splitmix64(seed^0xd6e8feb86659fd93^uint64(write))%uint64(nbytes-1))
 }
 
 // BitPos returns the deterministic bit offset in [0, nbits) that a
@@ -277,7 +328,7 @@ func parseClause(kindStr, kvs string) (Fault, error) {
 		}
 	}
 	if !found {
-		return f, fmt.Errorf("faults: unknown fault kind %q (want crash, stall, readerr, shortread, or bitflip)", kindStr)
+		return f, fmt.Errorf("faults: unknown fault kind %q (want crash, stall, readerr, shortread, bitflip, or tornckpt)", kindStr)
 	}
 	if kvs == "" {
 		return f, nil
@@ -307,12 +358,20 @@ func parseClause(kindStr, kvs string) (Fault, error) {
 				return f, fmt.Errorf("faults: bad collective index %q", val)
 			}
 		case "chunk":
-			if f.Kind.machineKind() {
-				return f, fmt.Errorf("faults: %q does not take chunk= (use coll=)", f.Kind)
+			if !f.Kind.diskKind() {
+				return f, fmt.Errorf("faults: %q does not take chunk=", f.Kind)
 			}
 			f.Index, err = strconv.ParseInt(val, 10, 64)
 			if err != nil || f.Index < 0 {
 				return f, fmt.Errorf("faults: bad chunk index %q", val)
+			}
+		case "write":
+			if !f.Kind.ckptKind() {
+				return f, fmt.Errorf("faults: %q does not take write=", f.Kind)
+			}
+			f.Index, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || f.Index < 0 {
+				return f, fmt.Errorf("faults: bad write index %q", val)
 			}
 		case "for":
 			if f.Kind != RankStall {
@@ -349,12 +408,15 @@ func (p *Plan) String() string {
 	}
 	for _, a := range p.faults {
 		var kvs []string
-		if a.Kind.machineKind() {
+		switch {
+		case a.Kind.machineKind():
 			kvs = append(kvs, fmt.Sprintf("rank=%d", a.Rank), fmt.Sprintf("coll=%d", a.Index))
 			if a.Kind == RankStall && a.Stall != DefaultStall {
 				kvs = append(kvs, fmt.Sprintf("for=%s", a.Stall))
 			}
-		} else {
+		case a.Kind.ckptKind():
+			kvs = append(kvs, fmt.Sprintf("write=%d", a.Index))
+		default:
 			kvs = append(kvs, fmt.Sprintf("chunk=%d", a.Index))
 		}
 		if a.Times != 1 {

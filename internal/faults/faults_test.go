@@ -55,6 +55,10 @@ func TestParseErrors(t *testing.T) {
 		"crash:rank=0,coll",    // malformed kv
 		"stall:rank=-1",        // negative rank
 		"bitflip:chunk=-2",     // negative index
+		"tornckpt:chunk=1",     // wrong axis for ckpt fault
+		"tornckpt:rank=0",      // wrong axis for ckpt fault
+		"readerr:write=1",      // write= only for ckpt faults
+		"tornckpt:write=-1",    // negative write index
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q): want error", spec)
@@ -114,6 +118,75 @@ func TestReadFaultConsumption(t *testing.T) {
 	}
 }
 
+func TestCkptFaultParseAndConsumption(t *testing.T) {
+	p, err := Parse("tornckpt:write=1;crash:rank=0,coll=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := p.Faults()
+	if len(fs) != 2 || fs[0] != (Fault{Kind: CkptTorn, Index: 1, Times: 1}) {
+		t.Fatalf("parsed faults = %+v", fs)
+	}
+	// Ckpt faults are invisible to the disk and machine axes.
+	if _, ok := p.ReadFault(1); ok {
+		t.Error("ckpt fault fired as a read fault")
+	}
+	if _, _, ok := p.Collective(0, 1); ok {
+		t.Error("ckpt fault fired as a collective fault")
+	}
+	// Wrong ordinal never fires; the right one fires exactly once.
+	if _, ok := p.CkptFault(0); ok {
+		t.Error("fired on wrong write ordinal")
+	}
+	k, ok := p.CkptFault(1)
+	if !ok || k != CkptTorn {
+		t.Fatalf("CkptFault(1) = %v %v", k, ok)
+	}
+	if _, ok := p.CkptFault(1); ok {
+		t.Error("exhausted ckpt fault fired again")
+	}
+	// Rendering round-trips.
+	if !strings.Contains(p.String(), "tornckpt:write=1") {
+		t.Errorf("String = %q", p.String())
+	}
+	if _, err := Parse(p.String()); err != nil {
+		t.Errorf("reparse %q: %v", p.String(), err)
+	}
+	// Nil plans are safe.
+	var nilp *Plan
+	if _, ok := nilp.CkptFault(0); ok {
+		t.Error("nil plan fired a ckpt fault")
+	}
+}
+
+func TestCutPosDeterministicAndBounded(t *testing.T) {
+	p := New(7)
+	for write := int64(0); write < 32; write++ {
+		a := p.CutPos(write, 4096)
+		if b := p.CutPos(write, 4096); a != b {
+			t.Fatalf("write %d: CutPos not deterministic: %d vs %d", write, a, b)
+		}
+		if a < 1 || a >= 4096 {
+			t.Fatalf("write %d: CutPos %d out of [1, 4096)", write, a)
+		}
+	}
+	// Degenerate sizes have nothing to tear.
+	if p.CutPos(0, 0) != 0 || p.CutPos(0, 1) != 0 {
+		t.Error("nbytes <= 1 must yield 0")
+	}
+	// Different seeds should diverge somewhere.
+	q := New(8)
+	same := 0
+	for write := int64(0); write < 32; write++ {
+		if p.CutPos(write, 1<<20) == q.CutPos(write, 1<<20) {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Error("seeds 7 and 8 derive identical cut positions")
+	}
+}
+
 func TestStallDefaultsToDetectionHorizon(t *testing.T) {
 	p := New(0, Fault{Kind: RankStall, Rank: 0, Index: 0})
 	_, d, ok := p.Collective(0, 0)
@@ -154,7 +227,7 @@ func TestBitPosDeterministicAndBounded(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, name := range map[Kind]string{
 		RankCrash: "crash", RankStall: "stall", ReadError: "readerr",
-		ShortRead: "shortread", BitFlip: "bitflip",
+		ShortRead: "shortread", BitFlip: "bitflip", CkptTorn: "tornckpt",
 	} {
 		if k.String() != name {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)

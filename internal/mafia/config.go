@@ -107,6 +107,18 @@ type Config struct {
 	// counters; it is also handed to the sp2 machine so collectives
 	// charge their cost into the enclosing span. nil costs nothing.
 	Recorder *obs.Recorder
+	// OnCheckpoint, when non-nil, is called on rank 0 after each level
+	// of the bottom-up loop completes (post-prune) with a read-only
+	// snapshot of the replicated engine state. The call is synchronous;
+	// an error aborts the fit. It must be deterministic in its effect
+	// on the run (it can only abort, not alter state).
+	OnCheckpoint func(*Snapshot) error
+	// Resume, when non-nil, skips the histogram and grid phases and
+	// re-enters the level loop at Resume.Level+1. The snapshot must
+	// come from a run over the same data with the same configuration —
+	// internal/ckpt's config fingerprint enforces this for checkpoints
+	// loaded from disk.
+	Resume *Snapshot
 }
 
 // Validate fills defaults and rejects inconsistent settings.

@@ -120,15 +120,24 @@ type engine struct {
 	cfg          *Config
 	g            *grid.Grid
 	totalRecords int
+	// The global fine histogram is stashed after phase 0 so every
+	// checkpoint snapshot stays self-describing (a resumed run embeds
+	// the same histogram in its own checkpoints).
+	histDomains []dataset.Range
+	histUnits   int
+	histFlat    []int64
 }
 
 func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	cfg := e.cfg
-	d := e.shard.Dims()
 	rec := cfg.Recorder
 	rank := e.c.Rank()
 	root := rec.Start(rank, "run")
 	defer root.End()
+
+	if cfg.Resume != nil {
+		return e.resume(cfg.Resume)
+	}
 
 	if domains == nil {
 		sp := rec.Start(rank, "domains")
@@ -160,6 +169,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	if h.N == 0 {
 		return nil, errors.New("mafia: empty data set")
 	}
+	e.histDomains, e.histUnits, e.histFlat = domains, h.Units, flat
 
 	// Adaptive intervals (or the uniform CLIQUE grid) from the global
 	// histogram; deterministic, so every rank computes the same grid.
@@ -198,11 +208,47 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 	lsp.End()
 	res.Levels = append(res.Levels, tally.stats())
 	tally.emit(rec, rank)
+	if err := e.checkpoint(res, 1, du, nil); err != nil {
+		return nil, err
+	}
 
-	var registered []*unit.Array
-	for k := 2; du.Len() > 0 && k <= cfg.MaxLevels && k <= d; k++ {
-		lsp = rec.Start(rank, "level").SetLevel(k)
-		lvlStart = time.Now()
+	return e.runLevels(res, du, nil, 2)
+}
+
+// resume restores the replicated state of a checkpointed run and
+// re-enters the level loop at snap.Level+1. Every rank applies the same
+// snapshot, so the SPMD invariant (identical replicated state, identical
+// collective sequence) holds from the first collective of the resumed
+// level.
+func (e *engine) resume(snap *Snapshot) (*Result, error) {
+	if err := snap.Validate(e.shard.Dims()); err != nil {
+		return nil, err
+	}
+	e.g = snap.Grid
+	e.histDomains, e.histUnits, e.histFlat = snap.HistDomains, snap.HistUnits, snap.HistFlat
+	res := &Result{
+		N:      snap.N,
+		Grid:   snap.Grid,
+		Levels: append([]LevelStats(nil), snap.Levels...),
+	}
+	registered := append([]*unit.Array(nil), snap.Registered...)
+	return e.runLevels(res, snap.DU, registered, snap.Level+1)
+}
+
+// runLevels drives the bottom-up loop from level startK with du seeding
+// it and registered holding the maximal sets of completed levels, then
+// assembles the clusters. A checkpoint snapshot is emitted after each
+// completed level (post-prune), so the loop is re-enterable at any
+// level barrier.
+func (e *engine) runLevels(res *Result, du *unit.Array, registered []*unit.Array, startK int) (*Result, error) {
+	cfg := e.cfg
+	d := e.shard.Dims()
+	rec := cfg.Recorder
+	rank := e.c.Rank()
+
+	for k := startK; du.Len() > 0 && k <= cfg.MaxLevels && k <= d; k++ {
+		lsp := rec.Start(rank, "level").SetLevel(k)
+		lvlStart := time.Now()
 		gsp := rec.Start(rank, "generate").SetLevel(k)
 		raw, err := e.generate(du, k)
 		gsp.End()
@@ -215,7 +261,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		dsp.End()
 		var duNext *unit.Array
 		var duCounts []int64
-		tally = levelTally{k: k, raw: raw.Len(), unique: cdus.Len()}
+		tally := levelTally{k: k, raw: raw.Len(), unique: cdus.Len()}
 		if cdus.Len() > 0 {
 			psp := rec.Start(rank, "populate").SetLevel(k)
 			popStart := time.Now()
@@ -228,7 +274,7 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 			tally.popSeconds = time.Since(popStart).Seconds()
 			tally.records = records
 			tally.mergeSec = popMerge
-			isp = rec.Start(rank, "identify").SetLevel(k)
+			isp := rec.Start(rank, "identify").SetLevel(k)
 			duNext, duCounts, err = e.identifyDense(cdus, counts)
 			isp.End()
 			if err != nil {
@@ -248,6 +294,9 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		if cfg.Prune != nil && du.Len() > 0 {
 			du = cfg.Prune(du, duCounts)
 		}
+		if err := e.checkpoint(res, k, du, registered); err != nil {
+			return nil, err
+		}
 	}
 	if du.Len() > 0 {
 		// The loop stopped at the dimensionality cap with dense units
@@ -255,10 +304,35 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		registered = append(registered, du)
 	}
 
-	sp = rec.Start(rank, "clusters")
+	sp := rec.Start(rank, "clusters")
 	res.Clusters = cluster.EliminateSubsets(cluster.Assemble(registered))
 	sp.End()
 	return res, nil
+}
+
+// checkpoint emits a level-barrier snapshot through the configured
+// hook. Only rank 0 calls the hook — the lattice state is replicated,
+// so one rank's snapshot restores the whole machine — and the call is
+// synchronous, so the hook sees the state exactly as the next level
+// will. An error aborts the fit.
+func (e *engine) checkpoint(res *Result, level int, du *unit.Array, registered []*unit.Array) error {
+	if e.cfg.OnCheckpoint == nil || e.c.Rank() != 0 {
+		return nil
+	}
+	sp := e.cfg.Recorder.Start(0, "checkpoint").SetLevel(level)
+	defer sp.End()
+	snap := &Snapshot{
+		N:           res.N,
+		Level:       level,
+		Grid:        e.g,
+		HistDomains: e.histDomains,
+		HistUnits:   e.histUnits,
+		HistFlat:    e.histFlat,
+		Levels:      append([]LevelStats(nil), res.Levels...),
+		DU:          du,
+		Registered:  append([]*unit.Array(nil), registered...),
+	}
+	return e.cfg.OnCheckpoint(snap)
 }
 
 // fineUnits resolves the fine-histogram resolution: an explicit

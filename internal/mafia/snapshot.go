@@ -1,0 +1,101 @@
+package mafia
+
+import (
+	"fmt"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/grid"
+	"pmafia/internal/unit"
+)
+
+// Snapshot is the replicated engine state at a level barrier of the
+// bottom-up loop: everything a fresh machine needs to re-enter the loop
+// at Level+1 and produce a Result bit-identical to an uninterrupted
+// run. Because the engine is SPMD with fully replicated lattice state,
+// one snapshot (taken on rank 0) restores every rank.
+//
+// A Snapshot handed to Config.OnCheckpoint, or installed via
+// Config.Resume, must be treated as read-only: the engine and the
+// checkpoint encoder share its backing arrays.
+type Snapshot struct {
+	// N is the total number of records clustered.
+	N int
+	// Level is the last completed level; resume re-enters at Level+1.
+	Level int
+	// Grid holds the bins and thresholds the run fixed after phase 0.
+	Grid *grid.Grid
+	// HistDomains, HistUnits and HistFlat preserve the global fine
+	// histogram (domains, per-dimension resolution, flattened counts)
+	// so later checkpoints of a resumed run remain self-describing.
+	HistDomains []dataset.Range
+	HistUnits   int
+	HistFlat    []int64
+	// Levels are the per-level tallies accumulated so far (one entry
+	// per completed level, Levels[i].K == i+1).
+	Levels []LevelStats
+	// DU holds the dense units seeding level Level+1, post-prune.
+	DU *unit.Array
+	// Registered are the maximal dense-unit sets registered so far:
+	// Level-1 entries, Registered[i].K == i+1.
+	Registered []*unit.Array
+}
+
+// Validate checks the snapshot's internal consistency against the data
+// dimensionality it will be resumed on.
+func (s *Snapshot) Validate(dims int) error {
+	if s == nil {
+		return fmt.Errorf("mafia: nil snapshot")
+	}
+	if s.Level < 1 {
+		return fmt.Errorf("mafia: snapshot level %d < 1", s.Level)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("mafia: snapshot has %d records", s.N)
+	}
+	if s.Grid == nil || len(s.Grid.Dims) != dims {
+		return fmt.Errorf("mafia: snapshot grid has %d dims, want %d", s.gridDims(), dims)
+	}
+	if s.DU == nil || s.DU.K != s.Level {
+		return fmt.Errorf("mafia: snapshot dense units are %d-dimensional at level %d", s.duK(), s.Level)
+	}
+	if len(s.Levels) != s.Level {
+		return fmt.Errorf("mafia: snapshot has %d level tallies at level %d", len(s.Levels), s.Level)
+	}
+	for i, ls := range s.Levels {
+		if ls.K != i+1 {
+			return fmt.Errorf("mafia: snapshot level tally %d has K=%d", i, ls.K)
+		}
+	}
+	if len(s.Registered) != s.Level-1 {
+		return fmt.Errorf("mafia: snapshot has %d registered sets at level %d", len(s.Registered), s.Level)
+	}
+	for i, r := range s.Registered {
+		if r == nil || r.K != i+1 {
+			return fmt.Errorf("mafia: snapshot registered set %d is not %d-dimensional", i, i+1)
+		}
+	}
+	if s.HistUnits < 1 {
+		return fmt.Errorf("mafia: snapshot histogram has %d units per dim", s.HistUnits)
+	}
+	if len(s.HistDomains) != dims {
+		return fmt.Errorf("mafia: snapshot histogram has %d domains, want %d", len(s.HistDomains), dims)
+	}
+	if want := dims*s.HistUnits + 1; len(s.HistFlat) != want {
+		return fmt.Errorf("mafia: snapshot histogram has %d flattened counts, want %d", len(s.HistFlat), want)
+	}
+	return nil
+}
+
+func (s *Snapshot) gridDims() int {
+	if s.Grid == nil {
+		return 0
+	}
+	return len(s.Grid.Dims)
+}
+
+func (s *Snapshot) duK() int {
+	if s.DU == nil {
+		return 0
+	}
+	return s.DU.K
+}

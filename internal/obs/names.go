@@ -36,6 +36,17 @@ const (
 	CtrAssignBatches   = "assign.batches"
 	CtrAssignCacheHit  = "assign.cache.hit"
 	CtrAssignCacheMiss = "assign.cache.miss"
+	// ckpt: level-barrier checkpoint writes and recovery loads.
+	CtrCkptWrites       = "ckpt.write"
+	CtrCkptWriteBytes   = "ckpt.write.bytes"
+	CtrCkptWriteNS      = "ckpt.write.ns"
+	CtrCkptRestores     = "ckpt.restore"
+	CtrCkptRestoreNS    = "ckpt.restore.ns"
+	CtrCkptCorrupt      = "ckpt.corrupt"
+	CtrCkptStale        = "ckpt.stale"
+	CtrCkptResumeLevel  = "ckpt.resume.level"
+	CtrSupervisorResume = "supervisor.resumes"
+	CtrSupervisorRetry  = "supervisor.restarts"
 )
 
 // CtrHTTPStatus names the per-(route, status-code) request counter the
@@ -163,6 +174,16 @@ var registered = map[string]bool{
 	CtrAssignBatches:    true,
 	CtrAssignCacheHit:   true,
 	CtrAssignCacheMiss:  true,
+	CtrCkptWrites:       true,
+	CtrCkptWriteBytes:   true,
+	CtrCkptWriteNS:      true,
+	CtrCkptRestores:     true,
+	CtrCkptRestoreNS:    true,
+	CtrCkptCorrupt:      true,
+	CtrCkptStale:        true,
+	CtrCkptResumeLevel:  true,
+	CtrSupervisorResume: true,
+	CtrSupervisorRetry:  true,
 }
 
 // patterned matches the constructed counter families:

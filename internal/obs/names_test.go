@@ -124,6 +124,16 @@ func TestPromNameMapping(t *testing.T) {
 		CtrAssignBatches:    "pmafia_assign_batches",
 		CtrAssignCacheHit:   "pmafia_assign_cache_hit",
 		CtrAssignCacheMiss:  "pmafia_assign_cache_miss",
+		CtrCkptWrites:       "pmafia_ckpt_write",
+		CtrCkptWriteBytes:   "pmafia_ckpt_write_bytes",
+		CtrCkptWriteNS:      "pmafia_ckpt_write_ns",
+		CtrCkptRestores:     "pmafia_ckpt_restore",
+		CtrCkptRestoreNS:    "pmafia_ckpt_restore_ns",
+		CtrCkptCorrupt:      "pmafia_ckpt_corrupt",
+		CtrCkptStale:        "pmafia_ckpt_stale",
+		CtrCkptResumeLevel:  "pmafia_ckpt_resume_level",
+		CtrSupervisorResume: "pmafia_supervisor_resumes",
+		CtrSupervisorRetry:  "pmafia_supervisor_restarts",
 		// Patterned families, one instance each.
 		CommCountCounter(KindReduce):  "pmafia_comm_reduce_count",
 		CommBytesCounter(KindGather):  "pmafia_comm_gather_bytes",

@@ -168,6 +168,19 @@ func (e *RankError) Error() string {
 
 func (e *RankError) Unwrap() error { return e.Err }
 
+// Recoverable reports whether a failed Run can sensibly be retried on
+// a rebuilt machine: the failure is a typed per-rank fault (crash,
+// panic, stall) rather than a deliberate cancellation or deadline.
+// Supervised restart loops gate on this so a ^C is honored instead of
+// respawned.
+func Recoverable(err error) bool {
+	var re *RankError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
 type machine struct {
 	cfg Config
 

@@ -1,0 +1,184 @@
+// Package supervisor turns the machine's failure detection into
+// recovery: it runs a fit, catches recoverable rank failures (injected
+// crashes, panics, detected stalls), rebuilds the sp2 machine, and
+// re-enters the fit from the last good checkpoint with capped
+// exponential backoff between attempts.
+//
+// The recovery state machine is deliberately small:
+//
+//	START ──run──▶ DONE                      (no failure)
+//	  │
+//	  ▼ recoverable RankError
+//	BACKOFF ──load latest good ckpt──▶ RESUME ──run──▶ DONE
+//	  ▲                                   │
+//	  └──────── recoverable RankError ────┘   (budget left)
+//	  │
+//	  ▼ budget exhausted / unrecoverable error
+//	FAIL (ExhaustedError / original error)
+//
+// Checkpoint loading falls back level by level past corrupt or stale
+// files (see ckpt.Manager.LoadLatest); with no usable checkpoint the
+// fit restarts from scratch, which is always correct because the
+// engine is deterministic.
+package supervisor
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pmafia/internal/ckpt"
+	"pmafia/internal/dataset"
+	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
+	"pmafia/internal/sp2"
+)
+
+// Options tunes the restart loop.
+type Options struct {
+	// Manager persists and restores checkpoints. nil disables
+	// checkpointing: restarts re-run the fit from scratch.
+	Manager *ckpt.Manager
+	// MaxRestarts bounds how many times a failed fit is retried
+	// (0: never retry — the first failure is final).
+	MaxRestarts int
+	// Backoff is the delay before the first restart, doubling per
+	// subsequent restart (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 10s).
+	MaxBackoff time.Duration
+	// Resume loads the latest checkpoint before the first attempt, so
+	// a new process continues a previous process's fit.
+	Resume bool
+	// Recorder receives the supervisor.* counters. nil costs nothing.
+	Recorder *obs.Recorder
+	// Logf reports restart decisions (e.g. log.Printf). nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Outcome reports how a supervised fit completed.
+type Outcome struct {
+	// Result is the completed fit.
+	Result *mafia.Result
+	// Restarts is how many times the fit was re-entered after a
+	// failure.
+	Restarts int
+	// ResumedLevel is the highest checkpoint level any attempt resumed
+	// from (0: every attempt started from scratch).
+	ResumedLevel int
+	// Recovered is true when the run completed after at least one
+	// restart or resume — the exit-code distinction cmd/pmafia
+	// surfaces.
+	Recovered bool
+}
+
+// ExhaustedError is returned when the fit kept failing recoverably
+// until the restart budget ran out. It wraps the last failure.
+type ExhaustedError struct {
+	// Restarts is how many restarts were attempted.
+	Restarts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("supervisor: fit still failing after %d restart(s): %v", e.Restarts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Run executes a supervised fit: mafia.RunParallel under the restart
+// policy of opts. Arguments mirror mafia.RunParallel; ctx cancels the
+// backoff waits (the machine's own cancellation is wired through
+// mcfg.Ctx as usual). cfg.OnCheckpoint is installed from opts.Manager;
+// a caller-provided hook still runs after the checkpoint is persisted.
+func Run(ctx context.Context, shards []dataset.Source, domains []dataset.Range, cfg mafia.Config, mcfg sp2.Config, opts Options) (*Outcome, error) {
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 10 * time.Second
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Manager != nil {
+		after := cfg.OnCheckpoint
+		cfg.OnCheckpoint = func(s *mafia.Snapshot) error {
+			if err := opts.Manager.Save(s); err != nil {
+				return err
+			}
+			if after != nil {
+				return after(s)
+			}
+			return nil
+		}
+	}
+
+	out := &Outcome{}
+	backoff := opts.Backoff
+	for attempt := 0; ; attempt++ {
+		acfg := cfg
+		if opts.Manager != nil && (attempt > 0 || opts.Resume) {
+			snap, err := opts.Manager.LoadLatest()
+			if err != nil {
+				return nil, err
+			}
+			if snap != nil {
+				acfg.Resume = snap
+				if snap.Level > out.ResumedLevel {
+					out.ResumedLevel = snap.Level
+				}
+				count(opts.Recorder, obs.CtrSupervisorResume, 1)
+				count(opts.Recorder, obs.CtrCkptResumeLevel, int64(snap.Level))
+				logf(opts, "resuming from checkpoint level %d (attempt %d)", snap.Level, attempt+1)
+			} else if attempt > 0 {
+				logf(opts, "no usable checkpoint; restarting from scratch (attempt %d)", attempt+1)
+			}
+		}
+
+		res, err := mafia.RunParallel(shards, domains, acfg, mcfg)
+		if err == nil {
+			out.Result = res
+			out.Recovered = out.Restarts > 0 || (opts.Resume && out.ResumedLevel > 0)
+			return out, nil
+		}
+		if !sp2.Recoverable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		if attempt >= opts.MaxRestarts {
+			if opts.MaxRestarts == 0 {
+				// No restart budget was ever granted: surface the raw
+				// failure as unrecoverable rather than "exhausted".
+				return nil, err
+			}
+			return nil, &ExhaustedError{Restarts: out.Restarts, Err: err}
+		}
+
+		out.Restarts++
+		count(opts.Recorder, obs.CtrSupervisorRetry, 1)
+		logf(opts, "fit failed (%v); restarting in %s (%d/%d)", err, backoff, attempt+1, opts.MaxRestarts)
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, err
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+}
+
+func count(rec *obs.Recorder, name string, delta int64) {
+	if rec != nil {
+		rec.AddGlobal(name, delta)
+	}
+}
+
+func logf(opts Options, format string, args ...any) {
+	if opts.Logf != nil {
+		opts.Logf("supervisor: "+format, args...)
+	}
+}

@@ -1,0 +1,320 @@
+package supervisor_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pmafia/internal/ckpt"
+	"pmafia/internal/datagen"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/faults"
+	"pmafia/internal/mafia"
+	"pmafia/internal/obs"
+	"pmafia/internal/sp2"
+	"pmafia/internal/supervisor"
+)
+
+// testData generates a data set with a 3-dim embedded cluster, deep
+// enough that the fit runs several lattice levels and therefore emits
+// several level-barrier checkpoints.
+func testData(t testing.TB) *dataset.Matrix {
+	t.Helper()
+	ext := []dataset.Range{{Lo: 25, Hi: 40}, {Lo: 25, Hi: 40}, {Lo: 25, Hi: 40}}
+	m, _, err := datagen.Generate(datagen.Spec{
+		Dims:     5,
+		Records:  2000,
+		Clusters: []datagen.Cluster{datagen.UniformBox([]int{0, 2, 4}, ext, 0)},
+		Seed:     91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func shardsOf(m *dataset.Matrix, p int) []dataset.Source {
+	shards := make([]dataset.Source, p)
+	for r := 0; r < p; r++ {
+		lo, hi := diskio.ShareBounds(m.NumRecords(), r, p)
+		shards[r] = m.Slice(lo, hi)
+	}
+	return shards
+}
+
+func manager(t testing.TB, opts ckpt.Options) *ckpt.Manager {
+	t.Helper()
+	mgr, err := ckpt.NewManager(t.TempDir(), ckpt.Fingerprint{DataPath: "mem", DataBytes: 1, ConfigHash: 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// summary is the deterministic projection of a Result: everything
+// except wall-clock timing and the machine report. Two runs of the
+// same fit — fault-free, or crashed and resumed from any checkpoint —
+// must produce DeepEqual summaries.
+type summary struct {
+	N        int
+	Grid     any
+	Levels   []mafia.LevelStats
+	Clusters []string
+}
+
+func summarize(res *mafia.Result) summary {
+	s := summary{N: res.N, Grid: res.Grid.Spec()}
+	for _, l := range res.Levels {
+		l.Seconds, l.PopulateSeconds = 0, 0
+		s.Levels = append(s.Levels, l)
+	}
+	for _, c := range res.Clusters {
+		s.Clusters = append(s.Clusters, c.String())
+	}
+	return s
+}
+
+// TestResumeDeterminismMatrix is the PR's central guarantee: crash a
+// rank at EVERY collective ordinal of the fit, for p in {1,2,4}, let
+// the supervisor resume from the latest level-barrier checkpoint, and
+// require the final Result to be identical to the fault-free run's.
+// The fault-free Report.Collectives count enumerates the ordinals, so
+// the matrix covers every level boundary by construction.
+func TestResumeDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash matrix is not short")
+	}
+	m := testData(t)
+	for _, p := range []int{1, 2, 4} {
+		shards := shardsOf(m, p)
+		ref, err := mafia.RunParallel(shards, nil, mafia.Config{}, sp2.Config{Procs: p})
+		if err != nil {
+			t.Fatalf("p=%d fault-free: %v", p, err)
+		}
+		want := summarize(ref)
+		total := int(ref.Report.Collectives)
+		if total < 4 {
+			t.Fatalf("p=%d: fit only has %d collectives; matrix would be vacuous", p, total)
+		}
+		for c := 0; c < total; c++ {
+			plan := faults.New(uint64(c)+1, faults.Fault{
+				Kind: faults.RankCrash, Rank: c % p, Index: int64(c),
+			})
+			out, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+				sp2.Config{Procs: p, Faults: plan},
+				supervisor.Options{
+					Manager:     manager(t, ckpt.Options{}),
+					MaxRestarts: 1,
+					Backoff:     time.Millisecond,
+				})
+			if err != nil {
+				t.Fatalf("p=%d crash at collective %d: %v", p, c, err)
+			}
+			if out.Restarts != 1 {
+				t.Fatalf("p=%d crash at collective %d: %d restarts, want 1", p, c, out.Restarts)
+			}
+			if got := summarize(out.Result); !reflect.DeepEqual(got, want) {
+				t.Errorf("p=%d crash at collective %d: recovered result diverges\n got %+v\nwant %+v",
+					p, c, got, want)
+			}
+		}
+	}
+}
+
+// TestTornCheckpointFallsBack: tear the highest checkpoint that
+// exists at crash time mid-write; recovery must skip the torn file,
+// resume from the previous good level, and still reproduce the
+// fault-free result. p=1 keeps the collective/checkpoint interleaving
+// strictly sequential, so the probe below is exact.
+func TestTornCheckpointFallsBack(t *testing.T) {
+	m := testData(t)
+	shards := shardsOf(m, 1)
+
+	ref, err := mafia.RunParallel(shards, nil, mafia.Config{}, sp2.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summarize(ref)
+	crashAt := int64(ref.Report.Collectives) - 1
+
+	// Probe which checkpoint levels land on disk before the crash
+	// point: crash at the final collective and record the hook calls.
+	var saved []int
+	probeCfg := mafia.Config{OnCheckpoint: func(s *mafia.Snapshot) error {
+		saved = append(saved, s.Level)
+		return nil
+	}}
+	probePlan := faults.New(7, faults.Fault{Kind: faults.RankCrash, Rank: 0, Index: crashAt})
+	if _, err := mafia.RunParallel(shards, nil, probeCfg, sp2.Config{Procs: 1, Faults: probePlan}); err == nil {
+		t.Fatal("probe crash did not fire")
+	}
+	if len(saved) < 2 {
+		t.Fatalf("only checkpoints %v written before the last collective; need 2+ for a fallback", saved)
+	}
+	tornLevel, fallbackLevel := saved[len(saved)-1], saved[len(saved)-2]
+
+	// Tear the newest of those writes: at restart the highest file on
+	// disk is the torn one and recovery must fall back one level.
+	plan := faults.New(7,
+		faults.Fault{Kind: faults.CkptTorn, Index: int64(len(saved) - 1)},
+		faults.Fault{Kind: faults.RankCrash, Rank: 0, Index: crashAt},
+	)
+	rec := obs.New()
+	out, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: 1, Faults: plan},
+		supervisor.Options{
+			Manager:     manager(t, ckpt.Options{Recorder: rec, Faults: plan}),
+			MaxRestarts: 2,
+			Backoff:     time.Millisecond,
+			Recorder:    rec,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", out.Restarts)
+	}
+	if out.ResumedLevel != fallbackLevel {
+		t.Errorf("resumed from level %d, want fallback to %d (torn level %d)",
+			out.ResumedLevel, fallbackLevel, tornLevel)
+	}
+	if n := rec.Metrics().Counters[obs.CtrCkptCorrupt]; n < 1 {
+		t.Errorf("torn checkpoint was never counted corrupt (ckpt.corrupt = %d)", n)
+	}
+	if got := summarize(out.Result); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered result diverges\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStallRecovery: a stalled rank is detected by the collective
+// watchdog, classified recoverable, and the fit completes on retry.
+func TestStallRecovery(t *testing.T) {
+	m := testData(t)
+	const p = 2
+	shards := shardsOf(m, p)
+	ref, err := mafia.RunParallel(shards, nil, mafia.Config{}, sp2.Config{Procs: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.New(3, faults.Fault{
+		Kind: faults.RankStall, Rank: 1, Index: 2, Stall: 2 * time.Second,
+	})
+	out, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: p, Faults: plan, CollectiveTimeout: 150 * time.Millisecond},
+		supervisor.Options{
+			Manager:     manager(t, ckpt.Options{}),
+			MaxRestarts: 1,
+			Backoff:     time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Restarts != 1 || !out.Recovered {
+		t.Errorf("restarts=%d recovered=%v, want 1/true", out.Restarts, out.Recovered)
+	}
+	if got, want := summarize(out.Result), summarize(ref); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered result diverges\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestExhaustedBudget: a crash that re-fires on every attempt must
+// drain the restart budget and surface as ExhaustedError wrapping the
+// underlying rank failure.
+func TestExhaustedBudget(t *testing.T) {
+	m := testData(t)
+	shards := shardsOf(m, 2)
+	// Collective 0 is reached by every attempt before any checkpoint
+	// exists, so with a large Times budget each restart re-fails.
+	plan := faults.New(1, faults.Fault{
+		Kind: faults.RankCrash, Rank: 1, Index: 0, Times: 99,
+	})
+	rec := obs.New()
+	_, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: 2, Faults: plan},
+		supervisor.Options{MaxRestarts: 2, Backoff: time.Millisecond, Recorder: rec})
+	var ex *supervisor.ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v (%T), want ExhaustedError", err, err)
+	}
+	if ex.Restarts != 2 {
+		t.Errorf("ExhaustedError.Restarts = %d, want 2", ex.Restarts)
+	}
+	var re *sp2.RankError
+	if !errors.As(err, &re) {
+		t.Errorf("ExhaustedError does not unwrap to the rank failure: %v", err)
+	}
+	if n := rec.Metrics().Counters[obs.CtrSupervisorRetry]; n != 2 {
+		t.Errorf("supervisor.restarts = %d, want 2", n)
+	}
+}
+
+// TestNoBudgetReturnsBareError: MaxRestarts 0 means the first failure
+// is final and must surface as the raw rank error, not "exhausted".
+func TestNoBudgetReturnsBareError(t *testing.T) {
+	m := testData(t)
+	shards := shardsOf(m, 2)
+	plan := faults.New(1, faults.Fault{Kind: faults.RankCrash, Rank: 1, Index: 0})
+	_, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: 2, Faults: plan}, supervisor.Options{})
+	var re *sp2.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T), want *sp2.RankError", err, err)
+	}
+	var ex *supervisor.ExhaustedError
+	if errors.As(err, &ex) {
+		t.Errorf("MaxRestarts=0 failure wrapped as ExhaustedError: %v", err)
+	}
+}
+
+// TestUnrecoverableErrorPassesThrough: configuration errors are not
+// rank failures and must never be retried.
+func TestUnrecoverableErrorPassesThrough(t *testing.T) {
+	start := time.Now()
+	_, err := supervisor.Run(context.Background(), nil, nil, mafia.Config{},
+		sp2.Config{}, supervisor.Options{MaxRestarts: 5, Backoff: time.Second})
+	if err == nil {
+		t.Fatal("no error for an empty shard list")
+	}
+	var ex *supervisor.ExhaustedError
+	if errors.As(err, &ex) {
+		t.Errorf("config error wrapped as ExhaustedError: %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("unrecoverable error appears to have waited out backoff retries")
+	}
+}
+
+// TestResumeFlagContinuesPreviousProcess: a second supervised run
+// started with Resume picks up the checkpoints a first run left
+// behind and reports the recovery, with an identical result.
+func TestResumeFlagContinuesPreviousProcess(t *testing.T) {
+	m := testData(t)
+	shards := shardsOf(m, 2)
+	mgr := manager(t, ckpt.Options{})
+	first, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: 2}, supervisor.Options{Manager: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Recovered {
+		t.Error("fresh run reported Recovered")
+	}
+	rec := obs.New()
+	second, err := supervisor.Run(context.Background(), shards, nil, mafia.Config{},
+		sp2.Config{Procs: 2}, supervisor.Options{Manager: mgr, Resume: true, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Recovered || second.ResumedLevel < 1 {
+		t.Errorf("resumed run: Recovered=%v ResumedLevel=%d", second.Recovered, second.ResumedLevel)
+	}
+	if n := rec.Metrics().Counters[obs.CtrSupervisorResume]; n != 1 {
+		t.Errorf("supervisor.resumes = %d, want 1", n)
+	}
+	if got, want := summarize(second.Result), summarize(first.Result); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result diverges\n got %+v\nwant %+v", got, want)
+	}
+}

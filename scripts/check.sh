@@ -45,9 +45,17 @@ go test -race -count=1 -run 'TestPropertyMatchesOracle|TestFittedModelMatchesEng
 echo "== load smoke (sustained /assign traffic, server vs client percentiles)"
 go test -race -count=1 -run 'TestLoadSmoke' ./internal/bench
 
+# Recovery gate: supervised restart under injected crashes and torn
+# checkpoint writes must reproduce the fault-free result
+# bit-identically, race-clean (the full per-collective crash matrix
+# lives in `make recover`).
+echo "== recovery gate (crash resume + torn-checkpoint fallback)"
+go test -race -count=1 -run 'TestResumeDeterminismMatrix|TestTornCheckpointFallsBack' ./internal/supervisor
+
 if [ "$smoke" = 1 ]; then
-    echo "== fuzz smoke (FuzzOpen, 10s)"
+    echo "== fuzz smoke (FuzzOpen + FuzzDecode, 10s each)"
     go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
+    go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/ckpt
 
     smokejson="${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
     echo "== bench smoke (cmd/bench -smoke)"
