@@ -27,7 +27,7 @@ recover:
 	go test -race -count=1 ./internal/supervisor
 	go test -race -count=1 -run 'Manager|Resume|Exit' ./internal/ckpt ./cmd/pmafia
 
-# Tracked benchmark suite: refreshes BENCH_pr6.json with records/sec
+# Tracked benchmark suite: refreshes BENCH_pr8.json with records/sec
 # per phase (histogram, populate, full run, assignment) at p in
 # {1,2,4,8}, plus the serving load run (QPS + latency percentiles).
 bench:
@@ -38,4 +38,4 @@ bench:
 # the matched cells (p<=2) were measured on a quiet machine.
 bench-compare:
 	go run ./cmd/bench -smoke -out "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
-	go run ./cmd/bench -compare BENCH_pr6.json "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json" -tolerance 0.9
+	go run ./cmd/bench -compare BENCH_pr8.json "$${TMPDIR:-/tmp}/pmafia-bench-smoke.json" -tolerance 0.9

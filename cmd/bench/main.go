@@ -1,10 +1,12 @@
 // Command bench runs the tracked benchmark suite (internal/bench) —
-// the engine throughput cells plus a sustained-QPS serving load run
-// against an in-process pmafiad daemon — and writes the report as
-// JSON. The committed snapshot lives at BENCH_pr6.json in the
-// repository root:
+// the engine throughput cells (including the batch-assign kernel
+// cells at d=64 and 512 clusters) plus two sustained-QPS serving load
+// runs against an in-process pmafiad daemon, one over CSV bodies and
+// one over the framed binary protocol with request coalescing — and
+// writes the report as JSON. The committed snapshot lives at
+// BENCH_pr8.json in the repository root:
 //
-//	go run ./cmd/bench -out BENCH_pr6.json
+//	go run ./cmd/bench -out BENCH_pr8.json
 //	go run ./cmd/bench -smoke -out /dev/null   # CI smoke
 //
 // With -compare it diffs two report files instead of measuring, and
@@ -85,7 +87,7 @@ func runCompare(args []string, tolerance float64) int {
 
 func main() {
 	var (
-		out         = flag.String("out", "BENCH_pr6.json", "report output path")
+		out         = flag.String("out", "BENCH_pr8.json", "report output path")
 		smoke       = flag.Bool("smoke", false, "run a seconds-long configuration (CI smoke)")
 		records     = flag.Int("records", 0, "override record count")
 		chunk       = flag.Int("chunk", 0, "override chunk size (records per read)")
@@ -144,6 +146,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
+		lo.Frame = true
+		rep.LoadFrame, err = bench.RunLoad(lo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -155,6 +163,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: histogram single-rank speedup %.2fx, populate %.2fx -> %s\n",
-		rep.HistogramSingleRankSpeedup, rep.PopulateSingleRankSpeedup, *out)
+	fmt.Fprintf(os.Stderr, "bench: histogram single-rank speedup %.2fx, populate %.2fx, assign batch kernel %.2fx -> %s\n",
+		rep.HistogramSingleRankSpeedup, rep.PopulateSingleRankSpeedup, rep.AssignBatchKernelSpeedup, *out)
 }

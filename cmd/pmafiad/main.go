@@ -44,6 +44,8 @@ func main() {
 	flag.IntVar(&cfg.Chunk, "chunk", 8192, "records per assignment batch")
 	flag.IntVar(&cfg.Workers, "workers", 1, "goroutines fanning out each assignment request")
 	flag.Int64Var(&cfg.MaxBody, "max-body", 1<<30, "request body cap in bytes")
+	flag.DurationVar(&cfg.CoalesceWindow, "coalesce", 0, "flush window for coalescing small framed /assign requests (0 disables)")
+	flag.IntVar(&cfg.CoalesceMax, "coalesce-max", 512, "largest framed request (records) eligible for coalescing")
 	flag.StringVar(&accessLog, "access-log", "-", `access-log destination: "-" for stderr, "" to disable, or a file path (appended)`)
 	flag.IntVar(&cfg.SlowN, "slow", 16, "slowest requests kept for /debug/slow")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")

@@ -330,6 +330,191 @@ func TestChunkAndSourceMatchRecord(t *testing.T) {
 	}
 }
 
+// TestBatchKernelPropertySweep property-tests the batch kernel against
+// AssignRecord: randomized grids swept across dims × bins ×
+// cluster-count (crossing the 1-, 2-, and N-word bitset kernels) ×
+// block size (tails, exactly one block, block+tail, multi-block), with
+// records on exact bin bounds, NaN, ±Inf, and out-of-domain values.
+// AssignChunk and the multi-worker AssignSource must reproduce the
+// per-record labels bit-identically.
+func TestBatchKernelPropertySweep(t *testing.T) {
+	r := rng.New(99)
+	blockSizes := []int{1, 7, 63, 64, 65, 2*64 + 17}
+	// Cluster counts are chosen so total boxes (1–2 per cluster) sweep
+	// the word count: ~0, <64, ~64–128, and well past 128 boxes.
+	clusterCounts := []int{0, 2, 9, 45, 130}
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + r.Intn(8)
+		domains := make([]dataset.Range, d)
+		for i := range domains {
+			lo := r.In(-100, 100)
+			domains[i] = dataset.Range{Lo: lo, Hi: lo + r.In(0.1, 200)}
+		}
+		xi := 2 + r.Intn(30)
+		g := uniformGrid(t, domains, xi)
+
+		ncl := clusterCounts[trial%len(clusterCounts)]
+		cs := make([]cluster.Cluster, 0, ncl)
+		for ci := 0; ci < ncl; ci++ {
+			k := 1 + r.Intn(d)
+			dims := make([]uint8, 0, k)
+			for _, di := range r.Perm(d)[:k] {
+				dims = append(dims, uint8(di))
+			}
+			for i := 1; i < len(dims); i++ { // insertion sort ascending
+				for j := i; j > 0 && dims[j-1] > dims[j]; j-- {
+					dims[j-1], dims[j] = dims[j], dims[j-1]
+				}
+			}
+			nb := 1 + r.Intn(2)
+			boxes := make([]cluster.Box, 0, nb)
+			for bi := 0; bi < nb; bi++ {
+				lo := make([]uint8, k)
+				hi := make([]uint8, k)
+				for x := range lo {
+					a, b := r.Intn(xi), r.Intn(xi)
+					if a > b {
+						a, b = b, a
+					}
+					lo[x], hi[x] = uint8(a), uint8(b)
+				}
+				boxes = append(boxes, cluster.Box{BinLo: lo, BinHi: hi})
+			}
+			cs = append(cs, cluster.Cluster{Dims: dims, Boxes: boxes})
+		}
+		ix := mustIndex(t, g, cs)
+
+		hostile := func(i int) float64 {
+			dom := domains[i]
+			switch r.Intn(12) {
+			case 0: // exact bin bound
+				bins := g.Dims[i].Bins
+				b := bins[r.Intn(len(bins))]
+				if r.Intn(2) == 0 {
+					return b.Bounds.Lo
+				}
+				return b.Bounds.Hi
+			case 1:
+				return dom.Lo - r.In(0, 10)
+			case 2:
+				return dom.Hi + r.In(0, 10)
+			case 3:
+				return math.NaN()
+			case 4:
+				return math.Inf(1)
+			case 5:
+				return math.Inf(-1)
+			default:
+				return r.In(dom.Lo, dom.Hi)
+			}
+		}
+		for _, n := range blockSizes {
+			flat := make([]float64, n*d)
+			for i := range flat {
+				flat[i] = hostile(i % d)
+			}
+			want := make([]int32, n)
+			scratch := ix.Scratch()
+			for i := 0; i < n; i++ {
+				var err error
+				want[i], err = ix.AssignRecord(flat[i*d:(i+1)*d], scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make([]int32, n)
+			if err := ix.AssignChunk(flat, got, ix.Scratch()); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (clusters=%d boxes=%d) n=%d: AssignChunk record %d labeled %d, AssignRecord says %d",
+						trial, ncl, ix.Boxes(), n, i, got[i], want[i])
+				}
+			}
+			src := &dataset.Matrix{D: d, Values: flat}
+			for _, workers := range []int{1, 3} {
+				labels, err := ix.AssignSource(src, 97, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if labels[i] != want[i] {
+						t.Fatalf("trial %d n=%d workers=%d: AssignSource record %d labeled %d, AssignRecord says %d",
+							trial, n, workers, i, labels[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignSourceWorkersBlockIsolation is the scratch-aliasing
+// regression test: a multi-word index (boxes > 64) driven through
+// AssignSource at workers > 1 with a chunk size that is not a multiple
+// of the kernel block width. If two workers ever shared a block (or a
+// scratch buffer sized below the block width), concurrent accumulator
+// writes would corrupt labels; every worker must reproduce the
+// single-record path exactly.
+func TestAssignSourceWorkersBlockIsolation(t *testing.T) {
+	r := rng.New(31)
+	const d, xi = 5, 16
+	g := uniformGrid(t, unitDomains(d), xi)
+	cs := make([]cluster.Cluster, 0, 90)
+	for ci := 0; ci < 90; ci++ { // 90 single-box clusters -> words > 1
+		k := 1 + r.Intn(d)
+		dims := make([]uint8, 0, k)
+		for _, di := range r.Perm(d)[:k] {
+			dims = append(dims, uint8(di))
+		}
+		for i := 1; i < len(dims); i++ {
+			for j := i; j > 0 && dims[j-1] > dims[j]; j-- {
+				dims[j-1], dims[j] = dims[j], dims[j-1]
+			}
+		}
+		lo := make([]uint8, k)
+		hi := make([]uint8, k)
+		for x := range lo {
+			a, b := r.Intn(xi), r.Intn(xi)
+			if a > b {
+				a, b = b, a
+			}
+			lo[x], hi[x] = uint8(a), uint8(b)
+		}
+		cs = append(cs, cluster.Cluster{Dims: dims, Boxes: []cluster.Box{{BinLo: lo, BinHi: hi}}})
+	}
+	ix := mustIndex(t, g, cs)
+	if ix.Boxes() <= 64 {
+		t.Fatalf("model has %d boxes, the regression needs a multi-word bitset", ix.Boxes())
+	}
+	const n = 64*40 + 23
+	flat := make([]float64, n*d)
+	for i := range flat {
+		flat[i] = r.Float64()
+	}
+	want := make([]int32, n)
+	scratch := ix.Scratch()
+	for i := 0; i < n; i++ {
+		var err error
+		want[i], err = ix.AssignRecord(flat[i*d:(i+1)*d], scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := &dataset.Matrix{D: d, Values: flat}
+	for _, workers := range []int{2, 4, 7} {
+		labels, err := ix.AssignSource(src, 1000, workers) // 1000 % 64 != 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if labels[i] != want[i] {
+				t.Fatalf("workers=%d: record %d labeled %d, want %d", workers, i, labels[i], want[i])
+			}
+		}
+	}
+}
+
 // genClustered builds a data set with an embedded 3-dim box cluster.
 func genClustered(t *testing.T, d, records int, seed uint64) *dataset.Matrix {
 	t.Helper()

@@ -34,6 +34,7 @@ import (
 	"pmafia/internal/grid"
 	"pmafia/internal/histogram"
 	"pmafia/internal/mafia"
+	"pmafia/internal/rng"
 	"pmafia/internal/sp2"
 	"pmafia/internal/unit"
 )
@@ -130,10 +131,22 @@ type Report struct {
 	// oracle (Result.AssignRecord), on a 48-cluster model. Labels are
 	// verified bit-identical before timing.
 	AssignSingleRankSpeedup float64 `json:"assign_single_rank_speedup"`
+	// AssignBatchKernelSpeedup is the p=1 ratio of the batch kernel
+	// (AssignChunk) over the same compiled index driven one record at a
+	// time — what batching alone buys on the main assign cell.
+	AssignBatchKernelSpeedup float64 `json:"assign_batch_kernel_speedup"`
+	// AssignD64BatchSpeedup and AssignC512BatchSpeedup are the same
+	// batch-over-per-record ratio on the d=64 and 512-cluster kernel
+	// cells.
+	AssignD64BatchSpeedup  float64 `json:"assign_d64_batch_speedup"`
+	AssignC512BatchSpeedup float64 `json:"assign_c512_batch_speedup"`
 	// Load is the serving load-harness outcome (RunLoad): sustained
 	// /assign QPS and latency percentiles against an in-process
 	// daemon. nil when the load run was skipped.
 	Load *LoadReport `json:"load,omitempty"`
+	// LoadFrame is the same load run speaking the framed binary
+	// protocol with request coalescing enabled. nil when skipped.
+	LoadFrame *LoadReport `json:"load_frame,omitempty"`
 }
 
 // rangeShard adapts a contiguous record range of a file to Source.
@@ -217,10 +230,16 @@ func Run(o Options) (*Report, error) {
 	if err := benchAssign(o, rep, serialF, data); err != nil {
 		return nil, err
 	}
+	if err := benchAssignKernels(o, rep); err != nil {
+		return nil, err
+	}
 
 	rep.HistogramSingleRankSpeedup = speedup(rep.Measurements, "histogram", "flat", "baseline")
 	rep.PopulateSingleRankSpeedup = speedup(rep.Measurements, "populate", "flat", "baseline")
 	rep.AssignSingleRankSpeedup = speedup(rep.Measurements, "assign", "indexed", "oracle")
+	rep.AssignBatchKernelSpeedup = speedup(rep.Measurements, "assign", "indexed", "record")
+	rep.AssignD64BatchSpeedup = speedup(rep.Measurements, "assign_d64", "indexed", "record")
+	rep.AssignC512BatchSpeedup = speedup(rep.Measurements, "assign_c512", "indexed", "record")
 	return rep, nil
 }
 
@@ -398,14 +417,13 @@ func benchPopulate(o Options, rep *Report, serialF, prefetchF *diskio.File) erro
 	return nil
 }
 
-// syntheticClusters builds a 48-cluster model over 3-dimensional
+// syntheticClusters builds an n-cluster model over 3-dimensional
 // subspaces of a d-dim, bins-per-dim uniform grid, two boxes per
 // cluster — the cluster count and dimensionality the assignment index
 // is sized against. Boxes overlap across clusters on purpose:
 // first-match tie-breaking is part of what the bit-identity gate
 // checks.
-func syntheticClusters(d, bins int) []cluster.Cluster {
-	const n = 48
+func syntheticClusters(d, bins, n int) []cluster.Cluster {
 	cs := make([]cluster.Cluster, 0, n)
 	for c := 0; c < n; c++ {
 		i := c % (d - 2)
@@ -443,7 +461,7 @@ func benchAssign(o Options, rep *Report, serialF *diskio.File, data *dataset.Mat
 		return err
 	}
 	d := data.Dims()
-	clusters := syntheticClusters(d, bins)
+	clusters := syntheticClusters(d, bins, 48)
 	ix, err := assign.New(g, clusters)
 	if err != nil {
 		return err
@@ -482,6 +500,19 @@ func benchAssign(o Options, rep *Report, serialF *diskio.File, data *dataset.Mat
 				}
 				return nil
 			}},
+			{"record", func(r int) error {
+				// The compiled index driven one record at a time — the
+				// pre-batch-kernel shape. "indexed" over the same rows
+				// isolates what the batch kernel itself buys.
+				m := ms[r]
+				scratch := ix.Scratch()
+				for i := 0; i < m.NumRecords(); i++ {
+					if _, err := ix.AssignRecord(m.Row(i), scratch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
 			{"indexed", func(r int) error {
 				m := ms[r]
 				out := make([]int32, m.NumRecords())
@@ -496,6 +527,88 @@ func benchAssign(o Options, rep *Report, serialF *diskio.File, data *dataset.Mat
 			if err := measure(o, rep, "assign", v.name, p, total, func() error {
 				return onRanks(p, v.run)
 			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// benchAssignKernels measures the batch kernel on the two shapes the
+// main assign cell does not cover: a high-dimensional model (d=64,
+// where the per-record bin work dominates) and a 512-cluster model
+// (whose 1024-box bitset spans 16 words, the record-major N-word
+// kernel). Both cells run at p=1 with the "record" (per-record index)
+// and "indexed" (batch kernel) variants over in-memory data, gated on
+// bit-identity against the linear oracle before timing.
+func benchAssignKernels(o Options, rep *Report) error {
+	nk := o.Records
+	if nk > 100000 {
+		// The kernel ratio stabilizes long before the full data set
+		// size; 100k records keeps the d=64 matrix at 51MB.
+		nk = 100000
+	}
+	cells := []struct {
+		phase    string
+		d, bins  int
+		clusters int
+	}{
+		{"assign_d64", 64, 10, 48},
+		{"assign_c512", 10, 10, 512},
+	}
+	r := rng.New(8888)
+	for _, cell := range cells {
+		domains := make([]dataset.Range, cell.d)
+		for i := range domains {
+			domains[i] = dataset.Range{Lo: 0, Hi: 100}
+		}
+		data := dataset.NewMatrix(nk, cell.d)
+		for i := range data.Values {
+			data.Values[i] = r.In(0, 100)
+		}
+		h := histogram.New(domains, 1000)
+		if err := h.AddSource(data, o.ChunkRecords); err != nil {
+			return err
+		}
+		g, err := grid.BuildUniform(h, cell.bins, 0.01)
+		if err != nil {
+			return err
+		}
+		clusters := syntheticClusters(cell.d, cell.bins, cell.clusters)
+		ix, err := assign.New(g, clusters)
+		if err != nil {
+			return err
+		}
+		res := &mafia.Result{Grid: g, Clusters: clusters}
+		labels := make([]int32, nk)
+		if err := ix.AssignChunk(data.Values, labels, ix.Scratch()); err != nil {
+			return err
+		}
+		for i := 0; i < nk; i++ {
+			if want := res.AssignRecord(data.Row(i)); int(labels[i]) != want {
+				return fmt.Errorf("bench %s: record %d labeled %d by the index, %d by the oracle",
+					cell.phase, i, labels[i], want)
+			}
+		}
+		variants := []struct {
+			name string
+			run  func() error
+		}{
+			{"record", func() error {
+				scratch := ix.Scratch()
+				for i := 0; i < nk; i++ {
+					if _, err := ix.AssignRecord(data.Row(i), scratch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+			{"indexed", func() error {
+				return ix.AssignChunk(data.Values, labels, ix.Scratch())
+			}},
+		}
+		for _, v := range variants {
+			if err := measure(o, rep, cell.phase, v.name, 1, int64(nk), v.run); err != nil {
 				return err
 			}
 		}

@@ -101,13 +101,21 @@ func Compare(oldRep, newRep *Report, tolerance float64) *Comparison {
 		}
 		c.Rows = append(c.Rows, row)
 	}
-	switch {
-	case oldRep.Load != nil && newRep.Load != nil:
-		compareLoad(c, oldRep.Load, newRep.Load, tolerance)
-	case oldRep.Load != nil:
-		c.MissingInNew = append(c.MissingInNew, "serve/load")
-	case newRep.Load != nil:
-		c.MissingInOld = append(c.MissingInOld, "serve/load")
+	for _, load := range []struct {
+		phase    string
+		old, new *LoadReport
+	}{
+		{"serve", oldRep.Load, newRep.Load},
+		{"serve_frame", oldRep.LoadFrame, newRep.LoadFrame},
+	} {
+		switch {
+		case load.old != nil && load.new != nil:
+			compareLoad(c, load.phase, load.old, load.new, tolerance)
+		case load.old != nil:
+			c.MissingInNew = append(c.MissingInNew, load.phase+"/load")
+		case load.new != nil:
+			c.MissingInOld = append(c.MissingInOld, load.phase+"/load")
+		}
 	}
 	sort.Strings(c.MissingInNew)
 	sort.Strings(c.MissingInOld)
@@ -133,9 +141,9 @@ func nextLatencyBound(v float64) float64 {
 // of grace — a percentile regressed only if it is both past the
 // tolerance AND past the next bucket boundary, so bucket-quantization
 // jitter between adjacent boundaries never fails the gate on its own.
-func compareLoad(c *Comparison, oldL, newL *LoadReport, tolerance float64) {
+func compareLoad(c *Comparison, phase string, oldL, newL *LoadReport, tolerance float64) {
 	qps := CompareRow{
-		Phase: "serve", Variant: "qps", P: oldL.Clients, Unit: "qps",
+		Phase: phase, Variant: "qps", P: oldL.Clients, Unit: "qps",
 		OldRate: oldL.QPS, NewRate: newL.QPS,
 	}
 	if oldL.QPS > 0 {
@@ -152,7 +160,7 @@ func compareLoad(c *Comparison, oldL, newL *LoadReport, tolerance float64) {
 		{"p99", oldL.P99, newL.P99},
 	} {
 		row := CompareRow{
-			Phase: "serve", Variant: pct.name, P: oldL.Clients, Unit: "seconds",
+			Phase: phase, Variant: pct.name, P: oldL.Clients, Unit: "seconds",
 			OldRate: pct.old, NewRate: pct.new,
 		}
 		if pct.new > 0 {

@@ -41,6 +41,11 @@ type LoadOptions struct {
 	// Chunk and Workers configure the daemon's assignment path.
 	Chunk   int
 	Workers int
+	// Frame switches the request bodies from CSV to the framed binary
+	// protocol (daemon.ContentTypeFrame) and turns on request
+	// coalescing in the daemon — the zero-copy streaming path end to
+	// end.
+	Frame bool
 	// Log, when non-nil, receives a summary line.
 	Log io.Writer
 }
@@ -129,7 +134,7 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		return nil, err
 	}
 
-	d, err := daemon.New(daemon.Config{
+	dcfg := daemon.Config{
 		Addr:     "127.0.0.1:0",
 		ModelDir: dir,
 		// Admit every client: the harness measures latency under
@@ -137,7 +142,12 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		Inflight: o.Clients + 2,
 		Chunk:    o.Chunk,
 		Workers:  o.Workers,
-	})
+	}
+	if o.Frame {
+		dcfg.CoalesceWindow = 2 * time.Millisecond
+		dcfg.CoalesceMax = o.BatchRecords
+	}
+	d, err := daemon.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,21 +158,31 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		d.Shutdown(ctx)
 	}()
 
-	var body bytes.Buffer
 	n := o.BatchRecords
 	if n > data.NumRecords() {
 		n = data.NumRecords()
 	}
-	for i := 0; i < n; i++ {
-		for j, v := range data.Row(i) {
-			if j > 0 {
-				body.WriteByte(',')
-			}
-			fmt.Fprintf(&body, "%g", v)
+	contentType := "text/csv"
+	var payload []byte
+	if o.Frame {
+		contentType = daemon.ContentTypeFrame
+		payload, err = daemon.EncodeFrame(o.Dims, data.Values[:n*o.Dims])
+		if err != nil {
+			return nil, err
 		}
-		body.WriteByte('\n')
+	} else {
+		var body bytes.Buffer
+		for i := 0; i < n; i++ {
+			for j, v := range data.Row(i) {
+				if j > 0 {
+					body.WriteByte(',')
+				}
+				fmt.Fprintf(&body, "%g", v)
+			}
+			body.WriteByte('\n')
+		}
+		payload = body.Bytes()
 	}
-	payload := body.Bytes()
 	url := "http://" + d.Addr() + "/assign?model=load.pmfm"
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        o.Clients * 2,
@@ -171,7 +191,7 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 
 	// One warm-up request loads the model so the cache miss is not in
 	// the measured window.
-	if resp, err := client.Post(url, "text/csv", bytes.NewReader(payload)); err != nil {
+	if resp, err := client.Post(url, contentType, bytes.NewReader(payload)); err != nil {
 		return nil, err
 	} else {
 		io.Copy(io.Discard, resp.Body)
@@ -194,7 +214,7 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 			clientHists[c] = h
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				resp, err := client.Post(url, "text/csv", bytes.NewReader(payload))
+				resp, err := client.Post(url, contentType, bytes.NewReader(payload))
 				if err != nil {
 					errors.Add(1)
 					continue
@@ -239,8 +259,12 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		ClientP99:    clientH.Quantile(0.99),
 	}
 	if o.Log != nil {
-		fmt.Fprintf(o.Log, "serve      load       c=%d %8.0f qps  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  (%d reqs, %d errs)\n",
-			rep.Clients, rep.QPS, rep.P50, rep.P90, rep.P99, rep.Max, rep.Requests, rep.Errors)
+		phase := "serve"
+		if o.Frame {
+			phase = "serve_frame"
+		}
+		fmt.Fprintf(o.Log, "%-10s load       c=%d %8.0f qps  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  (%d reqs, %d errs)\n",
+			phase, rep.Clients, rep.QPS, rep.P50, rep.P90, rep.P99, rep.Max, rep.Requests, rep.Errors)
 	}
 	return rep, nil
 }

@@ -1,0 +1,138 @@
+package daemon
+
+// Request coalescing for the framed /assign path: concurrent small
+// bodies against the same model are appended to one accumulation
+// buffer and labeled by a single batch-kernel invocation, so a swarm
+// of tiny requests pays one kernel ramp-up instead of one each. A
+// batch flushes when it reaches the configured chunk size or when its
+// flush window expires, whichever comes first — no request ever waits
+// past the window. Waiters get their labels copied out per request, so
+// a late reader can never observe a buffer reused by the next batch.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// coalescer batches framed /assign requests per model.
+type coalescer struct {
+	rec    *obs.Recorder
+	window time.Duration // max time a request may wait for co-riders
+	flushN int           // records that trigger an immediate flush
+
+	mu      sync.Mutex
+	pending map[*model]*coBatch
+}
+
+// coBatch is one in-progress accumulation for a model. It leaves
+// c.pending exactly once — detached either by the request that fills
+// it or by its window timer — and is run by whoever detached it, so a
+// batch can never be labeled twice.
+type coBatch struct {
+	m       *model
+	vals    []float64 // concatenated request payloads, row-major
+	n       int       // records accumulated
+	waiters []*coWaiter
+	timer   *time.Timer
+}
+
+// coWaiter is one request's slot in a batch: its record range in the
+// accumulation buffer and the channel its labels arrive on.
+type coWaiter struct {
+	off, n   int
+	enqueued time.Time
+	done     chan struct{}
+	labels   []int32
+	err      error
+}
+
+func newCoalescer(rec *obs.Recorder, window time.Duration, flushN int) *coalescer {
+	return &coalescer{
+		rec:     rec,
+		window:  window,
+		flushN:  flushN,
+		pending: make(map[*model]*coBatch),
+	}
+}
+
+// submit enqueues one request's records and blocks until its batch is
+// labeled (or ctx ends; the batch still completes without the caller).
+// vals must be a whole number of m's records and must not be mutated
+// after the call — the coalescer owns it from here.
+func (c *coalescer) submit(ctx context.Context, m *model, vals []float64) ([]int32, error) {
+	d := m.ix.Dims()
+	w := &coWaiter{n: len(vals) / d, enqueued: time.Now(), done: make(chan struct{})}
+	c.mu.Lock()
+	b := c.pending[m]
+	if b == nil {
+		b = &coBatch{m: m}
+		c.pending[m] = b
+		b.timer = time.AfterFunc(c.window, func() { c.flushExpired(m, b) })
+	}
+	w.off = b.n
+	b.vals = append(b.vals, vals...)
+	b.n += w.n
+	b.waiters = append(b.waiters, w)
+	full := b.n >= c.flushN
+	if full {
+		c.detachLocked(m, b)
+	}
+	c.mu.Unlock()
+	c.rec.Add(0, obs.CtrAssignCoalesceReqs, 1)
+	if full {
+		c.run(b)
+	}
+	select {
+	case <-w.done:
+		return w.labels, w.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flushExpired is the window-timer path: run the batch unless the
+// fill path already detached it.
+func (c *coalescer) flushExpired(m *model, b *coBatch) {
+	c.mu.Lock()
+	detached := c.pending[m] == b
+	if detached {
+		c.detachLocked(m, b)
+	}
+	c.mu.Unlock()
+	if detached {
+		c.run(b)
+	}
+}
+
+// detachLocked removes b from the pending map (callers hold c.mu and
+// have verified identity). Stopping the timer is best-effort: a timer
+// that already fired finds the batch gone and does nothing.
+func (c *coalescer) detachLocked(m *model, b *coBatch) {
+	delete(c.pending, m)
+	b.timer.Stop()
+}
+
+// run labels a detached batch with one kernel invocation and fans the
+// labels back out to the waiters. Queue time — enqueue to kernel
+// start — lands in the same histogram as the in-flight-slot wait.
+func (c *coalescer) run(b *coBatch) {
+	start := time.Now()
+	for _, w := range b.waiters {
+		c.rec.Observe(0, obs.HistAssignQueueSeconds, start.Sub(w.enqueued).Seconds())
+	}
+	c.rec.Add(0, obs.CtrAssignCoalesceFlushes, 1)
+	c.rec.Observe(0, obs.HistAssignCoalesceRecords, float64(b.n))
+	labels := make([]int32, b.n)
+	err := b.m.ix.AssignChunk(b.vals, labels, b.m.ix.Scratch())
+	for _, w := range b.waiters {
+		if err != nil {
+			w.err = err
+		} else {
+			w.labels = append([]int32(nil), labels[w.off:w.off+w.n]...)
+		}
+		close(w.done)
+	}
+}

@@ -1,0 +1,156 @@
+package daemon
+
+import (
+	"context"
+	"encoding/binary"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// TestCoalescedAssignCorrectPerRequestLabels hammers a coalescing
+// daemon with concurrent small framed requests, each a different slice
+// of the training data, and checks every request gets exactly its own
+// labels back — the failure mode of a mis-sliced accumulation buffer
+// or a batch labeled twice. Run under -race this is also the
+// coalescer's data-race gate.
+func TestCoalescedAssignCorrectPerRequestLabels(t *testing.T) {
+	dir := t.TempDir()
+	res, m := fitModel(t, dir, "a.pmfm", 23)
+	d, base := startDaemon(t, Config{
+		ModelDir:       dir,
+		Inflight:       64,
+		CoalesceWindow: 2 * time.Millisecond,
+		CoalesceMax:    64,
+		// A small chunk forces threshold flushes to race the window
+		// timer, covering both detach paths.
+		Chunk: 128,
+	})
+	defer d.Shutdown(context.Background())
+
+	want, err := res.Assign(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dims = 5
+	const clients = 16
+	const perClient = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				// Each request takes a distinct contiguous row range;
+				// sizes vary so waiter offsets are irregular.
+				lo := (c*perClient + q) * 9 % (m.NumRecords() - 8)
+				n := 1 + (c+q)%7
+				body, err := EncodeFrame(dims, m.Values[lo*dims:(lo+n)*dims])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, raw := postAssign(t, base, "a.pmfm", ContentTypeFrame, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d req %d: status %d: %s", c, q, resp.StatusCode, raw)
+					return
+				}
+				if len(raw) != 4*n {
+					t.Errorf("client %d req %d: %d bytes for %d labels", c, q, len(raw), n)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if got := int32(binary.LittleEndian.Uint32(raw[4*i:])); got != want[lo+i] {
+						t.Errorf("client %d req %d record %d: got %d, want %d", c, q, lo+i, got, want[lo+i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	rec := d.Recorder()
+	reqs := rec.Counter(obs.CtrAssignCoalesceReqs)
+	flushes := rec.Counter(obs.CtrAssignCoalesceFlushes)
+	if reqs != clients*perClient {
+		t.Errorf("coalesce.requests = %d, want %d", reqs, clients*perClient)
+	}
+	if flushes < 1 || flushes > reqs {
+		t.Errorf("coalesce.flushes = %d with %d requests", flushes, reqs)
+	}
+	if h := rec.Histogram(obs.HistAssignCoalesceRecords); h == nil || h.Count() != flushes {
+		t.Errorf("coalesce.records histogram does not match the flush count")
+	}
+}
+
+// TestCoalesceFlushDeadline pins the starvation bound: a lone framed
+// request with no co-riders must be flushed by the window timer, not
+// wait for a batch that never fills. The bound is generous for CI
+// schedulers but far below the daemon's 30s request timeout, so a
+// stuck timer fails fast.
+func TestCoalesceFlushDeadline(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 24)
+	d, base := startDaemon(t, Config{
+		ModelDir:       dir,
+		CoalesceWindow: 10 * time.Millisecond,
+		CoalesceMax:    64,
+	})
+	defer d.Shutdown(context.Background())
+
+	body, err := EncodeFrame(5, m.Values[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, raw := postAssign(t, base, "a.pmfm", ContentTypeFrame, body)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("lone coalesced request took %v — window timer did not flush", elapsed)
+	}
+	if got := d.Recorder().Counter(obs.CtrAssignCoalesceFlushes); got != 1 {
+		t.Errorf("coalesce.flushes = %d, want 1", got)
+	}
+}
+
+// TestCoalesceOversizedBodyStill413 pins that turning coalescing on
+// does not bypass the body cap: a single framed request whose declared
+// payload exceeds MaxBody maps to 413, and so does a raw body that
+// overruns the cap mid-read.
+func TestCoalesceOversizedBodyStill413(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 25)
+	d, base := startDaemon(t, Config{
+		ModelDir:       dir,
+		MaxBody:        4096,
+		CoalesceWindow: 2 * time.Millisecond,
+		CoalesceMax:    1 << 20, // eligibility is not what rejects it
+	})
+	defer d.Shutdown(context.Background())
+
+	// Declared payload past the cap: rejected from the header alone.
+	big, err := EncodeFrame(5, make([]float64, 5*4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postAssign(t, base, "a.pmfm", ContentTypeFrame, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("declared-oversize frame: status %d (%s), want 413", resp.StatusCode, raw)
+	}
+
+	// A small, valid frame still works on the same daemon.
+	ok, err := EncodeFrame(5, m.Values[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, raw := postAssign(t, base, "a.pmfm", ContentTypeFrame, ok); resp.StatusCode != http.StatusOK {
+		t.Errorf("small frame after rejection: status %d (%s)", resp.StatusCode, raw)
+	}
+}

@@ -9,8 +9,13 @@
 //	     Body: CSV records (default; numeric columns, optional
 //	     header), answered with JSON labels — or, with Content-Type
 //	     application/octet-stream, row-major little-endian float64s,
-//	     answered with little-endian int32 labels. A label is the
-//	     cluster index in the model's cluster list, -1 for outliers.
+//	     answered with little-endian int32 labels — or, with
+//	     Content-Type application/x-pmafia-assign, one framed binary
+//	     request (see frame.go) decoded straight into the batch
+//	     kernel and answered with little-endian int32 labels. Small
+//	     framed requests are coalesced into shared kernel batches
+//	     when Config.CoalesceWindow is set. A label is the cluster
+//	     index in the model's cluster list, -1 for outliers.
 //	GET  /models      JSON listing of the model directory with
 //	                  residency info.
 //	GET  /metrics     Prometheus text exposition (the shared obs
@@ -89,6 +94,14 @@ type Config struct {
 	SlowN int
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// CoalesceWindow, when positive, batches concurrent framed /assign
+	// requests against the same model into shared kernel invocations: a
+	// request waits at most this long for co-riders before its batch
+	// flushes. Zero disables coalescing.
+	CoalesceWindow time.Duration
+	// CoalesceMax is the largest framed request (in records) eligible
+	// for coalescing; bigger bodies go straight to the kernel.
+	CoalesceMax int
 }
 
 func (c *Config) fill() {
@@ -112,6 +125,9 @@ func (c *Config) fill() {
 	}
 	if c.SlowN < 1 {
 		c.SlowN = 16
+	}
+	if c.CoalesceMax < 1 {
+		c.CoalesceMax = 512
 	}
 }
 
@@ -169,6 +185,7 @@ type Daemon struct {
 	cfg Config
 	rec *obs.Recorder
 	sem chan struct{} // bounds in-flight /assign work
+	co  *coalescer    // nil unless CoalesceWindow > 0
 
 	alog     *accessLog
 	slow     *slowRing
@@ -214,6 +231,9 @@ func New(cfg Config) (*Daemon, error) {
 		cache:    make(map[string]*list.Element),
 		lru:      list.New(),
 		done:     make(chan struct{}),
+	}
+	if cfg.CoalesceWindow > 0 {
+		d.co = newCoalescer(d.rec, cfg.CoalesceWindow, cfg.Chunk)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.instrument("healthz", d.healthz))
@@ -479,27 +499,50 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 
 	decodeStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, d.cfg.MaxBody)
-	binaryIn := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+	ct := r.Header.Get("Content-Type")
+	binaryIn := strings.HasPrefix(ct, "application/octet-stream")
+	frameIn := strings.HasPrefix(ct, ContentTypeFrame)
 	var src dataset.Source
-	if binaryIn {
+	var frameVals []float64
+	switch {
+	case frameIn:
+		frameVals, err = decodeFrame(body, m.ix.Dims(), d.cfg.MaxBody)
+	case binaryIn:
 		src, err = binaryMatrix(body, m.ix.Dims())
-	} else {
+	default:
 		src, _, err = dataset.ReadCSV(body)
 	}
 	st.decodeSeconds = time.Since(decodeStart).Seconds()
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.As(err, new(*http.MaxBytesError)) {
+		if errors.As(err, new(*http.MaxBytesError)) || errors.Is(err, ErrFrameTooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		http.Error(w, err.Error(), code)
 		return
 	}
 	assignStart := time.Now()
-	labels, err := m.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
+	var labels []int32
+	if frameIn {
+		d.rec.Add(0, obs.CtrAssignFrames, 1)
+		records := len(frameVals) / m.ix.Dims()
+		if d.co != nil && records <= d.cfg.CoalesceMax {
+			labels, err = d.co.submit(r.Context(), m, frameVals)
+		} else {
+			labels, err = m.ix.AssignSource(
+				&dataset.Matrix{D: m.ix.Dims(), Values: frameVals},
+				d.cfg.Chunk, d.cfg.Workers)
+		}
+	} else {
+		labels, err = m.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
+	}
 	st.assignSeconds = time.Since(assignStart).Seconds()
 	if err != nil {
-		// The only AssignSource failure on an in-memory source is a
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Client gave up while coalesced; nothing useful to write.
+			return
+		}
+		// The only other assignment failure on an in-memory source is a
 		// dimensionality mismatch — a client error.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -510,7 +553,7 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 
 	encodeStart := time.Now()
 	defer func() { st.encodeSeconds = time.Since(encodeStart).Seconds() }()
-	if binaryIn {
+	if binaryIn || frameIn {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		buf := make([]byte, 4*len(labels))
 		for i, l := range labels {

@@ -36,6 +36,10 @@ const (
 	CtrAssignBatches   = "assign.batches"
 	CtrAssignCacheHit  = "assign.cache.hit"
 	CtrAssignCacheMiss = "assign.cache.miss"
+	// pmafiad: the framed binary protocol and its request coalescer.
+	CtrAssignFrames          = "assign.frames"
+	CtrAssignCoalesceReqs    = "assign.coalesce.requests"
+	CtrAssignCoalesceFlushes = "assign.coalesce.flushes"
 	// ckpt: level-barrier checkpoint writes and recovery loads.
 	CtrCkptWrites       = "ckpt.write"
 	CtrCkptWriteBytes   = "ckpt.write.bytes"
@@ -79,8 +83,13 @@ func ParseHTTPStatusCounter(name string) (route, code string, ok bool) {
 const (
 	// HistAssignQueueSeconds is the time /assign requests spent queued
 	// for an in-flight slot before being admitted (shed requests are
-	// not observed — they never ran).
+	// not observed — they never ran). Coalesced framed requests observe
+	// a second sample here: enqueue-to-kernel-start inside the
+	// coalescer.
 	HistAssignQueueSeconds = "assign.queue.seconds"
+	// HistAssignCoalesceRecords is the records labeled per coalesced
+	// batch flush — how much co-riding the coalescer actually achieves.
+	HistAssignCoalesceRecords = "assign.coalesce.records"
 )
 
 // HistRouteSeconds names the per-route request-latency histogram
@@ -157,33 +166,36 @@ func LevelDenseCounter(k int) string {
 
 // registered is the exact-name half of the registry.
 var registered = map[string]bool{
-	CtrDiskChunks:       true,
-	CtrDiskBytes:        true,
-	CtrDiskRetries:      true,
-	CtrDiskCorruptions:  true,
-	CtrPrefetchChunks:   true,
-	CtrPrefetchStalls:   true,
-	CtrPoolMergeNS:      true,
-	CtrHistogramRecords: true,
-	CtrCDUsGenerated:    true,
-	CtrCDUsDeduped:      true,
-	CtrCDUsPopulated:    true,
-	CtrDenseUnits:       true,
-	CtrPopulateRecords:  true,
-	CtrAssignRecords:    true,
-	CtrAssignBatches:    true,
-	CtrAssignCacheHit:   true,
-	CtrAssignCacheMiss:  true,
-	CtrCkptWrites:       true,
-	CtrCkptWriteBytes:   true,
-	CtrCkptWriteNS:      true,
-	CtrCkptRestores:     true,
-	CtrCkptRestoreNS:    true,
-	CtrCkptCorrupt:      true,
-	CtrCkptStale:        true,
-	CtrCkptResumeLevel:  true,
-	CtrSupervisorResume: true,
-	CtrSupervisorRetry:  true,
+	CtrDiskChunks:            true,
+	CtrDiskBytes:             true,
+	CtrDiskRetries:           true,
+	CtrDiskCorruptions:       true,
+	CtrPrefetchChunks:        true,
+	CtrPrefetchStalls:        true,
+	CtrPoolMergeNS:           true,
+	CtrHistogramRecords:      true,
+	CtrCDUsGenerated:         true,
+	CtrCDUsDeduped:           true,
+	CtrCDUsPopulated:         true,
+	CtrDenseUnits:            true,
+	CtrPopulateRecords:       true,
+	CtrAssignRecords:         true,
+	CtrAssignBatches:         true,
+	CtrAssignCacheHit:        true,
+	CtrAssignCacheMiss:       true,
+	CtrAssignFrames:          true,
+	CtrAssignCoalesceReqs:    true,
+	CtrAssignCoalesceFlushes: true,
+	CtrCkptWrites:            true,
+	CtrCkptWriteBytes:        true,
+	CtrCkptWriteNS:           true,
+	CtrCkptRestores:          true,
+	CtrCkptRestoreNS:         true,
+	CtrCkptCorrupt:           true,
+	CtrCkptStale:             true,
+	CtrCkptResumeLevel:       true,
+	CtrSupervisorResume:      true,
+	CtrSupervisorRetry:       true,
 }
 
 // patterned matches the constructed counter families:
@@ -200,7 +212,8 @@ var histPatterned = regexp.MustCompile(`^(http\.[a-z_]+\.seconds|model\..+\.(sec
 
 // registeredHists is the exact-name half of the histogram registry.
 var registeredHists = map[string]bool{
-	HistAssignQueueSeconds: true,
+	HistAssignQueueSeconds:    true,
+	HistAssignCoalesceRecords: true,
 }
 
 // IsRegisteredHistogram reports whether name is a declared histogram,

@@ -31,6 +31,19 @@ func Scan(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []
 // [base+lo, base+hi) handed to the workers are disjoint, so such
 // writes are race-free.
 func ScanOffset(src dataset.Source, chunkRecords, workers int, fn func(w int, chunk []float64, base int64, lo, hi int)) (int64, error) {
+	return ScanOffsetAligned(src, chunkRecords, workers, 1, fn)
+}
+
+// ScanOffsetAligned is ScanOffset with worker shard boundaries rounded
+// up to multiples of align within each chunk (the final boundary stays
+// the chunk end). Batch-kernel callers use it so a kernel block is
+// never split across two workers: every shard but the chunk's last is
+// a whole number of blocks. Workers whose rounded range is empty skip
+// the chunk. align <= 1 reproduces ScanOffset's sharding exactly.
+func ScanOffsetAligned(src dataset.Source, chunkRecords, workers, align int, fn func(w int, chunk []float64, base int64, lo, hi int)) (int64, error) {
+	if align < 1 {
+		align = 1
+	}
 	sc := src.Scan(chunkRecords)
 	defer sc.Close()
 	if workers <= 1 {
@@ -74,9 +87,19 @@ func ScanOffset(src dataset.Source, chunkRecords, workers int, fn func(w int, ch
 		if n == 0 {
 			break
 		}
+		cut := func(w int) int {
+			if w >= workers {
+				return n
+			}
+			b := (w*n/workers + align - 1) / align * align
+			if b > n {
+				b = n
+			}
+			return b
+		}
 		chunkWG.Add(workers)
 		for w := 0; w < workers; w++ {
-			jobs[w] <- job{chunk: chunk, base: total, lo: w * n / workers, hi: (w + 1) * n / workers}
+			jobs[w] <- job{chunk: chunk, base: total, lo: cut(w), hi: cut(w + 1)}
 		}
 		chunkWG.Wait()
 		total += int64(n)

@@ -67,6 +67,52 @@ func TestScanWorkerPrivacy(t *testing.T) {
 	}
 }
 
+// TestScanOffsetAlignedShardCuts checks the aligned sharding contract
+// the batch-kernel path relies on: within each chunk, every shard
+// starts on an align multiple and ends on one (except the shard that
+// ends at the chunk end), shards never overlap, and every record is
+// still covered exactly once — including the degenerate shapes
+// (align > chunk, workers > records, tail chunks).
+func TestScanOffsetAlignedShardCuts(t *testing.T) {
+	const d = 2
+	for _, n := range []int{1, 63, 64, 457, 1000} {
+		m := dataset.NewMatrix(n, d)
+		for i := 0; i < n; i++ {
+			m.Row(i)[0] = float64(i)
+		}
+		for _, workers := range []int{1, 2, 3, 5, 64} {
+			for _, chunk := range []int{50, 64, 97, 256} {
+				for _, align := range []int{1, 8, 64, 128} {
+					seen := make([]int32, n)
+					total, err := ScanOffsetAligned(m, chunk, workers, align, func(w int, c []float64, base int64, lo, hi int) {
+						chunkLen := len(c) / d
+						if lo%align != 0 {
+							t.Errorf("n=%d workers=%d chunk=%d align=%d: shard starts at %d", n, workers, chunk, align, lo)
+						}
+						if hi%align != 0 && hi != chunkLen {
+							t.Errorf("n=%d workers=%d chunk=%d align=%d: shard ends at %d (chunk is %d)", n, workers, chunk, align, hi, chunkLen)
+						}
+						for r := lo; r < hi; r++ {
+							atomic.AddInt32(&seen[int(base)+r], 1)
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if total != int64(n) {
+						t.Fatalf("n=%d workers=%d chunk=%d align=%d: total=%d", n, workers, chunk, align, total)
+					}
+					for i, s := range seen {
+						if s != 1 {
+							t.Fatalf("n=%d workers=%d chunk=%d align=%d: record %d seen %d times", n, workers, chunk, align, i, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestScanEmptySource checks the degenerate cases terminate.
 func TestScanEmptySource(t *testing.T) {
 	m := dataset.NewMatrix(0, 4)

@@ -2,11 +2,11 @@
 # Tracked benchmark suite: measures records/sec for the histogram,
 # populate, and full-run phases at p in {1,2,4,8}, baseline vs the
 # pipelined implementations, plus the serving load run (sustained
-# /assign QPS and latency percentiles), and refreshes BENCH_pr6.json in the
+# /assign QPS and latency percentiles), and refreshes BENCH_pr8.json in the
 # repository root. Run from anywhere (or via `make bench`); pass
 # -smoke for the seconds-long CI configuration.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/bench -repeats 5 -out BENCH_pr6.json "$@"
+exec go run ./cmd/bench -repeats 5 -out BENCH_pr8.json "$@"

@@ -2,7 +2,7 @@
 # Extended tier-1 gate: vet, formatting, and the full test suite under
 # the race detector. With -smoke it additionally runs the fuzz smoke,
 # the benchmark smoke, and the bench-regression gate against the
-# committed BENCH_pr6.json baseline (generous tolerance: the committed
+# committed BENCH_pr8.json baseline (generous tolerance: the committed
 # numbers come from a quiet machine, CI runners are not). Run from the
 # repository root (or via `make check`, which passes -smoke).
 set -eu
@@ -53,16 +53,17 @@ echo "== recovery gate (crash resume + torn-checkpoint fallback)"
 go test -race -count=1 -run 'TestResumeDeterminismMatrix|TestTornCheckpointFallsBack' ./internal/supervisor
 
 if [ "$smoke" = 1 ]; then
-    echo "== fuzz smoke (FuzzOpen + FuzzDecode, 10s each)"
+    echo "== fuzz smoke (FuzzOpen + FuzzDecode + FuzzAssignFrame, 10s each)"
     go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 10s ./internal/diskio
     go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/ckpt
+    go test -run '^$' -fuzz '^FuzzAssignFrame$' -fuzztime 10s ./internal/daemon
 
     smokejson="${TMPDIR:-/tmp}/pmafia-bench-smoke.json"
     echo "== bench smoke (cmd/bench -smoke)"
     go run ./cmd/bench -smoke -out "$smokejson" 2>/dev/null
 
-    echo "== bench gate (cmd/bench -compare vs BENCH_pr6.json)"
-    go run ./cmd/bench -compare BENCH_pr6.json "$smokejson" -tolerance 0.9
+    echo "== bench gate (cmd/bench -compare vs BENCH_pr8.json)"
+    go run ./cmd/bench -compare BENCH_pr8.json "$smokejson" -tolerance 0.9
 fi
 
 echo "check: ok"
