@@ -146,6 +146,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
+		lo.Trace = true
+		rep.LoadTrace, err = bench.RunLoad(lo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		lo.Trace = false
 		lo.Frame = true
 		rep.LoadFrame, err = bench.RunLoad(lo)
 		if err != nil {

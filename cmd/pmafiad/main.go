@@ -13,7 +13,12 @@
 // per-model latency histograms exposed at /metrics, and emits one
 // structured JSON access-log line (-access-log, default stderr). The
 // slowest requests are inspectable at /debug/slow; -pprof mounts
-// net/http/pprof under /debug/pprof/. The daemon bounds concurrent
+// net/http/pprof under /debug/pprof/. With -trace-sample every
+// request builds a per-stage trace — head-sampled into a bounded
+// ring, with slow and non-2xx requests always retained — served as
+// Chrome trace_event JSON at /debug/trace and linked from /metrics
+// as OpenMetrics exemplars; -profile-dir adds periodic CPU/heap
+// pprof captures indexed at /debug/profiles. The daemon bounds concurrent
 // assignment work (-max-inflight), times out slow requests (-timeout),
 // caps request bodies (-max-body), and shuts down gracefully on
 // SIGINT/SIGTERM: /readyz flips to 503, in-flight requests drain, and
@@ -49,6 +54,12 @@ func main() {
 	flag.StringVar(&accessLog, "access-log", "-", `access-log destination: "-" for stderr, "" to disable, or a file path (appended)`)
 	flag.IntVar(&cfg.SlowN, "slow", 16, "slowest requests kept for /debug/slow")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Float64Var(&cfg.TraceSample, "trace-sample", 0, "request-trace head-sampling rate in (0,1]; slow and non-2xx requests are always retained; 0 disables tracing")
+	flag.IntVar(&cfg.TraceRing, "trace-ring", 64, "retained traces per class (sampled / error / slow) for /debug/trace")
+	flag.StringVar(&cfg.ProfileDir, "profile-dir", "", "directory for continuous CPU/heap pprof captures (empty disables)")
+	flag.DurationVar(&cfg.ProfileInterval, "profile-interval", time.Minute, "sleep between continuous-profiling capture cycles")
+	flag.DurationVar(&cfg.ProfileCPU, "profile-cpu", 5*time.Second, "length of each continuous CPU capture")
+	flag.IntVar(&cfg.ProfileKeep, "profile-keep", 16, "continuous-profiling captures kept on disk per kind")
 	flag.Parse()
 	if cfg.ModelDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: pmafiad -models <dir> [flags]")

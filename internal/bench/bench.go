@@ -144,6 +144,10 @@ type Report struct {
 	// /assign QPS and latency percentiles against an in-process
 	// daemon. nil when the load run was skipped.
 	Load *LoadReport `json:"load,omitempty"`
+	// LoadTrace is the same load run with serve-side request tracing
+	// forced on for every request (TraceSample 1) — the worst-case
+	// tracing overhead next to the untraced Load cell.
+	LoadTrace *LoadReport `json:"load_trace,omitempty"`
 	// LoadFrame is the same load run speaking the framed binary
 	// protocol with request coalescing enabled. nil when skipped.
 	LoadFrame *LoadReport `json:"load_frame,omitempty"`

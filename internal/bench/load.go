@@ -46,6 +46,10 @@ type LoadOptions struct {
 	// coalescing in the daemon — the zero-copy streaming path end to
 	// end.
 	Frame bool
+	// Trace turns on serve-side request tracing in the daemon at the
+	// worst-case sampling rate (1.0: every request builds and retains a
+	// trace) — the tracing-overhead cell of the tracked suite.
+	Trace bool
 	// Log, when non-nil, receives a summary line.
 	Log io.Writer
 }
@@ -146,6 +150,9 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 	if o.Frame {
 		dcfg.CoalesceWindow = 2 * time.Millisecond
 		dcfg.CoalesceMax = o.BatchRecords
+	}
+	if o.Trace {
+		dcfg.TraceSample = 1
 	}
 	d, err := daemon.New(dcfg)
 	if err != nil {
@@ -262,6 +269,9 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		phase := "serve"
 		if o.Frame {
 			phase = "serve_frame"
+		}
+		if o.Trace {
+			phase = "serve_trace"
 		}
 		fmt.Fprintf(o.Log, "%-10s load       c=%d %8.0f qps  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  (%d reqs, %d errs)\n",
 			phase, rep.Clients, rep.QPS, rep.P50, rep.P90, rep.P99, rep.Max, rep.Requests, rep.Errors)

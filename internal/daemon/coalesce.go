@@ -11,6 +11,7 @@ package daemon
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -20,8 +21,9 @@ import (
 // coalescer batches framed /assign requests per model.
 type coalescer struct {
 	rec    *obs.Recorder
-	window time.Duration // max time a request may wait for co-riders
-	flushN int           // records that trigger an immediate flush
+	traces *obs.TraceRing // nil when tracing is off
+	window time.Duration  // max time a request may wait for co-riders
+	flushN int            // records that trigger an immediate flush
 
 	mu      sync.Mutex
 	pending map[*model]*coBatch
@@ -40,18 +42,27 @@ type coBatch struct {
 }
 
 // coWaiter is one request's slot in a batch: its record range in the
-// accumulation buffer and the channel its labels arrive on.
+// accumulation buffer and the channel its labels arrive on. traceID
+// carries the request's trace identity into the batch; the kernel
+// window (kernelID, kStart, kEnd) travels the other way — run fills
+// it before closing done, and the waiter annotates its own trace
+// after waking, so no goroutine ever mutates another request's trace.
 type coWaiter struct {
 	off, n   int
+	traceID  string
 	enqueued time.Time
 	done     chan struct{}
 	labels   []int32
 	err      error
+
+	kernelID     int64
+	kStart, kEnd time.Time
 }
 
-func newCoalescer(rec *obs.Recorder, window time.Duration, flushN int) *coalescer {
+func newCoalescer(rec *obs.Recorder, traces *obs.TraceRing, window time.Duration, flushN int) *coalescer {
 	return &coalescer{
 		rec:     rec,
+		traces:  traces,
 		window:  window,
 		flushN:  flushN,
 		pending: make(map[*model]*coBatch),
@@ -64,7 +75,11 @@ func newCoalescer(rec *obs.Recorder, window time.Duration, flushN int) *coalesce
 // after the call — the coalescer owns it from here.
 func (c *coalescer) submit(ctx context.Context, m *model, vals []float64) ([]int32, error) {
 	d := m.ix.Dims()
+	st := statsOf(ctx)
 	w := &coWaiter{n: len(vals) / d, enqueued: time.Now(), done: make(chan struct{})}
+	if st.tr != nil {
+		w.traceID = st.tr.ID
+	}
 	c.mu.Lock()
 	b := c.pending[m]
 	if b == nil {
@@ -87,6 +102,13 @@ func (c *coalescer) submit(ctx context.Context, m *model, vals []float64) ([]int
 	}
 	select {
 	case <-w.done:
+		if st.tr != nil && w.kernelID != 0 {
+			// The kernel window came back with the labels: record this
+			// request's share of the batch on its own trace.
+			st.stage("coalesce-wait", w.enqueued, w.kStart)
+			st.stage("kernel", w.kStart, w.kEnd)
+			st.tr.KernelID = w.kernelID
+		}
 		return w.labels, w.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -127,7 +149,21 @@ func (c *coalescer) run(b *coBatch) {
 	c.rec.Observe(0, obs.HistAssignCoalesceRecords, float64(b.n))
 	labels := make([]int32, b.n)
 	err := b.m.ix.AssignChunk(b.vals, labels, b.m.ix.Scratch())
+	end := time.Now()
+	var kernelID int64
+	if c.traces != nil {
+		var ids []string
+		for _, w := range b.waiters {
+			if w.traceID != "" {
+				ids = append(ids, w.traceID)
+			}
+		}
+		if len(ids) > 0 {
+			kernelID = c.traces.Kernel(filepath.Base(b.m.path), b.n, ids, start, end)
+		}
+	}
 	for _, w := range b.waiters {
+		w.kernelID, w.kStart, w.kEnd = kernelID, start, end
 		if err != nil {
 			w.err = err
 		} else {

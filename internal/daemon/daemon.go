@@ -28,14 +28,28 @@
 //	                  while serving, 503 once draining so a fronting
 //	                  load balancer rotates the node out.
 //	GET  /debug/slow  the N slowest requests seen so far, with their
-//	                  per-request timing breakdowns.
+//	                  per-request timing breakdowns (and, with tracing
+//	                  on, the trace ID each resolves to).
+//	GET  /debug/trace       (only with Config.TraceSample > 0) the
+//	                        retained request traces as Chrome
+//	                        trace_event JSON; /debug/trace/{id} serves
+//	                        one trace.
+//	GET  /debug/profiles    (only with Config.ProfileDir) the
+//	                        continuous-profiling index;
+//	                        /debug/profiles/{name} serves a capture.
 //	GET  /debug/pprof/* (only with Config.Pprof) net/http/pprof.
 //
 // Every request is instrumented (see obs.go): it carries an
-// X-Request-ID (propagated from the client or generated), lands in
-// the per-route and per-model latency histograms and status-code
-// counters, emits exactly one structured JSON access-log line, and
-// competes for a slot in the slow-request ring.
+// X-Request-ID (propagated from the client if sane, else generated),
+// lands in the per-route and per-model latency histograms and
+// status-code counters, emits exactly one structured JSON access-log
+// line with its stage breakdown, and competes for a slot in the
+// slow-request ring — a handler panic is recovered with all of those
+// invariants intact. With TraceSample > 0 every request additionally
+// builds a wall-clock stage trace (see trace.go), retained by head
+// sampling plus tail-based always-keep for errors and outliers, and
+// retained traces are attached as OpenMetrics exemplars to the
+// latency histograms at /metrics.
 //
 // The daemon bounds concurrent assignment work (Inflight), times out
 // slow requests (Timeout), caps request bodies (MaxBody), and shuts
@@ -102,6 +116,24 @@ type Config struct {
 	// CoalesceMax is the largest framed request (in records) eligible
 	// for coalescing; bigger bodies go straight to the kernel.
 	CoalesceMax int
+	// TraceSample, when positive, enables serve-side request tracing:
+	// every 1/TraceSample-th request is head-sampled into the trace
+	// ring, and every non-2xx or tail-latency request is retained
+	// regardless. Zero disables tracing entirely (the hot path then
+	// allocates nothing for it).
+	TraceSample float64
+	// TraceRing caps each retention class of the trace ring.
+	TraceRing int
+	// ProfileDir, when set, enables continuous profiling: periodic CPU
+	// and heap pprof captures land there, pruned to ProfileKeep files
+	// per kind, indexed at /debug/profiles.
+	ProfileDir string
+	// ProfileInterval is the sleep between capture cycles.
+	ProfileInterval time.Duration
+	// ProfileCPU is the length of each CPU capture.
+	ProfileCPU time.Duration
+	// ProfileKeep bounds the on-disk captures retained per kind.
+	ProfileKeep int
 }
 
 func (c *Config) fill() {
@@ -128,6 +160,21 @@ func (c *Config) fill() {
 	}
 	if c.CoalesceMax < 1 {
 		c.CoalesceMax = 512
+	}
+	if c.TraceRing < 1 {
+		c.TraceRing = 64
+	}
+	if c.ProfileInterval <= 0 {
+		c.ProfileInterval = time.Minute
+	}
+	if c.ProfileCPU <= 0 {
+		c.ProfileCPU = 5 * time.Second
+	}
+	if c.ProfileCPU > c.ProfileInterval {
+		c.ProfileCPU = c.ProfileInterval
+	}
+	if c.ProfileKeep < 1 {
+		c.ProfileKeep = 16
 	}
 }
 
@@ -193,6 +240,11 @@ type Daemon struct {
 	idPrefix string
 	draining atomic.Bool
 
+	traces      *obs.TraceRing // nil unless TraceSample > 0
+	traceStride int64          // head-sample every traceStride-th request
+	traceSeq    atomic.Int64
+	prof        *profiler // nil unless ProfileDir is set
+
 	mu    sync.Mutex
 	cache map[string]*list.Element // resolved path -> entry
 	lru   *list.List               // front = most recent; values are *cacheSlot
@@ -232,8 +284,23 @@ func New(cfg Config) (*Daemon, error) {
 		lru:      list.New(),
 		done:     make(chan struct{}),
 	}
+	if cfg.TraceSample > 0 {
+		// The slow class is at least as large as the slow ring, so every
+		// /debug/slow entry's trace resolves at /debug/trace/{id}.
+		d.traces = obs.NewTraceRing(cfg.TraceRing, cfg.SlowN)
+		d.traceStride = int64(math.Round(1 / cfg.TraceSample))
+		if d.traceStride < 1 {
+			d.traceStride = 1
+		}
+	}
 	if cfg.CoalesceWindow > 0 {
-		d.co = newCoalescer(d.rec, cfg.CoalesceWindow, cfg.Chunk)
+		d.co = newCoalescer(d.rec, d.traces, cfg.CoalesceWindow, cfg.Chunk)
+	}
+	if cfg.ProfileDir != "" {
+		d.prof, err = newProfiler(cfg.ProfileDir, cfg.ProfileInterval, cfg.ProfileCPU, cfg.ProfileKeep, d.rec)
+		if err != nil {
+			return nil, fmt.Errorf("pmafiad: profile dir: %w", err)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.instrument("healthz", d.healthz))
@@ -241,6 +308,10 @@ func New(cfg Config) (*Daemon, error) {
 	mux.HandleFunc("/models", d.instrument("models", d.models))
 	mux.HandleFunc("/assign", d.instrument("assign", d.assign))
 	mux.HandleFunc("/debug/slow", d.instrument("debug_slow", d.debugSlow))
+	mux.HandleFunc("/debug/trace", d.instrument("debug_trace", d.debugTrace))
+	mux.HandleFunc("/debug/trace/", d.instrument("debug_trace", d.debugTrace))
+	mux.HandleFunc("/debug/profiles", d.instrument("debug_profiles", d.debugProfiles))
+	mux.HandleFunc("/debug/profiles/", d.instrument("debug_profiles", d.debugProfiles))
 	// The telemetry exposition is the shared obs handler; the daemon's
 	// request histograms and counters surface there alongside any
 	// engine counters.
@@ -260,6 +331,7 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.ln, err = net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		d.prof.close()
 		return nil, err
 	}
 	return d, nil
@@ -288,6 +360,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.draining.Store(true)
 	err := d.srv.Shutdown(ctx)
 	<-d.done
+	d.prof.close()
 	if ferr := d.alog.flush(); err == nil {
 		err = ferr
 	}
@@ -470,7 +543,9 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	select {
 	case d.sem <- struct{}{}:
 		defer func() { <-d.sem }()
-		st.queueSeconds = time.Since(enqueued).Seconds()
+		admitted := time.Now()
+		st.queueSeconds = admitted.Sub(enqueued).Seconds()
+		st.stage("queue", enqueued, admitted)
 		d.rec.Observe(0, obs.HistAssignQueueSeconds, st.queueSeconds)
 	case <-queue.C:
 		http.Error(w, "server busy", http.StatusServiceUnavailable)
@@ -512,7 +587,13 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	default:
 		src, _, err = dataset.ReadCSV(body)
 	}
-	st.decodeSeconds = time.Since(decodeStart).Seconds()
+	decodeEnd := time.Now()
+	st.decodeSeconds = decodeEnd.Sub(decodeStart).Seconds()
+	if frameIn {
+		st.stage("frame-decode", decodeStart, decodeEnd)
+	} else {
+		st.stage("decode", decodeStart, decodeEnd)
+	}
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.As(err, new(*http.MaxBytesError)) || errors.Is(err, ErrFrameTooLarge) {
@@ -523,10 +604,14 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	}
 	assignStart := time.Now()
 	var labels []int32
+	coalesced := false
 	if frameIn {
 		d.rec.Add(0, obs.CtrAssignFrames, 1)
 		records := len(frameVals) / m.ix.Dims()
 		if d.co != nil && records <= d.cfg.CoalesceMax {
+			// submit records the coalesce-wait and kernel stages itself —
+			// the kernel window is shared with the batch's co-riders.
+			coalesced = true
 			labels, err = d.co.submit(r.Context(), m, frameVals)
 		} else {
 			labels, err = m.ix.AssignSource(
@@ -537,6 +622,9 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 		labels, err = m.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
 	}
 	st.assignSeconds = time.Since(assignStart).Seconds()
+	if !coalesced {
+		st.stage("kernel", assignStart, time.Now())
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// Client gave up while coalesced; nothing useful to write.
@@ -552,7 +640,11 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	d.rec.Add(0, obs.CtrAssignBatches, 1)
 
 	encodeStart := time.Now()
-	defer func() { st.encodeSeconds = time.Since(encodeStart).Seconds() }()
+	defer func() {
+		encodeEnd := time.Now()
+		st.encodeSeconds = encodeEnd.Sub(encodeStart).Seconds()
+		st.stage("encode", encodeStart, encodeEnd)
+	}()
 	if binaryIn || frameIn {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		buf := make([]byte, 4*len(labels))

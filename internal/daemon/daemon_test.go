@@ -565,12 +565,30 @@ func TestReadyzDrain(t *testing.T) {
 func TestAllEmittedMetricsAreRegistered(t *testing.T) {
 	dir := t.TempDir()
 	_, m := fitModel(t, dir, "a.pmfm", 15)
-	d, base := startDaemon(t, Config{ModelDir: dir})
+	d, base := startDaemon(t, Config{
+		ModelDir:        dir,
+		TraceSample:     1,
+		ProfileDir:      t.TempDir(),
+		ProfileInterval: 5 * time.Millisecond,
+		ProfileCPU:      2 * time.Millisecond,
+	})
 	defer d.Shutdown(context.Background())
 
 	postAssign(t, base, "a.pmfm", "text/csv", csvBody(m))
 	postAssign(t, base, "missing.pmfm", "text/csv", []byte("1\n"))
-	for _, route := range []string{"/healthz", "/readyz", "/models", "/metrics", "/debug/slow"} {
+	// Let the profiler finish at least one capture cycle so the
+	// profile.* counters are emitted too.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		met := d.Recorder().Metrics()
+		if met.Counters[obs.CtrProfileCPU] >= 1 && met.Counters[obs.CtrProfileHeap] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("profiler never captured")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, route := range []string{"/healthz", "/readyz", "/models", "/metrics", "/debug/slow", "/debug/trace", "/debug/profiles"} {
 		resp, err := http.Get(base + route)
 		if err != nil {
 			t.Fatal(err)

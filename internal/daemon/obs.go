@@ -31,6 +31,19 @@ type reqStats struct {
 	decodeSeconds float64
 	assignSeconds float64
 	encodeSeconds float64
+	// tr is the request's trace, nil when tracing is off — the stage
+	// helper below then no-ops, keeping the hot path allocation-free.
+	tr    *obs.ServeTrace
+	epoch time.Time // the trace ring's epoch, for wall→ring time
+}
+
+// stage records one stage span on the request's trace; a no-op (one
+// pointer test, zero allocations) when tracing is off.
+func (st *reqStats) stage(name string, start, end time.Time) {
+	if st.tr == nil {
+		return
+	}
+	st.tr.Stage(name, start.Sub(st.epoch).Seconds(), end.Sub(st.epoch).Seconds())
 }
 
 type statsKey struct{}
@@ -80,10 +93,27 @@ func idPrefix() string {
 	return hex.EncodeToString(b[:])
 }
 
-// requestID returns the client-provided X-Request-ID, or generates
-// one (process prefix + sequence number).
+// validRequestID sanitizes a client-supplied X-Request-ID before it
+// is echoed into response headers and JSON access-log lines: at most
+// 128 bytes, every byte visible ASCII (0x21–0x7E) — no control
+// characters, spaces, or high bytes that could smuggle header
+// injections or mangle the log.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= 0x20 || id[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// requestID returns the client-provided X-Request-ID if it passes
+// sanitization, or generates one (process prefix + sequence number).
 func (d *Daemon) requestID(r *http.Request) string {
-	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
 		return id
 	}
 	return fmt.Sprintf("%s-%06d", d.idPrefix, d.idSeq.Add(1))
@@ -92,59 +122,122 @@ func (d *Daemon) requestID(r *http.Request) string {
 // instrument wraps a handler with the full request-observability
 // stack. Every route goes through here, so "one access-log line per
 // request" and "every response carries an X-Request-ID" hold globally.
+// A handler panic is recovered: the response becomes a 500 (when
+// nothing was written yet) and the metrics / access-log / slow-ring /
+// trace invariants still hold for the request.
 func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := d.requestID(r)
 		w.Header().Set("X-Request-ID", id)
 		st := &reqStats{}
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r.WithContext(context.WithValue(r.Context(), statsKey{}, st)))
-		dur := time.Since(start).Seconds()
-
-		d.rec.Observe(0, obs.HistRouteSeconds(route), dur)
-		d.rec.Add(0, obs.CtrHTTPStatus(route, sw.status), 1)
-		if st.model != "" {
-			d.rec.Observe(0, obs.HistModelSeconds(st.model), dur)
-			if st.records > 0 {
-				d.rec.Observe(0, obs.HistModelRecords(st.model), float64(st.records))
-			}
+		var traceID string
+		var sampled bool
+		if d.traces != nil {
+			traceID, sampled = d.startTrace(w, r, st, route, start)
 		}
-
-		now := time.Now()
-		d.alog.write(accessRecord{
-			Time:            now.UTC().Format(time.RFC3339Nano),
-			ID:              id,
-			Route:           route,
-			Method:          r.Method,
-			Model:           st.model,
-			Records:         st.records,
-			Status:          sw.status,
-			Bytes:           sw.bytes,
-			QueueSeconds:    st.queueSeconds,
-			DurationSeconds: dur,
-		})
-		d.slow.offer(slowEntry{
-			ID:            id,
-			Time:          now.UTC().Format(time.RFC3339Nano),
-			Route:         route,
-			Method:        r.Method,
-			Model:         st.model,
-			Records:       st.records,
-			Status:        sw.status,
-			Seconds:       dur,
-			QueueSeconds:  st.queueSeconds,
-			DecodeSeconds: st.decodeSeconds,
-			AssignSeconds: st.assignSeconds,
-			EncodeSeconds: st.encodeSeconds,
-		})
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			panicked := recover()
+			if panicked != nil {
+				if !sw.wrote {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			d.finish(route, id, traceID, sampled, start, st, sw, r, panicked)
+		}()
+		h(sw, r.WithContext(context.WithValue(r.Context(), statsKey{}, st)))
 	}
 }
 
-// accessRecord is one structured access-log line.
+// finish is the post-handler half of instrument: histograms and
+// status counters, the trace-retention decision (plus exemplars for
+// retained traces), the access-log line, and the slow-ring bid.
+func (d *Daemon) finish(route, id, traceID string, sampled bool, start time.Time, st *reqStats, sw *statusWriter, r *http.Request, panicked any) {
+	end := time.Now()
+	dur := end.Sub(start).Seconds()
+
+	d.rec.Observe(0, obs.HistRouteSeconds(route), dur)
+	d.rec.Add(0, obs.CtrHTTPStatus(route, sw.status), 1)
+	if st.model != "" {
+		d.rec.Observe(0, obs.HistModelSeconds(st.model), dur)
+		if st.records > 0 {
+			d.rec.Observe(0, obs.HistModelRecords(st.model), float64(st.records))
+		}
+	}
+
+	if st.tr != nil {
+		st.tr.Status = sw.status
+		st.tr.Model = st.model
+		st.tr.Records = st.records
+		st.tr.End = end.Sub(st.epoch).Seconds()
+		retained, asErr, asSlow := d.traces.Offer(st.tr, sampled)
+		d.rec.Add(0, obs.CtrTraceRequests, 1)
+		if sampled {
+			d.rec.Add(0, obs.CtrTraceSampled, 1)
+		}
+		if retained {
+			d.rec.Add(0, obs.CtrTraceRetained, 1)
+			if asErr {
+				d.rec.Add(0, obs.CtrTraceRetainedError, 1)
+			}
+			if asSlow {
+				d.rec.Add(0, obs.CtrTraceRetainedSlow, 1)
+			}
+			// Exemplars point only at retained traces, so following one
+			// from a dashboard never dead-ends on an unsampled request.
+			d.rec.SetExemplar(obs.HistRouteSeconds(route), dur, traceID)
+			if st.model != "" {
+				d.rec.SetExemplar(obs.HistModelSeconds(st.model), dur, traceID)
+			}
+		}
+	}
+
+	panicMsg := ""
+	if panicked != nil {
+		panicMsg = fmt.Sprint(panicked)
+	}
+	now := end.UTC().Format(time.RFC3339Nano)
+	d.alog.write(accessRecord{
+		Time:            now,
+		ID:              id,
+		TraceID:         traceID,
+		Route:           route,
+		Method:          r.Method,
+		Model:           st.model,
+		Records:         st.records,
+		Status:          sw.status,
+		Bytes:           sw.bytes,
+		QueueSeconds:    st.queueSeconds,
+		DecodeSeconds:   st.decodeSeconds,
+		AssignSeconds:   st.assignSeconds,
+		EncodeSeconds:   st.encodeSeconds,
+		DurationSeconds: dur,
+		Panic:           panicMsg,
+	})
+	d.slow.offer(slowEntry{
+		ID:            id,
+		TraceID:       traceID,
+		Time:          now,
+		Route:         route,
+		Method:        r.Method,
+		Model:         st.model,
+		Records:       st.records,
+		Status:        sw.status,
+		Seconds:       dur,
+		QueueSeconds:  st.queueSeconds,
+		DecodeSeconds: st.decodeSeconds,
+		AssignSeconds: st.assignSeconds,
+		EncodeSeconds: st.encodeSeconds,
+	})
+}
+
+// accessRecord is one structured access-log line, carrying the full
+// per-stage timing breakdown alongside the total.
 type accessRecord struct {
 	Time            string  `json:"time"`
 	ID              string  `json:"id"`
+	TraceID         string  `json:"trace_id,omitempty"`
 	Route           string  `json:"route"`
 	Method          string  `json:"method"`
 	Model           string  `json:"model,omitempty"`
@@ -152,7 +245,11 @@ type accessRecord struct {
 	Status          int     `json:"status"`
 	Bytes           int64   `json:"bytes"`
 	QueueSeconds    float64 `json:"queue_seconds"`
+	DecodeSeconds   float64 `json:"decode_seconds"`
+	AssignSeconds   float64 `json:"assign_seconds"`
+	EncodeSeconds   float64 `json:"encode_seconds"`
 	DurationSeconds float64 `json:"duration_seconds"`
+	Panic           string  `json:"panic,omitempty"`
 }
 
 // accessLog serializes JSON access-log lines onto one writer. Writes
@@ -194,6 +291,7 @@ func (a *accessLog) flush() error {
 // timing breakdown.
 type slowEntry struct {
 	ID            string  `json:"id"`
+	TraceID       string  `json:"trace_id,omitempty"`
 	Time          string  `json:"time"`
 	Route         string  `json:"route"`
 	Method        string  `json:"method"`

@@ -1,0 +1,110 @@
+package daemon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestSlowRingProperty: after any offer sequence, snapshot() is
+// exactly the cap slowest entries seen so far, sorted slowest first.
+func TestSlowRingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cap := 1 + rng.Intn(8)
+		n := rng.Intn(40)
+		s := newSlowRing(cap)
+		var all []slowEntry
+		for i := 0; i < n; i++ {
+			e := slowEntry{ID: fmt.Sprintf("r%d", i), Seconds: rng.Float64()}
+			all = append(all, e)
+			s.offer(e)
+		}
+		want := append([]slowEntry(nil), all...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Seconds > want[j].Seconds })
+		if len(want) > cap {
+			want = want[:cap]
+		}
+		got := s.snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (cap %d, n %d): snapshot has %d entries, want %d",
+				trial, cap, n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Seconds != want[i].Seconds {
+				t.Fatalf("trial %d (cap %d): entry %d = %.6f, want %.6f (true top-%d, sorted)",
+					trial, cap, i, got[i].Seconds, want[i].Seconds, cap)
+			}
+		}
+	}
+}
+
+// TestSlowRingConcurrent hammers offer and snapshot from many
+// goroutines; run under -race this is the data-race regression test,
+// and afterwards the ring must hold the true top-cap of everything
+// offered.
+func TestSlowRingConcurrent(t *testing.T) {
+	const (
+		cap        = 8
+		writers    = 8
+		perWriter  = 200
+		readers    = 4
+		readRounds = 100
+	)
+	s := newSlowRing(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				s.offer(slowEntry{
+					ID:      fmt.Sprintf("w%d-%d", w, i),
+					Seconds: rng.Float64(),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readRounds; i++ {
+				snap := s.snapshot()
+				if len(snap) > cap {
+					t.Errorf("snapshot exceeded cap: %d > %d", len(snap), cap)
+					return
+				}
+				for j := 1; j < len(snap); j++ {
+					if snap[j].Seconds > snap[j-1].Seconds {
+						t.Error("snapshot not sorted slowest first")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic writers: recompute the true top-cap offline.
+	var all []float64
+	for w := 0; w < writers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWriter; i++ {
+			all = append(all, rng.Float64())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	got := s.snapshot()
+	if len(got) != cap {
+		t.Fatalf("final snapshot has %d entries, want %d", len(got), cap)
+	}
+	for i, e := range got {
+		if e.Seconds != all[i] {
+			t.Errorf("final entry %d = %.9f, want %.9f", i, e.Seconds, all[i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package daemon
+
+// Serve-side request tracing: the instrument middleware starts one
+// obs.ServeTrace per request when tracing is enabled (Config
+// TraceSample > 0), honoring an inbound W3C traceparent and emitting
+// the daemon's own outbound. Handlers and the coalescer annotate
+// stage spans via reqStats; the middleware offers the finished trace
+// to the ring, which head-samples ordinary requests and always keeps
+// errors and tail-latency outliers. Retained traces serve as Chrome
+// trace_event JSON at /debug/trace (and /debug/trace/{id}) and as
+// OpenMetrics exemplars on the latency histograms.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"time"
+
+	"pmafia/internal/obs"
+)
+
+// parseTraceparent extracts the trace-id of a W3C traceparent header
+// (version 00: "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>"),
+// "" if the header is absent or malformed. An all-zero trace-id is
+// invalid per spec.
+func parseTraceparent(h string) string {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || parts[0] != "00" ||
+		!isLowerHex(parts[1], 32) || !isLowerHex(parts[2], 16) || !isLowerHex(parts[3], 2) {
+		return ""
+	}
+	if parts[1] == strings.Repeat("0", 32) {
+		return ""
+	}
+	return parts[1]
+}
+
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns n random bytes as 2n lowercase hex characters.
+func randHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b)
+}
+
+// startTrace begins the request's trace: adopt the inbound traceparent
+// trace-id (or mint one), emit the outbound traceparent with the
+// daemon's own span-id, and make the deterministic head-sampling
+// decision (every traceStride-th request). Only called when tracing
+// is enabled.
+func (d *Daemon) startTrace(w http.ResponseWriter, r *http.Request, st *reqStats, route string, start time.Time) (traceID string, sampled bool) {
+	traceID = parseTraceparent(r.Header.Get("traceparent"))
+	if traceID == "" {
+		traceID = randHex(16)
+	}
+	w.Header().Set("traceparent", "00-"+traceID+"-"+randHex(8)+"-01")
+	st.epoch = d.traces.Epoch()
+	st.tr = &obs.ServeTrace{ID: traceID, Route: route, Start: start.Sub(st.epoch).Seconds()}
+	n := d.traceSeq.Add(1)
+	return traceID, (n-1)%d.traceStride == 0
+}
+
+// debugTrace serves the retained traces as Chrome trace_event JSON:
+// the whole ring at /debug/trace, one trace at /debug/trace/{id}.
+func (d *Daemon) debugTrace(w http.ResponseWriter, r *http.Request) {
+	if d.traces == nil {
+		http.Error(w, "tracing disabled (start with -trace-sample > 0)", http.StatusNotFound)
+		return
+	}
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/trace"), "/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		d.traces.WriteChromeTrace(w)
+		return
+	}
+	if d.traces.Lookup(id) == nil {
+		http.Error(w, "trace "+id+" not retained", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	d.traces.WriteTraceByID(w, id)
+}

@@ -1,0 +1,538 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmafia/internal/dataset"
+	"pmafia/internal/obs"
+)
+
+// get fetches a URL and returns the response plus body.
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// chromeDoc is the subset of the Chrome trace_event schema the tests
+// assert on.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		ID   int64          `json:"id"`
+		Bp   string         `json:"bp"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestServeTraceEndToEnd drives coalesced framed traffic at a fully
+// sampled daemon and asserts the /debug/trace export end to end:
+// valid Chrome trace_event JSON, every coalesced kernel span
+// flow-linked to at least one request span, stage spans summing to
+// within the route-histogram observation, per-ID lookup, and the
+// trace-backed slow ring.
+func TestServeTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 1)
+	d, base := startDaemon(t, Config{
+		ModelDir:       dir,
+		TraceSample:    1,
+		CoalesceWindow: 2 * time.Millisecond,
+		CoalesceMax:    1 << 20,
+		Inflight:       32,
+	})
+	defer d.Shutdown(context.Background())
+
+	dims := m.D
+	const clients, reqs = 8, 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				lo := (c*reqs + i) * 8 % (m.NumRecords() - 8)
+				body, err := EncodeFrame(dims, m.Values[lo*dims:(lo+8)*dims])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, raw := postAssign(t, base, "a.pmfm", ContentTypeFrame, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d: %s", resp.StatusCode, raw)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	resp, raw := get(t, base+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", resp.StatusCode)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+
+	// Every coalesced kernel span must be flow-linked to >=1 request
+	// span: each kernel-cat "X" event's kernel_id appears in at least
+	// one "s"/"f" flow pair, and every "s" has its "f".
+	kernelIDs := map[float64]bool{}
+	flowKernels := map[float64]bool{}
+	starts, finishes := map[int64]bool{}, map[int64]bool{}
+	requests := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Cat == "kernel":
+			kernelIDs[ev.Args["kernel_id"].(float64)] = true
+		case ev.Ph == "X" && ev.Cat == "request":
+			requests++
+		case ev.Ph == "s":
+			starts[ev.ID] = true
+			flowKernels[ev.Args["kernel_id"].(float64)] = true
+		case ev.Ph == "f":
+			finishes[ev.ID] = true
+		}
+	}
+	if requests != clients*reqs {
+		t.Errorf("exported %d request spans, want %d (sample rate 1)", requests, clients*reqs)
+	}
+	if len(kernelIDs) == 0 {
+		t.Fatal("no coalesced kernel spans in the export")
+	}
+	for id := range kernelIDs {
+		if !flowKernels[id] {
+			t.Errorf("kernel span %v has no flow link to a request span", id)
+		}
+	}
+	for id := range starts {
+		if !finishes[id] {
+			t.Errorf("flow %d has a start but no finish", id)
+		}
+	}
+
+	// Stage spans of every retained trace sum to within the request's
+	// root duration, which the route histogram observed: no trace can
+	// outlast the histogram's exact max.
+	traces, _ := d.traces.Snapshot()
+	hist := d.rec.Histogram(obs.HistRouteSeconds("assign"))
+	if hist == nil {
+		t.Fatal("no assign route histogram")
+	}
+	checked := 0
+	for _, tr := range traces {
+		if tr.Route != "assign" {
+			continue
+		}
+		checked++
+		if sum, dur := tr.StageSum(), tr.Duration(); sum > dur+1e-6 {
+			t.Errorf("trace %s: stage sum %.6fs exceeds duration %.6fs", tr.ID, sum, dur)
+		}
+		if dur := tr.Duration(); dur > hist.Max()+1e-6 {
+			t.Errorf("trace %s: duration %.6fs exceeds histogram max %.6fs", tr.ID, dur, hist.Max())
+		}
+		if tr.KernelID == 0 {
+			t.Errorf("trace %s was not linked to a kernel span", tr.ID)
+		}
+		stages := map[string]bool{}
+		for _, s := range tr.Spans {
+			stages[s.Stage] = true
+		}
+		for _, want := range []string{"queue", "frame-decode", "coalesce-wait", "kernel", "encode"} {
+			if !stages[want] {
+				t.Errorf("trace %s missing stage %q (has %v)", tr.ID, want, tr.Spans)
+			}
+		}
+	}
+	if checked != clients*reqs {
+		t.Errorf("checked %d assign traces, want %d", checked, clients*reqs)
+	}
+
+	// Per-ID lookup round-trips through HTTP.
+	id := traces[0].ID
+	resp, raw = get(t, base+"/debug/trace/"+id)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(id)) {
+		t.Errorf("/debug/trace/{id} status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, base+"/debug/trace/doesnotexist"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id served %d, want 404", resp.StatusCode)
+	}
+
+	// The slow ring is trace-backed: every /debug/slow entry names a
+	// retained, resolvable trace.
+	_, raw = get(t, base+"/debug/slow")
+	var slow []slowEntry
+	if err := json.Unmarshal(raw, &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) == 0 {
+		t.Fatal("empty slow ring after traffic")
+	}
+	for _, e := range slow {
+		if e.TraceID == "" {
+			t.Errorf("slow entry %s has no trace id", e.ID)
+			continue
+		}
+		if d.traces.Lookup(e.TraceID) == nil {
+			t.Errorf("slow entry %s: trace %s not retained", e.ID, e.TraceID)
+		}
+	}
+}
+
+// TestTraceTailRetention drives mixed traffic at -trace-sample 0.01
+// and verifies the tail-based retention contract: 100% of non-2xx
+// requests and 100% of the slowest decile are retained, while head
+// sampling drops the bulk of ordinary traffic from the sample class.
+func TestTraceTailRetention(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 2)
+	var logBuf syncBuffer
+	d, base := startDaemon(t, Config{
+		ModelDir:    dir,
+		TraceSample: 0.01,
+		TraceRing:   64,
+		AccessLog:   &logBuf,
+	})
+	defer d.Shutdown(context.Background())
+
+	const total, errEvery = 150, 15
+	body := csvBody(&dataset.Matrix{D: m.D, Values: m.Values[:64*m.D]})
+	for i := 0; i < total; i++ {
+		model := "a.pmfm"
+		if i%errEvery == errEvery-1 {
+			model = "missing.pmfm" // 404: must always be retained
+		}
+		resp, _ := postAssign(t, base, model, "text/csv", body)
+		if model == "a.pmfm" && resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	if err := d.alog.flush(); err != nil {
+		t.Fatal(err)
+	}
+	var recs []accessRecord
+	sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+	for sc.Scan() {
+		var rec accessRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Route == "assign" {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) != total {
+		t.Fatalf("access log has %d assign lines, want %d", len(recs), total)
+	}
+
+	// 100% of non-2xx requests are retained.
+	errs := 0
+	for _, rec := range recs {
+		if rec.Status == http.StatusOK {
+			continue
+		}
+		errs++
+		if d.traces.Lookup(rec.TraceID) == nil {
+			t.Errorf("non-2xx request %s (trace %s) not retained", rec.ID, rec.TraceID)
+		}
+	}
+	if errs != total/errEvery {
+		t.Fatalf("saw %d errors, want %d", errs, total/errEvery)
+	}
+
+	// 100% of the slowest decile is retained: the ring's slow class
+	// keeps the top-64 slowest, a superset of the top-15 of 150.
+	byDur := append([]accessRecord(nil), recs...)
+	for i := 1; i < len(byDur); i++ { // insertion sort, slowest first
+		for j := i; j > 0 && byDur[j].DurationSeconds > byDur[j-1].DurationSeconds; j-- {
+			byDur[j], byDur[j-1] = byDur[j-1], byDur[j]
+		}
+	}
+	for _, rec := range byDur[:total/10] {
+		if d.traces.Lookup(rec.TraceID) == nil {
+			t.Errorf("slowest-decile request %s (%.6fs, trace %s) not retained",
+				rec.ID, rec.DurationSeconds, rec.TraceID)
+		}
+	}
+
+	// Head sampling fired (request 1, 101, ...) but did not keep
+	// everything: retention stays well under the request count.
+	met := d.rec.Metrics()
+	if met.Counters[obs.CtrTraceSampled] < 1 {
+		t.Error("no request was head-sampled at stride 100")
+	}
+	if met.Counters[obs.CtrTraceRequests] < total {
+		t.Errorf("trace.requests = %d, want >= %d", met.Counters[obs.CtrTraceRequests], total)
+	}
+	traces, _ := d.traces.Snapshot()
+	if len(traces) >= total {
+		t.Errorf("retained %d of %d traces — sampling kept everything", len(traces), total)
+	}
+}
+
+// TestTraceparentPropagation: an inbound W3C traceparent's trace-id is
+// adopted and echoed outbound with the daemon's own span-id; malformed
+// headers are ignored and a fresh trace-id minted.
+func TestTraceparentPropagation(t *testing.T) {
+	dir := t.TempDir()
+	d, base := startDaemon(t, Config{ModelDir: dir, TraceSample: 1})
+	defer d.Shutdown(context.Background())
+
+	inbound := "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+	req.Header.Set("traceparent", inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := resp.Header.Get("traceparent")
+	parts := strings.Split(out, "-")
+	if len(parts) != 4 || parts[1] != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("outbound traceparent %q did not adopt the inbound trace-id", out)
+	}
+	if parts[2] == "00f067aa0ba902b7" {
+		t.Error("daemon reused the caller's span-id instead of minting its own")
+	}
+	if d.traces.Lookup("0123456789abcdef0123456789abcdef") == nil {
+		t.Error("adopted trace-id not retained at sample rate 1")
+	}
+
+	for _, bad := range []string{
+		"", "01-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+		"00-zzzz-00f067aa0ba902b7-01",
+		"00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01",
+		"00-0123456789ABCDEF0123456789ABCDEF-00f067aa0ba902b7-01",
+	} {
+		if got := parseTraceparent(bad); got != "" {
+			t.Errorf("parseTraceparent(%q) = %q, want rejection", bad, got)
+		}
+	}
+}
+
+// TestMetricsExemplars scrapes /metrics and parses the OpenMetrics
+// exemplar suffix off the latency-histogram bucket lines; the trace
+// IDs it finds must resolve at /debug/trace/{id}.
+func TestMetricsExemplars(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 3)
+	d, base := startDaemon(t, Config{ModelDir: dir, TraceSample: 1})
+	defer d.Shutdown(context.Background())
+
+	body := csvBody(&dataset.Matrix{D: m.D, Values: m.Values[:32*m.D]})
+	for i := 0; i < 3; i++ {
+		if resp, raw := postAssign(t, base, "a.pmfm", "text/csv", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+	}
+
+	_, raw := get(t, base+"/metrics")
+	type exemplar struct {
+		family, traceID string
+		value, ts       float64
+	}
+	var found []exemplar
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		// OpenMetrics exemplar syntax:
+		//   name_bucket{...} <count> # {trace_id="..."} <value> <ts>
+		base, ex, ok := strings.Cut(line, " # ")
+		if !ok {
+			continue
+		}
+		if !strings.Contains(base, "_bucket{") {
+			t.Errorf("exemplar on a non-bucket line: %s", line)
+			continue
+		}
+		var traceID string
+		var value, ts float64
+		if _, err := fmt.Sscanf(ex, "{trace_id=%q} %g %g", &traceID, &value, &ts); err != nil {
+			t.Errorf("unparseable exemplar %q: %v", ex, err)
+			continue
+		}
+		if traceID == "" || value <= 0 || ts <= 0 {
+			t.Errorf("degenerate exemplar %q", ex)
+		}
+		found = append(found, exemplar{family: base[:strings.Index(base, "_bucket{")], traceID: traceID, value: value, ts: ts})
+	}
+	families := map[string]bool{}
+	for _, ex := range found {
+		families[ex.family] = true
+		if resp, _ := get(t, base+"/debug/trace/"+ex.traceID); resp.StatusCode != http.StatusOK {
+			t.Errorf("exemplar trace %s not resolvable: status %d", ex.traceID, resp.StatusCode)
+		}
+	}
+	for _, want := range []string{"pmafia_http_request_seconds", "pmafia_model_assign_seconds"} {
+		if !families[want] {
+			t.Errorf("no exemplar on family %s (found %v)", want, families)
+		}
+	}
+}
+
+// TestInstrumentRecoversPanic: a panicking handler yields a 500 with
+// the metrics, access-log, slow-ring, and trace invariants intact.
+func TestInstrumentRecoversPanic(t *testing.T) {
+	dir := t.TempDir()
+	var logBuf syncBuffer
+	d, _ := startDaemon(t, Config{ModelDir: dir, AccessLog: &logBuf, TraceSample: 1})
+	defer d.Shutdown(context.Background())
+
+	h := d.instrument("assign", func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodPost, "/assign", nil))
+
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", rr.Code)
+	}
+	if rr.Header().Get("X-Request-ID") == "" {
+		t.Error("panicked response lost its X-Request-ID")
+	}
+	met := d.rec.Metrics()
+	if met.Counters[obs.CtrHTTPStatus("assign", 500)] != 1 {
+		t.Error("panic did not land in the status counters")
+	}
+	if h := d.rec.Histogram(obs.HistRouteSeconds("assign")); h == nil || h.Count() != 1 {
+		t.Error("panic did not land in the route histogram")
+	}
+	if err := d.alog.flush(); err != nil {
+		t.Fatal(err)
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(logBuf.String()), &rec); err != nil {
+		t.Fatalf("no access-log line after panic: %v", err)
+	}
+	if rec.Status != 500 || !strings.Contains(rec.Panic, "boom") {
+		t.Errorf("access record %+v does not carry the panic", rec)
+	}
+	if entries := d.slow.snapshot(); len(entries) != 1 || entries[0].Status != 500 {
+		t.Error("panic did not compete for the slow ring")
+	}
+	if tr := d.traces.Lookup(rec.TraceID); tr == nil || tr.Status != 500 {
+		t.Error("panicked request's trace not retained as an error")
+	}
+
+	// A panic after the handler already wrote keeps the wire status.
+	rr = httptest.NewRecorder()
+	d.instrument("assign", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late")
+	})(rr, httptest.NewRequest(http.MethodPost, "/assign", nil))
+	if rr.Code != http.StatusAccepted {
+		t.Errorf("late panic rewrote an already-sent status to %d", rr.Code)
+	}
+}
+
+// TestRequestIDSanitized: client-supplied X-Request-ID values with
+// control characters, spaces, or non-ASCII bytes are rejected (a
+// fresh ID is generated); clean ones are echoed.
+func TestRequestIDSanitized(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := startDaemon(t, Config{ModelDir: dir})
+	defer d.Shutdown(context.Background())
+
+	// Go's HTTP client refuses to even send control characters, so
+	// exercise the middleware directly with handcrafted headers.
+	h := d.instrument("healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	do := func(id string) string {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		req.Header["X-Request-Id"] = []string{id}
+		rr := httptest.NewRecorder()
+		h(rr, req)
+		return rr.Header().Get("X-Request-ID")
+	}
+
+	if got := do("good-id_123/v2"); got != "good-id_123/v2" {
+		t.Errorf("clean ID %q not echoed (got %q)", "good-id_123/v2", got)
+	}
+	for _, bad := range []string{
+		"has space", "ctrl\x01char", "high\xffbyte", "tab\there",
+		strings.Repeat("x", 129),
+	} {
+		if got := do(bad); got == bad || got == "" {
+			t.Errorf("unsanitized ID %q was echoed", bad)
+		}
+	}
+	if validRequestID("") || !validRequestID(strings.Repeat("x", 128)) {
+		t.Error("validRequestID length edge cases wrong")
+	}
+}
+
+// TestAccessLogBreakdown: access-log lines carry the per-stage
+// breakdown, and the stages are consistent with the total.
+func TestAccessLogBreakdown(t *testing.T) {
+	dir := t.TempDir()
+	_, m := fitModel(t, dir, "a.pmfm", 4)
+	var logBuf syncBuffer
+	d, base := startDaemon(t, Config{ModelDir: dir, AccessLog: &logBuf})
+	defer d.Shutdown(context.Background())
+
+	body := csvBody(m)
+	if resp, raw := postAssign(t, base, "a.pmfm", "text/csv", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := d.alog.flush(); err != nil {
+		t.Fatal(err)
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(logBuf.String()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.DecodeSeconds <= 0 || rec.AssignSeconds <= 0 || rec.EncodeSeconds <= 0 {
+		t.Errorf("breakdown missing from access record: %+v", rec)
+	}
+	sum := rec.QueueSeconds + rec.DecodeSeconds + rec.AssignSeconds + rec.EncodeSeconds
+	if sum > rec.DurationSeconds+1e-6 {
+		t.Errorf("stage sum %.6fs exceeds total %.6fs", sum, rec.DurationSeconds)
+	}
+}
+
+// TestTracingOffZeroAlloc pins the pay-for-use contract of the new
+// seams: with tracing off, the stage recorder, the ring offer, and
+// the exemplar write are allocation-free no-ops.
+func TestTracingOffZeroAlloc(t *testing.T) {
+	st := &reqStats{}
+	t0, t1 := time.Now(), time.Now()
+	if n := testing.AllocsPerRun(100, func() { st.stage("kernel", t0, t1) }); n != 0 {
+		t.Errorf("stage with tracing off allocates %v times", n)
+	}
+	var ring *obs.TraceRing
+	tr := &obs.ServeTrace{}
+	if n := testing.AllocsPerRun(100, func() { ring.Offer(tr, false) }); n != 0 {
+		t.Errorf("nil ring Offer allocates %v times", n)
+	}
+	rec := obs.New()
+	if n := testing.AllocsPerRun(100, func() { rec.SetExemplar("http.assign.seconds", 1, "") }); n != 0 {
+		t.Errorf("SetExemplar with no trace allocates %v times", n)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+// OpenMetrics exemplars: a retained serve-trace ID pinned to the
+// histogram bucket its request's latency landed in, so a dashboard
+// can jump from a p99 bucket straight to a concrete trace at
+// /debug/trace/{id}. The recorder keeps at most one exemplar per
+// (histogram name, bucket) — the most recent wins — mirroring how
+// the OpenMetrics exposition attaches at most one exemplar per
+// _bucket line.
+
+import "time"
+
+// Exemplar is one trace-linked observation. Ts is wall-clock Unix
+// seconds (the OpenMetrics exemplar timestamp), not recorder time.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Ts      float64
+}
+
+// SetExemplar records v (with its trace ID) as the exemplar of the
+// bucket v lands in for the named histogram, using the same boundary
+// ladder HistogramBounds assigns the name. Callers pass only retained
+// trace IDs — an exemplar pointing at an evicted or never-kept trace
+// would dead-end. Nil-receiver and empty-ID calls are no-ops.
+func (r *Recorder) SetExemplar(name string, v float64, traceID string) {
+	if r == nil || traceID == "" {
+		return
+	}
+	ts := float64(time.Now().UnixNano()) / 1e9
+	bounds := HistogramBounds(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.exemplars == nil {
+		r.exemplars = map[string][]Exemplar{}
+	}
+	ex := r.exemplars[name]
+	if ex == nil {
+		ex = make([]Exemplar, len(bounds)+1) // +1: the +Inf overflow bucket
+		r.exemplars[name] = ex
+	}
+	ex[BucketIndex(bounds, v)] = Exemplar{TraceID: traceID, Value: v, Ts: ts}
+}
+
+// Exemplars returns a copy of the named histogram's per-bucket
+// exemplars (index i = bucket i, last = +Inf), nil when none were
+// ever set. Buckets without an exemplar have an empty TraceID.
+func (r *Recorder) Exemplars(name string) []Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ex := r.exemplars[name]
+	if ex == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(ex))
+	copy(out, ex)
+	return out
+}

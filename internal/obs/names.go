@@ -40,6 +40,17 @@ const (
 	CtrAssignFrames          = "assign.frames"
 	CtrAssignCoalesceReqs    = "assign.coalesce.requests"
 	CtrAssignCoalesceFlushes = "assign.coalesce.flushes"
+	// pmafiad: serve-side request tracing (the trace ring).
+	CtrTraceRequests      = "trace.requests"
+	CtrTraceSampled       = "trace.sampled"
+	CtrTraceRetained      = "trace.retained"
+	CtrTraceRetainedError = "trace.retained.error"
+	CtrTraceRetainedSlow  = "trace.retained.slow"
+	// pmafiad: the continuous-profiling harness.
+	CtrProfileCPU    = "profile.cpu"
+	CtrProfileHeap   = "profile.heap"
+	CtrProfilePruned = "profile.pruned"
+	CtrProfileErrors = "profile.errors"
 	// ckpt: level-barrier checkpoint writes and recovery loads.
 	CtrCkptWrites       = "ckpt.write"
 	CtrCkptWriteBytes   = "ckpt.write.bytes"
@@ -186,6 +197,15 @@ var registered = map[string]bool{
 	CtrAssignFrames:          true,
 	CtrAssignCoalesceReqs:    true,
 	CtrAssignCoalesceFlushes: true,
+	CtrTraceRequests:         true,
+	CtrTraceSampled:          true,
+	CtrTraceRetained:         true,
+	CtrTraceRetainedError:    true,
+	CtrTraceRetainedSlow:     true,
+	CtrProfileCPU:            true,
+	CtrProfileHeap:           true,
+	CtrProfilePruned:         true,
+	CtrProfileErrors:         true,
 	CtrCkptWrites:            true,
 	CtrCkptWriteBytes:        true,
 	CtrCkptWriteNS:           true,

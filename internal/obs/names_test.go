@@ -9,6 +9,9 @@ func TestCounterRegistry(t *testing.T) {
 		CtrHistogramRecords, CtrCDUsGenerated, CtrCDUsDeduped,
 		CtrCDUsPopulated, CtrDenseUnits, CtrPopulateRecords,
 		CtrAssignFrames, CtrAssignCoalesceReqs, CtrAssignCoalesceFlushes,
+		CtrTraceRequests, CtrTraceSampled, CtrTraceRetained,
+		CtrTraceRetainedError, CtrTraceRetainedSlow,
+		CtrProfileCPU, CtrProfileHeap, CtrProfilePruned, CtrProfileErrors,
 	} {
 		if !IsRegistered(name) {
 			t.Errorf("constant %q not registered", name)
@@ -130,6 +133,15 @@ func TestPromNameMapping(t *testing.T) {
 		CtrAssignFrames:          "pmafia_assign_frames",
 		CtrAssignCoalesceReqs:    "pmafia_assign_coalesce_requests",
 		CtrAssignCoalesceFlushes: "pmafia_assign_coalesce_flushes",
+		CtrTraceRequests:         "pmafia_trace_requests",
+		CtrTraceSampled:          "pmafia_trace_sampled",
+		CtrTraceRetained:         "pmafia_trace_retained",
+		CtrTraceRetainedError:    "pmafia_trace_retained_error",
+		CtrTraceRetainedSlow:     "pmafia_trace_retained_slow",
+		CtrProfileCPU:            "pmafia_profile_cpu",
+		CtrProfileHeap:           "pmafia_profile_heap",
+		CtrProfilePruned:         "pmafia_profile_pruned",
+		CtrProfileErrors:         "pmafia_profile_errors",
 		CtrCkptWrites:            "pmafia_ckpt_write",
 		CtrCkptWriteBytes:        "pmafia_ckpt_write_bytes",
 		CtrCkptWriteNS:           "pmafia_ckpt_write_ns",

@@ -147,6 +147,9 @@ type Recorder struct {
 	msgs    []MsgEvent
 	samples []ctrSample
 	nextMsg int64
+	// exemplars holds one exemplar per (histogram name, bucket) —
+	// see exemplar.go. Lazily allocated: nil until SetExemplar runs.
+	exemplars map[string][]Exemplar
 }
 
 // New creates an empty recorder.

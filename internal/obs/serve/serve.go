@@ -107,21 +107,33 @@ func le(bound float64) string {
 // writeHistogram emits one member of a histogram family in Prometheus
 // text format: cumulative _bucket samples per bound plus +Inf, then
 // _sum and _count. labels is the pre-rendered label prefix (e.g.
-// `route="assign",`), empty for an unlabeled family.
-func writeHistogram(w io.Writer, family, labels string, h *obs.Histogram) {
+// `route="assign",`), empty for an unlabeled family. ex, when
+// non-nil, holds per-bucket exemplars (index i = bucket i, last =
+// +Inf); a bucket with one gets the OpenMetrics exemplar suffix
+// `# {trace_id="..."} value timestamp` appended to its line.
+func writeHistogram(w io.Writer, family, labels string, h *obs.Histogram, ex []obs.Exemplar) {
 	bounds, counts := h.Bounds(), h.BucketCounts()
 	var cum int64
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, labels, le(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d%s\n", family, labels, le(b), cum, exemplar(ex, i))
 	}
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labels, h.Count())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", family, labels, h.Count(), exemplar(ex, len(bounds)))
 	suffix := ""
 	if labels != "" {
 		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
 	}
 	fmt.Fprintf(w, "%s_sum%s %g\n", family, suffix, h.Sum())
 	fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count())
+}
+
+// exemplar renders the OpenMetrics exemplar suffix for bucket i, ""
+// when the bucket has none.
+func exemplar(ex []obs.Exemplar, i int) string {
+	if i >= len(ex) || ex[i].TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g %.3f", ex[i].TraceID, ex[i].Value, ex[i].Ts)
 }
 
 // histFamily is one Prometheus histogram family being assembled from
@@ -135,6 +147,7 @@ type histFamily struct {
 type histMember struct {
 	labels string // pre-rendered label prefix, "" for unlabeled
 	h      *obs.Histogram
+	ex     []obs.Exemplar // per-bucket exemplars, nil when none
 }
 
 func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -183,21 +196,21 @@ func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	sort.Strings(hnames)
 	var order []string
 	fams := map[string]*histFamily{}
-	add := func(family, help, labels string, h *obs.Histogram) {
+	add := func(family, help, labels, name string, h *obs.Histogram) {
 		f := fams[family]
 		if f == nil {
 			f = &histFamily{name: family, help: help}
 			fams[family] = f
 			order = append(order, family)
 		}
-		f.members = append(f.members, histMember{labels: labels, h: h})
+		f.members = append(f.members, histMember{labels: labels, h: h, ex: s.rec.Exemplars(name)})
 	}
 	for _, name := range hnames {
 		h := hists[name]
 		if route, ok := obs.ParseRouteSecondsHistogram(name); ok {
 			add("pmafia_http_request_seconds",
 				"Request latency in seconds, by route.",
-				fmt.Sprintf("route=%q,", route), h)
+				fmt.Sprintf("route=%q,", route), name, h)
 			continue
 		}
 		if model, kind, ok := obs.ParseModelHistogram(name); ok {
@@ -205,21 +218,21 @@ func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 			case "seconds":
 				add("pmafia_model_assign_seconds",
 					"/assign request latency in seconds, by model.",
-					fmt.Sprintf("model=%q,", model), h)
+					fmt.Sprintf("model=%q,", model), name, h)
 			case "records":
 				add("pmafia_model_batch_records",
 					"Records labeled per /assign request, by model.",
-					fmt.Sprintf("model=%q,", model), h)
+					fmt.Sprintf("model=%q,", model), name, h)
 			}
 			continue
 		}
-		add(obs.PromName(name), "Histogram of "+name+", merged over ranks.", "", h)
+		add(obs.PromName(name), "Histogram of "+name+", merged over ranks.", "", name, h)
 	}
 	for _, family := range order {
 		f := fams[family]
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
 		for _, mem := range f.members {
-			writeHistogram(w, f.name, mem.labels, mem.h)
+			writeHistogram(w, f.name, mem.labels, mem.h, mem.ex)
 		}
 	}
 

@@ -1,0 +1,403 @@
+package obs
+
+// Serve-side request tracing. Where the Recorder's spans cover the
+// fit-side SPMD engine in rank-clock time, a ServeTrace covers one
+// HTTP request in wall-clock time: a root span (the whole request)
+// plus flat child stage spans (queue, decode, coalesce-wait, kernel,
+// encode). Traces live in a TraceRing, which applies head sampling
+// plus tail-based retention: every non-2xx request and every request
+// that ranks among the slowest seen are always kept, regardless of
+// the sampling decision, so the interesting tail survives even at a
+// 1% sample rate. The coalescer records one KernelSpan per batch
+// flush carrying the trace IDs of its waiters; the Chrome export
+// reuses the flow-event synthesis ("s"/"f" pairs, like the modeled
+// collective messages) to draw arrows from each retained waiter's
+// coalesce-wait span to the shared kernel-invocation span.
+//
+// All times are float64 seconds since the ring's epoch (its creation
+// time), converted to microseconds only at export.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageSpan is one child stage of a request trace.
+type StageSpan struct {
+	Stage string  `json:"stage"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ServeTrace is one request's trace: identity, outcome, the root
+// [Start, End] window, and its stage spans. A trace is built by a
+// single goroutine (the request's) — the coalescer hands its kernel
+// window back to each waiter rather than writing into the trace.
+type ServeTrace struct {
+	ID      string      `json:"id"`
+	Route   string      `json:"route"`
+	Model   string      `json:"model,omitempty"`
+	Status  int         `json:"status"`
+	Records int         `json:"records,omitempty"`
+	Start   float64     `json:"start"`
+	End     float64     `json:"end"`
+	Spans   []StageSpan `json:"spans"`
+	// KernelID links to the coalesced KernelSpan that labeled this
+	// request's records, 0 when the request was not coalesced.
+	KernelID int64 `json:"kernel_id,omitempty"`
+}
+
+// Stage appends one stage span. Nil-safe: recording into an
+// unsampled request (nil trace) is a no-op, so the tracing-off path
+// costs a pointer test.
+func (t *ServeTrace) Stage(stage string, start, end float64) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, StageSpan{Stage: stage, Start: start, End: end})
+}
+
+// StageSum returns the summed stage durations — by construction they
+// cover disjoint intervals of the request, so the sum is bounded by
+// the root duration.
+func (t *ServeTrace) StageSum() float64 {
+	var sum float64
+	for _, s := range t.Spans {
+		sum += s.End - s.Start
+	}
+	return sum
+}
+
+// Duration returns the root span's duration.
+func (t *ServeTrace) Duration() float64 { return t.End - t.Start }
+
+// KernelSpan is one coalesced kernel invocation: the batch the
+// coalescer labeled with a single kernel call, carrying the trace IDs
+// of the waiter requests it served. It is the serve-side analogue of
+// a collective's MsgEvents: the correlation record the Chrome export
+// turns into flow arrows.
+type KernelSpan struct {
+	ID      int64    `json:"id"`
+	Model   string   `json:"model"`
+	Records int      `json:"records"`
+	Start   float64  `json:"start"`
+	End     float64  `json:"end"`
+	Waiters []string `json:"waiters"` // trace IDs of the coalesced requests
+}
+
+// TraceRing is the bounded retention store for serve traces. Offer
+// classifies a finished trace into up to three retention classes:
+//
+//   - errs: every non-2xx trace, FIFO-bounded — errors are always kept.
+//   - slow: the top-cap slowest traces seen so far, sorted slowest
+//     first with the same insert/evict policy as the daemon's
+//     /debug/slow ring, so (with slowCap >= the slow ring's cap) every
+//     /debug/slow entry's trace is retained.
+//   - samp: head-sampled ordinary traces, FIFO-bounded.
+//
+// Kernel spans are kept in their own FIFO window. All methods are
+// nil-safe no-ops, preserving the package's pay-for-use contract.
+type TraceRing struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	cap     int
+	slowCap int
+
+	samp    []*ServeTrace
+	errs    []*ServeTrace
+	slow    []*ServeTrace
+	kernels []*KernelSpan
+
+	nextKernel int64
+}
+
+// NewTraceRing creates a ring keeping up to cap sampled traces, cap
+// error traces, max(cap, slowCap) slow traces, and 4*cap kernel
+// spans.
+func NewTraceRing(cap, slowCap int) *TraceRing {
+	if cap < 1 {
+		cap = 1
+	}
+	if slowCap < cap {
+		slowCap = cap
+	}
+	return &TraceRing{epoch: time.Now(), cap: cap, slowCap: slowCap}
+}
+
+// Epoch returns the ring's time origin; trace and stage times are
+// seconds since it.
+func (tr *TraceRing) Epoch() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.epoch
+}
+
+// Since converts a wall-clock instant to ring time.
+func (tr *TraceRing) Since(t time.Time) float64 {
+	if tr == nil {
+		return 0
+	}
+	return t.Sub(tr.epoch).Seconds()
+}
+
+// Offer classifies a finished trace. sampled is the head-sampling
+// decision made at request start; retention is the union of the three
+// classes, so errors and tail-latency outliers survive sampling.
+func (tr *TraceRing) Offer(t *ServeTrace, sampled bool) (retained, asError, asSlow bool) {
+	if tr == nil || t == nil {
+		return false, false, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if t.Status >= 300 || t.Status < 200 {
+		asError = true
+		tr.errs = append(tr.errs, t)
+		if len(tr.errs) > tr.cap {
+			tr.errs = tr.errs[1:]
+		}
+	}
+	if tr.offerSlowLocked(t) {
+		asSlow = true
+	}
+	if sampled {
+		tr.samp = append(tr.samp, t)
+		if len(tr.samp) > tr.cap {
+			tr.samp = tr.samp[1:]
+		}
+	}
+	return sampled || asError || asSlow, asError, asSlow
+}
+
+// offerSlowLocked inserts t if it ranks among the slowCap slowest
+// traces — the same top-cap policy as the daemon's slow ring (sorted
+// slowest first, ties keep the earlier arrival, fastest falls out).
+func (tr *TraceRing) offerSlowLocked(t *ServeTrace) bool {
+	d := t.Duration()
+	if len(tr.slow) == tr.slowCap && d <= tr.slow[tr.slowCap-1].Duration() {
+		return false
+	}
+	i := sort.Search(len(tr.slow), func(i int) bool {
+		return tr.slow[i].Duration() < d
+	})
+	tr.slow = append(tr.slow, nil)
+	copy(tr.slow[i+1:], tr.slow[i:])
+	tr.slow[i] = t
+	if len(tr.slow) > tr.slowCap {
+		tr.slow = tr.slow[:tr.slowCap]
+	}
+	return true
+}
+
+// Kernel records one coalesced kernel invocation over the waiter
+// trace IDs and returns its correlation ID (never 0).
+func (tr *TraceRing) Kernel(model string, records int, waiters []string, start, end time.Time) int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.nextKernel++
+	tr.kernels = append(tr.kernels, &KernelSpan{
+		ID:      tr.nextKernel,
+		Model:   model,
+		Records: records,
+		Start:   start.Sub(tr.epoch).Seconds(),
+		End:     end.Sub(tr.epoch).Seconds(),
+		Waiters: waiters,
+	})
+	if len(tr.kernels) > 4*tr.cap {
+		tr.kernels = tr.kernels[1:]
+	}
+	return tr.nextKernel
+}
+
+// Lookup returns the retained trace with the given ID, nil if it was
+// never retained or has since been evicted from every class.
+func (tr *TraceRing) Lookup(id string) *ServeTrace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, class := range [][]*ServeTrace{tr.errs, tr.slow, tr.samp} {
+		for _, t := range class {
+			if t.ID == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the retained traces (deduplicated across classes,
+// ordered by start time) and the kernel-span window.
+func (tr *TraceRing) Snapshot() ([]*ServeTrace, []*KernelSpan) {
+	if tr == nil {
+		return nil, nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	seen := map[string]bool{}
+	var traces []*ServeTrace
+	for _, class := range [][]*ServeTrace{tr.errs, tr.slow, tr.samp} {
+		for _, t := range class {
+			if !seen[t.ID] {
+				seen[t.ID] = true
+				traces = append(traces, t)
+			}
+		}
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Start < traces[j].Start })
+	kernels := make([]*KernelSpan, len(tr.kernels))
+	copy(kernels, tr.kernels)
+	return traces, kernels
+}
+
+// WriteChromeTrace exports every retained trace (and the kernel spans
+// linked to them) as a Chrome trace_event document.
+func (tr *TraceRing) WriteChromeTrace(w io.Writer) error {
+	if tr == nil {
+		return fmt.Errorf("obs: nil trace ring")
+	}
+	traces, kernels := tr.Snapshot()
+	return WriteServeTrace(w, traces, kernels)
+}
+
+// WriteTraceByID exports one retained trace (plus its kernel span, if
+// any survives in the window). found is false when the ID is unknown.
+func (tr *TraceRing) WriteTraceByID(w io.Writer, id string) (found bool, err error) {
+	if tr == nil {
+		return false, nil
+	}
+	t := tr.Lookup(id)
+	if t == nil {
+		return false, nil
+	}
+	var linked []*KernelSpan
+	if t.KernelID != 0 {
+		tr.mu.Lock()
+		for _, k := range tr.kernels {
+			if k.ID == t.KernelID {
+				linked = append(linked, k)
+				break
+			}
+		}
+		tr.mu.Unlock()
+	}
+	return true, WriteServeTrace(w, []*ServeTrace{t}, linked)
+}
+
+// WriteServeTrace renders request traces and coalesced kernel spans
+// as Chrome trace_event JSON: one thread track per request (the root
+// "X" event named after the route, stage "X" events inside it), a
+// dedicated "coalesced kernels" track (tid 0), and one flow-event
+// pair per (kernel, retained waiter) — "s" anchored at the waiter's
+// coalesce-wait start, "f" (bp "e") at the kernel span's start — so
+// the viewer draws an arrow from every request into the shared kernel
+// invocation that labeled it. Kernel spans none of whose waiters are
+// in traces are dropped: every exported kernel span is flow-linked to
+// at least one request span.
+func WriteServeTrace(w io.Writer, traces []*ServeTrace, kernels []*KernelSpan) error {
+	doc := traceDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+			Args: map[string]any{"name": "pmafiad"}},
+		{Name: "thread_name", Ph: "M", Pid: 0, Tid: 0,
+			Args: map[string]any{"name": "coalesced kernels"}},
+	}}
+	tid := map[string]int{} // trace ID -> thread track
+	for i, t := range traces {
+		tid[t.ID] = i + 1
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("req %s (%s)", t.ID, t.Route)},
+		})
+		args := map[string]any{"trace_id": t.ID, "status": t.Status}
+		if t.Model != "" {
+			args["model"] = t.Model
+		}
+		if t.Records > 0 {
+			args["records"] = t.Records
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: t.Route, Cat: "request", Ph: "X",
+			Ts: t.Start * 1e6, Dur: t.Duration() * 1e6,
+			Pid: 0, Tid: i + 1, Args: args,
+		})
+		for _, s := range t.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: s.Stage, Cat: "stage", Ph: "X",
+				Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+				Pid: 0, Tid: i + 1,
+			})
+		}
+	}
+	var flowID int64
+	for _, k := range kernels {
+		var linked []string
+		for _, id := range k.Waiters {
+			if _, ok := tid[id]; ok {
+				linked = append(linked, id)
+			}
+		}
+		if len(linked) == 0 {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "kernel", Cat: "kernel", Ph: "X",
+			Ts: k.Start * 1e6, Dur: (k.End - k.Start) * 1e6,
+			Pid: 0, Tid: 0,
+			Args: map[string]any{
+				"kernel_id": k.ID, "model": k.Model,
+				"records": k.Records, "waiters": len(k.Waiters),
+			},
+		})
+		for _, id := range linked {
+			flowID++
+			// Anchor the arrow at the waiter's coalesce-wait span when it
+			// has one; the root span start otherwise.
+			src := flowSource(traceByID(traces, id))
+			args := map[string]any{"kernel_id": k.ID, "trace_id": id}
+			doc.TraceEvents = append(doc.TraceEvents,
+				traceEvent{
+					Name: "coalesce", Cat: "coalesce", Ph: "s", ID: flowID,
+					Ts: src * 1e6, Pid: 0, Tid: tid[id], Args: args,
+				},
+				traceEvent{
+					Name: "coalesce", Cat: "coalesce", Ph: "f", ID: flowID, Bp: "e",
+					Ts: k.Start * 1e6, Pid: 0, Tid: 0, Args: args,
+				})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func traceByID(traces []*ServeTrace, id string) *ServeTrace {
+	for _, t := range traces {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// flowSource picks the timestamp the flow arrow leaves a waiter's
+// track from: its coalesce-wait stage start, falling back to the root
+// span start.
+func flowSource(t *ServeTrace) float64 {
+	if t == nil {
+		return 0
+	}
+	for _, s := range t.Spans {
+		if s.Stage == "coalesce-wait" {
+			return s.Start
+		}
+	}
+	return t.Start
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, status int, start, dur float64) *ServeTrace {
+	return &ServeTrace{ID: id, Route: "assign", Status: status, Start: start, End: start + dur}
+}
+
+func TestTraceRingRetentionClasses(t *testing.T) {
+	tr := NewTraceRing(2, 2)
+
+	// Unsampled 200s are dropped unless slow. Fill the slow class first
+	// with two slow traces so a fast one has no tail claim.
+	for i, dur := range []float64{1.0, 2.0} {
+		retained, asErr, asSlow := tr.Offer(mkTrace(fmt.Sprintf("slow%d", i), 200, float64(i), dur), false)
+		if !retained || asErr || !asSlow {
+			t.Fatalf("slow trace %d: retained=%v asErr=%v asSlow=%v", i, retained, asErr, asSlow)
+		}
+	}
+	if retained, _, _ := tr.Offer(mkTrace("fast", 200, 10, 0.001), false); retained {
+		t.Fatal("fast unsampled 200 should not be retained")
+	}
+	// Errors are always retained, even when fast and unsampled.
+	if retained, asErr, _ := tr.Offer(mkTrace("err", 404, 11, 0.001), false); !retained || !asErr {
+		t.Fatal("non-2xx trace must always be retained")
+	}
+	// Sampled ordinary requests are retained via the head-sample class.
+	if retained, asErr, asSlow := tr.Offer(mkTrace("samp", 200, 12, 0.001), true); !retained || asErr || asSlow {
+		t.Fatal("sampled trace must be retained via the sample class")
+	}
+
+	if tr.Lookup("fast") != nil {
+		t.Error("dropped trace is still resolvable")
+	}
+	for _, id := range []string{"slow0", "slow1", "err", "samp"} {
+		if tr.Lookup(id) == nil {
+			t.Errorf("retained trace %q not resolvable", id)
+		}
+	}
+	traces, _ := tr.Snapshot()
+	if len(traces) != 4 {
+		t.Fatalf("snapshot has %d traces, want 4", len(traces))
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Start < traces[i-1].Start {
+			t.Fatal("snapshot not ordered by start time")
+		}
+	}
+}
+
+func TestTraceRingSlowTopCap(t *testing.T) {
+	tr := NewTraceRing(4, 4)
+	durs := []float64{0.3, 0.1, 0.9, 0.2, 0.5, 0.05, 0.7}
+	for i, d := range durs {
+		tr.Offer(mkTrace(fmt.Sprintf("t%d", i), 200, float64(i), d), false)
+	}
+	// True top-4 slowest: 0.9, 0.7, 0.5, 0.3.
+	for _, id := range []string{"t2", "t6", "t4", "t0"} {
+		if tr.Lookup(id) == nil {
+			t.Errorf("top-4 slowest %q not retained", id)
+		}
+	}
+	for _, id := range []string{"t1", "t3", "t5"} {
+		if tr.Lookup(id) != nil {
+			t.Errorf("%q should have been evicted from the slow class", id)
+		}
+	}
+}
+
+func TestTraceRingErrFIFO(t *testing.T) {
+	tr := NewTraceRing(2, 2)
+	// Zero-duration errors never rank in the slow class once it holds
+	// two slower entries, so the error class FIFO is isolated.
+	tr.Offer(mkTrace("s0", 200, 0, 1.0), false)
+	tr.Offer(mkTrace("s1", 200, 0, 2.0), false)
+	for i := 0; i < 3; i++ {
+		tr.Offer(mkTrace(fmt.Sprintf("e%d", i), 500, float64(i), 0), false)
+	}
+	if tr.Lookup("e0") != nil {
+		t.Error("oldest error should have fallen out of the FIFO")
+	}
+	if tr.Lookup("e1") == nil || tr.Lookup("e2") == nil {
+		t.Error("newest errors must be retained")
+	}
+}
+
+func TestWriteServeTraceFlowLinks(t *testing.T) {
+	tr := NewTraceRing(8, 8)
+	w1 := mkTrace("req1", 200, 0.0, 0.010)
+	w1.Stage("queue", 0.000, 0.001)
+	w1.Stage("coalesce-wait", 0.002, 0.005)
+	w1.Stage("kernel", 0.005, 0.008)
+	w2 := mkTrace("req2", 200, 0.001, 0.009)
+	w2.Stage("coalesce-wait", 0.003, 0.005)
+	w2.Stage("kernel", 0.005, 0.008)
+	epoch := tr.Epoch()
+	kid := tr.Kernel("m.pmfm", 64, []string{"req1", "req2", "dropped"},
+		epoch.Add(5*time.Millisecond), epoch.Add(8*time.Millisecond))
+	if kid == 0 {
+		t.Fatal("Kernel returned id 0")
+	}
+	w1.KernelID, w2.KernelID = kid, kid
+	tr.Offer(w1, true)
+	tr.Offer(w2, true)
+	// A second kernel span none of whose waiters are retained must not
+	// be exported.
+	tr.Kernel("m.pmfm", 8, []string{"ghost"}, epoch, epoch.Add(time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			ID   int64          `json:"id"`
+			Bp   string         `json:"bp"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	kernels, starts, finishes := 0, map[int64]bool{}, map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Cat == "kernel":
+			kernels++
+			if ev.Tid != 0 {
+				t.Error("kernel span not on the kernel track")
+			}
+		case ev.Ph == "s":
+			starts[ev.ID] = true
+		case ev.Ph == "f":
+			finishes[ev.ID] = true
+			if ev.Bp != "e" {
+				t.Error("flow finish missing bp e")
+			}
+			if ev.Tid != 0 {
+				t.Error("flow finish not on the kernel track")
+			}
+		}
+	}
+	if kernels != 1 {
+		t.Fatalf("exported %d kernel spans, want 1 (unlinked span must be dropped)", kernels)
+	}
+	if len(starts) != 2 || len(finishes) != 2 {
+		t.Fatalf("flow pairs: %d starts, %d finishes, want 2 each", len(starts), len(finishes))
+	}
+	for id := range starts {
+		if !finishes[id] {
+			t.Errorf("flow id %d has no finish", id)
+		}
+	}
+
+	// Per-ID export carries the single trace and its kernel span.
+	buf.Reset()
+	found, err := tr.WriteTraceByID(&buf, "req1")
+	if err != nil || !found {
+		t.Fatalf("WriteTraceByID: found=%v err=%v", found, err)
+	}
+	if !strings.Contains(buf.String(), `"req1"`) || strings.Contains(buf.String(), `"req2"`) {
+		t.Error("per-ID export has the wrong trace set")
+	}
+	if !strings.Contains(buf.String(), `"waiters"`) {
+		t.Error("per-ID export dropped the linked kernel span")
+	}
+	if found, _ := tr.WriteTraceByID(&buf, "nope"); found {
+		t.Error("unknown ID reported found")
+	}
+}
+
+func TestTraceStageSum(t *testing.T) {
+	tr := mkTrace("x", 200, 1.0, 0.010)
+	tr.Stage("queue", 1.000, 1.001)
+	tr.Stage("kernel", 1.002, 1.008)
+	tr.Stage("encode", 1.008, 1.009)
+	if sum := tr.StageSum(); sum > tr.Duration() {
+		t.Fatalf("stage sum %g exceeds root duration %g", sum, tr.Duration())
+	}
+}
+
+func TestNilTraceRingAndTrace(t *testing.T) {
+	var tr *TraceRing
+	var st *ServeTrace
+	st.Stage("queue", 0, 1) // must not panic
+	if retained, _, _ := tr.Offer(mkTrace("x", 200, 0, 1), true); retained {
+		t.Error("nil ring retained a trace")
+	}
+	if tr.Kernel("m", 1, []string{"x"}, time.Now(), time.Now()) != 0 {
+		t.Error("nil ring minted a kernel id")
+	}
+	if tr.Lookup("x") != nil {
+		t.Error("nil ring resolved a trace")
+	}
+}
+
+func TestRecorderExemplars(t *testing.T) {
+	r := New()
+	name := HistRouteSeconds("assign")
+	r.Observe(0, name, 0.003)
+	r.SetExemplar(name, 0.003, "trace-a")
+	r.SetExemplar(name, 123, "trace-overflow") // beyond the last bound
+	r.SetExemplar(name, 0.003, "")             // empty ID: no-op
+
+	ex := r.Exemplars(name)
+	bounds := HistogramBounds(name)
+	if len(ex) != len(bounds)+1 {
+		t.Fatalf("exemplar slots = %d, want %d", len(ex), len(bounds)+1)
+	}
+	i := BucketIndex(bounds, 0.003)
+	if ex[i].TraceID != "trace-a" || ex[i].Value != 0.003 || ex[i].Ts <= 0 {
+		t.Fatalf("bucket %d exemplar = %+v", i, ex[i])
+	}
+	if ex[len(bounds)].TraceID != "trace-overflow" {
+		t.Fatal("overflow bucket exemplar missing")
+	}
+	if r.Exemplars("no.such.hist") != nil {
+		t.Error("unknown name returned exemplars")
+	}
+	var nilR *Recorder
+	nilR.SetExemplar(name, 1, "x") // must not panic
+	if nilR.Exemplars(name) != nil {
+		t.Error("nil recorder returned exemplars")
+	}
+}

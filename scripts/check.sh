@@ -28,6 +28,40 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+# Static analysis beyond vet. Pinned so CI and laptops agree on the
+# check set; if the binary is absent we try a module-proxy install and
+# skip with a notice when that fails (offline container) rather than
+# turning an environment gap into a red gate.
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1.1}"
+echo "== staticcheck ./... (pinned $STATICCHECK_VERSION)"
+staticcheck_bin=""
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck_bin=staticcheck
+elif [ -x "$(go env GOPATH)/bin/staticcheck" ]; then
+    staticcheck_bin="$(go env GOPATH)/bin/staticcheck"
+elif go install "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" >/dev/null 2>&1; then
+    staticcheck_bin="$(go env GOPATH)/bin/staticcheck"
+fi
+if [ -n "$staticcheck_bin" ]; then
+    "$staticcheck_bin" ./...
+else
+    echo "staticcheck: not installed and module proxy unreachable — skipped" >&2
+fi
+
+# Metric-name hygiene: every trace.*/profile.* (and every other)
+# counter the daemon emits must belong to the closed obs registry with
+# a locked Prometheus mapping, and no metric-name string literal may
+# bypass the registry constants.
+echo "== metric-name registry gate"
+go test -count=1 -run 'TestCounterRegistry|TestHistogramRegistry|TestPromNameMapping' ./internal/obs
+go test -count=1 -run 'TestAllEmittedMetricsAreRegistered' ./internal/daemon
+stray=$(grep -rnE '"(trace|profile)\.[a-z_.]+"' --include='*.go' internal cmd | grep -v '^internal/obs/names\.go:' || true)
+if [ -n "$stray" ]; then
+    echo "metric-name literals outside internal/obs/names.go (use the obs.Ctr*/Hist* constants):" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+
 echo "== go test -race ./..."
 go test -race ./...
 
