@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -123,8 +124,12 @@ func (d *Daemon) requestID(r *http.Request) string {
 // stack. Every route goes through here, so "one access-log line per
 // request" and "every response carries an X-Request-ID" hold globally.
 // A handler panic is recovered: the response becomes a 500 (when
-// nothing was written yet) and the metrics / access-log / slow-ring /
-// trace invariants still hold for the request.
+// nothing was written yet), the metrics / access-log / slow-ring /
+// trace invariants still hold for the request, and the panic message
+// plus its stack land in the access-log line. http.ErrAbortHandler is
+// the exception: net/http uses it as the abort-the-connection
+// sentinel, so it is re-panicked (after recording the request) rather
+// than converted to a 500.
 func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -134,17 +139,28 @@ func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		var traceID string
 		var sampled bool
 		if d.traces != nil {
-			traceID, sampled = d.startTrace(w, r, st, route, start)
+			traceID, sampled = d.startTrace(w, r, st, route, id, start)
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			panicked := recover()
+			var stack []byte
 			if panicked != nil {
+				if panicked == http.ErrAbortHandler {
+					// net/http's sentinel for "abort this connection" must
+					// keep propagating — swallowing it would turn an
+					// intentional abort into a spurious 500. Record the
+					// request first so the one-line-per-request invariant
+					// still holds.
+					d.finish(route, id, traceID, sampled, start, st, sw, r, panicked, nil)
+					panic(panicked)
+				}
+				stack = debug.Stack()
 				if !sw.wrote {
 					http.Error(sw, "internal server error", http.StatusInternalServerError)
 				}
 			}
-			d.finish(route, id, traceID, sampled, start, st, sw, r, panicked)
+			d.finish(route, id, traceID, sampled, start, st, sw, r, panicked, stack)
 		}()
 		h(sw, r.WithContext(context.WithValue(r.Context(), statsKey{}, st)))
 	}
@@ -153,7 +169,7 @@ func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // finish is the post-handler half of instrument: histograms and
 // status counters, the trace-retention decision (plus exemplars for
 // retained traces), the access-log line, and the slow-ring bid.
-func (d *Daemon) finish(route, id, traceID string, sampled bool, start time.Time, st *reqStats, sw *statusWriter, r *http.Request, panicked any) {
+func (d *Daemon) finish(route, id, traceID string, sampled bool, start time.Time, st *reqStats, sw *statusWriter, r *http.Request, panicked any, stack []byte) {
 	end := time.Now()
 	dur := end.Sub(start).Seconds()
 
@@ -184,11 +200,12 @@ func (d *Daemon) finish(route, id, traceID string, sampled bool, start time.Time
 			if asSlow {
 				d.rec.Add(0, obs.CtrTraceRetainedSlow, 1)
 			}
-			// Exemplars point only at retained traces, so following one
-			// from a dashboard never dead-ends on an unsampled request.
-			d.rec.SetExemplar(obs.HistRouteSeconds(route), dur, traceID)
+			// Exemplars point only at retained traces — keyed by the
+			// request ID, the ring's lookup key — so following one from a
+			// dashboard never dead-ends on an unsampled request.
+			d.rec.SetExemplar(obs.HistRouteSeconds(route), dur, id)
 			if st.model != "" {
-				d.rec.SetExemplar(obs.HistModelSeconds(st.model), dur, traceID)
+				d.rec.SetExemplar(obs.HistModelSeconds(st.model), dur, id)
 			}
 		}
 	}
@@ -214,6 +231,7 @@ func (d *Daemon) finish(route, id, traceID string, sampled bool, start time.Time
 		EncodeSeconds:   st.encodeSeconds,
 		DurationSeconds: dur,
 		Panic:           panicMsg,
+		PanicStack:      string(stack),
 	})
 	d.slow.offer(slowEntry{
 		ID:            id,
@@ -250,6 +268,7 @@ type accessRecord struct {
 	EncodeSeconds   float64 `json:"encode_seconds"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Panic           string  `json:"panic,omitempty"`
+	PanicStack      string  `json:"panic_stack,omitempty"`
 }
 
 // accessLog serializes JSON access-log lines onto one writer. Writes

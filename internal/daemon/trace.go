@@ -11,6 +11,7 @@ package daemon
 // OpenMetrics exemplars on the latency histograms.
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
@@ -56,19 +57,22 @@ func randHex(n int) string {
 	return hex.EncodeToString(b)
 }
 
-// startTrace begins the request's trace: adopt the inbound traceparent
-// trace-id (or mint one), emit the outbound traceparent with the
-// daemon's own span-id, and make the deterministic head-sampling
-// decision (every traceStride-th request). Only called when tracing
-// is enabled.
-func (d *Daemon) startTrace(w http.ResponseWriter, r *http.Request, st *reqStats, route string, start time.Time) (traceID string, sampled bool) {
+// startTrace begins the request's trace, keyed by the request's own
+// unique ID — a W3C trace-id is shared by every request in one
+// distributed trace (fan-out, retries), so keying the ring by it
+// would make such requests shadow each other. The inbound traceparent
+// trace-id (or a freshly minted one) rides along as a correlation
+// attribute and is echoed outbound with the daemon's own span-id.
+// Also makes the deterministic head-sampling decision (every
+// traceStride-th request). Only called when tracing is enabled.
+func (d *Daemon) startTrace(w http.ResponseWriter, r *http.Request, st *reqStats, route, id string, start time.Time) (traceID string, sampled bool) {
 	traceID = parseTraceparent(r.Header.Get("traceparent"))
 	if traceID == "" {
 		traceID = randHex(16)
 	}
 	w.Header().Set("traceparent", "00-"+traceID+"-"+randHex(8)+"-01")
 	st.epoch = d.traces.Epoch()
-	st.tr = &obs.ServeTrace{ID: traceID, Route: route, Start: start.Sub(st.epoch).Seconds()}
+	st.tr = &obs.ServeTrace{ID: id, TraceID: traceID, Route: route, Start: start.Sub(st.epoch).Seconds()}
 	n := d.traceSeq.Add(1)
 	return traceID, (n-1)%d.traceStride == 0
 }
@@ -81,15 +85,27 @@ func (d *Daemon) debugTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/trace"), "/")
+	// Render into a buffer first: the per-ID path then needs a single
+	// ring lookup (a lookup-then-write pair could race an eviction into
+	// a 200 with an empty body), and an export error becomes a clean
+	// 500 instead of a truncated 200.
+	var buf bytes.Buffer
 	if id == "" {
-		w.Header().Set("Content-Type", "application/json")
-		d.traces.WriteChromeTrace(w)
-		return
-	}
-	if d.traces.Lookup(id) == nil {
-		http.Error(w, "trace "+id+" not retained", http.StatusNotFound)
-		return
+		if err := d.traces.WriteChromeTrace(&buf); err != nil {
+			http.Error(w, "trace export: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		found, err := d.traces.WriteTraceByID(&buf, id)
+		if err != nil {
+			http.Error(w, "trace export: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !found {
+			http.Error(w, "trace "+id+" not retained", http.StatusNotFound)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	d.traces.WriteTraceByID(w, id)
+	w.Write(buf.Bytes())
 }

@@ -196,10 +196,9 @@ func TestServeTraceEndToEnd(t *testing.T) {
 	for _, e := range slow {
 		if e.TraceID == "" {
 			t.Errorf("slow entry %s has no trace id", e.ID)
-			continue
 		}
-		if d.traces.Lookup(e.TraceID) == nil {
-			t.Errorf("slow entry %s: trace %s not retained", e.ID, e.TraceID)
+		if d.traces.Lookup(e.ID) == nil {
+			t.Errorf("slow entry %s: trace not retained", e.ID)
 		}
 	}
 }
@@ -258,8 +257,8 @@ func TestTraceTailRetention(t *testing.T) {
 			continue
 		}
 		errs++
-		if d.traces.Lookup(rec.TraceID) == nil {
-			t.Errorf("non-2xx request %s (trace %s) not retained", rec.ID, rec.TraceID)
+		if d.traces.Lookup(rec.ID) == nil {
+			t.Errorf("non-2xx request %s not retained", rec.ID)
 		}
 	}
 	if errs != total/errEvery {
@@ -275,9 +274,9 @@ func TestTraceTailRetention(t *testing.T) {
 		}
 	}
 	for _, rec := range byDur[:total/10] {
-		if d.traces.Lookup(rec.TraceID) == nil {
-			t.Errorf("slowest-decile request %s (%.6fs, trace %s) not retained",
-				rec.ID, rec.DurationSeconds, rec.TraceID)
+		if d.traces.Lookup(rec.ID) == nil {
+			t.Errorf("slowest-decile request %s (%.6fs) not retained",
+				rec.ID, rec.DurationSeconds)
 		}
 	}
 
@@ -320,8 +319,45 @@ func TestTraceparentPropagation(t *testing.T) {
 	if parts[2] == "00f067aa0ba902b7" {
 		t.Error("daemon reused the caller's span-id instead of minting its own")
 	}
-	if d.traces.Lookup("0123456789abcdef0123456789abcdef") == nil {
-		t.Error("adopted trace-id not retained at sample rate 1")
+	// The ring is keyed by the per-request ID; the shared W3C trace-id
+	// rides along as an attribute (it is common to every request of a
+	// distributed trace, so it cannot be the key).
+	tr := d.traces.Lookup(resp.Header.Get("X-Request-ID"))
+	if tr == nil {
+		t.Fatal("request's trace not retained at sample rate 1")
+	}
+	if tr.TraceID != "0123456789abcdef0123456789abcdef" {
+		t.Errorf("retained trace carries trace-id %q, want the adopted inbound one", tr.TraceID)
+	}
+	if d.traces.Lookup("0123456789abcdef0123456789abcdef") != nil {
+		t.Error("ring keyed by the shared W3C trace-id instead of the per-request ID")
+	}
+
+	// Two requests sharing one distributed trace-id must both be
+	// retained — keying by trace-id would make them shadow each other.
+	req2, _ := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+	req2.Header.Set("traceparent", inbound)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	id2 := resp2.Header.Get("X-Request-ID")
+	if id2 == resp.Header.Get("X-Request-ID") {
+		t.Fatal("two requests shared an X-Request-ID")
+	}
+	if d.traces.Lookup(id2) == nil {
+		t.Error("second request of the same distributed trace was not retained")
+	}
+	traces, _ := d.traces.Snapshot()
+	withTid := 0
+	for _, tr := range traces {
+		if tr.TraceID == "0123456789abcdef0123456789abcdef" {
+			withTid++
+		}
+	}
+	if withTid != 2 {
+		t.Errorf("snapshot holds %d traces with the shared trace-id, want 2", withTid)
 	}
 
 	for _, bad := range []string{
@@ -336,9 +372,12 @@ func TestTraceparentPropagation(t *testing.T) {
 	}
 }
 
-// TestMetricsExemplars scrapes /metrics and parses the OpenMetrics
-// exemplar suffix off the latency-histogram bucket lines; the trace
-// IDs it finds must resolve at /debug/trace/{id}.
+// TestMetricsExemplars scrapes /metrics both ways: the classic 0.0.4
+// text exposition must be exemplar-free (exemplars are illegal there),
+// while a scrape negotiating application/openmetrics-text gets the
+// exemplar suffix on the latency-histogram bucket lines plus the
+// # EOF trailer; the trace IDs it finds must resolve at
+// /debug/trace/{id}.
 func TestMetricsExemplars(t *testing.T) {
 	dir := t.TempDir()
 	_, m := fitModel(t, dir, "a.pmfm", 3)
@@ -352,7 +391,40 @@ func TestMetricsExemplars(t *testing.T) {
 		}
 	}
 
-	_, raw := get(t, base+"/metrics")
+	// The classic 0.0.4 text exposition must carry no exemplars — its
+	// parser reads the ` # ...` tail as a malformed timestamp and fails
+	// the whole scrape — and no OpenMetrics trailer.
+	resp, raw := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("plain scrape content type %q", ct)
+	}
+	if bytes.Contains(raw, []byte(" # ")) {
+		t.Error("exemplar leaked into the 0.0.4 text exposition")
+	}
+	if bytes.Contains(raw, []byte("# EOF")) {
+		t.Error("# EOF trailer leaked into the 0.0.4 text exposition")
+	}
+
+	// Negotiating OpenMetrics via Accept yields the exemplar-bearing
+	// exposition, closed by the mandatory # EOF.
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	omResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := omResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics scrape content type %q", ct)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(string(raw)), "# EOF") {
+		t.Error("OpenMetrics exposition missing the # EOF trailer")
+	}
+
 	type exemplar struct {
 		family, traceID string
 		value, ts       float64
@@ -433,10 +505,13 @@ func TestInstrumentRecoversPanic(t *testing.T) {
 	if rec.Status != 500 || !strings.Contains(rec.Panic, "boom") {
 		t.Errorf("access record %+v does not carry the panic", rec)
 	}
+	if !strings.Contains(rec.PanicStack, "goroutine") {
+		t.Errorf("access record carries no panic stack trace: %q", rec.PanicStack)
+	}
 	if entries := d.slow.snapshot(); len(entries) != 1 || entries[0].Status != 500 {
 		t.Error("panic did not compete for the slow ring")
 	}
-	if tr := d.traces.Lookup(rec.TraceID); tr == nil || tr.Status != 500 {
+	if tr := d.traces.Lookup(rec.ID); tr == nil || tr.Status != 500 {
 		t.Error("panicked request's trace not retained as an error")
 	}
 
@@ -448,6 +523,44 @@ func TestInstrumentRecoversPanic(t *testing.T) {
 	})(rr, httptest.NewRequest(http.MethodPost, "/assign", nil))
 	if rr.Code != http.StatusAccepted {
 		t.Errorf("late panic rewrote an already-sent status to %d", rr.Code)
+	}
+}
+
+// TestInstrumentAbortHandlerPassthrough: http.ErrAbortHandler is
+// net/http's abort-the-connection sentinel; the middleware must let it
+// keep propagating (after recording the request) instead of converting
+// it into a 500.
+func TestInstrumentAbortHandlerPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var logBuf syncBuffer
+	d, _ := startDaemon(t, Config{ModelDir: dir, AccessLog: &logBuf})
+	defer d.Shutdown(context.Background())
+
+	h := d.instrument("assign", func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/assign", nil))
+		return nil
+	}()
+	if recovered != http.ErrAbortHandler {
+		t.Fatalf("middleware swallowed http.ErrAbortHandler (recovered %v)", recovered)
+	}
+
+	// The request was still recorded before the sentinel continued up.
+	if h := d.rec.Histogram(obs.HistRouteSeconds("assign")); h == nil || h.Count() != 1 {
+		t.Error("aborted request missing from the route histogram")
+	}
+	if err := d.alog.flush(); err != nil {
+		t.Fatal(err)
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(logBuf.String()), &rec); err != nil {
+		t.Fatalf("no access-log line for the aborted request: %v", err)
+	}
+	if rec.Panic == "" {
+		t.Error("access record does not mark the aborted request")
 	}
 }
 

@@ -5,6 +5,12 @@
 //	          ranks and the global space), every latency/size histogram
 //	          (_bucket/_sum/_count, labeled per route and per model),
 //	          and per-phase time gauges — all with # HELP/# TYPE lines.
+//	          A scraper that negotiates application/openmetrics-text
+//	          via the Accept header gets the OpenMetrics exposition
+//	          instead: same samples, plus trace exemplars on histogram
+//	          buckets and the mandatory # EOF trailer. Exemplars never
+//	          appear in the classic 0.0.4 text format, whose parser
+//	          rejects the ` # ...` suffix.
 //	/phase    JSON snapshot of each rank's innermost open span — the
 //	          "where is the machine right now" view.
 //	/healthz  liveness probe, always "ok".
@@ -150,9 +156,34 @@ type histMember struct {
 	ex     []obs.Exemplar // per-bucket exemplars, nil when none
 }
 
-func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+// wantsOpenMetrics reports whether the scraper's Accept header asks
+// for the OpenMetrics exposition format.
+func wantsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.rec.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Exemplars are only legal in OpenMetrics: the classic 0.0.4 text
+	// parser reads the ` # {...} v ts` tail as a malformed timestamp
+	// and fails the whole scrape. So the exposition format — and with
+	// it whether exemplars are attached at all — follows the Accept
+	// header.
+	om := wantsOpenMetrics(r.Header.Get("Accept"))
+	if om {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 
 	fmt.Fprintf(w, "# HELP pmafia_ranks Rank tracks recorded by the observer.\n")
 	fmt.Fprintf(w, "# TYPE pmafia_ranks gauge\npmafia_ranks %d\n", m.Ranks)
@@ -203,7 +234,11 @@ func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 			fams[family] = f
 			order = append(order, family)
 		}
-		f.members = append(f.members, histMember{labels: labels, h: h, ex: s.rec.Exemplars(name)})
+		var ex []obs.Exemplar
+		if om {
+			ex = s.rec.Exemplars(name)
+		}
+		f.members = append(f.members, histMember{labels: labels, h: h, ex: ex})
 	}
 	for _, name := range hnames {
 		h := hists[name]
@@ -255,6 +290,10 @@ func (s *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "pmafia_rank_phase_since_seconds{rank=\"%d\",phase=%q} %g\n",
 				ps.Rank, ps.Phase, ps.Since)
 		}
+	}
+
+	if om {
+		fmt.Fprintf(w, "# EOF\n")
 	}
 }
 

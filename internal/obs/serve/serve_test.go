@@ -114,6 +114,70 @@ func TestEndpoints(t *testing.T) {
 	}
 }
 
+// TestMetricsContentNegotiation: exemplars are only legal in the
+// OpenMetrics exposition, so /metrics attaches them (and the # EOF
+// trailer) only when the scraper negotiates application/openmetrics-
+// text via Accept; the default 0.0.4 text exposition stays clean.
+func TestMetricsContentNegotiation(t *testing.T) {
+	rec := obs.New()
+	rec.Observe(0, obs.HistRouteSeconds("assign"), 0.003)
+	rec.SetExemplar(obs.HistRouteSeconds("assign"), 0.003, "req-42")
+
+	s, err := Start("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	url := "http://" + s.Addr() + "/metrics"
+
+	// Default scrape: classic text format, no exemplars, no trailer.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("default content type %q", ct)
+	}
+	if strings.Contains(string(raw), " # ") || strings.Contains(string(raw), "# EOF") {
+		t.Errorf("exemplar or EOF trailer leaked into the 0.0.4 exposition:\n%s", raw)
+	}
+
+	// OpenMetrics scrape: exemplar suffix on the bucket line, # EOF last.
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8,text/plain;version=0.0.4;q=0.5")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics content type %q", ct)
+	}
+	body := string(raw)
+	if !strings.Contains(body, `# {trace_id="req-42"} 0.003`) {
+		t.Errorf("OpenMetrics exposition missing the exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(body), "# EOF") {
+		t.Error("OpenMetrics exposition does not end with # EOF")
+	}
+
+	for accept, want := range map[string]bool{
+		"":                             false,
+		"text/plain":                   false,
+		"application/openmetrics-text": true,
+		"application/OpenMetrics-Text; version=1.0.0":          true,
+		"text/plain;q=0.9, application/openmetrics-text;q=0.8": true,
+		"application/openmetrics-text-ish":                     false,
+	} {
+		if got := wantsOpenMetrics(accept); got != want {
+			t.Errorf("wantsOpenMetrics(%q) = %v, want %v", accept, got, want)
+		}
+	}
+}
+
 func TestNilRecorder(t *testing.T) {
 	s, err := Start("127.0.0.1:0", nil)
 	if err != nil {

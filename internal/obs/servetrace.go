@@ -38,7 +38,14 @@ type StageSpan struct {
 // single goroutine (the request's) — the coalescer hands its kernel
 // window back to each waiter rather than writing into the trace.
 type ServeTrace struct {
+	// ID is the ring's retention key and must be unique per request
+	// (the daemon uses the X-Request-ID). TraceID is the W3C
+	// traceparent trace-id, carried as a correlation attribute only:
+	// every request of one distributed trace (fan-out, retries) shares
+	// it, so it cannot key the ring without requests shadowing each
+	// other in Snapshot/Lookup.
 	ID      string      `json:"id"`
+	TraceID string      `json:"trace_id,omitempty"`
 	Route   string      `json:"route"`
 	Model   string      `json:"model,omitempty"`
 	Status  int         `json:"status"`
@@ -86,7 +93,7 @@ type KernelSpan struct {
 	Records int      `json:"records"`
 	Start   float64  `json:"start"`
 	End     float64  `json:"end"`
-	Waiters []string `json:"waiters"` // trace IDs of the coalesced requests
+	Waiters []string `json:"waiters"` // trace keys (request IDs) of the coalesced requests
 }
 
 // TraceRing is the bounded retention store for serve traces. Offer
@@ -316,7 +323,10 @@ func WriteServeTrace(w io.Writer, traces []*ServeTrace, kernels []*KernelSpan) e
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: i + 1,
 			Args: map[string]any{"name": fmt.Sprintf("req %s (%s)", t.ID, t.Route)},
 		})
-		args := map[string]any{"trace_id": t.ID, "status": t.Status}
+		args := map[string]any{"id": t.ID, "status": t.Status}
+		if t.TraceID != "" {
+			args["trace_id"] = t.TraceID
+		}
 		if t.Model != "" {
 			args["model"] = t.Model
 		}
@@ -361,7 +371,7 @@ func WriteServeTrace(w io.Writer, traces []*ServeTrace, kernels []*KernelSpan) e
 			// Anchor the arrow at the waiter's coalesce-wait span when it
 			// has one; the root span start otherwise.
 			src := flowSource(traceByID(traces, id))
-			args := map[string]any{"kernel_id": k.ID, "trace_id": id}
+			args := map[string]any{"kernel_id": k.ID, "id": id}
 			doc.TraceEvents = append(doc.TraceEvents,
 				traceEvent{
 					Name: "coalesce", Cat: "coalesce", Ph: "s", ID: flowID,
