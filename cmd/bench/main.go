@@ -1,8 +1,9 @@
 // Command bench runs the tracked benchmark suite (internal/bench) —
 // the engine throughput cells (including the batch-assign kernel
-// cells at d=64 and 512 clusters) plus two sustained-QPS serving load
-// runs against an in-process pmafiad daemon, one over CSV bodies and
-// one over the framed binary protocol with request coalescing — and
+// cells at d=64 and 512 clusters) plus sustained-QPS serving load
+// runs against an in-process pmafiad daemon — over CSV bodies, over
+// the framed binary protocol with request coalescing, and with the
+// served model hot-swapping generations under load — and
 // writes the report as JSON. The committed snapshot lives at
 // BENCH_pr8.json in the repository root:
 //
@@ -155,6 +156,13 @@ func main() {
 		lo.Trace = false
 		lo.Frame = true
 		rep.LoadFrame, err = bench.RunLoad(lo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		lo.Frame = false
+		lo.Swap = true
+		rep.LoadSwap, err = bench.RunLoad(lo)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)

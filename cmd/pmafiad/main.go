@@ -1,7 +1,13 @@
 // Command pmafiad serves saved clustering models for batch record
 // assignment. Models are the files cmd/pmafia writes with -save-model;
 // the daemon keeps an LRU-capped set of them compiled into assignment
-// indexes and labels request bodies against them. The endpoint set,
+// indexes and labels request bodies against them. Served models are
+// hot-swapped: when a model file is rewritten on disk, a rate-limited
+// freshness check (-swap-check) recompiles it off the request path and
+// atomically swaps the new generation in without dropping traffic.
+// With -ingest-model the daemon additionally accepts streamed records
+// on POST /ingest and refits that model in place (-refit-every, or on
+// demand with ?refit=1), feeding the same swap path. The endpoint set,
 // instrumentation, and shutdown semantics live in internal/daemon —
 // this command is the flag surface around it.
 //
@@ -51,6 +57,10 @@ func main() {
 	flag.Int64Var(&cfg.MaxBody, "max-body", 1<<30, "request body cap in bytes")
 	flag.DurationVar(&cfg.CoalesceWindow, "coalesce", 0, "flush window for coalescing small framed /assign requests (0 disables)")
 	flag.IntVar(&cfg.CoalesceMax, "coalesce-max", 512, "largest framed request (records) eligible for coalescing")
+	flag.DurationVar(&cfg.SwapCheck, "swap-check", time.Second, "min interval between on-disk freshness checks of a served model (negative disables hot swap)")
+	flag.StringVar(&cfg.IngestModel, "ingest-model", "", "model file name (inside -models) maintained by POST /ingest (empty disables streaming ingest)")
+	flag.IntVar(&cfg.IngestDims, "ingest-dims", 0, "dimensionality of the ingest stream (required with -ingest-model)")
+	flag.IntVar(&cfg.RefitEvery, "refit-every", 0, "pending ingest records that trigger a background refit (0: explicit ?refit=1 only)")
 	flag.StringVar(&accessLog, "access-log", "-", `access-log destination: "-" for stderr, "" to disable, or a file path (appended)`)
 	flag.IntVar(&cfg.SlowN, "slow", 16, "slowest requests kept for /debug/slow")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")

@@ -151,6 +151,11 @@ type Report struct {
 	// LoadFrame is the same load run speaking the framed binary
 	// protocol with request coalescing enabled. nil when skipped.
 	LoadFrame *LoadReport `json:"load_frame,omitempty"`
+	// LoadSwap is the same load run with a background writer rewriting
+	// the served model file throughout the window while aggressive
+	// freshness checks hot-swap each generation in — serving throughput
+	// under continuous model replacement. nil when skipped.
+	LoadSwap *LoadReport `json:"load_swap,omitempty"`
 }
 
 // rangeShard adapts a contiguous record range of a file to Source.

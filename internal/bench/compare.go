@@ -108,6 +108,7 @@ func Compare(oldRep, newRep *Report, tolerance float64) *Comparison {
 		{"serve", oldRep.Load, newRep.Load},
 		{"serve_frame", oldRep.LoadFrame, newRep.LoadFrame},
 		{"serve_trace", oldRep.LoadTrace, newRep.LoadTrace},
+		{"serve_swap", oldRep.LoadSwap, newRep.LoadSwap},
 	} {
 		switch {
 		case load.old != nil && load.new != nil:

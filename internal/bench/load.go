@@ -50,6 +50,12 @@ type LoadOptions struct {
 	// worst-case sampling rate (1.0: every request builds and retains a
 	// trace) — the tracing-overhead cell of the tracked suite.
 	Trace bool
+	// Swap turns on aggressive freshness checks (SwapCheck 2ms) and runs
+	// a background writer that alternately rewrites the served model
+	// file with two fitted generations for the whole measured window —
+	// the hot-swap-under-load cell. Requests must keep flowing at full
+	// rate while the compiled index is replaced underneath them.
+	Swap bool
 	// Log, when non-nil, receives a summary line.
 	Log io.Writer
 }
@@ -154,6 +160,9 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 	if o.Trace {
 		dcfg.TraceSample = 1
 	}
+	if o.Swap {
+		dcfg.SwapCheck = 2 * time.Millisecond
+	}
 	d, err := daemon.New(dcfg)
 	if err != nil {
 		return nil, err
@@ -212,6 +221,41 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 	clientHists := make([]*obs.Histogram, o.Clients)
 	start := time.Now()
 	deadline := start.Add(o.Duration)
+	var writer sync.WaitGroup
+	if o.Swap {
+		// A second model clustered in different columns, so each swap
+		// replaces the compiled index with a genuinely different one.
+		data2, _, err := datagen.Generate(datagen.Spec{
+			Dims: o.Dims, Records: o.ModelRecords, Seed: 778,
+			Clusters: []datagen.Cluster{datagen.UniformBox(
+				[]int{1, 3},
+				[]dataset.Range{{Lo: 20, Hi: 32}, {Lo: 20, Hi: 32}}, 0)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res2, err := mafia.Run(data2, mafia.Config{})
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, "load.pmfm")
+		writer.Add(1)
+		go func() {
+			defer writer.Done()
+			gen := uint64(2)
+			for time.Now().Before(deadline) {
+				next := res
+				if gen%2 == 0 {
+					next = res2
+				}
+				if err := modelio.SaveMeta(path, next, gen); err != nil {
+					return
+				}
+				gen++
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for c := 0; c < o.Clients; c++ {
 		wg.Add(1)
@@ -237,6 +281,7 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		}(c)
 	}
 	wg.Wait()
+	writer.Wait()
 	elapsed := time.Since(start).Seconds()
 
 	clientH := obs.NewHistogram(obs.DefaultLatencyBounds)
@@ -272,6 +317,9 @@ func RunLoad(o LoadOptions) (*LoadReport, error) {
 		}
 		if o.Trace {
 			phase = "serve_trace"
+		}
+		if o.Swap {
+			phase = "serve_swap"
 		}
 		fmt.Fprintf(o.Log, "%-10s load       c=%d %8.0f qps  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  (%d reqs, %d errs)\n",
 			phase, rep.Clients, rep.QPS, rep.P50, rep.P90, rep.P99, rep.Max, rep.Requests, rep.Errors)

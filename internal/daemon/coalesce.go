@@ -11,34 +11,39 @@ package daemon
 
 import (
 	"context"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"pmafia/internal/obs"
 )
 
-// coalescer batches framed /assign requests per model.
+// coalescer batches framed /assign requests per compiled model
+// generation. Keying on the *compiled (not the model handle) is what
+// keeps batches coherent across hot swaps: a swap changes the pointer,
+// so requests that loaded the old generation accumulate apart from
+// requests that loaded the new one, and one batch is only ever labeled
+// by the index every one of its waiters resolved.
 type coalescer struct {
 	rec    *obs.Recorder
 	traces *obs.TraceRing // nil when tracing is off
 	window time.Duration  // max time a request may wait for co-riders
 	flushN int            // records that trigger an immediate flush
 
-	mu      sync.Mutex
-	pending map[*model]*coBatch
+	mu       sync.Mutex
+	pending  map[*compiled]*coBatch
+	draining bool // drain ran: new submissions run solo, immediately
 }
 
-// coBatch is one in-progress accumulation for a model. It leaves
-// c.pending exactly once — detached either by the request that fills
-// it or by its window timer — and is run by whoever detached it, so a
-// batch can never be labeled twice.
+// coBatch is one in-progress accumulation for a model generation. It
+// leaves c.pending exactly once — detached by the request that fills
+// it, by its window timer, or by the shutdown drain — and is run by
+// whoever detached it, so a batch can never be labeled twice.
 type coBatch struct {
-	m       *model
+	cx      *compiled
 	vals    []float64 // concatenated request payloads, row-major
 	n       int       // records accumulated
 	waiters []*coWaiter
-	timer   *time.Timer
+	timer   *time.Timer // nil for solo batches built while draining
 }
 
 // coWaiter is one request's slot in a batch: its record range in the
@@ -65,40 +70,50 @@ func newCoalescer(rec *obs.Recorder, traces *obs.TraceRing, window time.Duration
 		traces:  traces,
 		window:  window,
 		flushN:  flushN,
-		pending: make(map[*model]*coBatch),
+		pending: make(map[*compiled]*coBatch),
 	}
 }
 
 // submit enqueues one request's records and blocks until its batch is
 // labeled (or ctx ends; the batch still completes without the caller).
-// vals must be a whole number of m's records and must not be mutated
+// vals must be a whole number of cx's records and must not be mutated
 // after the call — the coalescer owns it from here.
-func (c *coalescer) submit(ctx context.Context, m *model, vals []float64) ([]int32, error) {
-	d := m.ix.Dims()
+func (c *coalescer) submit(ctx context.Context, cx *compiled, vals []float64) ([]int32, error) {
+	d := cx.ix.Dims()
 	st := statsOf(ctx)
 	w := &coWaiter{n: len(vals) / d, enqueued: time.Now(), done: make(chan struct{})}
 	if st.tr != nil {
 		w.traceID = st.tr.ID
 	}
 	c.mu.Lock()
-	b := c.pending[m]
-	if b == nil {
-		b = &coBatch{m: m}
-		c.pending[m] = b
-		b.timer = time.AfterFunc(c.window, func() { c.flushExpired(m, b) })
-	}
-	w.off = b.n
-	b.vals = append(b.vals, vals...)
-	b.n += w.n
-	b.waiters = append(b.waiters, w)
-	full := b.n >= c.flushN
-	if full {
-		c.detachLocked(m, b)
-	}
-	c.mu.Unlock()
-	c.rec.Add(0, obs.CtrAssignCoalesceReqs, 1)
-	if full {
+	if c.draining {
+		// Shutdown already flushed the pending map; anything arriving
+		// now runs solo so no waiter is ever parked on a batch nothing
+		// will flush.
+		b := &coBatch{cx: cx, vals: vals, n: w.n, waiters: []*coWaiter{w}}
+		c.mu.Unlock()
+		c.rec.Add(0, obs.CtrAssignCoalesceReqs, 1)
 		c.run(b)
+	} else {
+		b := c.pending[cx]
+		if b == nil {
+			b = &coBatch{cx: cx}
+			c.pending[cx] = b
+			b.timer = time.AfterFunc(c.window, func() { c.flushExpired(cx, b) })
+		}
+		w.off = b.n
+		b.vals = append(b.vals, vals...)
+		b.n += w.n
+		b.waiters = append(b.waiters, w)
+		full := b.n >= c.flushN
+		if full {
+			c.detachLocked(cx, b)
+		}
+		c.mu.Unlock()
+		c.rec.Add(0, obs.CtrAssignCoalesceReqs, 1)
+		if full {
+			c.run(b)
+		}
 	}
 	select {
 	case <-w.done:
@@ -116,12 +131,12 @@ func (c *coalescer) submit(ctx context.Context, m *model, vals []float64) ([]int
 }
 
 // flushExpired is the window-timer path: run the batch unless the
-// fill path already detached it.
-func (c *coalescer) flushExpired(m *model, b *coBatch) {
+// fill path (or the shutdown drain) already detached it.
+func (c *coalescer) flushExpired(cx *compiled, b *coBatch) {
 	c.mu.Lock()
-	detached := c.pending[m] == b
+	detached := c.pending[cx] == b
 	if detached {
-		c.detachLocked(m, b)
+		c.detachLocked(cx, b)
 	}
 	c.mu.Unlock()
 	if detached {
@@ -132,9 +147,29 @@ func (c *coalescer) flushExpired(m *model, b *coBatch) {
 // detachLocked removes b from the pending map (callers hold c.mu and
 // have verified identity). Stopping the timer is best-effort: a timer
 // that already fired finds the batch gone and does nothing.
-func (c *coalescer) detachLocked(m *model, b *coBatch) {
-	delete(c.pending, m)
+func (c *coalescer) detachLocked(cx *compiled, b *coBatch) {
+	delete(c.pending, cx)
 	b.timer.Stop()
+}
+
+// drain detaches every pending batch and runs them synchronously,
+// then leaves the coalescer in pass-through mode. Shutdown calls it
+// before the HTTP server starts waiting on in-flight requests, so a
+// waiter parked on a half-full batch is flushed rather than abandoned
+// holding the server open, and a submission racing the drain runs solo
+// instead of landing in a map nothing will ever flush again.
+func (c *coalescer) drain() {
+	c.mu.Lock()
+	c.draining = true
+	batches := make([]*coBatch, 0, len(c.pending))
+	for cx, b := range c.pending {
+		c.detachLocked(cx, b)
+		batches = append(batches, b)
+	}
+	c.mu.Unlock()
+	for _, b := range batches {
+		c.run(b)
+	}
 }
 
 // run labels a detached batch with one kernel invocation and fans the
@@ -148,7 +183,7 @@ func (c *coalescer) run(b *coBatch) {
 	c.rec.Add(0, obs.CtrAssignCoalesceFlushes, 1)
 	c.rec.Observe(0, obs.HistAssignCoalesceRecords, float64(b.n))
 	labels := make([]int32, b.n)
-	err := b.m.ix.AssignChunk(b.vals, labels, b.m.ix.Scratch())
+	err := b.cx.ix.AssignChunk(b.vals, labels, b.cx.ix.Scratch())
 	end := time.Now()
 	var kernelID int64
 	if c.traces != nil {
@@ -159,7 +194,7 @@ func (c *coalescer) run(b *coBatch) {
 			}
 		}
 		if len(ids) > 0 {
-			kernelID = c.traces.Kernel(filepath.Base(b.m.path), b.n, ids, start, end)
+			kernelID = c.traces.Kernel(b.cx.name, b.n, ids, start, end)
 		}
 	}
 	for _, w := range b.waiters {

@@ -1,7 +1,9 @@
 // Package daemon is the model-serving daemon behind cmd/pmafiad: it
 // serves saved clustering models (the .pmfm files cmd/pmafia writes
 // with -save-model) for batch record assignment over HTTP, keeping an
-// LRU-capped set of them compiled into assignment indexes.
+// LRU-capped set of them compiled into assignment indexes. Resident
+// models are freshness-checked against their files (Config.SwapCheck)
+// and hot-swapped when a new generation lands on disk — see swap.go.
 //
 // Endpoints:
 //
@@ -16,8 +18,14 @@
 //	     framed requests are coalesced into shared kernel batches
 //	     when Config.CoalesceWindow is set. A label is the cluster
 //	     index in the model's cluster list, -1 for outliers.
+//	POST /ingest?refit=1
+//	     (only with Config.IngestModel) streaming ingest: the body's
+//	     records — CSV, raw float64s, or one PMAS frame — are appended
+//	     to the in-process ingest.Ingester, whose refits (triggered by
+//	     record count or the refit query parameter) write the next
+//	     generation of the ingest model into the model directory.
 //	GET  /models      JSON listing of the model directory with
-//	                  residency info.
+//	                  residency info and resident generations.
 //	GET  /metrics     Prometheus text exposition (the shared obs
 //	                  handler): request counters per route and status,
 //	                  latency histograms per route and per model,
@@ -77,8 +85,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pmafia/internal/assign"
 	"pmafia/internal/dataset"
+	"pmafia/internal/ingest"
 	"pmafia/internal/modelio"
 	"pmafia/internal/obs"
 	"pmafia/internal/obs/serve"
@@ -134,6 +142,27 @@ type Config struct {
 	ProfileCPU time.Duration
 	// ProfileKeep bounds the on-disk captures retained per kind.
 	ProfileKeep int
+	// SwapCheck is the minimum interval between freshness checks of a
+	// resident model against its file on disk. A changed file (a new
+	// generation written by a refit, or any atomic overwrite) is
+	// reloaded in the background and hot-swapped in: in-flight requests
+	// finish on the generation they started with, new requests see the
+	// new one. Zero means the 1s default; negative disables checking,
+	// pinning each model until LRU eviction.
+	SwapCheck time.Duration
+	// IngestModel, when non-empty, enables streaming ingest: POST
+	// /ingest appends records to an in-process ingest.Ingester whose
+	// refits write generation-stamped models to this file name inside
+	// ModelDir — which the swap machinery then picks up, so the daemon
+	// keeps serving while models refit and swap underneath it.
+	IngestModel string
+	// IngestDims is the record dimensionality of the ingest stream
+	// (required when IngestModel is set).
+	IngestDims int
+	// RefitEvery triggers a background refit whenever that many records
+	// have arrived since the last refit snapshot; 0 refits only on
+	// explicit POST /ingest?refit=1 triggers.
+	RefitEvery int
 }
 
 func (c *Config) fill() {
@@ -176,54 +205,8 @@ func (c *Config) fill() {
 	if c.ProfileKeep < 1 {
 		c.ProfileKeep = 16
 	}
-}
-
-// model is one cache entry: loaded at most once, shared by every
-// request that names it. The index is immutable and safe to share;
-// each request brings its own scratch.
-type model struct {
-	path string
-	once sync.Once
-	done chan struct{} // closed when load has run
-	ix   *assign.Index
-	n    int // records the model was fitted on
-	err  error
-}
-
-func newModel(path string) *model {
-	return &model{path: path, done: make(chan struct{})}
-}
-
-// load reads the model file and compiles the assignment index. It is
-// only ever invoked through m.once.
-func (m *model) load() {
-	defer close(m.done)
-	res, err := modelio.Load(m.path)
-	if err != nil {
-		m.err = err
-		return
-	}
-	m.ix, m.err = assign.New(res.Grid, res.Clusters)
-	m.n = res.N
-}
-
-// ensure runs the load exactly once — whichever caller gets here first
-// does the work; the rest block until it finishes. Every path goes
-// through the same closure, so a cache hit can never consume the Once
-// with a no-op and leave the entry unloaded.
-func (m *model) ensure() error {
-	m.once.Do(m.load)
-	return m.err
-}
-
-// loaded reports, without blocking or triggering a load, whether the
-// model finished loading successfully.
-func (m *model) loaded() bool {
-	select {
-	case <-m.done:
-		return m.err == nil && m.ix != nil
-	default:
-		return false
+	if c.SwapCheck == 0 {
+		c.SwapCheck = time.Second
 	}
 }
 
@@ -244,6 +227,9 @@ type Daemon struct {
 	traceStride int64          // head-sample every traceStride-th request
 	traceSeq    atomic.Int64
 	prof        *profiler // nil unless ProfileDir is set
+
+	ing   *ingest.Ingester // nil unless IngestModel is set
+	swaps sync.WaitGroup   // in-flight background swap checks
 
 	mu    sync.Mutex
 	cache map[string]*list.Element // resolved path -> entry
@@ -302,11 +288,26 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, fmt.Errorf("pmafiad: profile dir: %w", err)
 		}
 	}
+	if cfg.IngestModel != "" {
+		if strings.Contains(cfg.IngestModel, "..") || strings.ContainsAny(cfg.IngestModel, `/\`) {
+			return nil, fmt.Errorf("pmafiad: ingest model name %q escapes the model directory", cfg.IngestModel)
+		}
+		d.ing, err = ingest.New(cfg.IngestDims, ingest.Config{
+			Dir:        cfg.ModelDir,
+			Model:      cfg.IngestModel,
+			RefitEvery: cfg.RefitEvery,
+			Recorder:   d.rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.instrument("healthz", d.healthz))
 	mux.HandleFunc("/readyz", d.instrument("readyz", d.readyz))
 	mux.HandleFunc("/models", d.instrument("models", d.models))
 	mux.HandleFunc("/assign", d.instrument("assign", d.assign))
+	mux.HandleFunc("/ingest", d.instrument("ingest", d.ingestHandler))
 	mux.HandleFunc("/debug/slow", d.instrument("debug_slow", d.debugSlow))
 	mux.HandleFunc("/debug/trace", d.instrument("debug_trace", d.debugTrace))
 	mux.HandleFunc("/debug/trace/", d.instrument("debug_trace", d.debugTrace))
@@ -354,12 +355,22 @@ func (d *Daemon) Serve() {
 
 // Shutdown drains the daemon gracefully: /readyz flips to 503 first
 // (a fronting load balancer sees the node as gone while in-flight
-// requests finish), then the listener closes, in-flight requests
-// drain, the serve goroutine exits, and the access log is flushed.
+// requests finish), pending coalesce batches flush so no waiter is
+// abandoned holding the server open, then the listener closes,
+// in-flight requests drain, background swap checks and any in-flight
+// refit finish, the serve goroutine exits, and the access log is
+// flushed.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.draining.Store(true)
+	if d.co != nil {
+		d.co.drain()
+	}
 	err := d.srv.Shutdown(ctx)
 	<-d.done
+	d.swaps.Wait()
+	if d.ing != nil {
+		d.ing.Close()
+	}
 	d.prof.close()
 	if ferr := d.alog.flush(); err == nil {
 		err = ferr
@@ -379,20 +390,26 @@ func (d *Daemon) resolve(name string) (string, error) {
 	return filepath.Join(d.cfg.ModelDir, name), nil
 }
 
-// get returns the cached (or freshly loaded) model for path, updating
-// the LRU order and the hit/miss counters.
-func (d *Daemon) get(path string) (*model, error) {
+// get returns the current compiled generation of the cached (or
+// freshly loaded) model for path, updating the LRU order and the
+// hit/miss counters. On a hit it also schedules a rate-limited
+// freshness check, so an overwritten file is picked up and hot-swapped
+// instead of staying pinned until eviction; the returned generation is
+// the one this request serves end to end regardless of any swap.
+func (d *Daemon) get(path string) (*compiled, error) {
 	d.mu.Lock()
 	if el, ok := d.cache[path]; ok {
 		d.lru.MoveToFront(el)
 		d.mu.Unlock()
 		d.rec.Add(0, obs.CtrAssignCacheHit, 1)
 		m := el.Value.(*cacheSlot).m
-		if err := m.ensure(); err != nil {
+		cx, err := m.ensure()
+		if err != nil {
 			d.evict(path, el)
-			return m, err
+			return nil, err
 		}
-		return m, nil
+		d.freshen(m)
+		return cx, nil
 	}
 	m := newModel(path)
 	el := d.lru.PushFront(&cacheSlot{path: path, m: m})
@@ -405,11 +422,13 @@ func (d *Daemon) get(path string) (*model, error) {
 	d.mu.Unlock()
 	d.rec.Add(0, obs.CtrAssignCacheMiss, 1)
 
-	if err := m.ensure(); err != nil {
+	cx, err := m.ensure()
+	if err != nil {
 		d.evict(path, el)
-		return m, err
+		return nil, err
 	}
-	return m, nil
+	m.lastCheck.Store(time.Now().UnixNano())
+	return cx, nil
 }
 
 // evict drops a failed load from the cache so the entry is not pinned:
@@ -473,9 +492,10 @@ type modelInfo struct {
 	Bytes  int64  `json:"bytes"`
 	Loaded bool   `json:"loaded"`
 	// Filled only when the model is resident.
-	Dims     int `json:"dims,omitempty"`
-	Clusters int `json:"clusters,omitempty"`
-	Records  int `json:"records,omitempty"`
+	Dims     int    `json:"dims,omitempty"`
+	Clusters int    `json:"clusters,omitempty"`
+	Records  int    `json:"records,omitempty"`
+	Gen      uint64 `json:"generation,omitempty"`
 }
 
 func (d *Daemon) models(w http.ResponseWriter, r *http.Request) {
@@ -503,11 +523,14 @@ func (d *Daemon) models(w http.ResponseWriter, r *http.Request) {
 		if fi, err := e.Info(); err == nil {
 			info.Bytes = fi.Size()
 		}
-		if m, ok := resident[filepath.Join(d.cfg.ModelDir, e.Name())]; ok && m.loaded() {
-			info.Loaded = true
-			info.Dims = m.ix.Dims()
-			info.Clusters = m.ix.Clusters()
-			info.Records = m.n
+		if m, ok := resident[filepath.Join(d.cfg.ModelDir, e.Name())]; ok {
+			if cx := m.cur.Load(); cx != nil {
+				info.Loaded = true
+				info.Dims = cx.ix.Dims()
+				info.Clusters = cx.ix.Clusters()
+				info.Records = cx.n
+				info.Gen = cx.gen
+			}
 		}
 		out = append(out, info)
 	}
@@ -560,7 +583,7 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.model = filepath.Base(path)
-	m, err := d.get(path)
+	cx, err := d.get(path)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, os.ErrNotExist) {
@@ -581,9 +604,9 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	var frameVals []float64
 	switch {
 	case frameIn:
-		frameVals, err = decodeFrame(body, m.ix.Dims(), d.cfg.MaxBody)
+		frameVals, err = decodeFrame(body, cx.ix.Dims(), d.cfg.MaxBody)
 	case binaryIn:
-		src, err = binaryMatrix(body, m.ix.Dims())
+		src, err = binaryMatrix(body, cx.ix.Dims())
 	default:
 		src, _, err = dataset.ReadCSV(body)
 	}
@@ -607,19 +630,19 @@ func (d *Daemon) assign(w http.ResponseWriter, r *http.Request) {
 	coalesced := false
 	if frameIn {
 		d.rec.Add(0, obs.CtrAssignFrames, 1)
-		records := len(frameVals) / m.ix.Dims()
+		records := len(frameVals) / cx.ix.Dims()
 		if d.co != nil && records <= d.cfg.CoalesceMax {
 			// submit records the coalesce-wait and kernel stages itself —
 			// the kernel window is shared with the batch's co-riders.
 			coalesced = true
-			labels, err = d.co.submit(r.Context(), m, frameVals)
+			labels, err = d.co.submit(r.Context(), cx, frameVals)
 		} else {
-			labels, err = m.ix.AssignSource(
-				&dataset.Matrix{D: m.ix.Dims(), Values: frameVals},
+			labels, err = cx.ix.AssignSource(
+				&dataset.Matrix{D: cx.ix.Dims(), Values: frameVals},
 				d.cfg.Chunk, d.cfg.Workers)
 		}
 	} else {
-		labels, err = m.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
+		labels, err = cx.ix.AssignSource(src, d.cfg.Chunk, d.cfg.Workers)
 	}
 	st.assignSeconds = time.Since(assignStart).Seconds()
 	if !coalesced {

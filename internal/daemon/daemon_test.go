@@ -231,8 +231,8 @@ func TestModelsAndCacheLRU(t *testing.T) {
 // TestCacheHitDuringPendingLoad reproduces the publish-before-load
 // window: a cache entry is visible before its loader has run. A hit in
 // that window must run the load itself (or block on it), never return
-// an unloaded model — the pre-fix code consumed the sync.Once with a
-// no-op and came back with a nil index and a nil error.
+// an unloaded model — the old sync.Once code once consumed the Once
+// with a no-op and came back with a nil index and a nil error.
 func TestCacheHitDuringPendingLoad(t *testing.T) {
 	dir := t.TempDir()
 	fitModel(t, dir, "a.pmfm", 8)
@@ -249,12 +249,12 @@ func TestCacheHitDuringPendingLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.ix == nil {
+	if got == nil || got.ix == nil {
 		t.Fatal("cache hit returned a model that was never loaded")
 	}
-	// A pending entry must not be reported as loaded, and must not be
-	// pinned unloadable: after the hit it serves /models info.
-	if !got.loaded() {
+	// A pending entry must not be pinned unloadable: after the hit it
+	// serves /models info.
+	if !m.loaded() {
 		t.Error("model not marked loaded after a hit-driven load")
 	}
 }
@@ -564,10 +564,13 @@ func TestReadyzDrain(t *testing.T) {
 // obs name registry — an unregistered emission is a typo.
 func TestAllEmittedMetricsAreRegistered(t *testing.T) {
 	dir := t.TempDir()
-	_, m := fitModel(t, dir, "a.pmfm", 15)
+	res, m := fitModel(t, dir, "a.pmfm", 15)
 	d, base := startDaemon(t, Config{
 		ModelDir:        dir,
 		TraceSample:     1,
+		SwapCheck:       time.Millisecond,
+		IngestModel:     "stream.pmfm",
+		IngestDims:      5,
 		ProfileDir:      t.TempDir(),
 		ProfileInterval: 5 * time.Millisecond,
 		ProfileCPU:      2 * time.Millisecond,
@@ -576,6 +579,31 @@ func TestAllEmittedMetricsAreRegistered(t *testing.T) {
 
 	postAssign(t, base, "a.pmfm", "text/csv", csvBody(m))
 	postAssign(t, base, "missing.pmfm", "text/csv", []byte("1\n"))
+	// Stream records in and refit so the ingest.* families are emitted.
+	resp, err := http.Post(base+"/ingest?refit=1", "text/csv", bytes.NewReader(csvBody(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	// Overwrite the served model and keep requesting until the
+	// freshness check hot-swaps it, emitting the swap.* families.
+	if err := modelio.SaveMeta(filepath.Join(dir, "a.pmfm"), res, 7); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		postAssign(t, base, "a.pmfm", "text/csv", []byte("1,2,3,4,5\n"))
+		if d.Recorder().Counter(obs.CtrSwapSwaps) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("model overwrite never swapped in")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	// Let the profiler finish at least one capture cycle so the
 	// profile.* counters are emitted too.
 	for deadline := time.Now().Add(10 * time.Second); ; {
@@ -606,6 +634,11 @@ func TestAllEmittedMetricsAreRegistered(t *testing.T) {
 	for name := range d.Recorder().Histograms() {
 		if !obs.IsRegisteredHistogram(name) {
 			t.Errorf("daemon emitted unregistered histogram %q", name)
+		}
+	}
+	for name := range d.Recorder().Gauges() {
+		if !obs.IsRegisteredGauge(name) {
+			t.Errorf("daemon emitted unregistered gauge %q", name)
 		}
 	}
 }

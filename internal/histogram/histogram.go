@@ -57,6 +57,17 @@ func New(domains []dataset.Range, units int) *Hist {
 	return h
 }
 
+// Clone returns an independent deep copy of h: same domains, units,
+// counts, and record total, sharing no backing memory. A streaming
+// ingester hands clones to background refits so accumulation can
+// continue while the fit reads a frozen snapshot.
+func (h *Hist) Clone() *Hist {
+	c := New(append([]dataset.Range(nil), h.Domains...), h.Units)
+	copy(c.flat, h.flat)
+	c.N = h.N
+	return c
+}
+
 // UnitOf maps value v in dimension dim to its fine-unit index, clamping
 // out-of-domain values to the boundary units.
 func (h *Hist) UnitOf(dim int, v float64) int {

@@ -1,0 +1,398 @@
+// Package ingest is the streaming front end of the fit pipeline: it
+// accepts record chunks as they arrive, maintains the incremental
+// state a refit needs — the accumulated records plus the global fine
+// histogram the adaptive grid is built from — and periodically refits
+// in the background, emitting each new model as a generation-stamped
+// .pmfm file written atomically next to the previous one.
+//
+// The histogram is maintained with the same mergeable kernel the batch
+// engine uses (histogram.AddChunk), under the same domain-widening and
+// unit-count rules, so a refit over the accumulated stream produces
+// bit-identical models to a batch fit over the same records: arriving
+// chunks fold into the running counts in O(chunk), and only a record
+// that falls outside every previously observed domain forces a rebuild
+// pass over the buffer. The refit itself hands the frozen histogram to
+// the engine through mafia.Config.Hist, skipping the engine's own
+// histogram pass, and runs through the ordinary checkpoint-able
+// pipeline (Config.CkptDir wires internal/ckpt in).
+//
+// Concurrency model: Append and Refit are safe to call from any
+// goroutine. Refits are serialized (single-flight) and run against a
+// frozen snapshot — the append-only record buffer means a snapshot
+// view taken under the lock stays immutable while later appends grow
+// the buffer — so ingestion never stalls behind a fit. The serving
+// daemon watches the output path and hot-swaps each new generation in;
+// the ingester itself never blocks on serving.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pmafia/internal/ckpt"
+	"pmafia/internal/dataset"
+	"pmafia/internal/diskio"
+	"pmafia/internal/histogram"
+	"pmafia/internal/mafia"
+	"pmafia/internal/modelio"
+	"pmafia/internal/obs"
+)
+
+// Config parameterizes an Ingester.
+type Config struct {
+	// Dir is the directory the versioned model is written into.
+	Dir string
+	// Model is the model file name within Dir (default "stream.pmfm").
+	Model string
+	// RefitEvery, when > 0, triggers a background refit whenever that
+	// many records have arrived since the last refit snapshot. 0 means
+	// refits happen only through explicit Refit calls.
+	RefitEvery int
+	// FineUnits fixes the fine-histogram resolution; 0 scales it with
+	// the accumulated record count exactly like the batch engine
+	// (min(1000, max(50, n/10))), so a refit matches a batch fit of the
+	// same records bit for bit.
+	FineUnits int
+	// Fit is the clustering configuration each refit runs with. The
+	// Hist, Resume, and (when Recorder below is set) Recorder fields
+	// are managed by the ingester and overwritten per refit.
+	Fit mafia.Config
+	// CkptDir, when non-empty, wires internal/ckpt into each refit so
+	// level-barrier snapshots are emitted while the fit runs.
+	CkptDir string
+	// Recorder receives the ingest.* counters, the pending-records
+	// gauge, and the refit spans. nil costs nothing.
+	Recorder *obs.Recorder
+	// OnRefit, when non-nil, is called after every refit attempt —
+	// explicit or auto-triggered — with the generation written (0 on
+	// failure), the fitted result, and the error. Called outside the
+	// ingester's locks; it may call back into the ingester.
+	OnRefit func(generation uint64, res *mafia.Result, err error)
+}
+
+// Stats is a point-in-time snapshot of an ingester.
+type Stats struct {
+	// Records is the total number of records accumulated.
+	Records int
+	// Pending is the number of records not yet covered by a completed
+	// refit.
+	Pending int
+	// Generation is the generation of the newest model written (0 when
+	// no refit has completed).
+	Generation uint64
+	// Refits and RefitErrors count completed and failed refit attempts.
+	Refits, RefitErrors int
+}
+
+// Ingester accumulates a record stream and refits models from it. Use
+// New, then Append/AppendFile from any goroutine; Close waits for any
+// in-flight background refit.
+type Ingester struct {
+	cfg  Config
+	dims int
+	path string
+
+	// fitMu serializes refits (single-flight); held across the whole
+	// fit, never while holding mu.
+	fitMu sync.Mutex
+	wg    sync.WaitGroup
+
+	mu          sync.Mutex
+	buf         *dataset.Matrix
+	hist        *histogram.Hist
+	lo, hi      []float64 // observed per-dimension min/max
+	gen         uint64    // generation of the newest model written
+	lastFitN    int       // records covered by the newest model
+	fitting     bool      // a background refit is in flight
+	refits      int
+	refitErrors int
+	closed      bool
+}
+
+// New creates an ingester for dims-dimensional records writing its
+// models under cfg.Dir.
+func New(dims int, cfg Config) (*Ingester, error) {
+	if dims < 1 || dims > 255 {
+		return nil, fmt.Errorf("ingest: dimensionality %d out of [1,255]", dims)
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("ingest: Config.Dir is required")
+	}
+	if cfg.Model == "" {
+		cfg.Model = "stream.pmfm"
+	}
+	if cfg.RefitEvery < 0 {
+		return nil, fmt.Errorf("ingest: RefitEvery %d < 0", cfg.RefitEvery)
+	}
+	if cfg.FineUnits < 0 {
+		return nil, fmt.Errorf("ingest: FineUnits %d < 0", cfg.FineUnits)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	ing := &Ingester{
+		cfg:  cfg,
+		dims: dims,
+		path: filepath.Join(cfg.Dir, cfg.Model),
+		buf:  &dataset.Matrix{D: dims},
+		lo:   make([]float64, dims),
+		hi:   make([]float64, dims),
+	}
+	for i := 0; i < dims; i++ {
+		ing.lo[i] = math.Inf(1)
+		ing.hi[i] = math.Inf(-1)
+	}
+	return ing, nil
+}
+
+// Path returns the model file path refits write to.
+func (ing *Ingester) Path() string { return ing.path }
+
+// Dims returns the record dimensionality.
+func (ing *Ingester) Dims() int { return ing.dims }
+
+// Append folds n row-major records (n*Dims values) into the stream:
+// the records are buffered for future refits and the running fine
+// histogram absorbs them. When the records grow a dimension's observed
+// domain (or the auto-scaled unit count steps up), the histogram is
+// rebuilt over the whole buffer so its binning stays identical to what
+// a batch fit over the same data would compute. Triggers a background
+// refit when RefitEvery is crossed.
+func (ing *Ingester) Append(chunk []float64, n int) error {
+	d := ing.dims
+	if n <= 0 {
+		return fmt.Errorf("ingest: appending %d records", n)
+	}
+	if len(chunk) < n*d {
+		return fmt.Errorf("ingest: chunk holds %d values, %d records of %d dims need %d", len(chunk), n, d, n*d)
+	}
+	chunk = chunk[:n*d]
+
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return errors.New("ingest: ingester is closed")
+	}
+	grown := false
+	for r := 0; r < n; r++ {
+		rec := chunk[r*d : (r+1)*d]
+		for j, v := range rec {
+			if v < ing.lo[j] {
+				ing.lo[j], grown = v, true
+			}
+			if v > ing.hi[j] {
+				ing.hi[j], grown = v, true
+			}
+		}
+	}
+	ing.buf.Values = append(ing.buf.Values, chunk...)
+	total := ing.buf.NumRecords()
+	units := ing.fineUnits(total)
+	if ing.hist == nil || grown || units != ing.hist.Units {
+		// Domain growth (or a unit-count step) invalidates the binning:
+		// rebuild from the buffer. Rare once the stream's range
+		// stabilizes — the common case is the in-place AddChunk below.
+		h := histogram.New(ing.domainsLocked(), units)
+		h.AddChunk(ing.buf.Values, total)
+		ing.hist = h
+	} else {
+		ing.hist.AddChunk(chunk, n)
+	}
+	pending := total - ing.lastFitN
+	trigger := ing.cfg.RefitEvery > 0 && !ing.fitting && pending >= ing.cfg.RefitEvery
+	if trigger {
+		ing.fitting = true
+		ing.wg.Add(1)
+	}
+	ing.mu.Unlock()
+
+	rec := ing.cfg.Recorder
+	rec.AddGlobal(obs.CtrIngestRecords, int64(n))
+	rec.AddGlobal(obs.CtrIngestChunks, 1)
+	rec.SetGauge(obs.GaugeIngestPending, float64(pending))
+	if trigger {
+		go func() {
+			defer ing.wg.Done()
+			ing.Refit()
+		}()
+	}
+	return nil
+}
+
+// AppendFile streams every record of a .pmaf file into the ingester.
+func (ing *Ingester) AppendFile(path string) (records int, err error) {
+	f, err := diskio.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	sc := f.Scan(ing.cfg.Fit.ChunkRecords)
+	defer sc.Close()
+	if f.Dims() != ing.dims {
+		return 0, fmt.Errorf("ingest: %s holds %d-dim records, ingester wants %d", path, f.Dims(), ing.dims)
+	}
+	for {
+		chunk, n := sc.Next()
+		if n == 0 {
+			break
+		}
+		if err := ing.Append(chunk, n); err != nil {
+			return records, err
+		}
+		records += n
+	}
+	return records, sc.Err()
+}
+
+// Refit synchronously fits a model over the records accumulated so far
+// and atomically writes it as the next generation. Refits are
+// single-flight: concurrent callers queue behind the running one.
+// Ingestion continues during the fit — the fit reads a frozen snapshot
+// of the buffer and histogram.
+func (ing *Ingester) Refit() (generation uint64, err error) {
+	ing.fitMu.Lock()
+	defer ing.fitMu.Unlock()
+	start := time.Now()
+	rec := ing.cfg.Recorder
+
+	ing.mu.Lock()
+	n := ing.buf.NumRecords()
+	var snap *dataset.Matrix
+	var h *histogram.Hist
+	if n > 0 {
+		// The buffer is append-only, so a view of the first n records
+		// stays immutable while appends continue beyond it.
+		snap = &dataset.Matrix{D: ing.dims, Values: ing.buf.Values[:n*ing.dims]}
+		h = ing.hist.Clone()
+	}
+	nextGen := ing.gen + 1
+	ing.mu.Unlock()
+
+	var res *mafia.Result
+	if n == 0 {
+		err = errors.New("ingest: no records to fit")
+	} else {
+		res, err = ing.fit(snap, h, nextGen)
+	}
+
+	ing.mu.Lock()
+	ing.fitting = false
+	if err != nil {
+		ing.refitErrors++
+	} else {
+		ing.gen = nextGen
+		ing.lastFitN = n
+		ing.refits++
+	}
+	pending := ing.buf.NumRecords() - ing.lastFitN
+	ing.mu.Unlock()
+
+	if err != nil {
+		rec.AddGlobal(obs.CtrIngestRefitErrors, 1)
+	} else {
+		rec.AddGlobal(obs.CtrIngestRefits, 1)
+		rec.Observe(0, obs.HistIngestRefitSeconds, time.Since(start).Seconds())
+		generation = nextGen
+	}
+	rec.SetGauge(obs.GaugeIngestPending, float64(pending))
+	if ing.cfg.OnRefit != nil {
+		ing.cfg.OnRefit(generation, res, err)
+	}
+	return generation, err
+}
+
+// fit runs the engine over a frozen snapshot and writes the model.
+func (ing *Ingester) fit(snap *dataset.Matrix, h *histogram.Hist, gen uint64) (*mafia.Result, error) {
+	cfg := ing.cfg.Fit
+	cfg.Hist = h
+	cfg.Resume = nil
+	cfg.OnCheckpoint = nil
+	if ing.cfg.Recorder != nil {
+		cfg.Recorder = ing.cfg.Recorder
+	}
+	if ing.cfg.CkptDir != "" {
+		hash, err := ckpt.ConfigHash(cfg, ing.dims)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := ckpt.NewManager(ing.cfg.CkptDir, ckpt.Fingerprint{
+			DataPath:   "ingest:" + ing.cfg.Model,
+			DataBytes:  int64(len(snap.Values)) * 8,
+			ConfigHash: hash,
+		}, ckpt.Options{Recorder: ing.cfg.Recorder})
+		if err != nil {
+			return nil, err
+		}
+		cfg.OnCheckpoint = mgr.Save
+	}
+	res, err := mafia.Run(snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := modelio.SaveMeta(ing.path, res, gen); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats snapshots the ingester's counters.
+func (ing *Ingester) Stats() Stats {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	n := ing.buf.NumRecords()
+	return Stats{
+		Records:     n,
+		Pending:     n - ing.lastFitN,
+		Generation:  ing.gen,
+		Refits:      ing.refits,
+		RefitErrors: ing.refitErrors,
+	}
+}
+
+// Close stops accepting appends and waits for any in-flight background
+// refit to finish. Idempotent.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	ing.closed = true
+	ing.mu.Unlock()
+	ing.wg.Wait()
+	return nil
+}
+
+// fineUnits mirrors the batch engine's resolution rule so streamed and
+// batch fits of the same records bin identically.
+func (ing *Ingester) fineUnits(n int) int {
+	if ing.cfg.FineUnits > 0 {
+		return ing.cfg.FineUnits
+	}
+	units := n / 10
+	if units > 1000 {
+		units = 1000
+	}
+	if units < 50 {
+		units = 50
+	}
+	return units
+}
+
+// domainsLocked widens the observed min/max into the half-open domains
+// a batch fit would compute over the same records — the exact widening
+// switch of the engine's globalDomains. Caller holds ing.mu and
+// guarantees at least one record has been observed.
+func (ing *Ingester) domainsLocked() []dataset.Range {
+	domains := make([]dataset.Range, ing.dims)
+	for i := range domains {
+		lo, hi := ing.lo[i], ing.hi[i]
+		switch {
+		case hi <= lo:
+			domains[i] = dataset.Range{Lo: lo, Hi: lo + 1}
+		default:
+			domains[i] = dataset.Range{Lo: lo, Hi: dataset.WidenHi(lo, hi)}
+		}
+	}
+	return domains
+}

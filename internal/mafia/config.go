@@ -17,6 +17,7 @@ import (
 
 	"pmafia/internal/gen"
 	"pmafia/internal/grid"
+	"pmafia/internal/histogram"
 	"pmafia/internal/obs"
 	"pmafia/internal/unit"
 )
@@ -80,6 +81,15 @@ type Config struct {
 
 	// FineUnits is the number of fine histogram units per dimension.
 	FineUnits int
+	// Hist, when non-nil, is a precomputed global fine histogram: the
+	// engine skips the domains and histogram passes entirely and builds
+	// the grid straight from it (its Domains become the run's domains).
+	// The streaming ingester uses this to refit from incrementally
+	// maintained counts without re-scanning the accumulated data twice.
+	// Every rank must be handed the identical histogram — all ranks
+	// skip the same collectives, so the SPMD invariant holds. The
+	// caller keeps ownership; the engine only reads it.
+	Hist *histogram.Hist
 	// ChunkRecords is B, the number of records read per I/O chunk.
 	ChunkRecords int
 	// Tau is τ: a task-parallel step is divided among ranks only when
@@ -131,6 +141,14 @@ func (c *Config) Validate(dims int) error {
 	}
 	// FineUnits == 0 means auto: the engine picks from the data size
 	// (min(1000, max(50, N/10))) once the record count is known.
+	if c.Hist != nil {
+		if len(c.Hist.Domains) != dims {
+			return fmt.Errorf("mafia: precomputed histogram spans %d dims, data has %d", len(c.Hist.Domains), dims)
+		}
+		if c.Hist.N <= 0 {
+			return fmt.Errorf("mafia: precomputed histogram holds %d records", c.Hist.N)
+		}
+	}
 	if c.ChunkRecords == 0 {
 		c.ChunkRecords = 8192
 	}

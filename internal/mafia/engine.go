@@ -139,41 +139,50 @@ func (e *engine) run(domains []dataset.Range) (*Result, error) {
 		return e.resume(cfg.Resume)
 	}
 
-	if domains == nil {
-		sp := rec.Start(rank, "domains")
-		var err error
-		domains, err = e.globalDomains()
+	var h *histogram.Hist
+	if cfg.Hist != nil {
+		// Precomputed global histogram: skip the domains and histogram
+		// passes (and their collectives — every rank skips identically).
+		h = cfg.Hist
+		e.histDomains, e.histUnits, e.histFlat = h.Domains, h.Units, h.Flatten()
+	} else {
+		if domains == nil {
+			sp := rec.Start(rank, "domains")
+			var err error
+			domains, err = e.globalDomains()
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Phase 0: per-rank fine histograms, reduced to the global one.
+		sp := rec.Start(rank, "histogram")
+		h = histogram.New(domains, e.fineUnits())
+		mergeSec, err := h.AddSourceParallel(e.shard, cfg.ChunkRecords, cfg.Workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		rec.Add(rank, obs.CtrHistogramRecords, int64(e.shard.NumRecords()))
+		rec.Add(rank, obs.CtrPoolMergeNS, int64(mergeSec*1e9))
+		flat := h.Flatten()
+		e.c.AllreduceSumI64(flat)
+		err = h.SetFlattened(flat)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		if h.N == 0 {
+			return nil, errors.New("mafia: empty data set")
+		}
+		e.histDomains, e.histUnits, e.histFlat = domains, h.Units, flat
 	}
-
-	// Phase 0: per-rank fine histograms, reduced to the global one.
-	sp := rec.Start(rank, "histogram")
-	h := histogram.New(domains, e.fineUnits())
-	mergeSec, err := h.AddSourceParallel(e.shard, cfg.ChunkRecords, cfg.Workers)
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	rec.Add(rank, obs.CtrHistogramRecords, int64(e.shard.NumRecords()))
-	rec.Add(rank, obs.CtrPoolMergeNS, int64(mergeSec*1e9))
-	flat := h.Flatten()
-	e.c.AllreduceSumI64(flat)
-	err = h.SetFlattened(flat)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	if h.N == 0 {
-		return nil, errors.New("mafia: empty data set")
-	}
-	e.histDomains, e.histUnits, e.histFlat = domains, h.Units, flat
 
 	// Adaptive intervals (or the uniform CLIQUE grid) from the global
 	// histogram; deterministic, so every rank computes the same grid.
-	sp = rec.Start(rank, "grid")
+	sp := rec.Start(rank, "grid")
+	var err error
 	switch cfg.Grid {
 	case AdaptiveGrid:
 		e.g, err = grid.BuildAdaptive(h, cfg.Adaptive)

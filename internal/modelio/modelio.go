@@ -8,12 +8,14 @@
 // served as a model, and atomic temp-file + rename writes (a crash
 // never leaves a half-written model at the target path).
 //
-// Format, version 1:
+// Format, version 2:
 //
-//	magic   [4]byte  "PMFM"
-//	version uint32   1
-//	length  uint64   payload byte count
-//	crc     uint32   CRC32C (Castagnoli) of the payload
+//	magic       [4]byte  "PMFM"
+//	version     uint32   2
+//	length      uint64   payload byte count
+//	crc         uint32   CRC32C (Castagnoli) of the payload
+//	generation  uint64   monotonic refit counter (0 = unversioned)
+//	fingerprint uint64   FNV-64a of the payload
 //	payload length bytes:
 //	  records  uint64            Result.N
 //	  seconds  float64           Result.Seconds
@@ -29,6 +31,17 @@
 //	    unitBytes uint32 + the unit array's byte encoding,
 //	    boxes uint32, then per box k×uint8 binLo, k×uint8 binHi
 //
+// Version 1 files are the same payload behind a 20-byte header that
+// stops at the crc field; readers accept both, reporting generation 0
+// and a fingerprint computed from the payload for v1.
+//
+// The generation field orders refits of the same logical model: a
+// streaming ingester bumps it on every background refit, and the
+// serving daemon's hot-swap logic uses it (with the fingerprint) to
+// tell a genuinely new model from a same-content rewrite. The
+// fingerprint hashes the payload, so two files with equal fingerprints
+// compile to identical assign indexes regardless of generation.
+//
 // The parallel machine's Report is runtime instrumentation, not model
 // state, and is not serialized; a loaded Result carries a nil Report.
 package modelio
@@ -39,6 +52,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -53,9 +67,10 @@ import (
 
 const (
 	magic   = "PMFM"
-	Version = 1
+	Version = 2
 
-	headerLen = 4 + 4 + 8 + 4
+	headerLenV1 = 4 + 4 + 8 + 4
+	headerLenV2 = headerLenV1 + 8 + 8
 
 	// maxPayload bounds the header's length field before anything is
 	// allocated: a model is bins, thresholds, and DNF covers — a few
@@ -74,8 +89,28 @@ func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-// Write serializes res to w in the version-1 format.
+// Meta is the versioning header of a model file: which refit produced
+// it and a content hash of its payload.
+type Meta struct {
+	Generation  uint64 // monotonic refit counter; 0 for v1 files
+	Fingerprint uint64 // FNV-64a of the payload
+}
+
+// fingerprint hashes a payload the way the v2 header records it.
+func fingerprint(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Write serializes res to w in the current format with generation 0.
 func Write(w io.Writer, res *mafia.Result) error {
+	return WriteMeta(w, res, 0)
+}
+
+// WriteMeta serializes res to w in the version-2 format, stamping the
+// header with generation and the payload fingerprint.
+func WriteMeta(w io.Writer, res *mafia.Result, generation uint64) error {
 	if res == nil || res.Grid == nil {
 		return errors.New("modelio: nil result or grid")
 	}
@@ -83,11 +118,13 @@ func Write(w io.Writer, res *mafia.Result) error {
 	if err != nil {
 		return err
 	}
-	hdr := make([]byte, headerLen)
+	hdr := make([]byte, headerLenV2)
 	copy(hdr, magic)
 	binary.LittleEndian.PutUint32(hdr[4:], Version)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(hdr[20:], generation)
+	binary.LittleEndian.PutUint64(hdr[28:], fingerprint(payload))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -96,36 +133,73 @@ func Write(w io.Writer, res *mafia.Result) error {
 }
 
 // Read deserializes a model written by Write, verifying the checksum
-// before decoding.
+// before decoding. Both header versions are accepted.
 func Read(r io.Reader) (*mafia.Result, error) {
-	hdr := make([]byte, headerLen)
+	res, _, err := ReadMeta(r)
+	return res, err
+}
+
+// ReadMeta is Read plus the versioning header: generation and payload
+// fingerprint. A v1 file reads as generation 0 with the fingerprint
+// computed from its payload, so equal payloads fingerprint equally
+// across versions.
+func ReadMeta(r io.Reader) (*mafia.Result, Meta, error) {
+	hdr := make([]byte, headerLenV1)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, corruptf("short header: %v", err)
+		return nil, Meta{}, corruptf("short header: %v", err)
 	}
 	if string(hdr[:4]) != magic {
-		return nil, corruptf("bad magic %q", hdr[:4])
+		return nil, Meta{}, corruptf("bad magic %q", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("modelio: unsupported model version %d (this build reads %d)", v, Version)
+	var meta Meta
+	haveMeta := false
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case 1:
+	case 2:
+		ext := make([]byte, headerLenV2-headerLenV1)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, Meta{}, corruptf("short v2 header: %v", err)
+		}
+		meta.Generation = binary.LittleEndian.Uint64(ext[0:])
+		meta.Fingerprint = binary.LittleEndian.Uint64(ext[8:])
+		haveMeta = true
+	default:
+		return nil, Meta{}, fmt.Errorf("modelio: unsupported model version %d (this build reads %d)", v, Version)
 	}
 	length := binary.LittleEndian.Uint64(hdr[8:])
 	if length > maxPayload {
-		return nil, corruptf("payload length %d exceeds the %d cap", length, maxPayload)
+		return nil, Meta{}, corruptf("payload length %d exceeds the %d cap", length, maxPayload)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, corruptf("short payload: %v", err)
+		return nil, Meta{}, corruptf("short payload: %v", err)
 	}
 	want := binary.LittleEndian.Uint32(hdr[16:])
 	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return nil, corruptf("payload checksum %08x, header says %08x", got, want)
+		return nil, Meta{}, corruptf("payload checksum %08x, header says %08x", got, want)
 	}
-	return decodePayload(payload)
+	if !haveMeta {
+		meta.Fingerprint = fingerprint(payload)
+	}
+	res, err := decodePayload(payload)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return res, meta, nil
 }
 
-// Save writes res to path atomically: the model streams into a temp
-// file in the same directory, is synced, and is renamed into place.
-func Save(path string, res *mafia.Result) (err error) {
+// Save writes res to path atomically with generation 0: the model
+// streams into a temp file in the same directory, is synced, and is
+// renamed into place.
+func Save(path string, res *mafia.Result) error {
+	return SaveMeta(path, res, 0)
+}
+
+// SaveMeta is Save with an explicit generation stamped into the
+// header. The rename is atomic, so a reader concurrently loading the
+// path sees either the previous complete model or this one — never a
+// mix.
+func SaveMeta(path string, res *mafia.Result, generation uint64) (err error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".model-*.tmp")
 	if err != nil {
@@ -138,7 +212,7 @@ func Save(path string, res *mafia.Result) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	if err = Write(f, res); err != nil {
+	if err = WriteMeta(f, res, generation); err != nil {
 		return err
 	}
 	if err = f.Sync(); err != nil {
@@ -150,36 +224,42 @@ func Save(path string, res *mafia.Result) (err error) {
 	return os.Rename(tmp, path)
 }
 
-// Load reads a model from path, validating the header's payload length
-// against the file size before allocating.
+// Load reads a model from path.
 func Load(path string) (*mafia.Result, error) {
-	f, err := os.Open(path)
+	res, _, err := LoadMeta(path)
+	return res, err
+}
+
+// LoadMeta reads a model and its versioning header from path.
+//
+// The whole file is read into memory in a single pass before any of
+// it is interpreted, so a concurrent atomic replacement of the path
+// can never produce a torn decode (old header, new payload): the
+// bytes decoded are the bytes of exactly one read. A file whose size
+// disagrees with its header's payload length fails with ErrCorrupt.
+func LoadMeta(path string) (*mafia.Result, Meta, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, Meta{}, err
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
+	if len(data) < headerLenV1 {
+		return nil, Meta{}, corruptf("%s: short header: %d bytes", path, len(data))
 	}
-	hdr := make([]byte, headerLen)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		return nil, corruptf("%s: short header: %v", path, err)
-	}
-	if string(hdr[:4]) == magic && binary.LittleEndian.Uint32(hdr[4:]) == Version {
-		length := binary.LittleEndian.Uint64(hdr[8:])
-		if want := uint64(st.Size()) - headerLen; length != want {
-			return nil, corruptf("%s: header says %d payload bytes, file holds %d", path, length, want)
+	if string(data[:4]) == magic {
+		hdrLen := uint64(headerLenV1)
+		if binary.LittleEndian.Uint32(data[4:]) == 2 {
+			hdrLen = headerLenV2
+		}
+		length := binary.LittleEndian.Uint64(data[8:])
+		if length <= maxPayload && length != uint64(len(data))-hdrLen {
+			return nil, Meta{}, corruptf("%s: header says %d payload bytes, file holds %d", path, length, uint64(len(data))-hdrLen)
 		}
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	res, err := Read(f)
+	res, meta, err := ReadMeta(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, Meta{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return res, nil
+	return res, meta, nil
 }
 
 // enc is a little-endian payload builder.

@@ -121,6 +121,7 @@ type PhaseSummary struct {
 type Metrics struct {
 	Ranks    int                `json:"ranks"`
 	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
 	PerRank  []map[string]int64 `json:"per_rank_counters"`
 	Phases   []PhaseSummary     `json:"phases"`
 }
@@ -135,6 +136,12 @@ func (r *Recorder) Metrics() *Metrics {
 	m := &Metrics{Ranks: len(r.ranks), Counters: map[string]int64{}}
 	for k, v := range r.global {
 		m.Counters[k] += v
+	}
+	if len(r.gauges) > 0 {
+		m.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			m.Gauges[k] = v
+		}
 	}
 	type key struct {
 		name  string

@@ -51,6 +51,15 @@ const (
 	CtrProfileHeap   = "profile.heap"
 	CtrProfilePruned = "profile.pruned"
 	CtrProfileErrors = "profile.errors"
+	// ingest: the streaming-ingest / background-refit pipeline.
+	CtrIngestRecords     = "ingest.records"
+	CtrIngestChunks      = "ingest.chunks"
+	CtrIngestRefits      = "ingest.refits"
+	CtrIngestRefitErrors = "ingest.refit.errors"
+	// pmafiad: live model hot-swap (generation-aware cache handles).
+	CtrSwapChecks = "swap.checks"
+	CtrSwapSwaps  = "swap.swaps"
+	CtrSwapErrors = "swap.errors"
 	// ckpt: level-barrier checkpoint writes and recovery loads.
 	CtrCkptWrites       = "ckpt.write"
 	CtrCkptWriteBytes   = "ckpt.write.bytes"
@@ -101,6 +110,13 @@ const (
 	// HistAssignCoalesceRecords is the records labeled per coalesced
 	// batch flush — how much co-riding the coalescer actually achieves.
 	HistAssignCoalesceRecords = "assign.coalesce.records"
+	// HistIngestRefitSeconds is the wall time of each background refit
+	// triggered by the streaming ingester (fit + atomic model write).
+	HistIngestRefitSeconds = "ingest.refit.seconds"
+	// HistSwapSeconds is the wall time of each successful model hot
+	// swap in the serving daemon: disk load + index compile + pointer
+	// store. Failed swaps are counted (swap.errors), not observed here.
+	HistSwapSeconds = "swap.seconds"
 )
 
 // HistRouteSeconds names the per-route request-latency histogram
@@ -146,6 +162,53 @@ func ParseModelHistogram(name string) (model, kind string, ok bool) {
 		return "", "", false
 	}
 	return model, kind, true
+}
+
+// Gauge names. Gauges are last-value-wins point-in-time readings —
+// unlike counters they can move down — and, like the other metric
+// kinds, every gauge set anywhere is declared here.
+const (
+	// GaugeIngestPending is the number of records buffered in the
+	// streaming ingester since the last completed refit.
+	GaugeIngestPending = "ingest.pending.records"
+)
+
+// GaugeModelStaleness names the per-model staleness gauge: seconds
+// between the on-disk model file's mtime and the generation currently
+// being served. Zero means the resident compiled index is the newest
+// on disk; it climbs while a newer file waits to be swapped in (or a
+// swap keeps failing). model is the model file's base name.
+func GaugeModelStaleness(model string) string {
+	return "model." + model + ".staleness.seconds"
+}
+
+// ParseModelStalenessGauge splits a GaugeModelStaleness name back into
+// its model name; ok is false for any other gauge name.
+func ParseModelStalenessGauge(name string) (model string, ok bool) {
+	rest, found := strings.CutPrefix(name, "model.")
+	if !found {
+		return "", false
+	}
+	model, found = strings.CutSuffix(rest, ".staleness.seconds")
+	if !found || model == "" {
+		return "", false
+	}
+	return model, true
+}
+
+// registeredGauges is the exact-name half of the gauge registry.
+var registeredGauges = map[string]bool{
+	GaugeIngestPending: true,
+}
+
+// gaugePatterned matches the constructed gauge families — currently
+// just model.<file>.staleness.seconds.
+var gaugePatterned = regexp.MustCompile(`^model\..+\.staleness\.seconds$`)
+
+// IsRegisteredGauge reports whether name is a declared gauge, exact or
+// an instance of a registered family — the gauge half of IsRegistered.
+func IsRegisteredGauge(name string) bool {
+	return registeredGauges[name] || gaugePatterned.MatchString(name)
 }
 
 // HistogramBounds returns the declared bucket boundary set for a
@@ -206,6 +269,13 @@ var registered = map[string]bool{
 	CtrProfileHeap:           true,
 	CtrProfilePruned:         true,
 	CtrProfileErrors:         true,
+	CtrIngestRecords:         true,
+	CtrIngestChunks:          true,
+	CtrIngestRefits:          true,
+	CtrIngestRefitErrors:     true,
+	CtrSwapChecks:            true,
+	CtrSwapSwaps:             true,
+	CtrSwapErrors:            true,
 	CtrCkptWrites:            true,
 	CtrCkptWriteBytes:        true,
 	CtrCkptWriteNS:           true,
@@ -234,6 +304,8 @@ var histPatterned = regexp.MustCompile(`^(http\.[a-z_]+\.seconds|model\..+\.(sec
 var registeredHists = map[string]bool{
 	HistAssignQueueSeconds:    true,
 	HistAssignCoalesceRecords: true,
+	HistIngestRefitSeconds:    true,
+	HistSwapSeconds:           true,
 }
 
 // IsRegisteredHistogram reports whether name is a declared histogram,

@@ -12,6 +12,8 @@ func TestCounterRegistry(t *testing.T) {
 		CtrTraceRequests, CtrTraceSampled, CtrTraceRetained,
 		CtrTraceRetainedError, CtrTraceRetainedSlow,
 		CtrProfileCPU, CtrProfileHeap, CtrProfilePruned, CtrProfileErrors,
+		CtrIngestRecords, CtrIngestChunks, CtrIngestRefits, CtrIngestRefitErrors,
+		CtrSwapChecks, CtrSwapSwaps, CtrSwapErrors,
 	} {
 		if !IsRegistered(name) {
 			t.Errorf("constant %q not registered", name)
@@ -51,6 +53,7 @@ func TestCounterRegistry(t *testing.T) {
 func TestHistogramRegistry(t *testing.T) {
 	for _, name := range []string{
 		HistAssignQueueSeconds, HistAssignCoalesceRecords,
+		HistIngestRefitSeconds, HistSwapSeconds,
 		HistRouteSeconds("assign"), HistRouteSeconds("debug_slow"),
 		HistModelSeconds("taxi.pmfm"), HistModelRecords("taxi.pmfm"),
 	} {
@@ -67,6 +70,34 @@ func TestHistogramRegistry(t *testing.T) {
 	// Histogram and counter name spaces stay disjoint.
 	if IsRegistered(HistRouteSeconds("assign")) {
 		t.Error("a histogram name is registered as a counter")
+	}
+}
+
+func TestGaugeRegistry(t *testing.T) {
+	for _, name := range []string{
+		GaugeIngestPending,
+		GaugeModelStaleness("taxi.pmfm"),
+		GaugeModelStaleness("a.b.pmfm"),
+	} {
+		if !IsRegisteredGauge(name) {
+			t.Errorf("%q not registered as a gauge", name)
+		}
+	}
+	for _, bogus := range []string{"", "model..staleness.seconds", "model.x.seconds",
+		CtrIngestRecords, HistSwapSeconds} {
+		if IsRegisteredGauge(bogus) {
+			t.Errorf("%q should not be a registered gauge", bogus)
+		}
+	}
+	// Gauge, counter, and histogram name spaces stay disjoint.
+	if IsRegistered(GaugeIngestPending) || IsRegisteredHistogram(GaugeIngestPending) {
+		t.Error("a gauge name is registered as a counter or histogram")
+	}
+	if model, ok := ParseModelStalenessGauge(GaugeModelStaleness("a.b.pmfm")); !ok || model != "a.b.pmfm" {
+		t.Errorf("ParseModelStalenessGauge = %q %v", model, ok)
+	}
+	if _, ok := ParseModelStalenessGauge(HistModelSeconds("a.pmfm")); ok {
+		t.Error("ParseModelStalenessGauge accepted a model histogram")
 	}
 }
 
@@ -142,6 +173,13 @@ func TestPromNameMapping(t *testing.T) {
 		CtrProfileHeap:           "pmafia_profile_heap",
 		CtrProfilePruned:         "pmafia_profile_pruned",
 		CtrProfileErrors:         "pmafia_profile_errors",
+		CtrIngestRecords:         "pmafia_ingest_records",
+		CtrIngestChunks:          "pmafia_ingest_chunks",
+		CtrIngestRefits:          "pmafia_ingest_refits",
+		CtrIngestRefitErrors:     "pmafia_ingest_refit_errors",
+		CtrSwapChecks:            "pmafia_swap_checks",
+		CtrSwapSwaps:             "pmafia_swap_swaps",
+		CtrSwapErrors:            "pmafia_swap_errors",
 		CtrCkptWrites:            "pmafia_ckpt_write",
 		CtrCkptWriteBytes:        "pmafia_ckpt_write_bytes",
 		CtrCkptWriteNS:           "pmafia_ckpt_write_ns",
@@ -153,15 +191,19 @@ func TestPromNameMapping(t *testing.T) {
 		CtrSupervisorResume:      "pmafia_supervisor_resumes",
 		CtrSupervisorRetry:       "pmafia_supervisor_restarts",
 		// Patterned families, one instance each.
-		CommCountCounter(KindReduce):  "pmafia_comm_reduce_count",
-		CommBytesCounter(KindGather):  "pmafia_comm_gather_bytes",
-		LevelDenseCounter(7):          "pmafia_level_07_dense",
-		CtrHTTPStatus("assign", 200):  "pmafia_http_assign_status_200",
-		HistAssignQueueSeconds:        "pmafia_assign_queue_seconds",
-		HistAssignCoalesceRecords:     "pmafia_assign_coalesce_records",
-		HistRouteSeconds("assign"):    "pmafia_http_assign_seconds",
-		HistModelSeconds("taxi.pmfm"): "pmafia_model_taxi_pmfm_seconds",
-		HistModelRecords("taxi.pmfm"): "pmafia_model_taxi_pmfm_records",
+		CommCountCounter(KindReduce):     "pmafia_comm_reduce_count",
+		CommBytesCounter(KindGather):     "pmafia_comm_gather_bytes",
+		LevelDenseCounter(7):             "pmafia_level_07_dense",
+		CtrHTTPStatus("assign", 200):     "pmafia_http_assign_status_200",
+		HistAssignQueueSeconds:           "pmafia_assign_queue_seconds",
+		HistAssignCoalesceRecords:        "pmafia_assign_coalesce_records",
+		HistRouteSeconds("assign"):       "pmafia_http_assign_seconds",
+		HistModelSeconds("taxi.pmfm"):    "pmafia_model_taxi_pmfm_seconds",
+		HistModelRecords("taxi.pmfm"):    "pmafia_model_taxi_pmfm_records",
+		HistIngestRefitSeconds:           "pmafia_ingest_refit_seconds",
+		HistSwapSeconds:                  "pmafia_swap_seconds",
+		GaugeIngestPending:               "pmafia_ingest_pending_records",
+		GaugeModelStaleness("taxi.pmfm"): "pmafia_model_taxi_pmfm_staleness_seconds",
 	}
 	// Every exact registered name must be locked above.
 	for _, name := range Registered() {

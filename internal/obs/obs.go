@@ -150,6 +150,10 @@ type Recorder struct {
 	// exemplars holds one exemplar per (histogram name, bucket) —
 	// see exemplar.go. Lazily allocated: nil until SetExemplar runs.
 	exemplars map[string][]Exemplar
+	// gauges holds last-value-wins point-in-time readings (staleness,
+	// queue depth). Machine-global: gauges have no rank identity.
+	// Lazily allocated: nil until SetGauge runs.
+	gauges map[string]float64
 }
 
 // New creates an empty recorder.
@@ -288,6 +292,48 @@ func (r *Recorder) sampleLocked(ts float64, name string) {
 		v += rs.ctrs[name]
 	}
 	r.samples = append(r.samples, ctrSample{ts: ts, name: name, val: v})
+}
+
+// SetGauge records the current value of gauge name, replacing any
+// previous reading. Unlike counters, gauges move in both directions —
+// they report a state (records pending, seconds stale), not a total.
+func (r *Recorder) SetGauge(name string, value float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = map[string]float64{}
+	}
+	r.gauges[name] = value
+	r.mu.Unlock()
+}
+
+// Gauge returns the last value set for gauge name (0 if never set).
+func (r *Recorder) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Gauges snapshots every gauge that has been set.
+func (r *Recorder) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
 }
 
 // Comm attributes one completed collective to rank: its modeled cost

@@ -271,6 +271,36 @@ func (s *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Gauges: the per-model staleness readings fold into one labeled
+	// family, everything else is exposed under its mangled name.
+	if len(m.Gauges) > 0 {
+		gnames := make([]string, 0, len(m.Gauges))
+		for name := range m.Gauges {
+			gnames = append(gnames, name)
+		}
+		sort.Strings(gnames)
+		staleEmitted := false
+		for _, name := range gnames {
+			if _, ok := obs.ParseModelStalenessGauge(name); ok {
+				staleEmitted = true
+				continue
+			}
+			pn := obs.PromName(name)
+			fmt.Fprintf(w, "# HELP %s Current value of gauge %s.\n", pn, name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, m.Gauges[name])
+		}
+		if staleEmitted {
+			fmt.Fprintf(w, "# HELP pmafia_model_staleness_seconds Age of the served model vs the newest on disk, by model.\n")
+			fmt.Fprintf(w, "# TYPE pmafia_model_staleness_seconds gauge\n")
+			for _, name := range gnames {
+				if model, ok := obs.ParseModelStalenessGauge(name); ok {
+					fmt.Fprintf(w, "pmafia_model_staleness_seconds{model=%q} %g\n",
+						model, m.Gauges[name])
+				}
+			}
+		}
+	}
+
 	if len(m.Phases) > 0 {
 		fmt.Fprintf(w, "# HELP pmafia_phase_seconds Seconds spent per (phase, level), summed over ranks.\n")
 		fmt.Fprintf(w, "# TYPE pmafia_phase_seconds gauge\n")

@@ -55,7 +55,8 @@ fi
 echo "== metric-name registry gate"
 go test -count=1 -run 'TestCounterRegistry|TestHistogramRegistry|TestPromNameMapping' ./internal/obs
 go test -count=1 -run 'TestAllEmittedMetricsAreRegistered' ./internal/daemon
-stray=$(grep -rnE '"(trace|profile)\.[a-z_.]+"' --include='*.go' internal cmd | grep -v '^internal/obs/names\.go:' || true)
+stray=$(grep -rnE '"(trace|profile|swap|ingest)\.[a-z_.]+"' --include='*.go' internal cmd \
+    | grep -v '^internal/obs/names\.go:' | grep -vE '\.(pmaf|pmfm)"' || true)
 if [ -n "$stray" ]; then
     echo "metric-name literals outside internal/obs/names.go (use the obs.Ctr*/Hist* constants):" >&2
     echo "$stray" >&2
@@ -78,6 +79,15 @@ go test -race -count=1 -run 'TestPropertyMatchesOracle|TestFittedModelMatchesEng
 # server's histogram percentiles agree with the client's measurement.
 echo "== load smoke (sustained /assign traffic, server vs client percentiles)"
 go test -race -count=1 -run 'TestLoadSmoke' ./internal/bench
+
+# Swap-under-load gate: while sustained traffic runs, the served model
+# file is rewritten with alternating generations (and once with
+# garbage) — every response must match exactly one generation's
+# oracle, never a torn mix, and a failed swap must keep the previous
+# generation serving. The coalescer drain check pins that Shutdown
+# flushes parked waiters instead of abandoning them.
+echo "== swap gate (hot swap under load + coalescer drain)"
+go test -race -count=1 -run 'TestStaleModelReloaded|TestSwapUnderLoad|TestCoalesceDrainFlushesWaiters' ./internal/daemon
 
 # Recovery gate: supervised restart under injected crashes and torn
 # checkpoint writes must reproduce the fault-free result
